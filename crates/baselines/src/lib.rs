@@ -1,0 +1,199 @@
+//! The baseline congestion-control protocols the ERT paper compares
+//! against (Section 5):
+//!
+//! * [`base`] — plain Cycloid: one closest neighbor per table slot, no
+//!   indegree bounds, deterministic forwarding, no adaptation.
+//! * [`ns`] — the neighbor-selection baseline after Castro et al.
+//!   (NSDI '05): tables prefer the highest-capacity region member whose
+//!   static indegree bound (`⌊0.5 + α·ĉ⌋`) still has room, ties broken
+//!   by physical proximity. Degrees are fixed after construction.
+//! * [`vs`] — the virtual-server baseline after Godfrey & Stoica
+//!   (INFOCOM '05): every host runs a capacity-proportional number of
+//!   virtual Cycloid nodes whose IDs are drawn one-per-consecutive
+//!   interval, so a host's total ID-space share tracks its capacity.
+//!   Routing crosses the (larger) virtual overlay.
+//! * [`im`] — the item-movement family (after Bharambe et al.) the
+//!   paper's related-work section contrasts with: light nodes leave and
+//!   rejoin next to heavy ones, splitting their intervals, at the cost
+//!   of ID churn.
+//!
+//! All are [`ProtocolSpec`] values consumed by
+//! [`ert_network::Network`]; the ERT variants themselves are constructed
+//! by `ert-network` ([`ProtocolSpec::ert_af`] and friends).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ert_core::ForwardPolicy;
+use ert_network::{ProtocolSpec, TablePolicy, VirtualServerConfig};
+
+/// Plain Cycloid with no congestion control (the paper's "Base").
+///
+/// ```
+/// use ert_baselines::base;
+/// let spec = base();
+/// assert_eq!(spec.name, "Base");
+/// assert!(!spec.adaptation);
+/// ```
+pub fn base() -> ProtocolSpec {
+    ProtocolSpec {
+        name: "Base".into(),
+        table: TablePolicy::SingleClosest,
+        adaptation: false,
+        forwarding: ForwardPolicy::Deterministic,
+        virtual_servers: None,
+        item_movement: false,
+    }
+}
+
+/// Capacity-biased neighbor selection (the paper's "NS", after Castro
+/// et al.): static indegree bounds, highest-capacity-first neighbor
+/// choice with proximity tie-breaks, fixed degrees, no adaptation.
+///
+/// ```
+/// use ert_baselines::ns;
+/// assert_eq!(ns().name, "NS");
+/// ```
+pub fn ns() -> ProtocolSpec {
+    ProtocolSpec {
+        name: "NS".into(),
+        table: TablePolicy::SingleHighestCapacity,
+        adaptation: false,
+        forwarding: ForwardPolicy::Deterministic,
+        virtual_servers: None,
+        item_movement: false,
+    }
+}
+
+/// Virtual servers (the paper's "VS", after Godfrey & Stoica) for a
+/// network of `n` physical hosts.
+///
+/// ```
+/// use ert_baselines::vs;
+/// let spec = vs(2048);
+/// assert_eq!(spec.name, "VS");
+/// assert!(spec.virtual_servers.is_some());
+/// ```
+pub fn vs(n: usize) -> ProtocolSpec {
+    ProtocolSpec {
+        name: "VS".into(),
+        table: TablePolicy::SingleClosest,
+        adaptation: false,
+        forwarding: ForwardPolicy::Deterministic,
+        virtual_servers: Some(VirtualServerConfig::for_network_size(n)),
+        item_movement: false,
+    }
+}
+
+/// Item-movement load balancing (the related-work family the paper
+/// contrasts with, after Bharambe et al.): plain Cycloid tables plus
+/// periodic leave/rejoin of light nodes next to heavy ones. The paper
+/// argues this "incurs high overhead for changing IDs, especially in
+/// networks under churn".
+///
+/// ```
+/// use ert_baselines::im;
+/// assert_eq!(im().name, "IM");
+/// assert!(im().item_movement);
+/// ```
+pub fn im() -> ProtocolSpec {
+    ProtocolSpec {
+        name: "IM".into(),
+        table: TablePolicy::SingleClosest,
+        adaptation: false,
+        forwarding: ForwardPolicy::Deterministic,
+        virtual_servers: None,
+        item_movement: true,
+    }
+}
+
+/// Every protocol of the paper's comparison, in presentation order:
+/// Base, NS, VS, ERT/A, ERT/F, ERT/AF.
+pub fn all_protocols(n: usize) -> Vec<ProtocolSpec> {
+    vec![
+        base(),
+        ns(),
+        vs(n),
+        ProtocolSpec::ert_a(),
+        ProtocolSpec::ert_f(),
+        ProtocolSpec::ert_af(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ert_network::{Network, NetworkConfig};
+
+    fn caps(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 500.0 + 250.0 * (i % 5) as f64).collect()
+    }
+
+    #[test]
+    fn all_protocols_cover_the_papers_lineup() {
+        let specs = all_protocols(128);
+        let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["Base", "NS", "VS", "ERT/A", "ERT/F", "ERT/AF"]);
+    }
+
+    #[test]
+    fn every_baseline_completes_a_small_run() {
+        let capacities = caps(96);
+        for spec in [base(), ns(), vs(96)] {
+            let name = spec.name.clone();
+            let cfg = NetworkConfig::for_dimension(6, 11);
+            let mut net = Network::new(cfg, &capacities, spec).unwrap();
+            let lookups = ert_network::network::uniform_lookup_burst(150, 96.0, 11);
+            let r = net.run(&lookups, &[]);
+            assert_eq!(r.lookups_completed, 150, "{name} dropped {}", r.lookups_dropped);
+        }
+    }
+
+    #[test]
+    fn ns_tables_respect_static_indegree_bounds_mostly() {
+        // NS may exceed a bound only through the saturation fallback
+        // (all region members full); with ample alpha that is rare.
+        let capacities = caps(96);
+        let cfg = NetworkConfig::for_dimension(6, 12);
+        let net = Network::new(cfg, &capacities, ns()).unwrap();
+        let topo = net.topology();
+        let over = topo
+            .nodes
+            .iter()
+            .filter(|n| n.table.indegree() as i64 > n.d_max as i64)
+            .count();
+        assert!(over * 10 <= topo.nodes.len(), "{over} nodes over bound");
+    }
+
+    #[test]
+    fn im_relocates_light_nodes_and_completes() {
+        let capacities = caps(128);
+        let cfg = NetworkConfig::for_dimension(6, 14);
+        let mut net = Network::new(cfg, &capacities, im()).unwrap();
+        let lookups = ert_network::network::uniform_lookup_burst(400, 256.0, 14);
+        let r = net.run(&lookups, &[]);
+        assert_eq!(r.lookups_completed + r.lookups_dropped, 400);
+        assert!(r.lookups_completed >= 390, "completed {}", r.lookups_completed);
+        // Relocations create extra node slots (old identity + new one).
+        let topo = net.topology();
+        assert!(
+            topo.nodes.len() > 128,
+            "no relocation happened: {} nodes",
+            topo.nodes.len()
+        );
+        assert_eq!(topo.registry.len(), 128, "live population must be stable");
+        assert!(r.maintenance_per_lookup > 0.0);
+    }
+
+    #[test]
+    fn vs_creates_capacity_proportional_virtuals() {
+        let capacities = vec![500.0, 500.0, 4000.0, 500.0];
+        let cfg = NetworkConfig::for_dimension(4, 13);
+        let net = Network::new(cfg, &capacities, vs(4)).unwrap();
+        let topo = net.topology();
+        let counts: Vec<usize> = topo.hosts.iter().map(|h| h.nodes.len()).collect();
+        assert!(counts[2] > counts[0], "big host should run more virtuals: {counts:?}");
+        let total: usize = counts.iter().sum();
+        assert_eq!(topo.registry.len(), total);
+    }
+}

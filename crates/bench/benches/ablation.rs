@@ -1,0 +1,21 @@
+//! Ablation sweeps as a bench target (reduced scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ert_bench::bench_scenario;
+use ert_experiments::ablation;
+
+fn bench(c: &mut Criterion) {
+    let base = bench_scenario();
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("forwarding_ladder", |b| {
+        b.iter(|| ablation::forwarding_table(&base))
+    });
+    group.bench_function("alpha_sweep", |b| {
+        b.iter(|| ablation::alpha_table(&base, &[8.0, 16.0]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Fig. 10 — lookup efficiency under churn, plus the Section 5.5
+//! timeout statistic (reduced scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ert_bench::bench_scenario;
+use ert_experiments::{fig10, fig9};
+
+fn bench(c: &mut Criterion) {
+    let base = bench_scenario();
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("churn_lookup_tables", |b| {
+        b.iter(|| {
+            let sweep = fig9::churn_sweep(&base, &[0.3]);
+            fig10::tables(&sweep)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

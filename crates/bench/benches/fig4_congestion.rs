@@ -1,0 +1,21 @@
+//! Fig. 4 — congestion-control effectiveness (reduced scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ert_bench::bench_scenario;
+use ert_experiments::fig4;
+
+fn bench(c: &mut Criterion) {
+    let base = bench_scenario();
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("lookup_sweep_all_protocols", |b| {
+        b.iter(|| {
+            let sweep = fig4::lookup_sweep(&base, &[100, 200]);
+            fig4::tables(&sweep)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

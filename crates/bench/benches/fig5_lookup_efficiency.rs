@@ -1,0 +1,25 @@
+//! Fig. 5 — lookup efficiency (reduced scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ert_bench::bench_scenario;
+use ert_experiments::{fig4, fig5};
+
+fn bench(c: &mut Criterion) {
+    let base = bench_scenario();
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("heavy_nodes_panel", |b| {
+        b.iter(|| {
+            let sweep = fig4::lookup_sweep(&base, &[150]);
+            fig5::table_5a(&sweep)
+        })
+    });
+    group.bench_function("path_length_vs_size", |b| {
+        b.iter(|| fig5::table_5b(&base, &[64, 128]))
+    });
+    group.bench_function("lookup_time_digest", |b| b.iter(|| fig5::table_5c(&base)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

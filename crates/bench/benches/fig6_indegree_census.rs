@@ -1,0 +1,19 @@
+//! Fig. 6 — the plain-Cycloid indegree census.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ert_experiments::fig6;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("census_dim8_full", |b| {
+        b.iter(|| fig6::census(8, 8 * 256, 8))
+    });
+    group.bench_function("summary_dims_6_to_8", |b| {
+        b.iter(|| fig6::summary_table(&[6, 7, 8], true, 8))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

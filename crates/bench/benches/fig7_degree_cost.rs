@@ -1,0 +1,21 @@
+//! Fig. 7 — degrees and maintenance cost (reduced scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ert_bench::bench_scenario;
+use ert_experiments::{fig4, fig7};
+
+fn bench(c: &mut Criterion) {
+    let base = bench_scenario();
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("degree_tables", |b| {
+        b.iter(|| {
+            let sweep = fig4::lookup_sweep(&base, &[150]);
+            fig7::tables(&sweep)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

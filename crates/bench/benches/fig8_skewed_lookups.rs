@@ -1,0 +1,21 @@
+//! Fig. 8 — skewed lookups (reduced scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ert_bench::bench_scenario;
+use ert_experiments::fig8;
+
+fn bench(c: &mut Criterion) {
+    let base = bench_scenario();
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("impulse_sweep", |b| {
+        b.iter(|| {
+            let sweep = fig8::service_sweep(&base, &[0.1, 0.6], 20, 5);
+            fig8::tables(&sweep)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Fig. 9 — congestion under churn (reduced scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ert_bench::bench_scenario;
+use ert_experiments::fig9;
+
+fn bench(c: &mut Criterion) {
+    let base = bench_scenario();
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("churn_sweep", |b| {
+        b.iter(|| {
+            let sweep = fig9::churn_sweep(&base, &[0.5]);
+            fig9::tables(&sweep)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

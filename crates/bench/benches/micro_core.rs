@@ -1,0 +1,98 @@
+//! Microbenchmarks of the hot core data structures and decisions.
+
+use std::collections::HashSet;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ert_core::{choose_next, Candidate, ElasticTable, ForwardPolicy};
+use ert_overlay::{CycloidRegistry, CycloidSpace};
+use ert_sim::{EventQueue, SimRng, SimTime};
+
+fn bench_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/elastic_table");
+    group.bench_function("add_remove_outlink", |b| {
+        let mut t: ElasticTable<u8, u32> = ElasticTable::new();
+        b.iter(|| {
+            for i in 0..32u32 {
+                t.add_outlink((i % 4) as u8, i);
+            }
+            for i in 0..32u32 {
+                t.remove_outlink((i % 4) as u8, i);
+            }
+        })
+    });
+    group.bench_function("purge_peer", |b| {
+        b.iter(|| {
+            let mut t: ElasticTable<u8, u32> = ElasticTable::new();
+            for i in 0..64u32 {
+                t.add_outlink((i % 4) as u8, i);
+                t.add_backward(i);
+            }
+            for i in 0..64u32 {
+                t.purge_peer(black_box(i));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/forward");
+    let candidates: Vec<Candidate<u32>> = (0..8)
+        .map(|i| Candidate {
+            id: i,
+            load: (i % 3) as f64,
+            capacity: 10.0,
+            logical_distance: (8 - i) as u64,
+            physical_distance: 0.1 * i as f64,
+        })
+        .collect();
+    let avoid: HashSet<u32> = [2, 5].into_iter().collect();
+    let policy = ForwardPolicy::TwoChoice { topology_aware: true, use_memory: true };
+    group.bench_function("two_choice_decision", |b| {
+        let mut rng = SimRng::seed_from(1);
+        b.iter(|| {
+            choose_next(policy, black_box(&candidates), Some(3), &avoid, 1.0, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+fn bench_overlay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/overlay");
+    let space = CycloidSpace::new(8);
+    let mut reg = CycloidRegistry::new(space);
+    for lin in (0..space.ring_size()).step_by(2) {
+        reg.insert(space.from_lin(lin));
+    }
+    group.bench_function("route_step", |b| {
+        let a = space.id(4, 0b1011_1010);
+        let key = space.id(0, 0b0011_0001);
+        b.iter(|| space.route_step(black_box(a), black_box(key)))
+    });
+    group.bench_function("owner_lookup", |b| {
+        let key = space.id(3, 77);
+        b.iter(|| reg.owner(black_box(key)))
+    });
+    group.bench_function("region_query", |b| {
+        let region = space.cubical_region(space.id(6, 0b1011_1010)).unwrap();
+        b.iter(|| reg.nodes_in_region(black_box(region)))
+    });
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/engine");
+    group.bench_function("event_queue_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(SimTime::from_micros((i * 7919) % 4096), i);
+            }
+            while q.pop().is_some() {}
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table, bench_forward, bench_overlay, bench_engine);
+criterion_main!(benches);

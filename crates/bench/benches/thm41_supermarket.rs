@@ -1,0 +1,24 @@
+//! Theorem 4.1 / Lemma A.1 — the supermarket model (reduced scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ert_experiments::thm41;
+use ert_supermarket::{ChoicePolicy, SupermarketSim};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm41");
+    group.sample_size(10);
+    group.bench_function("expected_time_table", |b| {
+        b.iter(|| thm41::expected_time_table(&[0.9], 100, 300.0, 41))
+    });
+    group.bench_function("fixed_point_table", |b| {
+        b.iter(|| thm41::fixed_point_table(0.9, 2))
+    });
+    group.bench_function("two_choice_sim_100x300", |b| {
+        let sim = SupermarketSim::new(100, 0.9);
+        b.iter(|| sim.run(ChoicePolicy::shortest_of(2), 300.0, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! Each bench target under `benches/` regenerates one table/figure of
+//! the paper at a reduced, fixed-seed scale, so `cargo bench` both
+//! exercises the full pipeline and yields stable timing series:
+//!
+//! * `fig4_congestion` … `fig10_churn_lookups` — the simulation figures;
+//! * `thm41_supermarket` — the queueing-model validation;
+//! * `micro_core` — microbenchmarks of the hot data structures
+//!   (elastic-table updates, forwarding decisions, registry queries).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ert_experiments::Scenario;
+
+/// The fixed bench scenario: deterministic, small enough for Criterion
+/// iteration, large enough to exercise every code path.
+pub fn bench_scenario() -> Scenario {
+    let mut s = Scenario::quick(97);
+    s.n = 128;
+    s.lookups = 200;
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_is_fixed() {
+        let a = bench_scenario();
+        let b = bench_scenario();
+        assert_eq!(a.n, b.n);
+        assert_eq!(a.seeds, b.seeds);
+    }
+}

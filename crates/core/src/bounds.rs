@@ -1,0 +1,124 @@
+//! Numeric forms of the paper's degree bounds (Theorems 3.1–3.3), used
+//! by tests and the `bounds` experiment to check measured tables against
+//! the proven envelopes.
+
+/// Theorem 3.1: the initial indegree of a node with normalized capacity
+/// `c` lies in `[αc/γ_c − O(1), αcγ_c + O(1)]` w.h.p. The `O(1)` slack
+/// is instantiated as 1 (the rounding term in `⌊0.5 + αc⌋`).
+///
+/// ```
+/// use ert_core::bounds::theorem31_initial_indegree_bounds;
+/// let (lo, hi) = theorem31_initial_indegree_bounds(11.0, 1.0, 1.0);
+/// assert_eq!((lo, hi), (10.0, 12.0));
+/// ```
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive, or `gamma_c < 1`.
+pub fn theorem31_initial_indegree_bounds(
+    alpha: f64,
+    normalized_capacity: f64,
+    gamma_c: f64,
+) -> (f64, f64) {
+    assert!(alpha > 0.0 && normalized_capacity > 0.0, "invalid inputs");
+    assert!(gamma_c >= 1.0, "gamma_c must be at least 1");
+    let ideal = alpha * normalized_capacity;
+    ((ideal / gamma_c - 1.0).max(0.0), ideal * gamma_c + 1.0)
+}
+
+/// Theorem 3.2: under periodic adaptation the indegree converges into
+/// `[c / (γ_c γ_l ν_max), c γ_c γ_l / ν_min]`, where `ν_min`/`ν_max`
+/// bound the per-inlink incoming query rate.
+///
+/// The paper's worked example — capacity 50, per-inlink rate 0.5,
+/// `γ_c = γ_l = 1` — gives an upper bound of 100:
+///
+/// ```
+/// use ert_core::bounds::theorem32_adapted_indegree_bounds;
+/// let (lo, hi) = theorem32_adapted_indegree_bounds(50.0, 1.0, 1.0, 0.5, 0.5);
+/// assert_eq!(hi, 100.0);
+/// assert_eq!(lo, 100.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive, the gammas are below 1, or
+/// `nu_min > nu_max`.
+pub fn theorem32_adapted_indegree_bounds(
+    capacity: f64,
+    gamma_c: f64,
+    gamma_l: f64,
+    nu_min: f64,
+    nu_max: f64,
+) -> (f64, f64) {
+    assert!(capacity > 0.0 && nu_min > 0.0 && nu_max > 0.0, "invalid inputs");
+    assert!(gamma_c >= 1.0 && gamma_l >= 1.0, "gammas must be at least 1");
+    assert!(nu_min <= nu_max, "nu_min must not exceed nu_max");
+    (capacity / (gamma_c * gamma_l * nu_max), capacity * gamma_c * gamma_l / nu_min)
+}
+
+/// Theorem 3.3's leading term: a Cycloid node's outdegree is at most
+/// `2 γ_c γ_l c_max / ν_min − O(2^d / d) + O(1)` w.h.p.; the returned
+/// value keeps only the (dominant, pessimistic) first term.
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive or the gammas are below 1.
+pub fn theorem33_outdegree_bound(
+    c_max: f64,
+    gamma_c: f64,
+    gamma_l: f64,
+    nu_min: f64,
+) -> f64 {
+    assert!(c_max > 0.0 && nu_min > 0.0, "invalid inputs");
+    assert!(gamma_c >= 1.0 && gamma_l >= 1.0, "gammas must be at least 1");
+    2.0 * gamma_c * gamma_l * c_max / nu_min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_estimation_pins_theorem31_to_rounding_slack() {
+        let (lo, hi) = theorem31_initial_indegree_bounds(8.0, 2.0, 1.0);
+        assert_eq!((lo, hi), (15.0, 17.0));
+        // ⌊0.5 + 16⌋ = 16 lies inside.
+        assert!(lo <= 16.0 && 16.0 <= hi);
+    }
+
+    #[test]
+    fn estimation_error_widens_theorem31() {
+        let (lo1, hi1) = theorem31_initial_indegree_bounds(8.0, 1.0, 1.0);
+        let (lo2, hi2) = theorem31_initial_indegree_bounds(8.0, 1.0, 2.0);
+        assert!(lo2 < lo1 && hi2 > hi1);
+    }
+
+    #[test]
+    fn low_capacity_lower_bound_clamps_at_zero() {
+        let (lo, _) = theorem31_initial_indegree_bounds(1.0, 0.1, 2.0);
+        assert_eq!(lo, 0.0);
+    }
+
+    #[test]
+    fn theorem32_orders_bounds() {
+        let (lo, hi) = theorem32_adapted_indegree_bounds(50.0, 1.5, 2.0, 0.2, 1.0);
+        assert!(lo < hi);
+        assert!((lo - 50.0 / 3.0).abs() < 1e-9);
+        assert!((hi - 750.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem33_scales_with_max_capacity() {
+        let b1 = theorem33_outdegree_bound(10.0, 1.0, 1.0, 0.5);
+        let b2 = theorem33_outdegree_bound(20.0, 1.0, 1.0, 0.5);
+        assert_eq!(b1, 40.0);
+        assert_eq!(b2, 80.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nu_min must not exceed")]
+    fn reversed_rates_rejected() {
+        let _ = theorem32_adapted_indegree_bounds(1.0, 1.0, 1.0, 2.0, 1.0);
+    }
+}

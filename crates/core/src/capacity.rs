@@ -1,0 +1,83 @@
+//! Capacity normalization and the indegree formula.
+
+/// Normalizes raw capacities so they average to 1 (`Σ ĉ_i = n`), the
+/// convention Section 3.1 of the paper uses before applying `α`.
+///
+/// ```
+/// use ert_core::normalize_capacities;
+/// let normalized = normalize_capacities(&[500.0, 1500.0]);
+/// assert_eq!(normalized, vec![0.5, 1.5]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `raw` is empty or any capacity is non-positive or
+/// non-finite.
+pub fn normalize_capacities(raw: &[f64]) -> Vec<f64> {
+    assert!(!raw.is_empty(), "no capacities to normalize");
+    for &c in raw {
+        assert!(c.is_finite() && c > 0.0, "invalid capacity: {c}");
+    }
+    let mean = raw.iter().sum::<f64>() / raw.len() as f64;
+    raw.iter().map(|&c| c / mean).collect()
+}
+
+/// The paper's maximum-indegree formula: `d^∞ = ⌊0.5 + α·ĉ⌋`, clamped to
+/// at least 1 so every node can hold at least one inlink.
+///
+/// ```
+/// use ert_core::max_indegree;
+/// assert_eq!(max_indegree(11.0, 1.0), 11);
+/// assert_eq!(max_indegree(11.0, 0.5), 6);   // ⌊0.5 + 5.5⌋
+/// assert_eq!(max_indegree(11.0, 0.01), 1);  // clamped
+/// ```
+///
+/// # Panics
+///
+/// Panics if either argument is non-positive or non-finite.
+pub fn max_indegree(alpha: f64, normalized_capacity: f64) -> u32 {
+    assert!(alpha.is_finite() && alpha > 0.0, "invalid alpha: {alpha}");
+    assert!(
+        normalized_capacity.is_finite() && normalized_capacity > 0.0,
+        "invalid capacity: {normalized_capacity}"
+    );
+    let d = (0.5 + alpha * normalized_capacity).floor();
+    if d < 1.0 {
+        1
+    } else {
+        d as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_preserves_ratios_and_mean() {
+        let n = normalize_capacities(&[2.0, 4.0, 6.0]);
+        assert_eq!(n, vec![0.5, 1.0, 1.5]);
+        let mean: f64 = n.iter().sum::<f64>() / n.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_indegree_rounds_half_up() {
+        // ⌊0.5 + x⌋ is round-half-up of x.
+        assert_eq!(max_indegree(1.0, 1.49), 1);
+        assert_eq!(max_indegree(1.0, 1.5), 2);
+        assert_eq!(max_indegree(8.0, 2.0), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid capacity")]
+    fn zero_capacity_rejected() {
+        let _ = normalize_capacities(&[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no capacities")]
+    fn empty_input_rejected() {
+        let _ = normalize_capacities(&[]);
+    }
+}

@@ -1,0 +1,447 @@
+//! Query-forwarding policies (Section 4.1, Algorithm 4 of the paper).
+//!
+//! Once the elastic table gives each slot a *set* of candidates, the
+//! forwarding policy decides which one takes the query:
+//!
+//! * [`ForwardPolicy::Deterministic`] — the classic DHT choice (the
+//!   candidate logically closest to the target), used by the baselines;
+//! * [`ForwardPolicy::RandomWalk`] — a uniformly random candidate;
+//! * [`ForwardPolicy::TwoChoice`] — the paper's policy: probe `b = 2`
+//!   random candidates (one may come from per-slot *memory*), prefer a
+//!   light one, break light/light ties by logical then physical
+//!   distance (`topology_aware`), remember the less-loaded option after
+//!   the forward, and carry the set of overloaded nodes seen so far so
+//!   later hops avoid them.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+use ert_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Which forwarding policy a protocol runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ForwardPolicy {
+    /// Forward to the candidate logically closest to the target.
+    Deterministic,
+    /// Forward to a uniformly random candidate.
+    RandomWalk,
+    /// The paper's b-way randomized policy (`b = 2`).
+    TwoChoice {
+        /// Break light/light ties by logical then physical distance
+        /// instead of by load.
+        topology_aware: bool,
+        /// Reuse the slot's remembered least-loaded candidate as one of
+        /// the two choices.
+        use_memory: bool,
+    },
+}
+
+/// One forwarding candidate with everything the policy may inspect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Candidate<Id> {
+    /// The candidate node.
+    pub id: Id,
+    /// Its current load (queries queued), learned by probing.
+    pub load: f64,
+    /// Its capacity in the same unit.
+    pub capacity: f64,
+    /// Remaining logical distance to the query target through this
+    /// candidate.
+    pub logical_distance: u64,
+    /// Physical distance from the forwarding node to this candidate.
+    pub physical_distance: f64,
+}
+
+impl<Id> Candidate<Id> {
+    /// Congestion ratio `load / capacity`.
+    pub fn congestion(&self) -> f64 {
+        self.load / self.capacity
+    }
+
+    fn is_heavy(&self, gamma_l: f64) -> bool {
+        self.congestion() > gamma_l
+    }
+}
+
+/// The outcome of one forwarding decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForwardChoice<Id> {
+    /// The next hop.
+    pub next: Id,
+    /// The candidate to remember for this slot (two-choice-with-memory:
+    /// "the least loaded of that task's choices *after* allocation").
+    pub new_memory: Option<Id>,
+    /// Candidates discovered to be overloaded, to be appended to the
+    /// query's avoid-set `A`.
+    pub newly_overloaded: Vec<Id>,
+    /// How many distinct candidates were probed for load.
+    pub probes: usize,
+}
+
+/// Picks the next hop among `candidates` under `policy`.
+///
+/// `memory` is the slot's remembered candidate (ignored unless the
+/// policy uses memory and the id is still a live candidate); `avoid` is
+/// the query's accumulated set `A` of known-overloaded nodes — they are
+/// excluded unless that would leave no candidate at all.
+///
+/// Returns `None` when `candidates` is empty.
+///
+/// ```
+/// use ert_core::{choose_next, Candidate, ForwardPolicy};
+/// use ert_sim::SimRng;
+/// use std::collections::HashSet;
+///
+/// let mut rng = SimRng::seed_from(4);
+/// let light = Candidate { id: 1, load: 1.0, capacity: 10.0, logical_distance: 3, physical_distance: 0.2 };
+/// let heavy = Candidate { id: 2, load: 99.0, capacity: 10.0, logical_distance: 1, physical_distance: 0.1 };
+/// let policy = ForwardPolicy::TwoChoice { topology_aware: true, use_memory: false };
+/// let choice = choose_next(policy, &[light, heavy], None, &HashSet::new(), 1.0, &mut rng).unwrap();
+/// assert_eq!(choice.next, 1);
+/// assert_eq!(choice.newly_overloaded, vec![2]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any candidate has non-positive capacity.
+pub fn choose_next<Id: Copy + Eq + Hash + std::fmt::Debug>(
+    policy: ForwardPolicy,
+    candidates: &[Candidate<Id>],
+    memory: Option<Id>,
+    avoid: &HashSet<Id>,
+    gamma_l: f64,
+    rng: &mut SimRng,
+) -> Option<ForwardChoice<Id>> {
+    choose_next_b(policy, candidates, memory, avoid, gamma_l, 2, rng)
+}
+
+/// [`choose_next`] with an explicit poll size `b` for the randomized
+/// policy (Section 4.1 analyzes general `b ≥ 2`; Mitzenmacher's result
+/// says the `b = 2` step is the big one — the `b` ablation checks it).
+///
+/// # Panics
+///
+/// Panics if any candidate has non-positive capacity or
+/// `probe_width == 0`.
+pub fn choose_next_b<Id: Copy + Eq + Hash + std::fmt::Debug>(
+    policy: ForwardPolicy,
+    candidates: &[Candidate<Id>],
+    memory: Option<Id>,
+    avoid: &HashSet<Id>,
+    gamma_l: f64,
+    probe_width: usize,
+    rng: &mut SimRng,
+) -> Option<ForwardChoice<Id>> {
+    assert!(probe_width >= 1, "need at least one probe");
+    if candidates.is_empty() {
+        return None;
+    }
+    for c in candidates {
+        assert!(c.capacity > 0.0, "candidate {:?} has non-positive capacity", c.id);
+    }
+    // Exclude known-overloaded nodes unless that empties the pool
+    // (Algorithm 4 line 3).
+    let pool: Vec<&Candidate<Id>> = {
+        let filtered: Vec<&Candidate<Id>> =
+            candidates.iter().filter(|c| !avoid.contains(&c.id)).collect();
+        if filtered.is_empty() {
+            candidates.iter().collect()
+        } else {
+            filtered
+        }
+    };
+
+    match policy {
+        ForwardPolicy::Deterministic => {
+            let best = pool
+                .iter()
+                .min_by(|x, y| {
+                    x.logical_distance.cmp(&y.logical_distance).then(
+                        x.physical_distance
+                            .partial_cmp(&y.physical_distance)
+                            .expect("distances must not be NaN"),
+                    )
+                })
+                .expect("pool nonempty");
+            Some(ForwardChoice {
+                next: best.id,
+                new_memory: None,
+                newly_overloaded: Vec::new(),
+                probes: 0,
+            })
+        }
+        ForwardPolicy::RandomWalk => {
+            let pick = *rng.choose(&pool).expect("pool nonempty");
+            Some(ForwardChoice {
+                next: pick.id,
+                new_memory: None,
+                newly_overloaded: Vec::new(),
+                probes: 0,
+            })
+        }
+        ForwardPolicy::TwoChoice { topology_aware, use_memory } => {
+            // Assemble the poll set: the remembered candidate first (it
+            // is a free extra choice), then fresh random draws up to b.
+            let b = probe_width.min(pool.len()).max(1);
+            let mut polled: Vec<&Candidate<Id>> = Vec::with_capacity(b);
+            if use_memory {
+                if let Some(m) = memory {
+                    if let Some(c) = pool.iter().copied().find(|c| c.id == m) {
+                        polled.push(c);
+                    }
+                }
+            }
+            while polled.len() < b {
+                let fresh: Vec<&Candidate<Id>> = pool
+                    .iter()
+                    .copied()
+                    .filter(|c| !polled.iter().any(|p| p.id == c.id))
+                    .collect();
+                match rng.choose(&fresh) {
+                    Some(&c) => polled.push(c),
+                    None => break,
+                }
+            }
+            debug_assert!(!polled.is_empty());
+
+            let light: Vec<&Candidate<Id>> =
+                polled.iter().copied().filter(|c| !c.is_heavy(gamma_l)).collect();
+            let newly_overloaded: Vec<Id> =
+                polled.iter().filter(|c| c.is_heavy(gamma_l)).map(|c| c.id).collect();
+
+            let chosen: &Candidate<Id> = if light.is_empty() {
+                // All heavy: the least heavily loaded takes it anyway.
+                polled
+                    .iter()
+                    .copied()
+                    .min_by(|x, y| {
+                        x.congestion().partial_cmp(&y.congestion()).expect("no NaN")
+                    })
+                    .expect("polled nonempty")
+            } else if topology_aware {
+                light
+                    .iter()
+                    .copied()
+                    .min_by(|x, y| {
+                        x.logical_distance.cmp(&y.logical_distance).then(
+                            x.physical_distance
+                                .partial_cmp(&y.physical_distance)
+                                .expect("no NaN"),
+                        )
+                    })
+                    .expect("light nonempty")
+            } else {
+                light
+                    .iter()
+                    .copied()
+                    .min_by(|x, y| x.load.partial_cmp(&y.load).expect("no NaN"))
+                    .expect("light nonempty")
+            };
+
+            // Remember the least-loaded option *after* the forward adds
+            // one unit to the chosen node.
+            let new_memory = polled
+                .iter()
+                .copied()
+                .min_by(|x, y| {
+                    let lx = x.load + f64::from(x.id == chosen.id);
+                    let ly = y.load + f64::from(y.id == chosen.id);
+                    lx.partial_cmp(&ly).expect("no NaN")
+                })
+                .map(|c| c.id);
+
+            Some(ForwardChoice {
+                next: chosen.id,
+                new_memory,
+                newly_overloaded,
+                probes: polled.len(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(id: u32, load: f64, logical: u64, physical: f64) -> Candidate<u32> {
+        Candidate { id, load, capacity: 10.0, logical_distance: logical, physical_distance: physical }
+    }
+
+    fn two_choice() -> ForwardPolicy {
+        ForwardPolicy::TwoChoice { topology_aware: true, use_memory: false }
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let mut rng = SimRng::seed_from(1);
+        let none: Option<ForwardChoice<u32>> =
+            choose_next(two_choice(), &[], None, &HashSet::new(), 1.0, &mut rng);
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn deterministic_prefers_logical_then_physical() {
+        let mut rng = SimRng::seed_from(2);
+        let cands = [cand(1, 0.0, 5, 0.1), cand(2, 0.0, 2, 0.9), cand(3, 0.0, 2, 0.2)];
+        let c = choose_next(
+            ForwardPolicy::Deterministic,
+            &cands,
+            None,
+            &HashSet::new(),
+            1.0,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(c.next, 3);
+        assert_eq!(c.probes, 0);
+    }
+
+    #[test]
+    fn random_walk_covers_candidates() {
+        let mut rng = SimRng::seed_from(3);
+        let cands = [cand(1, 0.0, 1, 0.1), cand(2, 0.0, 1, 0.1), cand(3, 0.0, 1, 0.1)];
+        let mut seen = HashSet::new();
+        for _ in 0..100 {
+            let c = choose_next(
+                ForwardPolicy::RandomWalk,
+                &cands,
+                None,
+                &HashSet::new(),
+                1.0,
+                &mut rng,
+            )
+            .unwrap();
+            seen.insert(c.next);
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn light_node_beats_heavy_node() {
+        let mut rng = SimRng::seed_from(4);
+        let light = cand(1, 2.0, 9, 0.9);
+        let heavy = cand(2, 50.0, 1, 0.1);
+        for _ in 0..50 {
+            let c =
+                choose_next(two_choice(), &[light, heavy], None, &HashSet::new(), 1.0, &mut rng)
+                    .unwrap();
+            assert_eq!(c.next, 1);
+            assert_eq!(c.newly_overloaded, vec![2]);
+        }
+    }
+
+    #[test]
+    fn both_heavy_forwards_to_least_congested_and_reports_both() {
+        let mut rng = SimRng::seed_from(5);
+        let h1 = cand(1, 40.0, 1, 0.1);
+        let h2 = cand(2, 60.0, 1, 0.1);
+        let c = choose_next(two_choice(), &[h1, h2], None, &HashSet::new(), 1.0, &mut rng)
+            .unwrap();
+        assert_eq!(c.next, 1);
+        let mut reported = c.newly_overloaded.clone();
+        reported.sort_unstable();
+        assert_eq!(reported, vec![1, 2]);
+    }
+
+    #[test]
+    fn both_light_topology_aware_tie_break() {
+        let mut rng = SimRng::seed_from(6);
+        let near = cand(1, 5.0, 2, 0.5);
+        let far = cand(2, 1.0, 7, 0.1);
+        for _ in 0..50 {
+            let c = choose_next(two_choice(), &[near, far], None, &HashSet::new(), 1.0, &mut rng)
+                .unwrap();
+            assert_eq!(c.next, 1, "logical distance should win over load");
+        }
+        // Same logical distance: physical breaks the tie.
+        let a = cand(1, 5.0, 3, 0.8);
+        let b = cand(2, 1.0, 3, 0.2);
+        for _ in 0..50 {
+            let c =
+                choose_next(two_choice(), &[a, b], None, &HashSet::new(), 1.0, &mut rng).unwrap();
+            assert_eq!(c.next, 2);
+        }
+    }
+
+    #[test]
+    fn both_light_load_based_without_topology() {
+        let mut rng = SimRng::seed_from(7);
+        let policy = ForwardPolicy::TwoChoice { topology_aware: false, use_memory: false };
+        let a = cand(1, 5.0, 1, 0.1);
+        let b = cand(2, 1.0, 9, 0.9);
+        for _ in 0..50 {
+            let c = choose_next(policy, &[a, b], None, &HashSet::new(), 1.0, &mut rng).unwrap();
+            assert_eq!(c.next, 2, "lower load should win when not topology-aware");
+        }
+    }
+
+    #[test]
+    fn avoid_set_excludes_unless_it_empties_pool() {
+        let mut rng = SimRng::seed_from(8);
+        let a = cand(1, 0.0, 1, 0.1);
+        let b = cand(2, 0.0, 1, 0.1);
+        let avoid: HashSet<u32> = [1].into_iter().collect();
+        for _ in 0..20 {
+            let c = choose_next(two_choice(), &[a, b], None, &avoid, 1.0, &mut rng).unwrap();
+            assert_eq!(c.next, 2);
+        }
+        // All candidates avoided: fall back to the full set.
+        let avoid_all: HashSet<u32> = [1, 2].into_iter().collect();
+        let c = choose_next(two_choice(), &[a, b], None, &avoid_all, 1.0, &mut rng).unwrap();
+        assert!([1, 2].contains(&c.next));
+    }
+
+    #[test]
+    fn memory_is_used_as_first_choice() {
+        let mut rng = SimRng::seed_from(9);
+        let policy = ForwardPolicy::TwoChoice { topology_aware: false, use_memory: true };
+        // Memory points at the lightest node; with two candidates the
+        // pair is always {memory, other}, so the memory node must win.
+        let light = cand(1, 0.0, 1, 0.1);
+        let heavy = cand(2, 9.0, 1, 0.1);
+        for _ in 0..30 {
+            let c = choose_next(policy, &[light, heavy], Some(1), &HashSet::new(), 1.0, &mut rng)
+                .unwrap();
+            assert_eq!(c.next, 1);
+        }
+        // Stale memory (id 99 not a candidate) must not panic.
+        let c = choose_next(policy, &[light, heavy], Some(99), &HashSet::new(), 1.0, &mut rng)
+            .unwrap();
+        assert!([1, 2].contains(&c.next));
+    }
+
+    #[test]
+    fn memory_updates_to_less_loaded_after_allocation() {
+        let mut rng = SimRng::seed_from(10);
+        // Chosen node ends at load 1; other sits at load 5 -> remember chosen.
+        let a = cand(1, 0.0, 1, 0.1);
+        let b = cand(2, 5.0, 1, 0.1);
+        let c = choose_next(two_choice(), &[a, b], None, &HashSet::new(), 1.0, &mut rng).unwrap();
+        assert_eq!(c.next, 1);
+        assert_eq!(c.new_memory, Some(1));
+        // Chosen ends at load 1; other sits at 0 -> remember the other.
+        let a = cand(1, 0.0, 1, 0.1);
+        let b = cand(2, 0.0, 9, 0.9);
+        let c = choose_next(two_choice(), &[a, b], None, &HashSet::new(), 1.0, &mut rng).unwrap();
+        assert_eq!(c.next, 1);
+        assert_eq!(c.new_memory, Some(2));
+    }
+
+    #[test]
+    fn single_candidate_probes_once() {
+        let mut rng = SimRng::seed_from(11);
+        let only = cand(1, 3.0, 1, 0.1);
+        let c = choose_next(two_choice(), &[only], None, &HashSet::new(), 1.0, &mut rng).unwrap();
+        assert_eq!(c.next, 1);
+        assert_eq!(c.probes, 1);
+        assert_eq!(c.new_memory, Some(1));
+    }
+
+    #[test]
+    fn congestion_accessor() {
+        let c = cand(1, 5.0, 1, 0.1);
+        assert_eq!(c.congestion(), 0.5);
+    }
+}

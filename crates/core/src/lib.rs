@@ -1,0 +1,55 @@
+//! The elastic routing table (ERT) mechanism — the primary contribution
+//! of *"Elastic Routing Table with Provable Performance for Congestion
+//! Control in DHT Networks"* (Shen & Xu, ICDCS 2006).
+//!
+//! An ERT node differs from a classic DHT node in three ways:
+//!
+//! 1. **Capacity-aware indegree** (Section 3.2). Every node has a
+//!    maximum indegree `d^∞ = ⌊0.5 + α·ĉ⌋` proportional to its
+//!    normalized capacity `ĉ`. After building a basic routing table, a
+//!    joining node *expands* its indegree toward `β·d^∞` by probing the
+//!    nodes whose tables may legally point at it (the overlay's
+//!    *reverse regions*) — see [`assign`].
+//! 2. **Periodic indegree adaptation** (Section 3.3, Algorithm 3). Every
+//!    period `T`, a node compares its experienced load against its
+//!    capacity and sheds `μ(l − c)` inlinks (choosing victims by longest
+//!    logical then physical distance) or grows `μ(c − l)` inlinks — see
+//!    [`adapt`].
+//! 3. **Topology-aware randomized forwarding** (Section 4, Algorithm 4).
+//!    Each table slot holds a *set* of candidates; a query is forwarded
+//!    through a two-choice supermarket policy with memory, carrying the
+//!    set of overloaded nodes it has observed — see [`forward`].
+//!
+//! The mechanism is expressed over two abstractions so it runs unchanged
+//! on any overlay with region-shaped slots (Cycloid, Chord, Pastry — see
+//! `ert-overlay`):
+//!
+//! * [`table::ElasticTable`] — the per-node state: outlinks per slot,
+//!   backward fingers (inlinks), and the forwarding memory;
+//! * [`assign::Directory`] — the node's window onto the network
+//!   (who is in a region, who has spare indegree), implemented by the
+//!   simulator in `ert-network` and by mocks in tests.
+//!
+//! [`bounds`] evaluates the paper's Theorems 3.1–3.3 so tests and the
+//! experiment harness can check that measured degrees respect the proven
+//! envelopes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapt;
+pub mod assign;
+pub mod bounds;
+pub mod capacity;
+pub mod estimate;
+pub mod forward;
+pub mod params;
+pub mod table;
+
+pub use adapt::{adaptation_action, select_shed_victims, AdaptAction, ShedCandidate};
+pub use assign::{build_table, expand_indegree, Directory};
+pub use capacity::{max_indegree, normalize_capacities};
+pub use estimate::Estimator;
+pub use forward::{choose_next, choose_next_b, Candidate, ForwardChoice, ForwardPolicy};
+pub use params::ErtParams;
+pub use table::ElasticTable;

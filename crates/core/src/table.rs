@@ -1,0 +1,243 @@
+//! The elastic routing table data structure.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A routing table whose slots hold *sets* of neighbors and whose size
+/// varies with the owner's capacity and experienced load.
+///
+/// `S` identifies a table slot (for Cycloid: cubical / cyclic / leaf
+/// slots; for Chord: the finger index; for Pastry: `(row, col)`); `Id`
+/// is the overlay's node identifier. Besides the outlinks, the table
+/// tracks:
+///
+/// * **backward fingers** — one per inlink, so the node knows who points
+///   at it (Section 3.2: "a double link is maintained for each routing
+///   table neighbor"); the node's *indegree* is their count;
+/// * **forwarding memory** — per slot, the least-loaded candidate
+///   remembered by the two-choice-with-memory policy (Section 4.1).
+///
+/// ```
+/// use ert_core::ElasticTable;
+/// let mut t: ElasticTable<u8, &str> = ElasticTable::new();
+/// assert!(t.add_outlink(0, "n1"));
+/// assert!(t.add_outlink(0, "n2"));
+/// assert!(!t.add_outlink(0, "n1")); // deduplicated
+/// assert_eq!(t.outlinks(0), &["n1", "n2"]);
+/// assert_eq!(t.outdegree(), 2);
+/// t.add_backward("n9");
+/// assert_eq!(t.indegree(), 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ElasticTable<S: Ord, Id> {
+    slots: BTreeMap<S, Vec<Id>>,
+    backward: Vec<Id>,
+    memory: BTreeMap<S, Id>,
+}
+
+impl<S: Ord + Copy, Id: Copy + Eq> ElasticTable<S, Id> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ElasticTable { slots: BTreeMap::new(), backward: Vec::new(), memory: BTreeMap::new() }
+    }
+
+    /// The neighbors currently held in `slot` (empty if none).
+    pub fn outlinks(&self, slot: S) -> &[Id] {
+        self.slots.get(&slot).map_or(&[], Vec::as_slice)
+    }
+
+    /// Adds `id` to `slot`; returns `false` if it was already there.
+    pub fn add_outlink(&mut self, slot: S, id: Id) -> bool {
+        let entry = self.slots.entry(slot).or_default();
+        if entry.contains(&id) {
+            false
+        } else {
+            entry.push(id);
+            true
+        }
+    }
+
+    /// Removes `id` from `slot`; returns `false` if it was not there.
+    pub fn remove_outlink(&mut self, slot: S, id: Id) -> bool {
+        match self.slots.get_mut(&slot) {
+            Some(entry) => match entry.iter().position(|&x| x == id) {
+                Some(pos) => {
+                    entry.remove(pos);
+                    true
+                }
+                None => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Replaces the contents of `slot` wholesale (used for structural
+    /// slots like leaf sets that are refreshed, not negotiated).
+    pub fn set_slot(&mut self, slot: S, ids: Vec<Id>) {
+        self.slots.insert(slot, ids);
+    }
+
+    /// Total number of outlinks across slots (a node appearing in two
+    /// slots counts twice, matching the paper's outdegree accounting of
+    /// one overlay connection per table entry).
+    pub fn outdegree(&self) -> usize {
+        self.slots.values().map(Vec::len).sum()
+    }
+
+    /// Iterates `(slot, neighbor)` pairs.
+    pub fn iter_outlinks(&self) -> impl Iterator<Item = (S, Id)> + '_ {
+        self.slots.iter().flat_map(|(&s, ids)| ids.iter().map(move |&id| (s, id)))
+    }
+
+    /// Whether `id` appears in any slot.
+    pub fn has_outlink_to(&self, id: Id) -> bool {
+        self.slots.values().any(|ids| ids.contains(&id))
+    }
+
+    /// The slots with at least one neighbor.
+    pub fn occupied_slots(&self) -> impl Iterator<Item = S> + '_ {
+        self.slots.iter().filter(|(_, ids)| !ids.is_empty()).map(|(&s, _)| s)
+    }
+
+    /// Records an inlink holder; returns `false` if already recorded.
+    pub fn add_backward(&mut self, id: Id) -> bool {
+        if self.backward.contains(&id) {
+            false
+        } else {
+            self.backward.push(id);
+            true
+        }
+    }
+
+    /// Forgets an inlink holder; returns `false` if it was unknown.
+    pub fn remove_backward(&mut self, id: Id) -> bool {
+        match self.backward.iter().position(|&x| x == id) {
+            Some(pos) => {
+                self.backward.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The recorded inlink holders.
+    pub fn backward_fingers(&self) -> &[Id] {
+        &self.backward
+    }
+
+    /// Number of inlinks (the node's indegree).
+    pub fn indegree(&self) -> usize {
+        self.backward.len()
+    }
+
+    /// The remembered least-loaded candidate for `slot`, if any.
+    pub fn memory(&self, slot: S) -> Option<Id> {
+        self.memory.get(&slot).copied()
+    }
+
+    /// Remembers `id` as the least-loaded candidate for `slot`.
+    pub fn set_memory(&mut self, slot: S, id: Id) {
+        self.memory.insert(slot, id);
+    }
+
+    /// Removes every trace of `id` (outlinks, backward finger, memory):
+    /// the cleanup when a neighbor departs. Returns whether anything was
+    /// removed.
+    pub fn purge_peer(&mut self, id: Id) -> bool {
+        let mut touched = false;
+        for entry in self.slots.values_mut() {
+            let before = entry.len();
+            entry.retain(|&x| x != id);
+            touched |= entry.len() != before;
+        }
+        touched |= self.remove_backward(id);
+        let slots_to_clear: Vec<S> =
+            self.memory.iter().filter(|&(_, &m)| m == id).map(|(&s, _)| s).collect();
+        for s in slots_to_clear {
+            self.memory.remove(&s);
+            touched = true;
+        }
+        touched
+    }
+}
+
+impl<S: Ord + Copy, Id: Copy + Eq> Default for ElasticTable<S, Id> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outlinks_dedupe_per_slot_not_across() {
+        let mut t: ElasticTable<u8, u32> = ElasticTable::new();
+        assert!(t.add_outlink(1, 7));
+        assert!(!t.add_outlink(1, 7));
+        assert!(t.add_outlink(2, 7)); // same peer in another slot is legal
+        assert_eq!(t.outdegree(), 2);
+        assert!(t.has_outlink_to(7));
+        assert_eq!(t.iter_outlinks().collect::<Vec<_>>(), vec![(1, 7), (2, 7)]);
+    }
+
+    #[test]
+    fn remove_outlink_only_touches_named_slot() {
+        let mut t: ElasticTable<u8, u32> = ElasticTable::new();
+        t.add_outlink(1, 7);
+        t.add_outlink(2, 7);
+        assert!(t.remove_outlink(1, 7));
+        assert!(!t.remove_outlink(1, 7));
+        assert!(t.has_outlink_to(7));
+        assert_eq!(t.outdegree(), 1);
+    }
+
+    #[test]
+    fn backward_fingers_track_indegree() {
+        let mut t: ElasticTable<u8, u32> = ElasticTable::new();
+        assert!(t.add_backward(3));
+        assert!(!t.add_backward(3));
+        assert!(t.add_backward(4));
+        assert_eq!(t.indegree(), 2);
+        assert!(t.remove_backward(3));
+        assert!(!t.remove_backward(3));
+        assert_eq!(t.backward_fingers(), &[4]);
+    }
+
+    #[test]
+    fn memory_per_slot() {
+        let mut t: ElasticTable<u8, u32> = ElasticTable::new();
+        assert_eq!(t.memory(0), None);
+        t.set_memory(0, 9);
+        t.set_memory(1, 8);
+        assert_eq!(t.memory(0), Some(9));
+        assert_eq!(t.memory(1), Some(8));
+    }
+
+    #[test]
+    fn purge_peer_clears_all_traces() {
+        let mut t: ElasticTable<u8, u32> = ElasticTable::new();
+        t.add_outlink(0, 5);
+        t.add_outlink(1, 5);
+        t.add_outlink(1, 6);
+        t.add_backward(5);
+        t.set_memory(1, 5);
+        assert!(t.purge_peer(5));
+        assert!(!t.has_outlink_to(5));
+        assert_eq!(t.indegree(), 0);
+        assert_eq!(t.memory(1), None);
+        assert_eq!(t.outlinks(1), &[6]);
+        assert!(!t.purge_peer(5));
+    }
+
+    #[test]
+    fn set_slot_replaces() {
+        let mut t: ElasticTable<u8, u32> = ElasticTable::new();
+        t.add_outlink(0, 1);
+        t.set_slot(0, vec![2, 3]);
+        assert_eq!(t.outlinks(0), &[2, 3]);
+        assert_eq!(t.occupied_slots().collect::<Vec<_>>(), vec![0]);
+    }
+}

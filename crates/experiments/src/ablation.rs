@@ -1,0 +1,195 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * **forwarding policy** — random walk vs. plain two-choice vs.
+//!   topology-aware vs. topology-aware + memory (the full Algorithm 4);
+//! * **`α` (indegree per unit capacity)** — the Section 3.1 trade-off
+//!   between under-using high-capacity nodes and bloating tables;
+//! * **`β` (initial indegree reservation)** — how much of `d^∞` to claim
+//!   at join time.
+
+use ert_core::ForwardPolicy;
+use ert_network::{ProtocolSpec, RunReport, TablePolicy};
+
+use crate::report::{fnum, Table};
+use crate::scenario::Scenario;
+
+fn ert_with_forwarding(name: &str, forwarding: ForwardPolicy) -> ProtocolSpec {
+    ProtocolSpec {
+        name: name.into(),
+        table: TablePolicy::Elastic,
+        adaptation: true,
+        forwarding,
+        virtual_servers: None,
+        item_movement: false,
+    }
+}
+
+/// The forwarding-policy ladder, weakest first.
+pub fn forwarding_ladder() -> Vec<ProtocolSpec> {
+    vec![
+        ert_with_forwarding("random-walk", ForwardPolicy::RandomWalk),
+        ert_with_forwarding(
+            "2choice",
+            ForwardPolicy::TwoChoice { topology_aware: false, use_memory: false },
+        ),
+        ert_with_forwarding(
+            "2choice+topo",
+            ForwardPolicy::TwoChoice { topology_aware: true, use_memory: false },
+        ),
+        ert_with_forwarding(
+            "2choice+topo+mem",
+            ForwardPolicy::TwoChoice { topology_aware: true, use_memory: true },
+        ),
+    ]
+}
+
+fn summary_row(r: &RunReport) -> Vec<String> {
+    vec![
+        r.protocol.clone(),
+        fnum(r.p99_max_congestion),
+        fnum(r.p99_share),
+        r.heavy_encounters.to_string(),
+        fnum(r.mean_path_length),
+        fnum(r.lookup_time.mean),
+        fnum(r.probes_per_decision),
+    ]
+}
+
+const SUMMARY_HEADER: [&str; 7] =
+    ["variant", "p99 cong", "p99 share", "heavy", "path", "time_s", "probes"];
+
+/// Ablation of Algorithm 4's ingredients on a fixed scenario.
+pub fn forwarding_table(base: &Scenario) -> Table {
+    let specs = forwarding_ladder();
+    let reports = base.run_all(&specs);
+    let mut t = Table::new("Ablation fwd — forwarding-policy ladder (ERT tables + adaptation)",
+        &SUMMARY_HEADER);
+    for r in &reports {
+        t.row(summary_row(r));
+    }
+    t
+}
+
+/// Sensitivity of ERT/AF to `α` around the paper's `d + 3` default.
+pub fn alpha_table(base: &Scenario, alphas: &[f64]) -> Table {
+    let mut t = Table::new(
+        "Ablation alpha — indegree per unit capacity",
+        &["alpha", "p99 cong", "p99 share", "mean max indegree", "time_s"],
+    );
+    for &alpha in alphas {
+        let spec = ProtocolSpec::ert_af();
+        let mut reports = Vec::new();
+        for &seed in &base.seeds {
+            let mut s = base.clone();
+            s.seeds = vec![seed];
+            // Thread alpha through the scenario by rebuilding the run
+            // with a custom config: run_once applies cfg.ert.alpha via
+            // Network::new, so adjust through an override hook.
+            reports.push(s.run_once_with(&spec, seed, |cfg| cfg.ert.alpha = alpha));
+        }
+        let r = crate::scenario::average_reports(&reports);
+        t.row(vec![
+            fnum(alpha),
+            fnum(r.p99_max_congestion),
+            fnum(r.p99_share),
+            fnum(r.max_indegree.mean),
+            fnum(r.lookup_time.mean),
+        ]);
+    }
+    t
+}
+
+/// Sensitivity of ERT/AF to the reservation fraction `β`.
+pub fn beta_table(base: &Scenario, betas: &[f64]) -> Table {
+    let mut t = Table::new(
+        "Ablation beta — initial indegree reservation",
+        &["beta", "p99 cong", "p99 share", "mean max indegree", "time_s"],
+    );
+    for &beta in betas {
+        let spec = ProtocolSpec::ert_af();
+        let mut reports = Vec::new();
+        for &seed in &base.seeds {
+            reports.push(base.run_once_with(&spec, seed, |cfg| cfg.ert.beta = beta));
+        }
+        let r = crate::scenario::average_reports(&reports);
+        t.row(vec![
+            fnum(beta),
+            fnum(r.p99_max_congestion),
+            fnum(r.p99_share),
+            fnum(r.max_indegree.mean),
+            fnum(r.lookup_time.mean),
+        ]);
+    }
+    t
+}
+
+/// Sensitivity of ERT/AF to the poll size `b` (Section 4.1 quotes
+/// Mitzenmacher: two choices give the exponential gain; more gain
+/// little and cost probes).
+pub fn probe_width_table(base: &Scenario, widths: &[usize]) -> Table {
+    let mut t = Table::new(
+        "Ablation b — poll size of the randomized forwarding",
+        &["b", "p99 cong", "heavy", "time_s", "probes/decision"],
+    );
+    for &b in widths {
+        let spec = ProtocolSpec::ert_af();
+        let mut reports = Vec::new();
+        for &seed in &base.seeds {
+            reports.push(base.run_once_with(&spec, seed, |cfg| cfg.ert.probe_width = b));
+        }
+        let r = crate::scenario::average_reports(&reports);
+        t.row(vec![
+            b.to_string(),
+            fnum(r.p99_max_congestion),
+            r.heavy_encounters.to_string(),
+            fnum(r.lookup_time.mean),
+            fnum(r.probes_per_decision),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwarding_ladder_runs_and_probes_grow() {
+        let mut s = Scenario::quick(300);
+        s.lookups = 250;
+        let t = forwarding_table(&s);
+        assert_eq!(t.rows.len(), 4);
+        let probes_rw: f64 = t.rows[0][6].parse().unwrap();
+        let probes_2c: f64 = t.rows[1][6].parse().unwrap();
+        assert_eq!(probes_rw, 0.0);
+        assert!(probes_2c > 0.9);
+    }
+
+    #[test]
+    fn alpha_sweep_monotone_table_size() {
+        let mut s = Scenario::quick(301);
+        s.lookups = 200;
+        let t = alpha_table(&s, &[4.0, 16.0]);
+        let small: f64 = t.rows[0][3].parse().unwrap();
+        let large: f64 = t.rows[1][3].parse().unwrap();
+        assert!(large > small, "bigger alpha should mean bigger tables: {small} vs {large}");
+    }
+
+    #[test]
+    fn probe_width_sweep_probes_scale() {
+        let mut s = Scenario::quick(303);
+        s.lookups = 200;
+        let t = probe_width_table(&s, &[1, 2, 4]);
+        let probes: Vec<f64> = t.rows.iter().map(|r| r[4].parse().unwrap()).collect();
+        assert!(probes[0] <= probes[1] && probes[1] <= probes[2], "{probes:?}");
+        assert!(probes[2] > 2.0, "b=4 should poll more than 2: {}", probes[2]);
+    }
+
+    #[test]
+    fn beta_sweep_runs() {
+        let mut s = Scenario::quick(302);
+        s.lookups = 150;
+        let t = beta_table(&s, &[0.25, 1.0]);
+        assert_eq!(t.rows.len(), 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates Fig. 4 (congestion control effectiveness).
+//!
+//! Usage: `fig4 [--quick] [--seeds K]`
+
+use std::path::Path;
+
+use ert_experiments::report::emit;
+use ert_experiments::{fig4, Scenario};
+
+fn main() {
+    let (base, points) = scale_from_args();
+    let tables = fig4::run(&base, &points);
+    emit(&tables, Some(Path::new("results")));
+}
+
+fn scale_from_args() -> (Scenario, Vec<usize>) {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seeds = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 1 } else { 3 });
+    if quick {
+        (Scenario { seeds: (1..=seeds as u64).collect(), ..Scenario::quick(1) }, fig4::quick_points())
+    } else {
+        (Scenario::paper_default(seeds), fig4::paper_points())
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates Fig. 7 (degrees and maintenance cost).
+//!
+//! Usage: `fig7 [--quick] [--seeds K]`
+
+use std::path::Path;
+
+use ert_experiments::report::emit;
+use ert_experiments::{fig4, fig7, Scenario};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seeds = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 1 } else { 3 });
+    let (base, points) = if quick {
+        (Scenario { seeds: (1..=seeds as u64).collect(), ..Scenario::quick(3) }, fig4::quick_points())
+    } else {
+        (Scenario::paper_default(seeds), fig4::paper_points())
+    };
+    let sweep = fig4::lookup_sweep(&base, &points);
+    emit(&fig7::tables(&sweep), Some(Path::new("results")));
+}

@@ -1,0 +1,31 @@
+//! Regenerates Fig. 8 (skewed lookups).
+//!
+//! Usage: `fig8 [--quick] [--seeds K]`
+
+use std::path::Path;
+
+use ert_experiments::report::emit;
+use ert_experiments::{fig8, Scenario};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seeds = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 1 } else { 3 });
+    let (base, services, nodes, keys) = if quick {
+        (
+            Scenario { seeds: (1..=seeds as u64).collect(), ..Scenario::quick(4) },
+            fig8::quick_services(),
+            20,
+            5,
+        )
+    } else {
+        (Scenario::paper_default(seeds), fig8::paper_services(), 100, 50)
+    };
+    let sweep = fig8::service_sweep(&base, &services, nodes, keys);
+    emit(&fig8::tables(&sweep), Some(Path::new("results")));
+}

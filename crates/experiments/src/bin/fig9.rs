@@ -1,0 +1,29 @@
+//! Regenerates Fig. 9 (congestion under churn).
+//!
+//! Usage: `fig9 [--quick] [--seeds K]`
+
+use std::path::Path;
+
+use ert_experiments::report::emit;
+use ert_experiments::{fig9, Scenario};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seeds = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 1 } else { 2 });
+    let (base, ias) = if quick {
+        (
+            Scenario { seeds: (1..=seeds as u64).collect(), ..Scenario::quick(5) },
+            fig9::quick_interarrivals(),
+        )
+    } else {
+        (Scenario::paper_default(seeds), fig9::paper_interarrivals())
+    };
+    let sweep = fig9::churn_sweep(&base, &ias);
+    emit(&fig9::tables(&sweep), Some(Path::new("results")));
+}

@@ -1,0 +1,24 @@
+//! Validates Theorem 4.1 (exponential improvement of b-way forwarding)
+//! and Lemma A.1 (the fixed point) against the supermarket model.
+//!
+//! Usage: `thm41 [--quick]`
+
+use std::path::Path;
+
+use ert_experiments::report::emit;
+use ert_experiments::thm41;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (lambdas, n, horizon) = if quick {
+        (thm41::quick_lambdas(), 200, 800.0)
+    } else {
+        (thm41::paper_lambdas(), 500, 2000.0)
+    };
+    let tables = vec![
+        thm41::expected_time_table(&lambdas, n, horizon, 41),
+        thm41::fixed_point_table(0.9, 2),
+        thm41::fixed_point_table(0.9, 1),
+    ];
+    emit(&tables, Some(Path::new("results")));
+}

@@ -1,0 +1,253 @@
+//! Theorems 3.1 / 3.2 — empirical degree-bound checks on measured
+//! elastic tables.
+
+use ert_core::bounds::{
+    theorem31_initial_indegree_bounds, theorem32_adapted_indegree_bounds,
+    theorem33_outdegree_bound,
+};
+use ert_core::{adaptation_action, AdaptAction, ErtParams, Estimator};
+use ert_network::{network::uniform_lookup_burst, Network, NetworkConfig, ProtocolSpec};
+use ert_overlay::CycloidSpace;
+use ert_sim::SimRng;
+use ert_workloads::BoundedPareto;
+
+use crate::report::{fnum, Table};
+
+/// Builds an ERT overlay with capacity-estimation error `gamma_c`,
+/// optionally runs a lookup burst (exercising adaptation), and checks
+/// every node's `d^∞` against Theorem 3.1's envelope.
+///
+/// Returns `(table, all_within)`.
+pub fn theorem31_check(n: usize, gamma_c: f64, seed: u64) -> (Table, bool) {
+    let mut rng = SimRng::seed_from(seed);
+    let capacities = BoundedPareto::paper_default().sample_n(n, &mut rng);
+    let dim = CycloidSpace::dimension_for(n);
+    let mut cfg = NetworkConfig::for_dimension(dim, seed);
+    cfg.estimator = Estimator::new(gamma_c, 1.0);
+    let net = Network::new(cfg, &capacities, ProtocolSpec::ert_af()).expect("valid network");
+    let topo = net.topology();
+    let alpha = topo.params.alpha;
+    let mut within = 0usize;
+    let mut below = 0usize;
+    let mut above = 0usize;
+    for node in &topo.nodes {
+        let host = &topo.hosts[node.host];
+        let (lo, hi) = theorem31_initial_indegree_bounds(alpha, host.norm_capacity, gamma_c);
+        let d = node.d_max as f64;
+        if d < lo {
+            below += 1;
+        } else if d > hi {
+            above += 1;
+        } else {
+            within += 1;
+        }
+    }
+    let total = topo.nodes.len();
+    let mut t = Table::new(
+        &format!("Thm. 3.1 gc{gamma_c:.2} — assigned maximum indegree within bounds"),
+        &["n", "gamma_c", "within", "below", "above", "pct within"],
+    );
+    t.row(vec![
+        n.to_string(),
+        format!("{gamma_c:.2}"),
+        within.to_string(),
+        below.to_string(),
+        above.to_string(),
+        fnum(100.0 * within as f64 / total as f64),
+    ]);
+    (t, below == 0 && above == 0)
+}
+
+/// Validates Theorem 3.2 on the adaptation dynamics themselves: a node
+/// with capacity `c` receiving a fixed per-inlink rate `ν` iterates
+/// Algorithm 3 until its indegree stabilizes; the resting point (or
+/// 2-cycle, with `γ_l = 1` integer steps oscillate by one adjustment)
+/// must lie within `[c/(γ_c γ_l ν), c γ_c γ_l / ν]` up to one
+/// adaptation step.
+///
+/// Returns `(table, all_ok)`.
+pub fn theorem32_convergence(cases: &[(f64, f64)], params: &ErtParams) -> (Table, bool) {
+    let mut t = Table::new(
+        "Thm. 3.2 convergence — adaptation converges into the indegree envelope",
+        &["capacity", "nu", "d final", "bound lo", "bound hi", "ok"],
+    );
+    let mut all_ok = true;
+    for &(c, nu) in cases {
+        let mut d: f64 = 1.0;
+        let mut last = d;
+        for _ in 0..500 {
+            let load = nu * d;
+            match adaptation_action(load, c, params) {
+                AdaptAction::Keep => break,
+                AdaptAction::Shed(x) => {
+                    last = d;
+                    d = (d - x as f64).max(1.0);
+                }
+                AdaptAction::Grow(x) => {
+                    last = d;
+                    d += x as f64;
+                }
+            }
+        }
+        let (lo, hi) =
+            theorem32_adapted_indegree_bounds(c, 1.0, params.gamma_l.max(1.0), nu, nu);
+        // One adaptation step of slack covers the integer 2-cycle.
+        let step = (params.mu * (nu * d - c).abs()).ceil() + 1.0;
+        let ok = [d, last].iter().all(|&v| v >= lo - step && v <= hi + step);
+        all_ok &= ok;
+        t.row(vec![
+            fnum(c),
+            fnum(nu),
+            fnum(d),
+            fnum(lo),
+            fnum(hi),
+            ok.to_string(),
+        ]);
+    }
+    (t, all_ok)
+}
+
+/// Runs an adaptation-heavy workload and reports achieved indegrees
+/// against Theorem 3.2's envelope with the *measured* per-inlink rate
+/// extremes. Observational: short runs have not converged, so the
+/// within-fraction is informative rather than a pass/fail bound.
+pub fn theorem32_check(n: usize, lookups: usize, seed: u64) -> Table {
+    let mut rng = SimRng::seed_from(seed);
+    let capacities = BoundedPareto::paper_default().sample_n(n, &mut rng);
+    let dim = CycloidSpace::dimension_for(n);
+    let cfg = NetworkConfig::for_dimension(dim, seed);
+    let mut net = Network::new(cfg, &capacities, ProtocolSpec::ert_af()).expect("valid network");
+    let schedule = uniform_lookup_burst(lookups, n as f64, seed);
+    let report = net.run(&schedule, &[]);
+    let topo = net.topology();
+    // Per-inlink rate ν over the run: received load / indegree / time.
+    let horizon = report.sim_seconds.max(1e-9);
+    let mut nus: Vec<f64> = Vec::new();
+    for node in &topo.nodes {
+        let d = node.table.indegree();
+        if d == 0 {
+            continue;
+        }
+        let received = topo.hosts[node.host].total_received as f64;
+        nus.push(received / d as f64 / horizon);
+    }
+    let nu_min = nus.iter().copied().fold(f64::INFINITY, f64::min).max(1e-6);
+    let nu_max = nus.iter().copied().fold(0.0f64, f64::max).max(nu_min);
+    let mut within = 0usize;
+    let mut total = 0usize;
+    for node in &topo.nodes {
+        let host = &topo.hosts[node.host];
+        // Capacity in queries per second: capacity_eval per service slot.
+        let cap = host.capacity_eval as f64;
+        let (lo, hi) = theorem32_adapted_indegree_bounds(cap, 1.0, 1.0, nu_min, nu_max);
+        let d = node.table.indegree() as f64;
+        total += 1;
+        if d >= lo.floor() - 1.0 && d <= hi.ceil() + 1.0 {
+            within += 1;
+        }
+    }
+    let mut t = Table::new(
+        "Thm. 3.2 measured — adapted indegree within measured-rate bounds",
+        &["n", "lookups", "nu_min", "nu_max", "within", "total", "pct"],
+    );
+    t.row(vec![
+        n.to_string(),
+        lookups.to_string(),
+        fnum(nu_min),
+        fnum(nu_max),
+        within.to_string(),
+        total.to_string(),
+        fnum(100.0 * within as f64 / total as f64),
+    ]);
+    t
+}
+
+/// Theorem 3.3 (observational): the maximum Cycloid outdegree stays
+/// under the `2·γ_c·γ_l·c_max/ν_min` leading term, using the measured
+/// per-inlink rate floor.
+pub fn theorem33_check(n: usize, lookups: usize, seed: u64) -> (Table, bool) {
+    let mut rng = SimRng::seed_from(seed);
+    let capacities = BoundedPareto::paper_default().sample_n(n, &mut rng);
+    let dim = CycloidSpace::dimension_for(n);
+    let cfg = NetworkConfig::for_dimension(dim, seed);
+    let mut net = Network::new(cfg, &capacities, ProtocolSpec::ert_af()).expect("valid network");
+    let schedule = uniform_lookup_burst(lookups, n as f64, seed);
+    let report = net.run(&schedule, &[]);
+    let topo = net.topology();
+    let horizon = report.sim_seconds.max(1e-9);
+    let mut nu_min = f64::INFINITY;
+    let mut c_max = 0.0f64;
+    for node in &topo.nodes {
+        let host = &topo.hosts[node.host];
+        c_max = c_max.max(host.capacity_eval as f64);
+        let d = node.table.indegree();
+        if d > 0 && host.total_received > 0 {
+            nu_min = nu_min.min(host.total_received as f64 / d as f64 / horizon);
+        }
+    }
+    let nu_min = if nu_min.is_finite() { nu_min } else { 1.0 };
+    let bound = theorem33_outdegree_bound(c_max, 1.0, 1.0, nu_min);
+    let max_out = topo
+        .nodes
+        .iter()
+        .map(|nd| nd.table.outdegree())
+        .max()
+        .unwrap_or(0) as f64;
+    let ok = max_out <= bound;
+    let mut t = Table::new(
+        "Thm. 3.3 — max outdegree under the leading-term bound",
+        &["n", "max outdegree", "c_max", "nu_min", "bound", "ok"],
+    );
+    t.row(vec![
+        n.to_string(),
+        fnum(max_out),
+        fnum(c_max),
+        fnum(nu_min),
+        fnum(bound),
+        ok.to_string(),
+    ]);
+    (t, ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem31_holds_with_exact_estimation() {
+        let (t, ok) = theorem31_check(128, 1.0, 31);
+        assert!(ok, "{}", t.render());
+    }
+
+    #[test]
+    fn theorem31_holds_with_estimation_error() {
+        let (t, ok) = theorem31_check(128, 1.5, 32);
+        assert!(ok, "{}", t.render());
+    }
+
+    #[test]
+    fn theorem32_converges_into_envelope() {
+        // The paper's worked example — capacity 50, ν = 0.5 — must land
+        // at the bound of 100, plus a spread of other regimes.
+        let params = ErtParams::default();
+        let cases =
+            [(50.0, 0.5), (10.0, 1.0), (100.0, 0.25), (5.0, 2.0), (30.0, 0.1)];
+        let (t, ok) = theorem32_convergence(&cases, &params);
+        assert!(ok, "{}", t.render());
+        let paper_row: f64 = t.rows[0][2].parse().unwrap();
+        assert!((paper_row - 100.0).abs() <= 2.0, "paper example landed at {paper_row}");
+    }
+
+    #[test]
+    fn theorem33_outdegree_under_bound() {
+        let (t, ok) = theorem33_check(160, 300, 34);
+        assert!(ok, "{}", t.render());
+    }
+
+    #[test]
+    fn theorem32_network_table_is_observational() {
+        let t = theorem32_check(128, 250, 33);
+        let pct: f64 = t.rows[0][6].parse().unwrap();
+        assert!(pct > 50.0, "{}", t.render());
+    }
+}

@@ -1,0 +1,164 @@
+//! The Section 5 remark, checked: *"ERT can also be applied to other
+//! DHT networks. Simulations on other O(log n)-degree networks are
+//! expected to produce better results."*
+//!
+//! Runs classic and ERT variants on the lean Chord and Pastry platforms
+//! (`ert-minidht`) with the same capacities and workload shape as the
+//! Cycloid runs, and puts the Cycloid ERT/AF row next to them for the
+//! cross-overlay comparison.
+
+use ert_minidht::{
+    ChordGeometry, Geometry, MiniDht, MiniDhtConfig, MiniProtocol, MiniReport, PastryGeometry,
+};
+use ert_network::ProtocolSpec;
+use ert_sim::{SimDuration, SimRng};
+use ert_workloads::BoundedPareto;
+
+use crate::report::{fnum, Table};
+use crate::scenario::Scenario;
+
+/// Which mini-platform geometry to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MiniGeometryKind {
+    /// The loose-finger Chord ring.
+    Chord,
+    /// The prefix-routing Pastry overlay.
+    Pastry,
+}
+
+fn chord_bits_for(n: usize) -> u8 {
+    // Ring of at least 4x the population, at least 64 IDs.
+    let mut bits = 6u8;
+    while (1u64 << bits) < 4 * n as u64 {
+        bits += 1;
+    }
+    bits
+}
+
+fn pastry_rows_for(n: usize) -> u8 {
+    // Base-4 digits covering at least 4x the population.
+    let mut rows = 3u8;
+    while 4u64.pow(rows as u32) < 4 * n as u64 {
+        rows += 1;
+    }
+    rows
+}
+
+fn config_for(base: &Scenario, scale_hint: u8, seed: u64) -> MiniDhtConfig {
+    let mut cfg = MiniDhtConfig::defaults(scale_hint, seed);
+    cfg.light_service = SimDuration::from_secs_f64(base.light_service_secs);
+    cfg.heavy_service = SimDuration::from_secs_f64(base.light_service_secs * 5.0);
+    cfg
+}
+
+fn run_geometry<G: Geometry>(
+    base: &Scenario,
+    cfg: MiniDhtConfig,
+    geometry: G,
+    capacities: &[f64],
+    protocol: MiniProtocol,
+) -> MiniReport {
+    let mut net =
+        MiniDht::new(cfg, geometry, capacities, protocol).expect("valid mini scenario");
+    net.run_poisson(base.lookups, base.per_node_rate * base.n as f64)
+}
+
+/// One mini-platform run at the scenario's scale.
+pub fn run_mini(
+    base: &Scenario,
+    kind: MiniGeometryKind,
+    protocol: MiniProtocol,
+    seed: u64,
+) -> MiniReport {
+    let mut rng = SimRng::seed_from(seed.wrapping_mul(0x9e37_79b9));
+    let capacities = BoundedPareto::paper_default().sample_n(base.n, &mut rng);
+    match kind {
+        MiniGeometryKind::Chord => {
+            let bits = chord_bits_for(base.n);
+            let geometry = ChordGeometry::populate(bits, base.n, &mut rng);
+            run_geometry(base, config_for(base, bits, seed), geometry, &capacities, protocol)
+        }
+        MiniGeometryKind::Pastry => {
+            let rows = pastry_rows_for(base.n);
+            let geometry = PastryGeometry::populate(rows, 2, base.n, &mut rng);
+            run_geometry(
+                base,
+                config_for(base, 2 * rows, seed),
+                geometry,
+                &capacities,
+                protocol,
+            )
+        }
+    }
+}
+
+/// Cross-overlay table: classic and ERT variants of Chord and Pastry,
+/// plus Cycloid ERT/AF.
+pub fn cross_overlay_table(base: &Scenario) -> Table {
+    let mut t = Table::new(
+        "Ext chord — ERT on O(log n)-degree overlays",
+        &["platform", "p99 cong", "p99 share", "path", "time_s", "heavy"],
+    );
+    let seed = *base.seeds.first().unwrap_or(&1);
+    for kind in [MiniGeometryKind::Chord, MiniGeometryKind::Pastry] {
+        for protocol in [MiniProtocol::Classic, MiniProtocol::ElasticErt] {
+            let r = run_mini(base, kind, protocol, seed);
+            t.row(vec![
+                r.protocol.clone(),
+                fnum(r.p99_max_congestion),
+                fnum(r.p99_share),
+                fnum(r.mean_path_length),
+                fnum(r.lookup_time.mean),
+                r.heavy_encounters.to_string(),
+            ]);
+        }
+    }
+    let cyc = base.run(&ProtocolSpec::ert_af());
+    t.row(vec![
+        "Cycloid ERT/AF".into(),
+        fnum(cyc.p99_max_congestion),
+        fnum(cyc.p99_share),
+        fnum(cyc.mean_path_length),
+        fnum(cyc.lookup_time.mean),
+        cyc.heavy_encounters.to_string(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_helpers() {
+        assert_eq!(chord_bits_for(10), 6);
+        assert_eq!(chord_bits_for(2048), 13);
+        assert_eq!(pastry_rows_for(10), 3);
+        assert_eq!(pastry_rows_for(2048), 7);
+    }
+
+    #[test]
+    fn ert_improves_both_mini_geometries() {
+        let mut s = Scenario::quick(500);
+        s.n = 256;
+        s.lookups = 800;
+        for kind in [MiniGeometryKind::Chord, MiniGeometryKind::Pastry] {
+            let classic = run_mini(&s, kind, MiniProtocol::Classic, 1);
+            let elastic = run_mini(&s, kind, MiniProtocol::ElasticErt, 1);
+            assert_eq!(classic.completed, 800, "{kind:?} dropped {}", classic.dropped);
+            assert_eq!(elastic.completed, 800, "{kind:?} dropped {}", elastic.dropped);
+            assert!(
+                elastic.p99_max_congestion <= classic.p99_max_congestion,
+                "{kind:?}: ERT {} vs classic {}",
+                elastic.p99_max_congestion,
+                classic.p99_max_congestion
+            );
+        }
+    }
+
+    #[test]
+    fn cross_overlay_table_has_five_rows() {
+        let t = cross_overlay_table(&Scenario::quick(501));
+        assert_eq!(t.rows.len(), 5);
+    }
+}

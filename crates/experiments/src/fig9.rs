@@ -1,0 +1,95 @@
+//! Figs. 9 — congestion control under churn: (a) 99th-percentile
+//! maximum congestion and (b) 99th-percentile share as the node
+//! join/departure interarrival time sweeps from 0.1 to 0.9 s (paper
+//! time scale: lower is heavier churn).
+
+use ert_baselines::all_protocols;
+use ert_network::RunReport;
+
+use crate::report::{fnum, Table};
+use crate::scenario::{ChurnSpec, Scenario};
+
+/// The paper's interarrival sweep in its own time scale (lookups at one
+/// per second): 0.1–0.9 s.
+pub fn paper_interarrivals() -> Vec<f64> {
+    vec![0.1, 0.3, 0.5, 0.7, 0.9]
+}
+
+/// A reduced sweep.
+pub fn quick_interarrivals() -> Vec<f64> {
+    vec![0.3, 0.9]
+}
+
+/// Converts a paper-scale interarrival (relative to one lookup per
+/// second) into this simulation's time scale, preserving the
+/// churn-to-lookup ratio: the paper issues `1/ia` membership changes
+/// per lookup.
+pub fn churn_spec_for(base: &Scenario, paper_interarrival: f64) -> ChurnSpec {
+    let lookup_rate = base.per_node_rate * base.n as f64;
+    let sim_interarrival = paper_interarrival / lookup_rate;
+    ChurnSpec { join_interarrival: sim_interarrival, leave_interarrival: sim_interarrival }
+}
+
+/// Runs every protocol at each churn level.
+pub fn churn_sweep(base: &Scenario, interarrivals: &[f64]) -> Vec<(f64, Vec<RunReport>)> {
+    let specs = all_protocols(base.n);
+    interarrivals
+        .iter()
+        .map(|&ia| {
+            let mut s = base.clone();
+            s.churn = Some(churn_spec_for(base, ia));
+            (ia, s.run_all(&specs))
+        })
+        .collect()
+}
+
+/// Builds the two Fig. 9 panels from a churn sweep.
+pub fn tables(sweep: &[(f64, Vec<RunReport>)]) -> Vec<Table> {
+    let mut header = vec!["interarrival_s".to_owned()];
+    if let Some((_, rs)) = sweep.first() {
+        header.extend(rs.iter().map(|r| r.protocol.clone()));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t9a =
+        Table::new("Fig. 9a — 99th percentile max congestion under churn", &header_refs);
+    let mut t9b = Table::new("Fig. 9b — 99th percentile share under churn", &header_refs);
+    for (ia, reports) in sweep {
+        let key = format!("{ia:.1}");
+        t9a.row(
+            std::iter::once(key.clone())
+                .chain(reports.iter().map(|r| fnum(r.p99_max_congestion)))
+                .collect(),
+        );
+        t9b.row(
+            std::iter::once(key)
+                .chain(reports.iter().map(|r| fnum(r.p99_share)))
+                .collect(),
+        );
+    }
+    vec![t9a, t9b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_spec_preserves_ratio() {
+        let base = Scenario::paper_default(1);
+        let spec = churn_spec_for(&base, 0.5);
+        // 2 churn events per lookup => interarrival = 0.5 / 2048.
+        assert!((spec.join_interarrival - 0.5 / 2048.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quick_churn_sweep_runs_all_protocols() {
+        let mut base = Scenario::quick(10);
+        base.lookups = 150;
+        let sweep = churn_sweep(&base, &[0.9]);
+        let ts = tables(&sweep);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].rows.len(), 1);
+        let completed: Vec<u64> = sweep[0].1.iter().map(|r| r.lookups_completed).collect();
+        assert!(completed.iter().all(|&c| c > 120), "{completed:?}");
+    }
+}

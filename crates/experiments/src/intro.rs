@@ -1,0 +1,101 @@
+//! The introduction's premise, measured: *"consistent hashing produces
+//! a bound of O(log n) imbalance degree of keys between the network
+//! nodes."*
+//!
+//! With `n` nodes placed uniformly on the ring, the largest ownership
+//! interval is ≈ `ln n / n` of the ring while the mean is `1/n`, so the
+//! max/mean imbalance grows like `ln n`. This is the structural unfairness
+//! that exists *before* any capacity heterogeneity or skewed lookups —
+//! the baseline ERT is built on top of.
+
+use ert_overlay::{CycloidRegistry, CycloidSpace};
+use ert_sim::SimRng;
+
+use crate::report::{fnum, Table};
+
+/// Ownership-interval statistics for one random placement: `(max/mean,
+/// gini)` of the interval lengths.
+pub fn interval_imbalance(n: usize, seed: u64) -> (f64, f64) {
+    assert!(n >= 2, "need at least two nodes");
+    let space = CycloidSpace::new(CycloidSpace::dimension_for(4 * n));
+    let mut reg = CycloidRegistry::new(space);
+    let mut rng = SimRng::seed_from(seed);
+    while reg.len() < n {
+        if let Some(id) = reg.random_vacant(&mut rng) {
+            reg.insert(id);
+        }
+    }
+    let mut lins: Vec<u64> = reg.iter().map(|id| space.lin(id)).collect();
+    lins.sort_unstable();
+    let ring = space.ring_size();
+    let mut intervals: Vec<f64> = lins
+        .windows(2)
+        .map(|w| (w[1] - w[0]) as f64)
+        .chain(std::iter::once((ring - lins[lins.len() - 1] + lins[0]) as f64))
+        .collect();
+    let mean = ring as f64 / n as f64;
+    let max = intervals.iter().copied().fold(0.0f64, f64::max);
+    // Gini coefficient of the interval lengths.
+    intervals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let total: f64 = intervals.iter().sum();
+    let weighted: f64 =
+        intervals.iter().enumerate().map(|(i, &v)| (i as f64 + 1.0) * v).sum();
+    let gini = (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64;
+    (max / mean, gini)
+}
+
+/// The imbalance-vs-n table: max/mean interval should track `ln n`.
+pub fn imbalance_table(sizes: &[usize], seeds: usize) -> Table {
+    let mut t = Table::new(
+        "Intro — consistent-hashing key imbalance is O(log n)",
+        &["n", "ln n", "max/mean interval", "gini"],
+    );
+    for &n in sizes {
+        let mut ratio = 0.0;
+        let mut gini = 0.0;
+        for seed in 0..seeds as u64 {
+            let (r, g) = interval_imbalance(n, 1000 + seed);
+            ratio += r;
+            gini += g;
+        }
+        let k = seeds as f64;
+        t.row(vec![
+            n.to_string(),
+            fnum((n as f64).ln()),
+            fnum(ratio / k),
+            fnum(gini / k),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_tracks_log_n() {
+        let t = imbalance_table(&[64, 512, 4096], 3);
+        let ratio = |row: usize| -> f64 { t.rows[row][2].parse().unwrap() };
+        let ln = |row: usize| -> f64 { t.rows[row][1].parse().unwrap() };
+        // Ratio grows with n and stays within a constant factor of ln n.
+        assert!(ratio(2) > ratio(0), "{} vs {}", ratio(2), ratio(0));
+        for row in 0..3 {
+            let c = ratio(row) / ln(row);
+            assert!((0.5..2.5).contains(&c), "row {row}: ratio/ln = {c}");
+        }
+    }
+
+    #[test]
+    fn gini_is_substantial_for_random_placement() {
+        // Exponential-ish intervals have Gini ≈ 0.5.
+        let (_, gini) = interval_imbalance(2048, 7);
+        assert!((0.35..0.65).contains(&gini), "gini {gini}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two nodes")]
+    fn tiny_n_rejected() {
+        let _ = interval_imbalance(1, 1);
+    }
+}

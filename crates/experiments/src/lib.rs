@@ -1,0 +1,34 @@
+//! Experiment harness regenerating **every figure** of the ERT paper.
+//!
+//! Each `figN` module reproduces one figure group of Section 5 and
+//! returns [`report::Table`]s carrying the same series the paper plots;
+//! [`thm41`] validates Theorem 4.1 against the supermarket model, and
+//! [`bounds`] checks Theorems 3.1/3.2 on measured tables. The
+//! `figures` binary runs everything at paper scale and writes CSVs to
+//! `results/`; each figure also has its own binary (`fig4` … `thm41`).
+//!
+//! Every figure function takes a scale argument so benches and tests can
+//! run reduced versions: `paper()` is Table 2 scale (n = 2048, 3000
+//! lookups, multiple seeds), `quick()` is laptop-CI scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod bounds;
+pub mod chord;
+pub mod extensions;
+pub mod fig10;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod intro;
+pub mod report;
+pub mod scenario;
+pub mod thm41;
+
+pub use report::Table;
+pub use scenario::{average_reports, ChurnSpec, Scenario, Workload};

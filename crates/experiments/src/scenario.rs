@@ -1,0 +1,263 @@
+//! Scenario descriptions and multi-seed execution.
+
+use ert_network::{ChurnEvent, Lookup, Network, NetworkConfig, ProtocolSpec, RunReport};
+use ert_overlay::CycloidSpace;
+use ert_sim::stats::Summary;
+use ert_sim::{SimRng, SimTime};
+use ert_workloads::{churn_schedule, impulse_lookups, uniform_lookups, BoundedPareto};
+use serde::{Deserialize, Serialize};
+
+/// The lookup workload shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Workload {
+    /// Random sources and keys (Table 2 default).
+    Uniform,
+    /// The Section 5.4 impulse: sources from one contiguous interval,
+    /// keys from a fixed small set.
+    Impulse {
+        /// Number of nodes in the source interval (paper: 100).
+        nodes: usize,
+        /// Number of distinct keys queried (paper: 50).
+        keys: usize,
+    },
+}
+
+/// Churn intensity (Section 5.5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    /// Mean seconds between joins.
+    pub join_interarrival: f64,
+    /// Mean seconds between departures.
+    pub leave_interarrival: f64,
+}
+
+/// A complete experiment scenario: network size, workload, churn, and
+/// the seeds to average over.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Number of physical hosts.
+    pub n: usize,
+    /// Number of lookups injected.
+    pub lookups: usize,
+    /// Lookup rate per node per second (paper: 1).
+    pub per_node_rate: f64,
+    /// Light-node service time in seconds (heavy is 5×).
+    pub light_service_secs: f64,
+    /// Seeds to run and average.
+    pub seeds: Vec<u64>,
+    /// Workload shape.
+    pub workload: Workload,
+    /// Churn, if any.
+    pub churn: Option<ChurnSpec>,
+}
+
+impl Scenario {
+    /// Table 2 defaults: 2048 hosts, 3000 lookups at one per node-second,
+    /// 0.2 s light service, uniform workload, no churn.
+    pub fn paper_default(seeds: usize) -> Self {
+        Scenario {
+            n: 2048,
+            lookups: 3000,
+            per_node_rate: 1.0,
+            light_service_secs: 0.2,
+            seeds: (1..=seeds as u64).collect(),
+            workload: Workload::Uniform,
+            churn: None,
+        }
+    }
+
+    /// A reduced scenario for tests and benches.
+    pub fn quick(seed: u64) -> Self {
+        Scenario {
+            n: 192,
+            lookups: 300,
+            per_node_rate: 1.0,
+            light_service_secs: 0.2,
+            seeds: vec![seed],
+            workload: Workload::Uniform,
+            churn: None,
+        }
+    }
+
+    /// Runs one protocol once with a specific seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario or protocol configuration is rejected by
+    /// [`Network::new`].
+    pub fn run_once(&self, spec: &ProtocolSpec, seed: u64) -> RunReport {
+        self.run_once_with(spec, seed, |_| {})
+    }
+
+    /// Like [`Scenario::run_once`], but lets the caller tweak the
+    /// network configuration (used by ablations to override `α`, `β`,
+    /// service times, ...).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting configuration is rejected by
+    /// [`Network::new`].
+    pub fn run_once_with(
+        &self,
+        spec: &ProtocolSpec,
+        seed: u64,
+        tweak: impl FnOnce(&mut NetworkConfig),
+    ) -> RunReport {
+        let mut rng = SimRng::seed_from(seed.wrapping_mul(0x9e37_79b9));
+        let capacities =
+            BoundedPareto::paper_default().sample_n(self.n, &mut rng.fork("capacities"));
+        let dim = CycloidSpace::dimension_for(self.n);
+        let mut cfg = NetworkConfig::for_dimension(dim, seed)
+            .with_light_service_secs(self.light_service_secs);
+        tweak(&mut cfg);
+        let rate = self.per_node_rate * self.n as f64;
+        let mut wl_rng = rng.fork("lookups");
+        let lookups: Vec<Lookup> = match self.workload {
+            Workload::Uniform => uniform_lookups(self.lookups, rate, &mut wl_rng),
+            Workload::Impulse { nodes, keys } => {
+                impulse_lookups(self.lookups, rate, self.n, nodes, keys, &mut wl_rng)
+            }
+        };
+        let horizon = lookups.last().map_or(SimTime::ZERO, |l| l.at);
+        let churn: Vec<ChurnEvent> = match self.churn {
+            Some(c) => churn_schedule(
+                horizon,
+                c.join_interarrival,
+                c.leave_interarrival,
+                BoundedPareto::paper_default(),
+                &mut rng.fork("churn"),
+            ),
+            None => Vec::new(),
+        };
+        let mut net =
+            Network::new(cfg, &capacities, spec.clone()).expect("valid scenario");
+        net.run(&lookups, &churn)
+    }
+
+    /// Runs one protocol across every seed and averages the reports.
+    pub fn run(&self, spec: &ProtocolSpec) -> RunReport {
+        let reports: Vec<RunReport> =
+            self.seeds.iter().map(|&s| self.run_once(spec, s)).collect();
+        average_reports(&reports)
+    }
+
+    /// Runs several protocols in parallel (one thread per protocol),
+    /// preserving order.
+    pub fn run_all(&self, specs: &[ProtocolSpec]) -> Vec<RunReport> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                specs.iter().map(|spec| scope.spawn(move || self.run(spec))).collect();
+            handles.into_iter().map(|h| h.join().expect("run panicked")).collect()
+        })
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>, n: usize) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        values.sum::<f64>() / n as f64
+    }
+}
+
+fn mean_summary(reports: &[RunReport], pick: impl Fn(&RunReport) -> Summary) -> Summary {
+    let n = reports.len();
+    Summary {
+        count: reports.iter().map(|r| pick(r).count).sum::<usize>() / n.max(1),
+        mean: mean(reports.iter().map(|r| pick(r).mean), n),
+        p01: mean(reports.iter().map(|r| pick(r).p01), n),
+        p50: mean(reports.iter().map(|r| pick(r).p50), n),
+        p99: mean(reports.iter().map(|r| pick(r).p99), n),
+        max: mean(reports.iter().map(|r| pick(r).max), n),
+    }
+}
+
+/// Field-wise mean of several runs of the same protocol (different
+/// seeds).
+///
+/// # Panics
+///
+/// Panics when `reports` is empty.
+pub fn average_reports(reports: &[RunReport]) -> RunReport {
+    assert!(!reports.is_empty(), "no reports to average");
+    let n = reports.len();
+    RunReport {
+        protocol: reports[0].protocol.clone(),
+        lookups_started: reports.iter().map(|r| r.lookups_started).sum::<u64>() / n as u64,
+        lookups_completed: reports.iter().map(|r| r.lookups_completed).sum::<u64>() / n as u64,
+        lookups_dropped: reports.iter().map(|r| r.lookups_dropped).sum::<u64>() / n as u64,
+        p99_max_congestion: mean(reports.iter().map(|r| r.p99_max_congestion), n),
+        p99_min_capacity_congestion: mean(
+            reports.iter().map(|r| r.p99_min_capacity_congestion),
+            n,
+        ),
+        p99_share: mean(reports.iter().map(|r| r.p99_share), n),
+        heavy_encounters: reports.iter().map(|r| r.heavy_encounters).sum::<u64>() / n as u64,
+        mean_path_length: mean(reports.iter().map(|r| r.mean_path_length), n),
+        lookup_time: mean_summary(reports, |r| r.lookup_time),
+        max_indegree: mean_summary(reports, |r| r.max_indegree),
+        max_outdegree: mean_summary(reports, |r| r.max_outdegree),
+        utilization: mean_summary(reports, |r| r.utilization),
+        capacity_utilization_correlation: mean(
+            reports.iter().map(|r| r.capacity_utilization_correlation),
+            n,
+        ),
+        timeouts_per_lookup: mean(reports.iter().map(|r| r.timeouts_per_lookup), n),
+        handoffs_per_lookup: mean(reports.iter().map(|r| r.handoffs_per_lookup), n),
+        probes_per_decision: mean(reports.iter().map(|r| r.probes_per_decision), n),
+        maintenance_per_lookup: mean(reports.iter().map(|r| r.maintenance_per_lookup), n),
+        sim_seconds: mean(reports.iter().map(|r| r.sim_seconds), n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ert_baselines::base;
+
+    #[test]
+    fn quick_scenario_completes() {
+        let s = Scenario::quick(3);
+        let r = s.run(&base());
+        assert_eq!(r.lookups_completed + r.lookups_dropped, 300);
+        assert!(r.lookups_dropped <= 3);
+    }
+
+    #[test]
+    fn averaging_is_fieldwise() {
+        let s = Scenario::quick(1);
+        let a = s.run_once(&base(), 1);
+        let b = s.run_once(&base(), 2);
+        let avg = average_reports(&[a.clone(), b.clone()]);
+        assert!(
+            (avg.mean_path_length - (a.mean_path_length + b.mean_path_length) / 2.0).abs()
+                < 1e-12
+        );
+        assert_eq!(avg.protocol, "Base");
+    }
+
+    #[test]
+    fn run_all_preserves_order() {
+        let s = Scenario::quick(2);
+        let specs = [base(), ert_network::ProtocolSpec::ert_af()];
+        let out = s.run_all(&specs);
+        assert_eq!(out[0].protocol, "Base");
+        assert_eq!(out[1].protocol, "ERT/AF");
+    }
+
+    #[test]
+    fn impulse_scenario_runs() {
+        let mut s = Scenario::quick(4);
+        s.workload = Workload::Impulse { nodes: 20, keys: 5 };
+        let r = s.run(&base());
+        assert!(r.lookups_completed > 280);
+    }
+
+    #[test]
+    fn churn_scenario_runs() {
+        let mut s = Scenario::quick(5);
+        s.churn = Some(ChurnSpec { join_interarrival: 0.5, leave_interarrival: 0.5 });
+        let r = s.run(&ert_network::ProtocolSpec::ert_af());
+        assert!(r.lookups_completed > 270, "completed {}", r.lookups_completed);
+    }
+}

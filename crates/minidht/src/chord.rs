@@ -1,0 +1,211 @@
+//! Chord geometry for the mini platform.
+
+use ert_core::ElasticTable;
+use ert_overlay::{ring::forward_distance, ChordRegistry, ChordSpace};
+use ert_sim::SimRng;
+
+use crate::geometry::{Geometry, HopCandidates};
+
+/// The slot holding the successor list.
+const SUCC_SLOT: u16 = u16::MAX;
+
+/// Fingers up to this index have loose-restriction windows of one or
+/// two IDs — effectively structural, like the successor list.
+const STRUCTURAL_MAX_FINGER: u16 = 2;
+
+/// The loose-finger Chord ring (see [`ChordSpace`]): finger `m`'s slot
+/// is `m` itself; the successor list is a sentinel slot.
+#[derive(Debug, Clone)]
+pub struct ChordGeometry {
+    space: ChordSpace,
+    registry: ChordRegistry,
+    succ_list: usize,
+}
+
+impl ChordGeometry {
+    /// Builds a ring of `n` random distinct members on `2^bits` IDs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population exceeds half the ring.
+    pub fn populate(bits: u8, n: usize, rng: &mut SimRng) -> Self {
+        let space = ChordSpace::new(bits);
+        assert!(
+            n as u64 <= space.ring_size() / 2,
+            "ring too small for the population"
+        );
+        let mut registry = ChordRegistry::new(space);
+        while registry.len() < n {
+            registry.insert(space.random_id(rng));
+        }
+        ChordGeometry { space, registry, succ_list: 4 }
+    }
+
+    /// The underlying ID space.
+    pub fn space(&self) -> ChordSpace {
+        self.space
+    }
+}
+
+impl Geometry for ChordGeometry {
+    fn name(&self) -> &'static str {
+        "Chord"
+    }
+
+    fn members(&self) -> Vec<u64> {
+        self.registry.iter().collect()
+    }
+
+    fn owner(&self, key: u64) -> Option<u64> {
+        self.registry.owner(key)
+    }
+
+    fn random_key(&self, rng: &mut SimRng) -> u64 {
+        self.space.random_id(rng)
+    }
+
+    fn table_slots(&self, node: u64) -> Vec<(u16, Vec<u64>)> {
+        let mut out: Vec<(u16, Vec<u64>)> = (0..self.space.bits())
+            .map(|m| {
+                let members: Vec<u64> = self
+                    .registry
+                    .nodes_in(self.space.finger_region(node, m))
+                    .into_iter()
+                    .filter(|&c| c != node)
+                    .collect();
+                (m as u16, members)
+            })
+            .filter(|(_, members)| !members.is_empty())
+            .collect();
+        out.push((SUCC_SLOT, self.registry.succ_window(node, self.succ_list)));
+        out
+    }
+
+    fn inlink_candidates(&self, node: u64) -> Vec<(u16, u64)> {
+        let mut out = Vec::new();
+        // Long fingers first: they are the scarcest inlinks.
+        for m in (STRUCTURAL_MAX_FINGER as u8 + 1..self.space.bits()).rev() {
+            for cand in self.registry.nodes_in(self.space.reverse_finger_region(node, m)) {
+                if cand != node {
+                    out.push((m as u16, cand));
+                }
+            }
+        }
+        out
+    }
+
+    fn is_structural(&self, slot: u16) -> bool {
+        slot <= STRUCTURAL_MAX_FINGER || slot == SUCC_SLOT
+    }
+
+    fn classic_pick(&self, node: u64, _slot: u16, members: &[u64]) -> Option<u64> {
+        // Classic Chord: the first node at or after the finger start —
+        // the region members come in clockwise order from the start.
+        members.iter().copied().find(|&c| c != node)
+    }
+
+    fn hop_candidates(
+        &self,
+        cur: u64,
+        owner: u64,
+        table: &mut ElasticTable<u16, u64>,
+        _numeric_mode: &mut bool,
+    ) -> HopCandidates {
+        let size = self.space.ring_size();
+        let budget = forward_distance(cur, owner, size);
+        let in_budget = |c: u64| {
+            let d = forward_distance(cur, c, size);
+            d > 0 && d <= budget
+        };
+        let mut m = self.space.best_finger(cur, owner).unwrap_or(0) as u16;
+        loop {
+            let members: Vec<u64> =
+                table.outlinks(m).iter().copied().filter(|&c| in_budget(c)).collect();
+            if !members.is_empty() {
+                return HopCandidates { slot: m, ids: members };
+            }
+            if m == 0 {
+                break;
+            }
+            m -= 1;
+        }
+        // Refresh and use the successor list; the owner is live and
+        // ahead, so the nearest successors always qualify.
+        let succ = self.registry.succ_window(cur, self.succ_list);
+        table.set_slot(SUCC_SLOT, succ.clone());
+        let ids: Vec<u64> = succ.into_iter().filter(|&c| in_budget(c)).collect();
+        if ids.is_empty() {
+            HopCandidates { slot: SUCC_SLOT, ids: vec![owner] }
+        } else {
+            HopCandidates { slot: SUCC_SLOT, ids }
+        }
+    }
+
+    fn metric(&self, from: u64, owner: u64) -> u64 {
+        forward_distance(from, owner, self.space.ring_size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> ChordGeometry {
+        ChordGeometry::populate(10, 150, &mut SimRng::seed_from(1))
+    }
+
+    #[test]
+    fn populate_builds_distinct_members() {
+        let g = geometry();
+        let members = g.members();
+        assert_eq!(members.len(), 150);
+        let mut sorted = members.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 150);
+    }
+
+    #[test]
+    fn structural_slots_are_short_fingers_and_successors() {
+        let g = geometry();
+        assert!(g.is_structural(0));
+        assert!(g.is_structural(2));
+        assert!(!g.is_structural(3));
+        assert!(g.is_structural(SUCC_SLOT));
+    }
+
+    #[test]
+    fn inlink_candidates_skip_structural_fingers() {
+        let g = geometry();
+        let node = g.members()[0];
+        assert!(g
+            .inlink_candidates(node)
+            .iter()
+            .all(|&(slot, _)| slot > STRUCTURAL_MAX_FINGER));
+    }
+
+    #[test]
+    fn hop_candidates_progress_toward_owner() {
+        let g = geometry();
+        let members = g.members();
+        let cur = members[3];
+        let key = 777 % g.space().ring_size();
+        let owner = g.owner(key).unwrap();
+        if owner == cur {
+            return;
+        }
+        // Even with an empty table the successor fallback progresses.
+        let mut table = ElasticTable::new();
+        let mut numeric = false;
+        let hc = g.hop_candidates(cur, owner, &mut table, &mut numeric);
+        assert!(!hc.ids.is_empty());
+        for id in hc.ids {
+            assert!(g.metric(id, owner) < g.metric(cur, owner));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ring too small")]
+    fn overfull_ring_rejected() {
+        let _ = ChordGeometry::populate(4, 10, &mut SimRng::seed_from(2));
+    }
+}

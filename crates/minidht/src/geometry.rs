@@ -1,0 +1,67 @@
+//! The overlay-geometry abstraction of the mini platforms.
+
+use ert_core::ElasticTable;
+
+/// The candidates one routing hop may use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HopCandidates {
+    /// The table slot the candidates belong to (memory is keyed on it).
+    pub slot: u16,
+    /// The candidate next hops (live by construction — the mini
+    /// platforms have no churn).
+    pub ids: Vec<u64>,
+}
+
+/// What a DHT geometry must provide to run on [`crate::MiniDht`].
+///
+/// Identifiers are `u64`; table slots are opaque `u16` values the
+/// geometry defines (e.g. the finger index on Chord, `row·base + col`
+/// on Pastry). *Structural* slots (successor lists, leaf sets, tiny
+/// regions every table must fill) do not consume elastic indegree.
+pub trait Geometry {
+    /// Display name for reports ("Chord", "Pastry").
+    fn name(&self) -> &'static str;
+
+    /// The live member IDs, in a stable order (node construction maps
+    /// them 1:1 onto capacities).
+    fn members(&self) -> Vec<u64>;
+
+    /// The live node owning `key`, or `None` on an empty overlay.
+    fn owner(&self, key: u64) -> Option<u64>;
+
+    /// A uniformly random key.
+    fn random_key(&self, rng: &mut ert_sim::SimRng) -> u64;
+
+    /// The slots of `node`'s table with the live candidates each
+    /// region currently holds (empty regions omitted).
+    fn table_slots(&self, node: u64) -> Vec<(u16, Vec<u64>)>;
+
+    /// `(slot-of-theirs, candidate)` pairs whose tables may legally
+    /// point at `node`, scarcest slots first — the probe order of the
+    /// indegree-expansion algorithm.
+    fn inlink_candidates(&self, node: u64) -> Vec<(u16, u64)>;
+
+    /// Whether a slot is structural (does not consume elastic
+    /// indegree and is exempt from the spare-indegree restriction).
+    fn is_structural(&self, slot: u16) -> bool;
+
+    /// The geometry's preferred single neighbor for `slot` under the
+    /// classic (non-elastic) protocol, given the region's members.
+    fn classic_pick(&self, node: u64, slot: u16, members: &[u64]) -> Option<u64>;
+
+    /// Routing candidates for one hop from `cur` toward `owner`, using
+    /// (and possibly refreshing) the node's table. `numeric_mode` is
+    /// per-query sticky state: once a geometry falls back to its
+    /// numeric/ring endgame it stays there (guaranteeing termination).
+    fn hop_candidates(
+        &self,
+        cur: u64,
+        owner: u64,
+        table: &mut ElasticTable<u16, u64>,
+        numeric_mode: &mut bool,
+    ) -> HopCandidates;
+
+    /// Estimated remaining distance from `from` to `owner`; smaller is
+    /// closer. Used to score forwarding candidates.
+    fn metric(&self, from: u64, owner: u64) -> u64;
+}

@@ -1,0 +1,43 @@
+//! Lean secondary evaluation platforms for the ERT mechanism.
+//!
+//! Section 5 of the paper notes: *"ERT can also be applied to other DHT
+//! networks. Simulations on other O(log n)-degree networks are expected
+//! to produce better results."* This crate checks that remark on two
+//! geometries:
+//!
+//! * [`ChordGeometry`] — the loose-finger Chord ring of `ert-overlay`;
+//! * [`PastryGeometry`] — the prefix-routing Pastry overlay (whose
+//!   table shape Tapestry shares).
+//!
+//! Both run inside one shared queueing simulator ([`MiniDht`]) using the
+//! Table 2 model (light/heavy service, queue-length congestion) and the
+//! unchanged `ert-core` mechanism: capacity-bounded indegree assignment
+//! and expansion, periodic adaptation, and b-way forwarding with memory.
+//! Compared to `ert-network` (the full Cycloid platform), the mini
+//! platforms have no churn, virtual servers, locality or anonymity mode
+//! — they isolate one question: does ERT's congestion control carry
+//! over, and do O(log n) paths help?
+//!
+//! ```
+//! use ert_minidht::{ChordGeometry, MiniDht, MiniDhtConfig, MiniProtocol};
+//! use ert_sim::SimRng;
+//! let cfg = MiniDhtConfig::defaults(10, 7);
+//! let capacities = vec![1000.0; 64];
+//! let geometry = ChordGeometry::populate(10, 64, &mut SimRng::seed_from(7));
+//! let mut net = MiniDht::new(cfg, geometry, &capacities, MiniProtocol::ElasticErt).unwrap();
+//! let report = net.run_poisson(200, 64.0);
+//! assert_eq!(report.completed + report.dropped, 200);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chord;
+mod geometry;
+mod pastry;
+mod platform;
+
+pub use chord::ChordGeometry;
+pub use geometry::{Geometry, HopCandidates};
+pub use pastry::PastryGeometry;
+pub use platform::{MiniDht, MiniDhtConfig, MiniProtocol, MiniReport};

@@ -1,0 +1,278 @@
+//! Pastry geometry for the mini platform.
+//!
+//! Pastry is the natural host for elastic tables: every cell of its
+//! table is *already* a region ("each entry has multiple choices",
+//! Section 3.2), so no loosening is needed. Slots are encoded
+//! `row · base + col`; the leaf set is a sentinel slot. The deepest
+//! rows address regions of one or `base` IDs and are treated as
+//! structural, like Chord's short fingers.
+
+use ert_core::ElasticTable;
+use ert_overlay::{ring::shortest_distance, PastryRegistry, PastrySpace};
+use ert_sim::SimRng;
+
+use crate::geometry::{Geometry, HopCandidates};
+
+/// The slot holding the leaf set.
+const LEAF_SLOT: u16 = u16::MAX;
+
+/// Leaf-set size used for the numeric endgame.
+const LEAF_WINDOW: usize = 8;
+
+/// The prefix-routing Pastry overlay (see [`PastrySpace`]).
+#[derive(Debug, Clone)]
+pub struct PastryGeometry {
+    space: PastrySpace,
+    registry: PastryRegistry,
+}
+
+impl PastryGeometry {
+    /// Builds an overlay of `n` random distinct members with `rows`
+    /// digits of `bits_per_digit` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population exceeds half the ID space.
+    pub fn populate(rows: u8, bits_per_digit: u8, n: usize, rng: &mut SimRng) -> Self {
+        let space = PastrySpace::new(rows, bits_per_digit);
+        assert!(
+            n as u64 <= space.ring_size() / 2,
+            "id space too small for the population"
+        );
+        let mut registry = PastryRegistry::new(space);
+        while registry.len() < n {
+            registry.insert(space.random_id(rng));
+        }
+        PastryGeometry { space, registry }
+    }
+
+    /// The underlying ID space.
+    pub fn space(&self) -> PastrySpace {
+        self.space
+    }
+
+    fn encode(&self, row: u8, col: u64) -> u16 {
+        row as u16 * self.space.base() as u16 + col as u16
+    }
+
+    fn row_of(&self, slot: u16) -> u8 {
+        (slot / self.space.base() as u16) as u8
+    }
+}
+
+impl Geometry for PastryGeometry {
+    fn name(&self) -> &'static str {
+        "Pastry"
+    }
+
+    fn members(&self) -> Vec<u64> {
+        self.registry.iter().collect()
+    }
+
+    fn owner(&self, key: u64) -> Option<u64> {
+        self.registry.owner(key)
+    }
+
+    fn random_key(&self, rng: &mut SimRng) -> u64 {
+        self.space.random_id(rng)
+    }
+
+    fn table_slots(&self, node: u64) -> Vec<(u16, Vec<u64>)> {
+        let mut out = Vec::new();
+        for row in 0..self.space.rows() {
+            for col in 0..self.space.base() {
+                if let Some((lo, hi)) = self.space.row_region(node, row, col) {
+                    let members: Vec<u64> = self
+                        .registry
+                        .nodes_in_span(lo, hi)
+                        .into_iter()
+                        .filter(|&c| c != node)
+                        .collect();
+                    if !members.is_empty() {
+                        out.push((self.encode(row, col), members));
+                    }
+                }
+            }
+        }
+        out.push((LEAF_SLOT, self.registry.leaf_set(node, LEAF_WINDOW)));
+        out
+    }
+
+    fn inlink_candidates(&self, node: u64) -> Vec<(u16, u64)> {
+        let mut out = Vec::new();
+        // Deep rows are scarcer, but the deepest are structural: probe
+        // from the deepest negotiable row upward.
+        for row in (0..self.space.rows()).rev() {
+            let slot = self.encode(row, self.space.digit(node, row));
+            if self.is_structural(slot) {
+                continue;
+            }
+            for (lo, hi) in self.space.reverse_row_regions(node, row) {
+                for cand in self.registry.nodes_in_span(lo, hi) {
+                    if cand != node {
+                        out.push((slot, cand));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn is_structural(&self, slot: u16) -> bool {
+        if slot == LEAF_SLOT {
+            return true;
+        }
+        // Regions of size <= base (the last two rows) are structural.
+        self.row_of(slot) + 2 >= self.space.rows()
+    }
+
+    fn classic_pick(&self, node: u64, slot: u16, members: &[u64]) -> Option<u64> {
+        if members.is_empty() {
+            return None;
+        }
+        // Real Pastry fills a cell with whichever matching node it
+        // discovered first / is closest on the network, which differs
+        // per node. Model that diversity with a per-(node, slot)
+        // deterministic pseudo-random pick; `members.first()` would
+        // funnel every same-prefix node onto one neighbor.
+        let h = (node ^ ((slot as u64) << 48))
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_left(31);
+        Some(members[(h % members.len() as u64) as usize])
+    }
+
+    fn hop_candidates(
+        &self,
+        cur: u64,
+        owner: u64,
+        table: &mut ElasticTable<u16, u64>,
+        numeric_mode: &mut bool,
+    ) -> HopCandidates {
+        if !*numeric_mode {
+            if let Some((row, col)) = self.space.route_cell(cur, owner) {
+                let slot = self.encode(row, col);
+                let ids = table.outlinks(slot).to_vec();
+                if !ids.is_empty() {
+                    return HopCandidates { slot, ids };
+                }
+            }
+            // Empty cell (or no differing digit): commit to the numeric
+            // endgame — retrying the prefix phase from a numerically
+            // closer node could oscillate.
+            *numeric_mode = true;
+        }
+        let size = self.space.ring_size();
+        let my_dist = shortest_distance(cur, owner, size);
+        let leafs = self.registry.leaf_set(cur, LEAF_WINDOW);
+        table.set_slot(LEAF_SLOT, leafs.clone());
+        let ids: Vec<u64> = leafs
+            .into_iter()
+            .chain(std::iter::once(owner))
+            .filter(|&c| shortest_distance(c, owner, size) < my_dist)
+            .collect();
+        if ids.is_empty() {
+            HopCandidates { slot: LEAF_SLOT, ids: vec![owner] }
+        } else {
+            HopCandidates { slot: LEAF_SLOT, ids }
+        }
+    }
+
+    fn metric(&self, from: u64, owner: u64) -> u64 {
+        let lcp = self.space.shared_prefix_len(from, owner) as u64;
+        let rows = self.space.rows() as u64;
+        (rows - lcp.min(rows)) * self.space.ring_size()
+            + shortest_distance(from, owner, self.space.ring_size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> PastryGeometry {
+        PastryGeometry::populate(6, 2, 150, &mut SimRng::seed_from(3))
+    }
+
+    #[test]
+    fn populate_and_slots() {
+        let g = geometry();
+        assert_eq!(g.members().len(), 150);
+        let node = g.members()[0];
+        let slots = g.table_slots(node);
+        assert!(slots.iter().any(|(s, _)| *s == LEAF_SLOT));
+        // Row-0 cells cover a quarter of the space each: all three
+        // foreign columns should be populated.
+        let row0 = slots.iter().filter(|(s, _)| g.row_of(*s) == 0).count();
+        assert_eq!(row0, 3);
+    }
+
+    #[test]
+    fn deep_rows_are_structural() {
+        let g = geometry();
+        assert!(g.is_structural(g.encode(5, 1)));
+        assert!(g.is_structural(g.encode(4, 2)));
+        assert!(!g.is_structural(g.encode(3, 0)));
+        assert!(g.is_structural(LEAF_SLOT));
+    }
+
+    #[test]
+    fn inlink_candidates_carry_my_digit_slot() {
+        let g = geometry();
+        let node = g.members()[10];
+        for (slot, cand) in g.inlink_candidates(node) {
+            let row = g.row_of(slot);
+            let col = (slot % g.space.base() as u16) as u64;
+            assert_eq!(col, g.space.digit(node, row), "slot col must be node's digit");
+            // The candidate shares the first `row` digits and differs at
+            // `row`.
+            assert_eq!(g.space.shared_prefix_len(node, cand), row);
+        }
+    }
+
+    #[test]
+    fn metric_prefers_longer_prefix_then_distance() {
+        let g = geometry();
+        let owner = g.members()[0];
+        let same = owner;
+        assert_eq!(g.metric(same, owner), 0);
+        // A node sharing more digits scores lower than one sharing none.
+        let members = g.members();
+        let close = members
+            .iter()
+            .copied()
+            .filter(|&m| m != owner)
+            .max_by_key(|&m| g.space.shared_prefix_len(m, owner))
+            .unwrap();
+        let far = members
+            .iter()
+            .copied()
+            .filter(|&m| m != owner)
+            .min_by_key(|&m| g.space.shared_prefix_len(m, owner))
+            .unwrap();
+        if g.space.shared_prefix_len(close, owner) > g.space.shared_prefix_len(far, owner) {
+            assert!(g.metric(close, owner) < g.metric(far, owner));
+        }
+    }
+
+    #[test]
+    fn numeric_mode_is_sticky_and_progresses() {
+        let g = geometry();
+        let members = g.members();
+        let cur = members[5];
+        let owner = g.owner(12345 % g.space().ring_size()).unwrap();
+        if owner == cur {
+            return;
+        }
+        let mut table = ElasticTable::new(); // empty: forces numeric mode
+        let mut numeric = false;
+        let hc = g.hop_candidates(cur, owner, &mut table, &mut numeric);
+        assert!(numeric, "empty prefix cell must commit to numeric mode");
+        for id in hc.ids {
+            assert!(
+                shortest_distance(id, owner, g.space().ring_size())
+                    < shortest_distance(cur, owner, g.space().ring_size())
+                    || id == owner
+            );
+        }
+    }
+}

@@ -1,0 +1,723 @@
+//! The shared mini queueing simulator.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use ert_core::{
+    adaptation_action, assign::initial_indegree_target, choose_next_b, expand_indegree,
+    max_indegree, normalize_capacities, AdaptAction, Candidate, Directory, ElasticTable,
+    ErtParams, ForwardPolicy,
+};
+use ert_sim::stats::{Samples, Summary};
+use ert_sim::{Engine, SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::Geometry;
+
+/// Which protocol a mini platform runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MiniProtocol {
+    /// The geometry's classic table (one neighbor per slot) with
+    /// deterministic greedy routing.
+    Classic,
+    /// The full ERT mechanism: capacity-bounded indegree assignment and
+    /// expansion, periodic adaptation, b-way forwarding with memory.
+    ElasticErt,
+}
+
+/// Configuration of a mini-platform run (Table 2 queueing defaults).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MiniDhtConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Service time of a light node (heavy is 5×).
+    pub light_service: SimDuration,
+    /// Service time of a heavy node.
+    pub heavy_service: SimDuration,
+    /// ERT parameters; `alpha` defaults to `scale_hint + 3` by analogy
+    /// with the paper's `d + 3`.
+    pub ert: ErtParams,
+    /// Hop-limit safety valve.
+    pub max_hops: u32,
+}
+
+impl MiniDhtConfig {
+    /// Defaults; `scale_hint` plays the role of the overlay dimension
+    /// in the `α = d + 3` rule (use the Chord bit width or the Pastry
+    /// digit count × digit width).
+    pub fn defaults(scale_hint: u8, seed: u64) -> Self {
+        MiniDhtConfig {
+            seed,
+            light_service: SimDuration::from_secs_f64(0.2),
+            heavy_service: SimDuration::from_secs_f64(1.0),
+            ert: ErtParams { alpha: scale_hint as f64 + 3.0, ..ErtParams::default() },
+            max_hops: 64 + 8 * scale_hint as u32,
+        }
+    }
+}
+
+/// Digest of one mini-platform run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MiniReport {
+    /// Platform + protocol name ("Chord+ERT", "Pastry", ...).
+    pub protocol: String,
+    /// Lookups completed.
+    pub completed: u64,
+    /// Lookups dropped at the hop limit.
+    pub dropped: u64,
+    /// Mean request path length in hops.
+    pub mean_path_length: f64,
+    /// Lookup time digest in seconds.
+    pub lookup_time: Summary,
+    /// 99th percentile over nodes of each node's maximum congestion.
+    pub p99_max_congestion: f64,
+    /// 99th percentile fair-share ratio.
+    pub p99_share: f64,
+    /// Heavy nodes encountered in routings.
+    pub heavy_encounters: u64,
+}
+
+#[derive(Debug)]
+struct MiniNode {
+    id: u64,
+    raw_capacity: f64,
+    capacity_eval: u32,
+    d_max: u32,
+    table: ElasticTable<u16, u64>,
+    queue: VecDeque<usize>,
+    in_service: Option<usize>,
+    period_load: u64,
+    total_received: u64,
+    max_congestion: f64,
+}
+
+impl MiniNode {
+    fn load(&self) -> usize {
+        self.queue.len() + usize::from(self.in_service.is_some())
+    }
+    fn is_heavy(&self) -> bool {
+        self.load() > self.capacity_eval as usize
+    }
+    fn congestion(&self) -> f64 {
+        self.load() as f64 / self.capacity_eval as f64
+    }
+}
+
+#[derive(Debug)]
+struct Query {
+    key: u64,
+    started: SimTime,
+    hops: u32,
+    avoid: HashSet<u64>,
+    at: usize,
+    done: bool,
+    numeric_mode: bool,
+}
+
+#[derive(Debug)]
+enum Ev {
+    Inject { key: u64 },
+    Arrive { q: usize, to: u64 },
+    Done { node: usize, q: usize },
+    Adapt,
+}
+
+/// The mini platform: a geometry plus the Table 2 queueing model.
+#[derive(Debug)]
+pub struct MiniDht<G: Geometry> {
+    cfg: MiniDhtConfig,
+    protocol: MiniProtocol,
+    geometry: G,
+    id_map: HashMap<u64, usize>,
+    nodes: Vec<MiniNode>,
+    engine: Engine<Ev>,
+    queries: Vec<Query>,
+    rng: SimRng,
+    outstanding: u64,
+    injections_left: u64,
+    lookup_times: Samples,
+    path_lengths: Samples,
+    heavy_encounters: u64,
+    dropped: u64,
+}
+
+/// The [`Directory`] view `ert-core`'s algorithms need.
+struct MiniDirectory<'a, G: Geometry> {
+    geometry: &'a G,
+    id_map: &'a HashMap<u64, usize>,
+    nodes: &'a mut Vec<MiniNode>,
+}
+
+impl<G: Geometry> MiniDirectory<'_, G> {
+    fn idx(&self, id: u64) -> Option<usize> {
+        self.id_map.get(&id).copied()
+    }
+}
+
+impl<G: Geometry> Directory for MiniDirectory<'_, G> {
+    type Id = u64;
+    type Slot = u16;
+
+    fn table_slots(&self, node: u64) -> Vec<(u16, Vec<u64>)> {
+        self.geometry.table_slots(node)
+    }
+
+    fn inlink_candidates(&self, node: u64) -> Vec<(u16, u64)> {
+        self.geometry.inlink_candidates(node)
+    }
+
+    fn spare_indegree(&self, node: u64) -> i64 {
+        self.idx(node).map_or(0, |i| {
+            self.nodes[i].d_max as i64 - self.nodes[i].table.indegree() as i64
+        })
+    }
+
+    fn indegree(&self, node: u64) -> u32 {
+        self.idx(node).map_or(0, |i| self.nodes[i].table.indegree() as u32)
+    }
+
+    fn has_link(&self, from: u64, slot: u16, to: u64) -> bool {
+        self.idx(from).is_some_and(|i| self.nodes[i].table.outlinks(slot).contains(&to))
+    }
+
+    fn add_link(&mut self, from: u64, slot: u16, to: u64) {
+        let (Some(f), Some(t)) = (self.idx(from), self.idx(to)) else {
+            return;
+        };
+        self.nodes[f].table.add_outlink(slot, to);
+        if !self.geometry.is_structural(slot) {
+            self.nodes[t].table.add_backward(from);
+        }
+    }
+}
+
+impl<G: Geometry> MiniDht<G> {
+    /// Builds the platform: one node per capacity mapped onto the
+    /// geometry's members, tables per protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the capacity list does not match the
+    /// geometry's population or the parameters are invalid.
+    pub fn new(
+        cfg: MiniDhtConfig,
+        geometry: G,
+        capacities: &[f64],
+        protocol: MiniProtocol,
+    ) -> Result<MiniDht<G>, String> {
+        let members = geometry.members();
+        if members.len() != capacities.len() {
+            return Err(format!(
+                "geometry has {} members but {} capacities were given",
+                members.len(),
+                capacities.len()
+            ));
+        }
+        cfg.ert.validate().map_err(|e| e.to_string())?;
+        let norm = normalize_capacities(capacities);
+        let mut nodes = Vec::with_capacity(members.len());
+        let mut id_map = HashMap::new();
+        for (i, (&id, (&raw, &nc))) in
+            members.iter().zip(capacities.iter().zip(&norm)).enumerate()
+        {
+            let capacity_eval = max_indegree(cfg.ert.alpha, nc);
+            let d_max = match protocol {
+                MiniProtocol::Classic => u32::MAX >> 8,
+                MiniProtocol::ElasticErt => capacity_eval,
+            };
+            nodes.push(MiniNode {
+                id,
+                raw_capacity: raw,
+                capacity_eval,
+                d_max,
+                table: ElasticTable::new(),
+                queue: VecDeque::new(),
+                in_service: None,
+                period_load: 0,
+                total_received: 0,
+                max_congestion: 0.0,
+            });
+            id_map.insert(id, i);
+        }
+        let mut net = MiniDht {
+            cfg,
+            protocol,
+            geometry,
+            id_map,
+            nodes,
+            engine: Engine::new(),
+            queries: Vec::new(),
+            rng: SimRng::seed_from(cfg.seed),
+            outstanding: 0,
+            injections_left: 0,
+            lookup_times: Samples::new(),
+            path_lengths: Samples::new(),
+            heavy_encounters: 0,
+            dropped: 0,
+        };
+        let order = net.rng.sample_indices(net.nodes.len(), net.nodes.len());
+        for i in order {
+            net.build_table(i);
+        }
+        Ok(net)
+    }
+
+    /// Read access to the geometry.
+    pub fn geometry(&self) -> &G {
+        &self.geometry
+    }
+
+    /// Elastic indegree of every node (for bound checks).
+    pub fn indegrees(&self) -> Vec<(u64, u32, u32)> {
+        self.nodes.iter().map(|n| (n.id, n.table.indegree() as u32, n.d_max)).collect()
+    }
+
+    fn build_table(&mut self, i: usize) {
+        let id = self.nodes[i].id;
+        let mut rng = SimRng::seed_from(self.cfg.seed ^ id);
+        let mut dir = MiniDirectory {
+            geometry: &self.geometry,
+            id_map: &self.id_map,
+            nodes: &mut self.nodes,
+        };
+        match self.protocol {
+            MiniProtocol::Classic => {
+                for (slot, members) in dir.geometry.table_slots(id) {
+                    if let Some(pick) = dir.geometry.classic_pick(id, slot, &members) {
+                        if !dir.has_link(id, slot, pick) {
+                            dir.add_link(id, slot, pick);
+                        }
+                    }
+                }
+            }
+            MiniProtocol::ElasticErt => {
+                // Structural slots take their classic neighbor; elastic
+                // slots honor the spare-indegree restriction strictly
+                // (empty if the whole region is saturated — greedy
+                // routing tolerates it).
+                for (slot, members) in dir.geometry.table_slots(id) {
+                    let pick = if dir.geometry.is_structural(slot) {
+                        dir.geometry.classic_pick(id, slot, &members)
+                    } else {
+                        let eligible: Vec<u64> = members
+                            .into_iter()
+                            .filter(|&c| dir.spare_indegree(c) >= 1)
+                            .collect();
+                        rng.choose(&eligible).copied()
+                    };
+                    if let Some(pick) = pick {
+                        if !dir.has_link(id, slot, pick) {
+                            dir.add_link(id, slot, pick);
+                        }
+                    }
+                }
+                let target = initial_indegree_target(&self.cfg.ert, self.nodes[i].d_max);
+                let mut dir = MiniDirectory {
+                    geometry: &self.geometry,
+                    id_map: &self.id_map,
+                    nodes: &mut self.nodes,
+                };
+                expand_indegree(&mut dir, id, target);
+            }
+        }
+    }
+
+    /// Runs `count` uniform Poisson lookups at `rate_per_sec` aggregate.
+    pub fn run_poisson(&mut self, count: usize, rate_per_sec: f64) -> MiniReport {
+        let mut t = SimTime::ZERO;
+        let mut wl = self.rng.fork("workload");
+        self.injections_left = count as u64;
+        for _ in 0..count {
+            t += SimDuration::from_secs_f64(wl.exp_secs(rate_per_sec));
+            let key = self.geometry.random_key(&mut wl);
+            self.engine.schedule_at(t, Ev::Inject { key });
+        }
+        if self.protocol == MiniProtocol::ElasticErt {
+            self.engine.schedule_in(self.cfg.ert.adaptation_period, Ev::Adapt);
+        }
+        while let Some((now, ev)) = self.engine.pop() {
+            match ev {
+                Ev::Inject { key } => self.on_inject(key, now),
+                Ev::Arrive { q, to } => self.on_arrive(q, to, now),
+                Ev::Done { node, q } => self.on_done(node, q, now),
+                Ev::Adapt => self.on_adapt(),
+            }
+            if self.injections_left == 0 && self.outstanding == 0 {
+                break;
+            }
+        }
+        self.report()
+    }
+
+    fn report(&mut self) -> MiniReport {
+        let mut max_g: Samples = self.nodes.iter().map(|n| n.max_congestion).collect();
+        let total_load: f64 = self.nodes.iter().map(|n| n.total_received as f64).sum();
+        let total_cap: f64 = self.nodes.iter().map(|n| n.raw_capacity).sum();
+        let mut shares = Samples::new();
+        if total_load > 0.0 {
+            for n in &self.nodes {
+                shares
+                    .push((n.total_received as f64 / total_load) / (n.raw_capacity / total_cap));
+            }
+        }
+        let suffix = match self.protocol {
+            MiniProtocol::Classic => "",
+            MiniProtocol::ElasticErt => "+ERT",
+        };
+        MiniReport {
+            protocol: format!("{}{suffix}", self.geometry.name()),
+            completed: self.lookup_times.len() as u64,
+            dropped: self.dropped,
+            mean_path_length: self.path_lengths.mean(),
+            lookup_time: self.lookup_times.summary(),
+            p99_max_congestion: max_g.percentile(0.99),
+            p99_share: shares.percentile(0.99),
+            heavy_encounters: self.heavy_encounters,
+        }
+    }
+
+    fn on_inject(&mut self, key: u64, now: SimTime) {
+        self.injections_left -= 1;
+        let source = self.rng.fork("source").sample_indices(self.nodes.len(), 1)[0];
+        let q = self.queries.len();
+        self.queries.push(Query {
+            key,
+            started: now,
+            hops: 0,
+            avoid: HashSet::new(),
+            at: source,
+            done: false,
+            numeric_mode: false,
+        });
+        self.outstanding += 1;
+        let id = self.nodes[source].id;
+        self.on_arrive(q, id, now);
+    }
+
+    fn on_arrive(&mut self, q: usize, to: u64, now: SimTime) {
+        if self.queries[q].done {
+            return;
+        }
+        let Some(&idx) = self.id_map.get(&to) else {
+            return self.drop(q);
+        };
+        self.queries[q].at = idx;
+        if self.nodes[idx].is_heavy() {
+            self.heavy_encounters += 1;
+        }
+        let node = &mut self.nodes[idx];
+        node.total_received += 1;
+        node.period_load += 1;
+        if node.in_service.is_none() {
+            self.start_service(idx, q, now);
+        } else {
+            node.queue.push_back(q);
+        }
+        let node = &mut self.nodes[idx];
+        let g = node.congestion();
+        if g > node.max_congestion {
+            node.max_congestion = g;
+        }
+    }
+
+    fn start_service(&mut self, idx: usize, q: usize, now: SimTime) {
+        let node = &mut self.nodes[idx];
+        node.in_service = Some(q);
+        let service =
+            if node.is_heavy() { self.cfg.heavy_service } else { self.cfg.light_service };
+        self.engine.schedule_at(now + service, Ev::Done { node: idx, q });
+    }
+
+    fn on_done(&mut self, idx: usize, q: usize, now: SimTime) {
+        if self.nodes[idx].in_service != Some(q) {
+            return;
+        }
+        self.nodes[idx].in_service = None;
+        if let Some(next) = self.nodes[idx].queue.pop_front() {
+            self.start_service(idx, next, now);
+        }
+        let me = self.nodes[idx].id;
+        if self.geometry.owner(self.queries[q].key) == Some(me) {
+            let qs = &mut self.queries[q];
+            qs.done = true;
+            self.outstanding -= 1;
+            self.lookup_times.push((now - qs.started).as_secs_f64());
+            self.path_lengths.push(qs.hops as f64);
+        } else {
+            self.forward(q, idx, now);
+        }
+    }
+
+    fn forward(&mut self, q: usize, idx: usize, now: SimTime) {
+        if self.queries[q].hops >= self.cfg.max_hops {
+            return self.drop(q);
+        }
+        let key = self.queries[q].key;
+        let Some(owner) = self.geometry.owner(key) else {
+            return self.drop(q);
+        };
+        let hc = {
+            let node = &mut self.nodes[idx];
+            self.geometry.hop_candidates(
+                node.id,
+                owner,
+                &mut node.table,
+                &mut self.queries[q].numeric_mode,
+            )
+        };
+        let cands: Vec<Candidate<u64>> = hc
+            .ids
+            .iter()
+            .map(|&c| {
+                let (load, capacity) = match self.id_map.get(&c) {
+                    Some(&i) => (self.nodes[i].load() as f64, self.nodes[i].capacity_eval as f64),
+                    None => (0.0, 1.0),
+                };
+                Candidate {
+                    id: c,
+                    load,
+                    capacity,
+                    logical_distance: self.geometry.metric(c, owner),
+                    physical_distance: 0.0,
+                }
+            })
+            .collect();
+        let policy = match self.protocol {
+            MiniProtocol::Classic => ForwardPolicy::Deterministic,
+            MiniProtocol::ElasticErt => {
+                ForwardPolicy::TwoChoice { topology_aware: true, use_memory: true }
+            }
+        };
+        let memory = self.nodes[idx].table.memory(hc.slot);
+        let choice = choose_next_b(
+            policy,
+            &cands,
+            memory,
+            &self.queries[q].avoid,
+            self.cfg.ert.gamma_l,
+            self.cfg.ert.probe_width,
+            &mut self.rng,
+        )
+        .expect("candidates nonempty");
+        for o in &choice.newly_overloaded {
+            self.queries[q].avoid.insert(*o);
+        }
+        if let Some(mem) = choice.new_memory {
+            if policy != ForwardPolicy::Deterministic {
+                self.nodes[idx].table.set_memory(hc.slot, mem);
+            }
+        }
+        self.queries[q].hops += 1;
+        self.engine.schedule_at(now, Ev::Arrive { q, to: choice.next });
+    }
+
+    fn on_adapt(&mut self) {
+        for i in 0..self.nodes.len() {
+            let load = self.nodes[i].period_load as f64;
+            let capacity = self.nodes[i].capacity_eval as f64;
+            match adaptation_action(load, capacity, &self.cfg.ert) {
+                AdaptAction::Keep => {}
+                AdaptAction::Shed(x) => {
+                    let x = x.min(self.nodes[i].table.indegree() as u32);
+                    let me = self.nodes[i].id;
+                    // Drop the most recently added inlinks (the mini
+                    // platforms carry no locality to rank by).
+                    let victims: Vec<u64> = self.nodes[i]
+                        .table
+                        .backward_fingers()
+                        .iter()
+                        .rev()
+                        .take(x as usize)
+                        .copied()
+                        .collect();
+                    for v in victims {
+                        if let Some(&vi) = self.id_map.get(&v) {
+                            let slots: Vec<u16> =
+                                self.nodes[vi].table.occupied_slots().collect();
+                            for slot in slots {
+                                self.nodes[vi].table.remove_outlink(slot, me);
+                            }
+                        }
+                        self.nodes[i].table.remove_backward(v);
+                    }
+                    self.nodes[i].d_max = self.nodes[i].d_max.saturating_sub(x).max(1);
+                }
+                AdaptAction::Grow(x) => {
+                    let cap = 8 * self.nodes[i].capacity_eval.max(8);
+                    self.nodes[i].d_max = (self.nodes[i].d_max + x).min(cap);
+                    let id = self.nodes[i].id;
+                    let target =
+                        (self.nodes[i].table.indegree() as u32 + x).min(self.nodes[i].d_max);
+                    let mut dir = MiniDirectory {
+                        geometry: &self.geometry,
+                        id_map: &self.id_map,
+                        nodes: &mut self.nodes,
+                    };
+                    expand_indegree(&mut dir, id, target);
+                }
+            }
+            self.nodes[i].period_load = 0;
+        }
+        if self.injections_left > 0 || self.outstanding > 0 {
+            self.engine.schedule_in(self.cfg.ert.adaptation_period, Ev::Adapt);
+        }
+    }
+
+    fn drop(&mut self, q: usize) {
+        if self.queries[q].done {
+            return;
+        }
+        self.queries[q].done = true;
+        self.outstanding -= 1;
+        self.dropped += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChordGeometry, PastryGeometry};
+
+    fn caps(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 500.0 + 400.0 * (i % 6) as f64).collect()
+    }
+
+    fn chord(n: usize, seed: u64) -> ChordGeometry {
+        ChordGeometry::populate(10, n, &mut SimRng::seed_from(seed))
+    }
+
+    fn pastry(n: usize, seed: u64) -> PastryGeometry {
+        PastryGeometry::populate(6, 2, n, &mut SimRng::seed_from(seed))
+    }
+
+    #[test]
+    fn classic_chord_completes_lookups() {
+        let cfg = MiniDhtConfig::defaults(10, 1);
+        let mut net =
+            MiniDht::new(cfg, chord(200, 1), &caps(200), MiniProtocol::Classic).unwrap();
+        let r = net.run_poisson(400, 200.0);
+        assert_eq!(r.completed, 400, "dropped {}", r.dropped);
+        assert!(r.mean_path_length > 1.0 && r.mean_path_length < 12.0);
+        assert_eq!(r.protocol, "Chord");
+    }
+
+    #[test]
+    fn elastic_chord_completes_lookups() {
+        let cfg = MiniDhtConfig::defaults(10, 2);
+        let mut net =
+            MiniDht::new(cfg, chord(200, 2), &caps(200), MiniProtocol::ElasticErt).unwrap();
+        let r = net.run_poisson(400, 200.0);
+        assert_eq!(r.completed, 400, "dropped {}", r.dropped);
+        assert_eq!(r.protocol, "Chord+ERT");
+    }
+
+    #[test]
+    fn classic_pastry_completes_lookups() {
+        let cfg = MiniDhtConfig::defaults(12, 3);
+        let mut net =
+            MiniDht::new(cfg, pastry(200, 3), &caps(200), MiniProtocol::Classic).unwrap();
+        let r = net.run_poisson(400, 200.0);
+        assert_eq!(r.completed, 400, "dropped {}", r.dropped);
+        assert!(r.mean_path_length < 8.0, "prefix paths are short: {}", r.mean_path_length);
+        assert_eq!(r.protocol, "Pastry");
+    }
+
+    #[test]
+    fn elastic_pastry_completes_lookups() {
+        let cfg = MiniDhtConfig::defaults(12, 4);
+        let mut net =
+            MiniDht::new(cfg, pastry(200, 4), &caps(200), MiniProtocol::ElasticErt).unwrap();
+        let r = net.run_poisson(400, 200.0);
+        assert_eq!(r.completed, 400, "dropped {}", r.dropped);
+        assert_eq!(r.protocol, "Pastry+ERT");
+    }
+
+    #[test]
+    fn ert_reduces_congestion_on_both_geometries() {
+        let caps = caps(256);
+        {
+            let seed = 5u64;
+            let cfg = MiniDhtConfig::defaults(11, seed);
+            let mut classic = MiniDht::new(
+                cfg,
+                ChordGeometry::populate(11, 256, &mut SimRng::seed_from(seed)),
+                &caps,
+                MiniProtocol::Classic,
+            )
+            .unwrap();
+            let rc = classic.run_poisson(1200, 256.0);
+            let mut elastic = MiniDht::new(
+                cfg,
+                ChordGeometry::populate(11, 256, &mut SimRng::seed_from(seed)),
+                &caps,
+                MiniProtocol::ElasticErt,
+            )
+            .unwrap();
+            let re = elastic.run_poisson(1200, 256.0);
+            assert!(
+                re.p99_max_congestion <= rc.p99_max_congestion,
+                "chord: ERT {} vs classic {}",
+                re.p99_max_congestion,
+                rc.p99_max_congestion
+            );
+            let pcfg = MiniDhtConfig::defaults(12, seed);
+            let mut pc = MiniDht::new(
+                pcfg,
+                PastryGeometry::populate(6, 2, 256, &mut SimRng::seed_from(seed)),
+                &caps,
+                MiniProtocol::Classic,
+            )
+            .unwrap();
+            let rpc = pc.run_poisson(1200, 256.0);
+            let mut pe = MiniDht::new(
+                pcfg,
+                PastryGeometry::populate(6, 2, 256, &mut SimRng::seed_from(seed)),
+                &caps,
+                MiniProtocol::ElasticErt,
+            )
+            .unwrap();
+            let rpe = pe.run_poisson(1200, 256.0);
+            assert!(
+                rpe.p99_max_congestion <= rpc.p99_max_congestion,
+                "pastry: ERT {} vs classic {}",
+                rpe.p99_max_congestion,
+                rpc.p99_max_congestion
+            );
+        }
+    }
+
+    #[test]
+    fn elastic_indegrees_respect_bounds_strictly() {
+        let cfg = MiniDhtConfig::defaults(10, 6);
+        let net =
+            MiniDht::new(cfg, chord(150, 6), &caps(150), MiniProtocol::ElasticErt).unwrap();
+        for (id, indegree, d_max) in net.indegrees() {
+            assert!(indegree <= d_max, "node {id:#b}: {indegree} > {d_max}");
+        }
+        let pcfg = MiniDhtConfig::defaults(12, 6);
+        let pnet =
+            MiniDht::new(pcfg, pastry(150, 6), &caps(150), MiniProtocol::ElasticErt).unwrap();
+        for (id, indegree, d_max) in pnet.indegrees() {
+            assert!(indegree <= d_max, "pastry node {id:#x}: {indegree} > {d_max}");
+        }
+    }
+
+    #[test]
+    fn capacity_count_mismatch_rejected() {
+        let cfg = MiniDhtConfig::defaults(10, 7);
+        assert!(MiniDht::new(cfg, chord(100, 7), &caps(99), MiniProtocol::Classic).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = || {
+            let cfg = MiniDhtConfig::defaults(10, 8);
+            let mut net =
+                MiniDht::new(cfg, chord(100, 8), &caps(100), MiniProtocol::ElasticErt)
+                    .unwrap();
+            net.run_poisson(200, 100.0)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.lookup_time.mean, b.lookup_time.mean);
+        assert_eq!(a.heavy_encounters, b.heavy_encounters);
+    }
+}

@@ -1,0 +1,136 @@
+//! Simulation configuration (Table 2 of the paper).
+
+use ert_core::{Estimator, ErtParams};
+use ert_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Environment parameters of one simulation run.
+///
+/// Defaults reproduce Table 2: query processing takes 0.2 s on a light
+/// node and 1 s on a heavy one; the indegree-adaptation period is 1 s;
+/// `α = d + 3` is set by [`NetworkConfig::for_dimension`].
+///
+/// ```
+/// use ert_network::NetworkConfig;
+/// let cfg = NetworkConfig::for_dimension(8, 42);
+/// assert_eq!(cfg.ert.alpha, 11.0);
+/// assert_eq!(cfg.light_service.as_secs_f64(), 0.2);
+/// ```
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Master seed; every random stream of the run forks from it.
+    pub seed: u64,
+    /// Service time of one query on a light host.
+    pub light_service: SimDuration,
+    /// Service time of one query on a heavy host.
+    pub heavy_service: SimDuration,
+    /// Per-hop network latency per unit of coordinate distance.
+    /// Coordinates live on the unit torus (max distance ≈ 0.707), so the
+    /// default 0.05 yields hops of 0–35 ms.
+    pub latency_scale: f64,
+    /// Latency penalty paid when a query is forwarded to a departed
+    /// node before the stale link is discovered.
+    pub timeout_penalty: SimDuration,
+    /// ERT protocol parameters (`α`, `β`, `γ_l`, `μ`, period, `b`).
+    pub ert: ErtParams,
+    /// Capacity / network-size estimation error model (`γ_c`, `γ_n`).
+    pub estimator: Estimator,
+    /// Safety valve: a query is dropped after this many hops (never hit
+    /// in correct configurations; guards against livelock in tests).
+    pub max_hops: u32,
+    /// Anonymity mode (introduction: Freenet/Mantis-style systems relay
+    /// data through the query path instead of a direct connection):
+    /// when on, the response retraces the request path hop by hop,
+    /// loading every intermediate node a second time.
+    pub anonymous_responses: bool,
+    /// Number of trace entries to retain for debugging (0 disables
+    /// tracing; see [`ert_sim::TraceLog`]).
+    pub trace_capacity: usize,
+    /// When nonzero, physical distances are *estimated* from landmark
+    /// vectors of this many landmarks (the paper's landmarking method,
+    /// refs. \[30\],\[31\]) instead of read exactly from coordinates.
+    pub landmark_count: usize,
+    /// Classic-DHT periodic stabilization: when on, every adaptation
+    /// period each node proactively purges departed entry neighbors and
+    /// repairs the slots, instead of discovering them lazily through
+    /// timeouts. Off by default (the paper's protocols repair lazily;
+    /// ERT's candidate sets make stabilization largely redundant).
+    pub stabilization: bool,
+}
+
+impl NetworkConfig {
+    /// Table 2 defaults for a Cycloid of dimension `dim`, with `α` set
+    /// to `dim + 3`.
+    pub fn for_dimension(dim: u8, seed: u64) -> Self {
+        NetworkConfig {
+            seed,
+            light_service: SimDuration::from_secs_f64(0.2),
+            heavy_service: SimDuration::from_secs_f64(1.0),
+            latency_scale: 0.05,
+            timeout_penalty: SimDuration::from_secs_f64(0.5),
+            ert: ErtParams::default().with_alpha_for_dim(dim),
+            estimator: Estimator::default(),
+            max_hops: 64 + 8 * dim as u32,
+            anonymous_responses: false,
+            trace_capacity: 0,
+            landmark_count: 0,
+            stabilization: false,
+        }
+    }
+
+    /// Sets both service times, keeping the paper's 5× heavy/light ratio
+    /// used in the skewed-lookup sweep (Section 5.4).
+    #[must_use]
+    pub fn with_light_service_secs(mut self, light: f64) -> Self {
+        self.light_service = SimDuration::from_secs_f64(light);
+        self.heavy_service = SimDuration::from_secs_f64(light * 5.0);
+        self
+    }
+
+    /// Checks configuration sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.ert.validate().map_err(|e| e.to_string())?;
+        if self.light_service == SimDuration::ZERO {
+            return Err("light service time must be positive".into());
+        }
+        if self.heavy_service < self.light_service {
+            return Err("heavy service must not be faster than light".into());
+        }
+        if !(self.latency_scale >= 0.0 && self.latency_scale.is_finite()) {
+            return Err("latency scale must be non-negative".into());
+        }
+        if self.max_hops == 0 {
+            return Err("max hops must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        NetworkConfig::for_dimension(8, 1).validate().unwrap();
+    }
+
+    #[test]
+    fn service_sweep_keeps_ratio() {
+        let cfg = NetworkConfig::for_dimension(8, 1).with_light_service_secs(0.6);
+        assert!((cfg.light_service.as_secs_f64() - 0.6).abs() < 1e-9);
+        assert!((cfg.heavy_service.as_secs_f64() - 3.0).abs() < 1e-9);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_inverted_service_times() {
+        let mut cfg = NetworkConfig::for_dimension(8, 1);
+        cfg.heavy_service = SimDuration::from_secs_f64(0.1);
+        assert!(cfg.validate().is_err());
+    }
+}

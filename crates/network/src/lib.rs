@@ -1,0 +1,43 @@
+//! The simulated DHT network of the ERT reproduction.
+//!
+//! This crate binds the substrates together into the system the paper
+//! evaluates: a Cycloid overlay ([`ert_overlay`]) whose nodes run a
+//! congestion-control protocol ([`ProtocolSpec`]) over a discrete-event
+//! engine ([`ert_sim`]), processing lookups through per-host FIFO queues
+//! exactly as Section 5 describes:
+//!
+//! * a host's *capacity* is the number of queries it can hold at a time,
+//!   `⌊0.5 + α·ĉ⌋` of its normalized capacity `ĉ`;
+//! * its *load* is its queue length; it is **heavy** when the queue
+//!   exceeds the capacity;
+//! * serving a query takes 0.2 s on a light host and 1 s on a heavy one
+//!   (both configurable — Figs. 8a–c sweep them);
+//! * lookups and churn arrive as Poisson streams (from `ert-workloads`).
+//!
+//! One [`Network`] value is one simulation run; [`Network::run`] consumes
+//! a lookup schedule plus an optional churn schedule and yields a
+//! [`RunReport`] carrying every metric the paper's figures plot.
+//!
+//! The protocol is pluggable: [`ProtocolSpec`] describes how tables are
+//! built (single-neighbor vs. elastic), whether periodic indegree
+//! adaptation runs, which forwarding policy is used, and whether the
+//! overlay is built of capacity-proportional virtual servers. The ERT
+//! variants are constructed here ([`ProtocolSpec::ert_af`] etc.); the
+//! paper's comparison baselines live in `ert-baselines`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lookup;
+pub mod metrics;
+pub mod network;
+pub mod spec;
+pub mod state;
+pub mod topology;
+
+pub use config::NetworkConfig;
+pub use lookup::{ChurnEvent, KeyPick, Lookup, SourcePick};
+pub use metrics::RunReport;
+pub use network::Network;
+pub use spec::{CycloidSlot, ProtocolSpec, TablePolicy, VirtualServerConfig};

@@ -1,0 +1,80 @@
+//! Workload vocabulary: lookup and churn schedules.
+//!
+//! Generators in `ert-workloads` produce these descriptions; the network
+//! resolves them against the live membership when they fire (a "random
+//! source" drawn at generation time could name a node that has since
+//! departed).
+
+use ert_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// How a lookup's source node is chosen when the lookup fires.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SourcePick {
+    /// A uniformly random live node.
+    Random,
+    /// The live node owning the given fraction of the ring — used by the
+    /// skewed-lookup "impulse" to pin sources to a contiguous interval
+    /// of the ID space (Section 5.4).
+    RingFraction(f64),
+}
+
+/// How a lookup's target key is chosen when the lookup fires.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KeyPick {
+    /// A uniformly random key.
+    Random,
+    /// The key at the given fraction of the ring — the impulse workload
+    /// draws from 50 fixed fractions.
+    RingFraction(f64),
+}
+
+/// One scheduled lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Lookup {
+    /// When the query is injected.
+    pub at: SimTime,
+    /// Source selection rule.
+    pub source: SourcePick,
+    /// Key selection rule.
+    pub key: KeyPick,
+}
+
+/// One scheduled membership change.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ChurnEvent {
+    /// A node with the given raw capacity joins.
+    Join {
+        /// When it joins.
+        at: SimTime,
+        /// Its raw (un-normalized) capacity.
+        capacity: f64,
+    },
+    /// A uniformly random live node departs.
+    Leave {
+        /// When it departs.
+        at: SimTime,
+    },
+}
+
+impl ChurnEvent {
+    /// The event's scheduled time.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            ChurnEvent::Join { at, .. } | ChurnEvent::Leave { at } => at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_event_time_accessor() {
+        let j = ChurnEvent::Join { at: SimTime::from_micros(5), capacity: 100.0 };
+        let l = ChurnEvent::Leave { at: SimTime::from_micros(9) };
+        assert_eq!(j.at(), SimTime::from_micros(5));
+        assert_eq!(l.at(), SimTime::from_micros(9));
+    }
+}

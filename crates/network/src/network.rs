@@ -1,0 +1,1010 @@
+//! The simulation run: query lifecycle, churn, and adaptation events.
+
+use std::collections::HashSet;
+
+use ert_core::{
+    adaptation_action, choose_next_b, max_indegree, normalize_capacities, AdaptAction,
+    Candidate, ForwardPolicy,
+};
+use ert_overlay::{Coord, CycloidId, CycloidSpace};
+use ert_sim::{Engine, SimDuration, SimRng, SimTime, TraceLog};
+use rand::Rng;
+
+use crate::config::NetworkConfig;
+use crate::lookup::{ChurnEvent, KeyPick, Lookup, SourcePick};
+use crate::metrics::{Metrics, RunReport};
+use crate::spec::{ProtocolSpec, TablePolicy};
+use crate::state::Host;
+use crate::topology::Topology;
+
+#[derive(Debug)]
+enum Event {
+    Inject(usize),
+    Arrive { q: usize, to: CycloidId },
+    ServiceDone { host: usize, q: usize },
+    AdaptTick,
+    Churn(usize),
+}
+
+#[derive(Debug)]
+struct QueryState {
+    key: CycloidId,
+    started: SimTime,
+    hops: u32,
+    heavy_seen: u32,
+    avoid: HashSet<CycloidId>,
+    at_node: usize,
+    done: bool,
+    /// Set once a geometric step dead-ended; the query then finishes on
+    /// the (monotone) ring walk.
+    ring_mode: bool,
+    /// Nodes visited during the request phase (recorded only in
+    /// anonymity mode, where the response retraces them).
+    path: Vec<CycloidId>,
+    /// Remaining return hops of the anonymity-mode response, in visit
+    /// order; empty unless the query is on its way back.
+    return_route: Vec<CycloidId>,
+    /// Whether the query is in its response (return) phase.
+    returning: bool,
+}
+
+/// One simulation run: an overlay under a protocol, fed lookups and
+/// churn, producing a [`RunReport`].
+///
+/// ```
+/// use ert_network::{Network, NetworkConfig, ProtocolSpec};
+/// let capacities = vec![1000.0; 64]; // real runs sample these from ert-workloads
+/// let cfg = NetworkConfig::for_dimension(5, 7);
+/// let mut net = Network::new(cfg, &capacities, ProtocolSpec::ert_af()).unwrap();
+/// let lookups = ert_network::network::uniform_lookup_burst(100, 64.0, 7);
+/// let report = net.run(&lookups, &[]);
+/// assert_eq!(report.lookups_completed + report.lookups_dropped, 100);
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    cfg: NetworkConfig,
+    protocol: ProtocolSpec,
+    topo: Topology,
+    engine: Engine<Event>,
+    queries: Vec<QueryState>,
+    lookups: Vec<Lookup>,
+    metrics: Metrics,
+    rng_topology: SimRng,
+    rng_forward: SimRng,
+    rng_workload: SimRng,
+    alive_hosts: Vec<usize>,
+    min_cap_host: usize,
+    capacity_unit: f64,
+    outstanding: u64,
+    injections_left: u64,
+    churn_schedule: Vec<ChurnEvent>,
+    trace: TraceLog,
+}
+
+impl Network {
+    /// Builds an overlay of one node per capacity (or capacity-
+    /// proportional virtual servers when the protocol says so), joins
+    /// them in random order, and constructs every routing table.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the configuration is invalid or
+    /// `capacities` is empty.
+    pub fn new(
+        cfg: NetworkConfig,
+        capacities: &[f64],
+        protocol: ProtocolSpec,
+    ) -> Result<Network, String> {
+        cfg.validate()?;
+        if capacities.is_empty() {
+            return Err("need at least one host".into());
+        }
+        let mut root = SimRng::seed_from(cfg.seed);
+        let mut rng_topology = root.fork("topology");
+        let rng_forward = root.fork("forward");
+        let rng_workload = root.fork("workload");
+
+        let norm = normalize_capacities(capacities);
+        let capacity_unit = capacities.iter().sum::<f64>() / capacities.len() as f64;
+
+        // Virtual-server sizing decides the overlay population.
+        let virtuals: Vec<u32> = match &protocol.virtual_servers {
+            Some(vs) => norm.iter().map(|&c| vs.virtuals_for(c)).collect(),
+            None => vec![1; capacities.len()],
+        };
+        let overlay_n: u64 = virtuals.iter().map(|&v| v as u64).sum();
+        let dim = CycloidSpace::dimension_for(overlay_n as usize);
+        let space = CycloidSpace::new(dim);
+        // The caller's α stands, except under virtual servers where the
+        // overlay dimension differs from the physical one and the
+        // paper's `α = d + 3` must track the *virtual* dimension.
+        let params = if protocol.virtual_servers.is_some() {
+            cfg.ert.with_alpha_for_dim(dim)
+        } else {
+            cfg.ert
+        };
+        let mut topo = Topology::new(space, protocol.table, params);
+        if cfg.landmark_count > 0 {
+            topo.landmarks =
+                Some(ert_overlay::LandmarkFrame::random(cfg.landmark_count, &mut rng_topology));
+        }
+
+        let mut min_cap_host = 0;
+        for (i, (&raw, &nc)) in capacities.iter().zip(&norm).enumerate() {
+            let est = cfg.estimator.estimate_capacity(nc, &mut rng_topology);
+            let capacity_eval = max_indegree(params.alpha, est);
+            let coord = Coord::random(&mut rng_topology);
+            let h = topo.add_host(Host::new(raw, nc, est, capacity_eval, coord));
+            debug_assert_eq!(h, i);
+            if raw < capacities[min_cap_host] {
+                min_cap_host = i;
+            }
+        }
+
+        // Create overlay nodes (VS: one random ID per consecutive
+        // interval, Godfrey–Stoica style; otherwise one random ID).
+        let ring = space.ring_size();
+        for (host, &v) in virtuals.iter().enumerate() {
+            let d_max = node_d_max(&protocol, &topo.hosts[host], params.alpha);
+            if v == 1 {
+                if let Some(id) = topo.registry.random_vacant(&mut rng_topology) {
+                    topo.add_node(id, host, d_max);
+                }
+            } else {
+                let interval = (ring / overlay_n).max(1);
+                let start = rng_topology.gen_range(0..ring);
+                for j in 0..v as u64 {
+                    let lo = (start + j * interval) % ring;
+                    let off = rng_topology.gen_range(0..interval);
+                    let mut lin = (lo + off) % ring;
+                    // Walk to a vacant slot (the space is sized ≥ 2×).
+                    let mut tries = 0;
+                    while topo.registry.contains(space.from_lin(lin)) {
+                        lin = (lin + 1) % ring;
+                        tries += 1;
+                        if tries > ring {
+                            break;
+                        }
+                    }
+                    let id = space.from_lin(lin);
+                    if !topo.registry.contains(id) {
+                        topo.add_node(id, host, d_max);
+                    }
+                }
+            }
+        }
+
+        // Join order is random: build tables node by node.
+        let order = rng_topology.sample_indices(topo.nodes.len(), topo.nodes.len());
+        for n in order {
+            topo.build_node_table(n, &mut rng_topology);
+        }
+
+        let alive_hosts = (0..topo.hosts.len()).collect();
+        Ok(Network {
+            cfg,
+            protocol,
+            topo,
+            engine: Engine::new(),
+            queries: Vec::new(),
+            lookups: Vec::new(),
+            metrics: Metrics::default(),
+            rng_topology,
+            rng_forward,
+            rng_workload,
+            alive_hosts,
+            min_cap_host,
+            capacity_unit,
+            outstanding: 0,
+            injections_left: 0,
+            churn_schedule: Vec::new(),
+            trace: TraceLog::new(cfg.trace_capacity),
+        })
+    }
+
+    /// Read access to the overlay (for tests and structural metrics).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The retained event trace (empty unless
+    /// [`NetworkConfig::trace_capacity`] is set).
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Runs the schedule to completion and digests the metrics.
+    ///
+    /// The run ends when every injected lookup has completed or been
+    /// dropped; churn scheduled after that point is ignored, matching
+    /// the paper's "when all lookups complete" cut-off.
+    pub fn run(&mut self, lookups: &[Lookup], churn: &[ChurnEvent]) -> RunReport {
+        self.lookups = lookups.to_vec();
+        self.churn_schedule = churn.to_vec();
+        self.injections_left = lookups.len() as u64;
+        for (i, l) in lookups.iter().enumerate() {
+            self.engine.schedule_at(l.at, Event::Inject(i));
+        }
+        for (i, c) in churn.iter().enumerate() {
+            self.engine.schedule_at(c.at(), Event::Churn(i));
+        }
+        if self.protocol.adaptation || self.protocol.item_movement || self.cfg.stabilization
+        {
+            self.engine.schedule_in(self.cfg.ert.adaptation_period, Event::AdaptTick);
+        }
+
+        while let Some((now, event)) = self.engine.pop() {
+            match event {
+                Event::Inject(i) => self.on_inject(i, now),
+                Event::Arrive { q, to } => self.on_arrive(q, to, now),
+                Event::ServiceDone { host, q } => self.on_service_done(host, q, now),
+                Event::AdaptTick => self.on_adapt_tick(),
+                Event::Churn(i) => self.on_churn(i),
+            }
+            if self.injections_left == 0 && self.outstanding == 0 {
+                break;
+            }
+        }
+        let mut metrics = std::mem::take(&mut self.metrics);
+        metrics.maintenance_ops = self.topo.link_ops;
+        metrics.into_report(&self.protocol.name, &self.topo.hosts, self.engine.now().as_secs_f64())
+    }
+
+    fn resolve_source(&mut self, pick: SourcePick) -> Option<usize> {
+        match pick {
+            SourcePick::Random => {
+                if self.alive_hosts.is_empty() {
+                    return None;
+                }
+                let hi = self.alive_hosts
+                    [self.rng_workload.gen_range(0..self.alive_hosts.len())];
+                let nodes: Vec<usize> = self.topo.hosts[hi]
+                    .nodes
+                    .iter()
+                    .copied()
+                    .filter(|&n| self.topo.nodes[n].alive)
+                    .collect();
+                self.rng_workload.choose(&nodes).copied()
+            }
+            SourcePick::RingFraction(f) => {
+                let lin = (f.rem_euclid(1.0) * self.topo.space.ring_size() as f64) as u64
+                    % self.topo.space.ring_size();
+                let id = self.topo.space.from_lin(lin);
+                let owner = self.topo.registry.owner(id)?;
+                self.topo.node_idx(owner)
+            }
+        }
+    }
+
+    fn resolve_key(&mut self, pick: KeyPick) -> CycloidId {
+        match pick {
+            KeyPick::Random => self.topo.space.random_id(&mut self.rng_workload),
+            KeyPick::RingFraction(f) => {
+                let lin = (f.rem_euclid(1.0) * self.topo.space.ring_size() as f64) as u64
+                    % self.topo.space.ring_size();
+                self.topo.space.from_lin(lin)
+            }
+        }
+    }
+
+    fn on_inject(&mut self, i: usize, now: SimTime) {
+        self.injections_left -= 1;
+        let lookup = self.lookups[i];
+        let Some(source) = self.resolve_source(lookup.source) else {
+            return; // no live node to start from
+        };
+        let key = self.resolve_key(lookup.key);
+        let q = self.queries.len();
+        self.queries.push(QueryState {
+            key,
+            started: now,
+            hops: 0,
+            heavy_seen: 0,
+            avoid: HashSet::new(),
+            at_node: source,
+            done: false,
+            ring_mode: false,
+            path: Vec::new(),
+            return_route: Vec::new(),
+            returning: false,
+        });
+        self.metrics.lookups_started += 1;
+        self.outstanding += 1;
+        let source_id = self.topo.nodes[source].id;
+        self.trace.record(now, || format!("q{q} inject at {source_id} key {key}"));
+        self.deliver(q, source_id, now);
+    }
+
+    /// Places query `q` into the queue of the node holding `to` (or its
+    /// successor after a timeout if `to` departed).
+    fn deliver(&mut self, q: usize, to: CycloidId, now: SimTime) {
+        match self.topo.node_idx(to) {
+            None => {
+                // The node died in flight: its ring successor takes over
+                // after a timeout-like delay (a handoff, not a stale-link
+                // timeout: no routing table was wrong).
+                self.metrics.handoffs += 1;
+                match self.topo.registry.owner(to) {
+                    Some(successor) => {
+                        self.engine.schedule_at(
+                            now + self.cfg.timeout_penalty,
+                            Event::Arrive { q, to: successor },
+                        );
+                    }
+                    None => self.drop_query(q),
+                }
+            }
+            Some(node) => {
+                let host_idx = self.topo.nodes[node].host;
+                self.queries[q].at_node = node;
+                if !self.queries[q].returning {
+                    if self.cfg.anonymous_responses {
+                        self.queries[q].path.push(to);
+                    }
+                    let heavy_before = self.topo.hosts[host_idx].is_heavy();
+                    if heavy_before {
+                        self.metrics.heavy_encounters += 1;
+                        self.queries[q].heavy_seen += 1;
+                    }
+                }
+                let host = &mut self.topo.hosts[host_idx];
+                host.total_received += 1;
+                host.period_load += 1;
+                if host.in_service.is_none() {
+                    self.start_service(host_idx, q, now);
+                } else {
+                    host.queue.push_back(q);
+                }
+                let host = &mut self.topo.hosts[host_idx];
+                host.note_congestion();
+                if host_idx == self.min_cap_host {
+                    let g = host.congestion();
+                    self.metrics.min_cap_congestion.push(g);
+                }
+            }
+        }
+    }
+
+    fn start_service(&mut self, host_idx: usize, q: usize, now: SimTime) {
+        let host = &mut self.topo.hosts[host_idx];
+        host.in_service = Some(q);
+        let service =
+            if host.is_heavy() { self.cfg.heavy_service } else { self.cfg.light_service };
+        host.busy_micros += service.as_micros();
+        self.engine.schedule_at(now + service, Event::ServiceDone { host: host_idx, q });
+    }
+
+    fn on_service_done(&mut self, host_idx: usize, q: usize, now: SimTime) {
+        {
+            let host = &self.topo.hosts[host_idx];
+            if !host.alive || host.in_service != Some(q) {
+                return; // stale event: the host departed and requeued q
+            }
+        }
+        self.topo.hosts[host_idx].in_service = None;
+        if let Some(next) = self.topo.hosts[host_idx].queue.pop_front() {
+            self.start_service(host_idx, next, now);
+        }
+
+        let node = self.queries[q].at_node;
+        if !self.topo.nodes[node].alive {
+            // Node left while the query sat in its queue on a shared
+            // (virtual-server) host; hand to the successor.
+            let id = self.topo.nodes[node].id;
+            self.metrics.handoffs += 1;
+            match self.topo.registry.owner(id) {
+                Some(successor) => self.engine.schedule_at(
+                    now + self.cfg.timeout_penalty,
+                    Event::Arrive { q, to: successor },
+                ),
+                None => self.drop_query(q),
+            }
+            return;
+        }
+        let me = self.topo.nodes[node].id;
+        if self.queries[q].returning {
+            self.continue_response(q, now);
+        } else if self.topo.registry.owner(self.queries[q].key) == Some(me) {
+            if self.cfg.anonymous_responses && self.queries[q].path.len() > 1 {
+                // Anonymity mode: the response retraces the request path
+                // (minus the owner itself), loading each relay again.
+                let qs = &mut self.queries[q];
+                qs.returning = true;
+                // `pop` consumes from the back, walking the request
+                // path in reverse toward the source at path[0].
+                qs.return_route = qs.path[..qs.path.len() - 1].to_vec();
+                self.continue_response(q, now);
+            } else {
+                self.complete_query(q, now);
+            }
+        } else {
+            self.forward(q, node, now);
+        }
+    }
+
+    /// Sends the anonymity-mode response one hop further back along the
+    /// recorded request path; completes the query at the source.
+    fn continue_response(&mut self, q: usize, now: SimTime) {
+        let Some(next) = self.queries[q].return_route.pop() else {
+            self.complete_query(q, now);
+            return;
+        };
+        let me = self.topo.nodes[self.queries[q].at_node].id;
+        let latency = SimDuration::from_secs_f64(
+            self.cfg.latency_scale * self.topo.phys_dist(me, next),
+        );
+        self.engine.schedule_at(now + latency, Event::Arrive { q, to: next });
+    }
+
+    fn complete_query(&mut self, q: usize, now: SimTime) {
+        let qs = &mut self.queries[q];
+        if qs.done {
+            return;
+        }
+        qs.done = true;
+        self.outstanding -= 1;
+        self.metrics.lookups_completed += 1;
+        self.metrics.lookup_times.push((now - qs.started).as_secs_f64());
+        self.metrics.path_lengths.push(qs.hops as f64);
+        let (hops, heavy) = (qs.hops, qs.heavy_seen);
+        self.trace.record(now, || format!("q{q} complete hops={hops} heavy={heavy}"));
+    }
+
+    fn drop_query(&mut self, q: usize) {
+        let qs = &mut self.queries[q];
+        if qs.done {
+            return;
+        }
+        qs.done = true;
+        self.outstanding -= 1;
+        self.metrics.lookups_dropped += 1;
+    }
+
+    fn candidate_info(&self, me: CycloidId, id: CycloidId, key: CycloidId) -> Candidate<CycloidId> {
+        let (load, capacity) = match self.topo.host_of_id(id) {
+            Some(h) => {
+                let host = &self.topo.hosts[h];
+                (host.load() as f64, host.capacity_eval as f64)
+            }
+            None => (0.0, 1.0), // departed: non-probing policies may pick it
+        };
+        Candidate {
+            id,
+            load,
+            capacity,
+            logical_distance: self.topo.logical_metric(id, key),
+            physical_distance: self.topo.phys_dist(me, id),
+        }
+    }
+
+    fn forward(&mut self, q: usize, node: usize, now: SimTime) {
+        if self.queries[q].hops >= self.cfg.max_hops {
+            self.drop_query(q);
+            return;
+        }
+        let key = self.queries[q].key;
+        let me = self.topo.nodes[node].id;
+        let probing = matches!(self.protocol.forwarding, ForwardPolicy::TwoChoice { .. });
+        let ring_mode = self.queries[q].ring_mode;
+        let Some(rc) =
+            self.topo.route_candidates(node, key, probing, ring_mode, &mut self.rng_forward)
+        else {
+            // Ownership shifted to us mid-flight, or the overlay emptied.
+            if self.topo.registry.owner(key) == Some(me) {
+                self.complete_query(q, now);
+            } else {
+                self.drop_query(q);
+            }
+            return;
+        };
+        debug_assert!(!rc.ids.is_empty(), "route candidates must be nonempty");
+        if rc.fell_back {
+            self.queries[q].ring_mode = true;
+        }
+        let cands: Vec<Candidate<CycloidId>> =
+            rc.ids.iter().map(|&id| self.candidate_info(me, id, key)).collect();
+        let memory = match (self.protocol.forwarding, rc.slot) {
+            (ForwardPolicy::TwoChoice { use_memory: true, .. }, Some(slot)) => {
+                self.topo.nodes[node].table.memory(slot)
+            }
+            _ => None,
+        };
+        let choice = choose_next_b(
+            self.protocol.forwarding,
+            &cands,
+            memory,
+            &self.queries[q].avoid,
+            self.cfg.ert.gamma_l,
+            self.cfg.ert.probe_width,
+            &mut self.rng_forward,
+        )
+        .expect("candidates nonempty");
+        self.metrics.forward_decisions += 1;
+        self.metrics.probes += choice.probes as u64;
+        for o in &choice.newly_overloaded {
+            self.queries[q].avoid.insert(*o);
+        }
+        if let (Some(slot), Some(m)) = (rc.slot, choice.new_memory) {
+            if probing {
+                self.topo.nodes[node].table.set_memory(slot, m);
+            }
+        }
+
+        let mut next = choice.next;
+        let mut penalty = SimDuration::ZERO;
+        if !self.topo.is_alive(next) {
+            // Timeout: the stale link is discovered the hard way.
+            self.metrics.timeouts += 1;
+            penalty = self.cfg.timeout_penalty;
+            if let Some(slot) = rc.slot {
+                self.topo.purge_dead_link(node, slot, next);
+            }
+            let live: Vec<CycloidId> =
+                rc.ids.iter().copied().filter(|&x| x != next && self.topo.is_alive(x)).collect();
+            next = match live.iter().copied().min_by_key(|&x| self.topo.logical_metric(x, key)) {
+                Some(alt) => alt,
+                None => {
+                    // Re-assemble with dead filtering (repairs the slot).
+                    match self.topo.route_candidates(
+                        node,
+                        key,
+                        true,
+                        self.queries[q].ring_mode,
+                        &mut self.rng_forward,
+                    ) {
+                        Some(rc2) => rc2
+                            .ids
+                            .iter()
+                            .copied()
+                            .min_by_key(|&x| self.topo.logical_metric(x, key))
+                            .expect("repaired candidates nonempty"),
+                        None => {
+                            self.complete_query(q, now);
+                            return;
+                        }
+                    }
+                }
+            };
+        }
+
+        self.queries[q].hops += 1;
+        self.trace.record(now, || format!("q{q} forward {me} -> {next}"));
+        let latency = SimDuration::from_secs_f64(
+            self.cfg.latency_scale * self.topo.phys_dist(me, next),
+        ) + penalty;
+        self.engine.schedule_at(now + latency, Event::Arrive { q, to: next });
+    }
+
+    fn on_arrive(&mut self, q: usize, to: CycloidId, now: SimTime) {
+        if self.queries[q].done {
+            return;
+        }
+        self.deliver(q, to, now);
+    }
+
+    fn on_adapt_tick(&mut self) {
+        if self.protocol.table == TablePolicy::Elastic && self.protocol.adaptation {
+            for node in 0..self.topo.nodes.len() {
+                if !self.topo.nodes[node].alive {
+                    continue;
+                }
+                let host = self.topo.nodes[node].host;
+                let load = self.topo.hosts[host].period_load as f64;
+                let capacity = self.topo.hosts[host].capacity_eval as f64;
+                match adaptation_action(load, capacity, &self.cfg.ert) {
+                    AdaptAction::Keep => {}
+                    AdaptAction::Shed(x) => {
+                        let x = x.min(self.topo.nodes[node].table.indegree() as u32);
+                        if x > 0 {
+                            let shed = self.topo.shed_inlinks(node, x);
+                            let nd = &mut self.topo.nodes[node];
+                            nd.d_max = nd.d_max.saturating_sub(shed).max(1);
+                        }
+                    }
+                    AdaptAction::Grow(x) => {
+                        let cap = 8 * self.topo.hosts[host].capacity_eval.max(8);
+                        let nd = &mut self.topo.nodes[node];
+                        nd.d_max = (nd.d_max + x).min(cap);
+                        self.topo.grow_inlinks(node, x);
+                    }
+                }
+            }
+        }
+        if self.protocol.item_movement {
+            self.item_movement_round();
+        }
+        if self.cfg.stabilization {
+            for node in 0..self.topo.nodes.len() {
+                if self.topo.nodes[node].alive {
+                    self.topo.stabilize_node(node, &mut self.rng_topology);
+                }
+            }
+        }
+        for h in &mut self.topo.hosts {
+            h.period_load = 0;
+        }
+        if self.injections_left > 0 || self.outstanding > 0 {
+            self.engine.schedule_in(self.cfg.ert.adaptation_period, Event::AdaptTick);
+        }
+    }
+
+    /// One round of item-movement balancing (Bharambe et al. style):
+    /// the most overloaded hosts each pull a sampled light node to
+    /// leave its position and rejoin just before them, splitting their
+    /// responsibility interval. ID changes are charged as maintenance.
+    fn item_movement_round(&mut self) {
+        let gamma_l = self.cfg.ert.gamma_l;
+        let mut heavy: Vec<usize> = self
+            .alive_hosts
+            .iter()
+            .copied()
+            .filter(|&h| {
+                let host = &self.topo.hosts[h];
+                host.period_load as f64 > gamma_l * host.capacity_eval as f64
+            })
+            .collect();
+        heavy.sort_by(|&a, &b| {
+            let ga = self.topo.hosts[a].period_load as f64
+                / self.topo.hosts[a].capacity_eval as f64;
+            let gb = self.topo.hosts[b].period_load as f64
+                / self.topo.hosts[b].capacity_eval as f64;
+            gb.partial_cmp(&ga).expect("finite loads")
+        });
+        let budget = (self.alive_hosts.len() / 64).max(1);
+        for &hh in heavy.iter().take(budget) {
+            let Some(&heavy_node) =
+                self.topo.hosts[hh].nodes.iter().find(|&&n| self.topo.nodes[n].alive)
+            else {
+                continue;
+            };
+            // Sample candidates and take the lightest genuinely light one.
+            let sample = self.rng_topology.sample_indices(self.alive_hosts.len(), 8);
+            let light_host = sample
+                .into_iter()
+                .map(|i| self.alive_hosts[i])
+                .filter(|&h| {
+                    h != hh
+                        && (self.topo.hosts[h].period_load as f64)
+                            < self.topo.hosts[h].capacity_eval as f64
+                })
+                .min_by(|&a, &b| {
+                    let ga = self.topo.hosts[a].period_load as f64
+                        / self.topo.hosts[a].capacity_eval as f64;
+                    let gb = self.topo.hosts[b].period_load as f64
+                        / self.topo.hosts[b].capacity_eval as f64;
+                    ga.partial_cmp(&gb).expect("finite loads")
+                });
+            let Some(lh) = light_host else { continue };
+            let Some(&light_node) =
+                self.topo.hosts[lh].nodes.iter().find(|&&n| self.topo.nodes[n].alive)
+            else {
+                continue;
+            };
+            // Split the heavy node's interval at its midpoint.
+            let heavy_id = self.topo.nodes[heavy_node].id;
+            let Some(pred) = self.topo.registry.predecessor(heavy_id) else { continue };
+            let gap = self.topo.registry.forward_dist(pred, heavy_id);
+            if gap < 2 {
+                continue;
+            }
+            let new_lin = (self.topo.space.lin(pred) + gap / 2) % self.topo.space.ring_size();
+            let new_id = self.topo.space.from_lin(new_lin);
+            if self.topo.registry.contains(new_id) {
+                continue;
+            }
+            // The rejoin: the old identity's links are torn down (and
+            // charged), the new one built from scratch.
+            let old = &self.topo.nodes[light_node];
+            self.topo.link_ops += (old.table.outdegree() + old.table.indegree()) as u64;
+            let d_max = old.d_max;
+            self.topo.remove_node(light_node);
+            let fresh = self.topo.add_node(new_id, lh, d_max);
+            self.topo.build_node_table(fresh, &mut self.rng_topology);
+        }
+    }
+
+    fn on_churn(&mut self, i: usize) {
+        match self.churn_schedule[i] {
+            ChurnEvent::Join { capacity, .. } => self.join_host(capacity),
+            ChurnEvent::Leave { .. } => self.leave_random_host(),
+        }
+    }
+
+    fn join_host(&mut self, raw_capacity: f64) {
+        let nc = raw_capacity / self.capacity_unit;
+        let est = self.cfg.estimator.estimate_capacity(nc, &mut self.rng_topology);
+        let alpha = self.topo.params.alpha;
+        let capacity_eval = max_indegree(alpha, est);
+        let coord = Coord::random(&mut self.rng_topology);
+        let Some(id) = self.topo.registry.random_vacant(&mut self.rng_topology) else {
+            return; // the ID space is full
+        };
+        let host =
+            self.topo.add_host(Host::new(raw_capacity, nc, est, capacity_eval, coord));
+        let d_max = node_d_max(&self.protocol, &self.topo.hosts[host], alpha);
+        let node = self.topo.add_node(id, host, d_max);
+        self.topo.build_node_table(node, &mut self.rng_topology);
+        self.alive_hosts.push(host);
+    }
+
+    fn leave_random_host(&mut self) {
+        if self.alive_hosts.len() <= 2 {
+            return; // keep the overlay routable
+        }
+        let pos = self.rng_topology.gen_range(0..self.alive_hosts.len());
+        let host_idx = self.alive_hosts.swap_remove(pos);
+        let node_idxs = self.topo.hosts[host_idx].nodes.clone();
+        for n in node_idxs {
+            if self.topo.nodes[n].alive {
+                self.topo.remove_node(n);
+            }
+        }
+        self.topo.hosts[host_idx].alive = false;
+        // Queries stranded on the departed host resume at the successor
+        // of the node they were queued at, after a timeout.
+        let mut stranded: Vec<usize> = self.topo.hosts[host_idx].queue.drain(..).collect();
+        if let Some(in_service) = self.topo.hosts[host_idx].in_service.take() {
+            stranded.push(in_service);
+        }
+        let now = self.engine.now();
+        for q in stranded {
+            if self.queries[q].done {
+                continue;
+            }
+            self.metrics.handoffs += 1;
+            let at = self.topo.nodes[self.queries[q].at_node].id;
+            match self.topo.registry.owner(at) {
+                Some(successor) => self.engine.schedule_at(
+                    now + self.cfg.timeout_penalty,
+                    Event::Arrive { q, to: successor },
+                ),
+                None => self.drop_query(q),
+            }
+        }
+    }
+}
+
+fn node_d_max(protocol: &ProtocolSpec, host: &Host, alpha: f64) -> u32 {
+    match protocol.table {
+        // Base and VS place no bound on inlinks.
+        TablePolicy::SingleClosest => u32::MAX >> 8,
+        // NS and ERT bound inlinks by capacity.
+        TablePolicy::SingleHighestCapacity | TablePolicy::Elastic => {
+            max_indegree(alpha, host.est_capacity)
+        }
+    }
+}
+
+/// Convenience: `count` uniform lookups at Poisson rate `rate_per_sec`
+/// aggregate (random live source, random key). Used by doc examples and
+/// tests; real workloads come from `ert-workloads`.
+pub fn uniform_lookup_burst(count: usize, rate_per_sec: f64, seed: u64) -> Vec<Lookup> {
+    let mut rng = SimRng::seed_from(seed);
+    let mut t = SimTime::ZERO;
+    (0..count)
+        .map(|_| {
+            t += SimDuration::from_secs_f64(rng.exp_secs(rate_per_sec));
+            Lookup { at: t, source: SourcePick::Random, key: KeyPick::Random }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CycloidSlot, VirtualServerConfig};
+
+    fn caps(n: usize) -> Vec<f64> {
+        // Mildly heterogeneous, deterministic capacities.
+        (0..n).map(|i| 500.0 + 300.0 * (i % 7) as f64).collect()
+    }
+
+    fn run_protocol(spec: ProtocolSpec, lookups: usize, seed: u64) -> RunReport {
+        let capacities = caps(128);
+        let cfg = NetworkConfig::for_dimension(6, seed);
+        let mut net = Network::new(cfg, &capacities, spec).unwrap();
+        let schedule = uniform_lookup_burst(lookups, 128.0, seed);
+        net.run(&schedule, &[])
+    }
+
+    #[test]
+    fn all_lookups_complete_without_churn_base() {
+        let r = run_protocol(crate_base_spec(), 300, 1);
+        assert_eq!(r.lookups_completed, 300, "dropped: {}", r.lookups_dropped);
+        assert!(r.mean_path_length > 0.5);
+        assert!(r.mean_path_length < 20.0);
+        assert_eq!(r.timeouts_per_lookup, 0.0);
+    }
+
+    #[test]
+    fn all_lookups_complete_ert_af() {
+        let r = run_protocol(ProtocolSpec::ert_af(), 300, 2);
+        assert_eq!(r.lookups_completed, 300, "dropped: {}", r.lookups_dropped);
+        assert!(r.probes_per_decision > 0.9, "two-choice should probe");
+        assert!(r.lookup_time.mean > 0.0);
+    }
+
+    #[test]
+    fn ert_variants_all_complete() {
+        for spec in [ProtocolSpec::ert_a(), ProtocolSpec::ert_f()] {
+            let name = spec.name.clone();
+            let r = run_protocol(spec, 200, 3);
+            assert_eq!(r.lookups_completed, 200, "{name} dropped {}", r.lookups_dropped);
+        }
+    }
+
+    #[test]
+    fn virtual_servers_lengthen_paths() {
+        let base = run_protocol(crate_base_spec(), 250, 4);
+        let vs_spec = ProtocolSpec {
+            name: "VS".into(),
+            table: TablePolicy::SingleClosest,
+            adaptation: false,
+            forwarding: ForwardPolicy::Deterministic,
+            virtual_servers: Some(VirtualServerConfig::for_network_size(128)),
+            item_movement: false,
+        };
+        let vs = run_protocol(vs_spec, 250, 4);
+        assert_eq!(vs.lookups_completed, 250, "dropped {}", vs.lookups_dropped);
+        assert!(
+            vs.mean_path_length > base.mean_path_length,
+            "VS {} should exceed Base {}",
+            vs.mean_path_length,
+            base.mean_path_length
+        );
+    }
+
+    #[test]
+    fn churn_run_completes_and_counts_membership() {
+        let capacities = caps(128);
+        let cfg = NetworkConfig::for_dimension(6, 5);
+        let mut net = Network::new(cfg, &capacities, ProtocolSpec::ert_af()).unwrap();
+        let lookups = uniform_lookup_burst(300, 64.0, 5);
+        let horizon = lookups.last().unwrap().at;
+        let mut churn = Vec::new();
+        let mut rng = SimRng::seed_from(99);
+        let mut t = SimTime::ZERO;
+        while t < horizon {
+            t += SimDuration::from_secs_f64(rng.exp_secs(20.0));
+            churn.push(ChurnEvent::Join { at: t, capacity: 800.0 });
+            t += SimDuration::from_secs_f64(rng.exp_secs(20.0));
+            churn.push(ChurnEvent::Leave { at: t });
+        }
+        let r = net.run(&lookups, &churn);
+        assert_eq!(r.lookups_completed + r.lookups_dropped, 300);
+        assert!(r.lookups_completed >= 290, "churn should not drop many lookups");
+        assert!(net.topology().hosts.len() > 128, "joins must have happened");
+    }
+
+    #[test]
+    fn base_single_neighbor_tables_have_bounded_outdegree() {
+        let capacities = caps(128);
+        let cfg = NetworkConfig::for_dimension(6, 6);
+        let net = Network::new(cfg, &capacities, crate_base_spec()).unwrap();
+        for node in &net.topology().nodes {
+            let cub = node.table.outlinks(CycloidSlot::Cubical).len();
+            let cyc = node.table.outlinks(CycloidSlot::Cyclic).len();
+            assert!(cub <= 1 && cyc <= 2, "Base table too wide: {cub}/{cyc}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let a = run_protocol(ProtocolSpec::ert_af(), 150, 7);
+        let b = run_protocol(ProtocolSpec::ert_af(), 150, 7);
+        assert_eq!(a.lookup_time.mean, b.lookup_time.mean);
+        assert_eq!(a.p99_max_congestion, b.p99_max_congestion);
+        assert_eq!(a.heavy_encounters, b.heavy_encounters);
+    }
+
+    #[test]
+    fn rejects_empty_network() {
+        let cfg = NetworkConfig::for_dimension(6, 1);
+        assert!(Network::new(cfg, &[], ProtocolSpec::ert_af()).is_err());
+    }
+
+    #[test]
+    fn landmark_distance_model_runs_and_stays_close_to_exact() {
+        let capacities = caps(128);
+        let schedule = uniform_lookup_burst(250, 128.0, 24);
+        let exact_cfg = NetworkConfig::for_dimension(6, 24);
+        let mut lm_cfg = exact_cfg;
+        lm_cfg.landmark_count = 12;
+        let mut exact = Network::new(exact_cfg, &capacities, ProtocolSpec::ert_af()).unwrap();
+        let re = exact.run(&schedule, &[]);
+        let mut lm = Network::new(lm_cfg, &capacities, ProtocolSpec::ert_af()).unwrap();
+        let rl = lm.run(&schedule, &[]);
+        assert_eq!(rl.lookups_completed, 250, "dropped {}", rl.lookups_dropped);
+        // Landmark estimates only affect tie-breaks; the headline
+        // metrics stay in the same ballpark.
+        let rel = (rl.lookup_time.mean - re.lookup_time.mean).abs() / re.lookup_time.mean;
+        assert!(rel < 0.30, "exact {} vs landmark {}", re.lookup_time.mean, rl.lookup_time.mean);
+        assert!(lm.topology().hosts.iter().all(|h| h.landmark_vec.is_some()));
+        assert!(exact.topology().hosts.iter().all(|h| h.landmark_vec.is_none()));
+    }
+
+    #[test]
+    fn tracing_records_query_lifecycle() {
+        let capacities = caps(64);
+        let mut cfg = NetworkConfig::for_dimension(6, 23);
+        cfg.trace_capacity = 256;
+        let mut net = Network::new(cfg, &capacities, ProtocolSpec::ert_af()).unwrap();
+        let lookups = uniform_lookup_burst(20, 64.0, 23);
+        net.run(&lookups, &[]);
+        let trace = net.trace().render();
+        assert!(trace.contains("inject"), "trace: {trace}");
+        assert!(trace.contains("complete"));
+        assert!(net.trace().total_recorded() > 20);
+        // Disabled by default: no overhead, no entries.
+        let cfg2 = NetworkConfig::for_dimension(6, 23);
+        let mut net2 = Network::new(cfg2, &capacities, ProtocolSpec::ert_af()).unwrap();
+        net2.run(&uniform_lookup_burst(5, 64.0, 23), &[]);
+        assert!(net2.trace().is_empty());
+    }
+
+    #[test]
+    fn anonymity_mode_doubles_relay_load_and_completes() {
+        let capacities = caps(128);
+        let mut plain_cfg = NetworkConfig::for_dimension(6, 21);
+        let mut anon_cfg = plain_cfg;
+        anon_cfg.anonymous_responses = true;
+        plain_cfg.seed = 21;
+        let schedule = uniform_lookup_burst(250, 128.0, 21);
+
+        let mut plain = Network::new(plain_cfg, &capacities, ProtocolSpec::ert_af()).unwrap();
+        let rp = plain.run(&schedule, &[]);
+        let mut anon = Network::new(anon_cfg, &capacities, ProtocolSpec::ert_af()).unwrap();
+        let ra = anon.run(&schedule, &[]);
+
+        assert_eq!(ra.lookups_completed, 250, "dropped {}", ra.lookups_dropped);
+        // The response retraces the path: total load roughly doubles...
+        let load = |net: &Network| -> u64 {
+            net.topology().hosts.iter().map(|h| h.total_received).sum()
+        };
+        let (lp, la) = (load(&plain), load(&anon));
+        assert!(
+            la as f64 > 1.6 * lp as f64 && (la as f64) < 2.4 * lp as f64,
+            "plain {lp} vs anon {la}"
+        );
+        // ...and round-trip times exceed one-way times.
+        assert!(ra.lookup_time.mean > 1.5 * rp.lookup_time.mean);
+        // Path-length metric still counts request hops only.
+        assert!((ra.mean_path_length - rp.mean_path_length).abs() < 2.0);
+    }
+
+    #[test]
+    fn anonymity_mode_survives_churn() {
+        let capacities = caps(128);
+        let mut cfg = NetworkConfig::for_dimension(6, 22);
+        cfg.anonymous_responses = true;
+        let mut net = Network::new(cfg, &capacities, ProtocolSpec::ert_af()).unwrap();
+        let lookups = uniform_lookup_burst(200, 64.0, 22);
+        let horizon = lookups.last().unwrap().at;
+        let mut churn = Vec::new();
+        let mut rng = SimRng::seed_from(22);
+        let mut t = SimTime::ZERO;
+        while t < horizon {
+            t += SimDuration::from_secs_f64(rng.exp_secs(30.0));
+            churn.push(ChurnEvent::Leave { at: t });
+            t += SimDuration::from_secs_f64(rng.exp_secs(30.0));
+            churn.push(ChurnEvent::Join { at: t, capacity: 900.0 });
+        }
+        let r = net.run(&lookups, &churn);
+        assert_eq!(r.lookups_completed + r.lookups_dropped, 200);
+        assert!(r.lookups_completed >= 190, "completed {}", r.lookups_completed);
+    }
+
+    /// Local stand-in for `ert_baselines::base()` (the baselines crate
+    /// depends on this one).
+    fn crate_base_spec() -> ProtocolSpec {
+        ProtocolSpec {
+            name: "Base".into(),
+            table: TablePolicy::SingleClosest,
+            adaptation: false,
+            forwarding: ForwardPolicy::Deterministic,
+            virtual_servers: None,
+            item_movement: false,
+        }
+    }
+}
+

@@ -1,0 +1,181 @@
+//! Per-host and per-overlay-node simulation state.
+
+use std::collections::VecDeque;
+
+use ert_core::ElasticTable;
+use ert_overlay::{Coord, CycloidId, LandmarkVector};
+
+use crate::spec::CycloidSlot;
+
+/// A physical machine: the unit that owns capacity, a query queue, and
+/// the congestion metrics. With virtual servers one host backs several
+/// overlay nodes; otherwise the mapping is 1:1.
+#[derive(Debug, Clone)]
+pub struct Host {
+    /// Raw capacity as sampled (queries per interval, e.g. bounded
+    /// Pareto 500–50000).
+    pub raw_capacity: f64,
+    /// Capacity normalized to mean 1 across the initial population.
+    pub norm_capacity: f64,
+    /// The node's own (possibly erroneous) estimate of `norm_capacity`.
+    pub est_capacity: f64,
+    /// Queries the host can hold at a time: `⌊0.5 + α·ĉ⌋` (Section 5).
+    pub capacity_eval: u32,
+    /// Position in the synthetic physical network.
+    pub coord: Coord,
+    /// Measured distances to the landmark set, when the landmarking
+    /// distance model is enabled.
+    pub landmark_vec: Option<LandmarkVector>,
+    /// Queries waiting for service (indices into the run's query table).
+    pub queue: VecDeque<usize>,
+    /// The query currently in service, if any.
+    pub in_service: Option<usize>,
+    /// Whether the host is still in the system.
+    pub alive: bool,
+    /// Queries received during the current adaptation period.
+    pub period_load: u64,
+    /// Queries received over the whole run (the share metric's `l_i`).
+    pub total_received: u64,
+    /// Largest congestion ratio `l/c` observed on this host.
+    pub max_congestion: f64,
+    /// Accumulated busy (serving) time in microseconds.
+    pub busy_micros: u64,
+    /// Largest total elastic indegree observed across this host's nodes.
+    pub max_indegree_seen: u32,
+    /// Largest total outdegree observed across this host's nodes.
+    pub max_outdegree_seen: u32,
+    /// Overlay nodes this host backs.
+    pub nodes: Vec<usize>,
+}
+
+impl Host {
+    /// Creates an idle host.
+    pub fn new(
+        raw_capacity: f64,
+        norm_capacity: f64,
+        est_capacity: f64,
+        capacity_eval: u32,
+        coord: Coord,
+    ) -> Self {
+        Host {
+            raw_capacity,
+            norm_capacity,
+            est_capacity,
+            capacity_eval: capacity_eval.max(1),
+            coord,
+            landmark_vec: None,
+            queue: VecDeque::new(),
+            in_service: None,
+            alive: true,
+            period_load: 0,
+            total_received: 0,
+            max_congestion: 0.0,
+            busy_micros: 0,
+            max_indegree_seen: 0,
+            max_outdegree_seen: 0,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Queries currently held (queued plus in service) — the paper's
+    /// notion of instantaneous load.
+    pub fn load(&self) -> usize {
+        self.queue.len() + usize::from(self.in_service.is_some())
+    }
+
+    /// Whether the host is overloaded: load exceeds what it can hold.
+    pub fn is_heavy(&self) -> bool {
+        self.load() > self.capacity_eval as usize
+    }
+
+    /// Instantaneous congestion ratio `l/c`.
+    pub fn congestion(&self) -> f64 {
+        self.load() as f64 / self.capacity_eval as f64
+    }
+
+    /// Records the current congestion into the running maximum.
+    pub fn note_congestion(&mut self) {
+        let g = self.congestion();
+        if g > self.max_congestion {
+            self.max_congestion = g;
+        }
+    }
+}
+
+/// One overlay (virtual) node: an ID plus its routing table.
+#[derive(Debug, Clone)]
+pub struct OverlayNode {
+    /// The node's Cycloid ID.
+    pub id: CycloidId,
+    /// Index of the backing host.
+    pub host: usize,
+    /// The (elastic) routing table.
+    pub table: ElasticTable<CycloidSlot, CycloidId>,
+    /// Dynamic maximum indegree `d^∞` (drifts under adaptation).
+    pub d_max: u32,
+    /// Whether the node is still in the overlay.
+    pub alive: bool,
+}
+
+impl OverlayNode {
+    /// Creates a node with an empty table.
+    pub fn new(id: CycloidId, host: usize, d_max: u32) -> Self {
+        OverlayNode { id, host, table: ElasticTable::new(), d_max: d_max.max(1), alive: true }
+    }
+
+    /// Spare indegree `d^∞ − d` (negative when adaptation shrank `d^∞`
+    /// below the current indegree).
+    pub fn spare_indegree(&self) -> i64 {
+        self.d_max as i64 - self.table.indegree() as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host(cap: u32) -> Host {
+        Host::new(1000.0, 1.0, 1.0, cap, Coord::new(0.0, 0.0))
+    }
+
+    #[test]
+    fn load_counts_service_slot() {
+        let mut h = host(2);
+        assert_eq!(h.load(), 0);
+        h.queue.push_back(0);
+        h.in_service = Some(1);
+        assert_eq!(h.load(), 2);
+        assert!(!h.is_heavy());
+        h.queue.push_back(2);
+        assert!(h.is_heavy());
+        assert_eq!(h.congestion(), 1.5);
+    }
+
+    #[test]
+    fn congestion_watermark() {
+        let mut h = host(1);
+        h.queue.push_back(0);
+        h.queue.push_back(1);
+        h.note_congestion();
+        h.queue.clear();
+        h.note_congestion();
+        assert_eq!(h.max_congestion, 2.0);
+    }
+
+    #[test]
+    fn capacity_clamped_to_one() {
+        let h = host(0);
+        assert_eq!(h.capacity_eval, 1);
+    }
+
+    #[test]
+    fn spare_indegree_can_go_negative() {
+        let space = ert_overlay::CycloidSpace::new(3);
+        let mut n = OverlayNode::new(space.id(0, 0), 0, 2);
+        assert_eq!(n.spare_indegree(), 2);
+        for a in 1..=3 {
+            n.table.add_backward(space.id(1, a));
+        }
+        assert_eq!(n.spare_indegree(), -1);
+    }
+}

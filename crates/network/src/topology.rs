@@ -1,0 +1,923 @@
+//! The live overlay: nodes, hosts, registry, and every table operation
+//! the protocols perform (construction, expansion, shedding, repair,
+//! and routing-candidate assembly).
+
+use std::collections::HashMap;
+
+use ert_core::{
+    assign::initial_indegree_target, build_table, expand_indegree, select_shed_victims,
+    Directory, ErtParams, ShedCandidate,
+};
+use ert_overlay::{
+    ring::forward_distance, CycloidId, CycloidRegion, CycloidRegistry, CycloidSpace,
+    LandmarkFrame, RouteStep, SlotKind,
+};
+use ert_sim::SimRng;
+
+use crate::spec::{CycloidSlot, TablePolicy};
+use crate::state::{Host, OverlayNode};
+
+/// Routing candidates for one hop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteCandidates {
+    /// The table slot the candidates came from (`None` for ascend steps,
+    /// which are assembled from the membership view).
+    pub slot: Option<CycloidSlot>,
+    /// The candidate next hops. May include departed nodes when
+    /// `filter_dead` was false — discovering those is how timeouts
+    /// happen.
+    pub ids: Vec<CycloidId>,
+    /// The live node owning the key — the routing target the candidates
+    /// make progress toward.
+    pub owner: CycloidId,
+    /// Whether the geometric step dead-ended (empty region / nothing to
+    /// ascend to) and the candidates are a ring fallback. The caller
+    /// should route the query by ring from here on: in sparse overlays,
+    /// re-attempting the geometric descent can oscillate, while the ring
+    /// walk is monotone — the same degradation real Cycloid exhibits
+    /// when routing tables cannot be filled.
+    pub fell_back: bool,
+}
+
+/// The overlay state shared by every protocol: membership, tables,
+/// hosts, and the geometric helpers.
+#[derive(Debug)]
+pub struct Topology {
+    /// The Cycloid ID space.
+    pub space: CycloidSpace,
+    /// Live membership.
+    pub registry: CycloidRegistry,
+    /// ID → node slab index (latest holder of the ID).
+    pub id_map: HashMap<CycloidId, usize>,
+    /// All overlay nodes ever created (departed ones keep their slot).
+    pub nodes: Vec<OverlayNode>,
+    /// All hosts ever created (departed ones keep their slot).
+    pub hosts: Vec<Host>,
+    /// Table construction policy.
+    pub table_policy: TablePolicy,
+    /// ERT parameters (also carries the leaf window).
+    pub params: ErtParams,
+    /// When present, physical distances are estimated from landmark
+    /// vectors instead of exact coordinates.
+    pub landmarks: Option<LandmarkFrame>,
+    /// Elastic link operations performed (adds, sheds, purges): the
+    /// maintenance-message count of Section 5.3.
+    pub link_ops: u64,
+}
+
+impl Topology {
+    /// Creates an empty overlay.
+    pub fn new(space: CycloidSpace, table_policy: TablePolicy, params: ErtParams) -> Self {
+        Topology {
+            space,
+            registry: CycloidRegistry::new(space),
+            id_map: HashMap::new(),
+            nodes: Vec::new(),
+            hosts: Vec::new(),
+            table_policy,
+            params,
+            landmarks: None,
+            link_ops: 0,
+        }
+    }
+
+    /// Registers a host; returns its index. Under the landmarking
+    /// distance model the host measures its landmark vector on arrival.
+    pub fn add_host(&mut self, mut host: Host) -> usize {
+        if let Some(frame) = &self.landmarks {
+            host.landmark_vec = Some(frame.vector(host.coord));
+        }
+        self.hosts.push(host);
+        self.hosts.len() - 1
+    }
+
+    /// Registers an overlay node on `host` with the given `d^∞`;
+    /// returns its index. The node joins the membership immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ID is already live.
+    pub fn add_node(&mut self, id: CycloidId, host: usize, d_max: u32) -> usize {
+        assert!(self.registry.insert(id), "duplicate live id {id}");
+        let idx = self.nodes.len();
+        self.nodes.push(OverlayNode::new(id, host, d_max));
+        self.id_map.insert(id, idx);
+        self.hosts[host].nodes.push(idx);
+        idx
+    }
+
+    /// Removes `node` from the overlay (its table state is kept for
+    /// post-run metrics; other nodes' links to it go stale and are
+    /// discovered lazily).
+    pub fn remove_node(&mut self, node: usize) {
+        let id = self.nodes[node].id;
+        self.nodes[node].alive = false;
+        self.registry.remove(id);
+        if self.id_map.get(&id) == Some(&node) {
+            self.id_map.remove(&id);
+        }
+    }
+
+    /// The slab index currently holding `id`, if the ID is live.
+    pub fn node_idx(&self, id: CycloidId) -> Option<usize> {
+        self.id_map.get(&id).copied().filter(|&i| self.nodes[i].alive)
+    }
+
+    /// Whether `id` is a live overlay node.
+    pub fn is_alive(&self, id: CycloidId) -> bool {
+        self.node_idx(id).is_some()
+    }
+
+    /// The host backing the live node `id`, if any.
+    pub fn host_of_id(&self, id: CycloidId) -> Option<usize> {
+        self.node_idx(id).map(|i| self.nodes[i].host)
+    }
+
+    /// Physical distance between the hosts of two live nodes (0 when
+    /// either is unknown — distance then simply stops discriminating).
+    /// Exact coordinate distance by default; the landmark estimate when
+    /// the landmarking model is enabled.
+    pub fn phys_dist(&self, a: CycloidId, b: CycloidId) -> f64 {
+        let (ha, hb) = match (self.host_of_id(a), self.host_of_id(b)) {
+            (Some(ha), Some(hb)) => (ha, hb),
+            _ => return 0.0,
+        };
+        if let (Some(frame), Some(va), Some(vb)) = (
+            &self.landmarks,
+            &self.hosts[ha].landmark_vec,
+            &self.hosts[hb].landmark_vec,
+        ) {
+            return frame.estimate(va, vb);
+        }
+        self.hosts[ha].coord.distance(self.hosts[hb].coord)
+    }
+
+    /// Estimated remaining overlay distance from `from` to `key`:
+    /// descending and ascending hops dominate (weighted by `4d`), with a
+    /// sub-dominant ring-distance term so candidates in the same
+    /// geometric class compare by ring closeness. Smaller is closer.
+    pub fn logical_metric(&self, from: CycloidId, key: CycloidId) -> u64 {
+        if from == key {
+            return 0;
+        }
+        let d = self.space.dim() as u64;
+        let fwd =
+            forward_distance(self.space.lin(from), self.space.lin(key), self.space.ring_size());
+        let ring = fwd.min(self.space.ring_size() - fwd);
+        if from.a() == key.a() {
+            return ring;
+        }
+        let m = (31 - (from.a() ^ key.a()).leading_zeros()) as u64;
+        let ascend = m.saturating_sub(from.k() as u64);
+        // Ring term scaled below 4d so it only breaks class ties.
+        4 * d * (m + 1 + ascend) + ring * 4 * d / self.space.ring_size()
+    }
+
+    fn cube_dist(&self, a: u32, b: u32) -> u64 {
+        let fwd = forward_distance(a as u64, b as u64, self.space.cube_size());
+        fwd.min(self.space.cube_size() - fwd)
+    }
+
+    /// The live region member whose cubical ID is closest to `ideal_a`
+    /// (the classic Cycloid neighbor choice), excluding `exclude`.
+    fn closest_in_region(
+        &self,
+        region: CycloidRegion,
+        ideal_a: u32,
+        exclude: CycloidId,
+    ) -> Option<CycloidId> {
+        self.registry
+            .nodes_in_region(region)
+            .into_iter()
+            .filter(|&m| m != exclude)
+            .min_by_key(|&m| self.cube_dist(m.a(), ideal_a))
+    }
+
+    /// The classic pair of cyclic neighbors: the region members with the
+    /// closest-larger and closest-smaller cubical IDs relative to `a`.
+    fn cyclic_pair(&self, region: CycloidRegion, a: u32, exclude: CycloidId) -> Vec<CycloidId> {
+        let members: Vec<CycloidId> = self
+            .registry
+            .nodes_in_region(region)
+            .into_iter()
+            .filter(|&m| m != exclude)
+            .collect();
+        if members.is_empty() {
+            return Vec::new();
+        }
+        let cube = self.space.cube_size();
+        let larger = members
+            .iter()
+            .copied()
+            .min_by_key(|m| forward_distance(a as u64, m.a() as u64, cube))
+            .expect("members nonempty");
+        let smaller = members
+            .iter()
+            .copied()
+            .filter(|&m| m != larger)
+            .min_by_key(|m| forward_distance(m.a() as u64, a as u64, cube));
+        let mut out = vec![larger];
+        out.extend(smaller);
+        out
+    }
+
+    /// The highest-capacity region member with spare indegree (ties by
+    /// physical proximity to `node`), falling back to the most-spare
+    /// member — the NS neighbor choice.
+    fn highest_capacity_in_region(
+        &self,
+        region: CycloidRegion,
+        node: CycloidId,
+        already: &[CycloidId],
+    ) -> Option<CycloidId> {
+        let members: Vec<CycloidId> = self
+            .registry
+            .nodes_in_region(region)
+            .into_iter()
+            .filter(|&m| m != node && !already.contains(&m))
+            .collect();
+        if members.is_empty() {
+            return None;
+        }
+        let capacity = |id: CycloidId| {
+            self.host_of_id(id).map_or(0.0, |h| self.hosts[h].est_capacity)
+        };
+        let with_spare: Vec<CycloidId> = members
+            .iter()
+            .copied()
+            .filter(|&m| self.node_idx(m).is_some_and(|i| self.nodes[i].spare_indegree() >= 1))
+            .collect();
+        let pool = if with_spare.is_empty() { &members } else { &with_spare };
+        pool.iter().copied().max_by(|&x, &y| {
+            capacity(x)
+                .partial_cmp(&capacity(y))
+                .expect("capacities are finite")
+                .then_with(|| {
+                    // Prefer physically *closer* on capacity ties.
+                    self.phys_dist(node, y)
+                        .partial_cmp(&self.phys_dist(node, x))
+                        .expect("distances are finite")
+                })
+        })
+    }
+
+    /// Builds `node`'s routing table according to the topology's
+    /// [`TablePolicy`], and for the elastic policy also expands the
+    /// indegree toward `β·d^∞`. Ring slots are refreshed afterwards.
+    pub fn build_node_table(&mut self, node: usize, rng: &mut SimRng) {
+        let id = self.nodes[node].id;
+        match self.table_policy {
+            TablePolicy::SingleClosest => {
+                if let Some(region) = self.space.cubical_region(id) {
+                    let ideal = id.a() ^ (1u32 << id.k());
+                    if let Some(n) = self.closest_in_region(region, ideal, id) {
+                        self.add_link(id, CycloidSlot::Cubical, n);
+                    }
+                }
+                if let Some(region) = self.space.cyclic_region(id) {
+                    for n in self.cyclic_pair(region, id.a(), id) {
+                        self.add_link(id, CycloidSlot::Cyclic, n);
+                    }
+                }
+            }
+            TablePolicy::SingleHighestCapacity => {
+                if let Some(region) = self.space.cubical_region(id) {
+                    if let Some(n) = self.highest_capacity_in_region(region, id, &[]) {
+                        self.add_link(id, CycloidSlot::Cubical, n);
+                    }
+                }
+                if let Some(region) = self.space.cyclic_region(id) {
+                    if let Some(first) = self.highest_capacity_in_region(region, id, &[]) {
+                        self.add_link(id, CycloidSlot::Cyclic, first);
+                        if let Some(second) =
+                            self.highest_capacity_in_region(region, id, &[first])
+                        {
+                            self.add_link(id, CycloidSlot::Cyclic, second);
+                        }
+                    }
+                }
+            }
+            TablePolicy::Elastic => {
+                build_table(self, id, rng);
+                let target = initial_indegree_target(&self.params, self.nodes[node].d_max);
+                expand_indegree(self, id, target);
+            }
+        }
+        self.refresh_ring_slots(node);
+    }
+
+    /// Refreshes the structural ring slots from the membership view,
+    /// keeping any still-live elastic extras gained through indegree
+    /// expansion.
+    pub fn refresh_ring_slots(&mut self, node: usize) {
+        let id = self.nodes[node].id;
+        let window = self.params.leaf_window;
+        let succ = self.registry.succ_window(id, window);
+        let pred = self.registry.pred_window(id, window);
+        for (slot, structural) in
+            [(CycloidSlot::RingSucc, succ), (CycloidSlot::RingPred, pred)]
+        {
+            let mut members: Vec<CycloidId> = structural;
+            for extra in self.nodes[node].table.outlinks(slot).to_vec() {
+                if self.is_alive(extra) && !members.contains(&extra) {
+                    members.push(extra);
+                }
+            }
+            self.nodes[node].table.set_slot(slot, members);
+        }
+    }
+
+    /// Updates the degree watermarks on the host backing `node`.
+    fn note_degrees(&mut self, node: usize) {
+        let host = self.nodes[node].host;
+        let (mut ins, mut outs) = (0u32, 0u32);
+        for &n in &self.hosts[host].nodes {
+            if self.nodes[n].alive {
+                ins += self.nodes[n].table.indegree() as u32;
+                outs += self.nodes[n].table.outdegree() as u32;
+            }
+        }
+        let h = &mut self.hosts[host];
+        h.max_indegree_seen = h.max_indegree_seen.max(ins);
+        h.max_outdegree_seen = h.max_outdegree_seen.max(outs);
+    }
+
+    /// Removes the stale outlink `from --slot--> to` after a failed
+    /// contact.
+    pub fn purge_dead_link(&mut self, from: usize, slot: CycloidSlot, to: CycloidId) {
+        if self.nodes[from].table.remove_outlink(slot, to) {
+            self.link_ops += 1;
+        }
+    }
+
+    /// Proactively purges departed neighbors from `node`'s entry slots
+    /// and repairs any slot left empty — one stabilization round for one
+    /// node. Returns the number of stale links removed.
+    pub fn stabilize_node(&mut self, node: usize, rng: &mut SimRng) -> u32 {
+        let mut purged = 0;
+        for slot in [CycloidSlot::Cubical, CycloidSlot::Cyclic] {
+            let stale: Vec<CycloidId> = self.nodes[node]
+                .table
+                .outlinks(slot)
+                .iter()
+                .copied()
+                .filter(|&x| !self.is_alive(x))
+                .collect();
+            for dead in stale {
+                self.purge_dead_link(node, slot, dead);
+                purged += 1;
+            }
+            if self.nodes[node].table.outlinks(slot).is_empty() {
+                self.repair_slot(node, slot, rng);
+            }
+        }
+        self.refresh_ring_slots(node);
+        purged
+    }
+
+    /// Sheds up to `count` inlinks of `node`, choosing victims by
+    /// longest logical then physical distance (Algorithm 3). Returns the
+    /// number actually shed.
+    pub fn shed_inlinks(&mut self, node: usize, count: u32) -> u32 {
+        let id = self.nodes[node].id;
+        let fingers: Vec<ShedCandidate<CycloidId>> = self.nodes[node]
+            .table
+            .backward_fingers()
+            .iter()
+            .map(|&bf| ShedCandidate {
+                id: bf,
+                logical_distance: self.logical_metric(bf, id),
+                physical_distance: self.phys_dist(bf, id),
+            })
+            .collect();
+        let victims = select_shed_victims(&fingers, count);
+        let mut shed = 0;
+        for v in victims {
+            if let Some(vidx) = self.node_idx(v) {
+                // The holder drops us from every elastic slot.
+                for slot in [
+                    CycloidSlot::Cubical,
+                    CycloidSlot::Cyclic,
+                    CycloidSlot::RingSucc,
+                    CycloidSlot::RingPred,
+                ] {
+                    self.nodes[vidx].table.remove_outlink(slot, id);
+                }
+            }
+            self.nodes[node].table.remove_backward(v);
+            self.link_ops += 1;
+            shed += 1;
+        }
+        shed
+    }
+
+    /// Grows `node`'s indegree by up to `count` inlinks through the
+    /// expansion algorithm. Returns the number gained.
+    pub fn grow_inlinks(&mut self, node: usize, count: u32) -> u32 {
+        let id = self.nodes[node].id;
+        let target = self.nodes[node].table.indegree() as u32 + count;
+        let capped = target.min(self.nodes[node].d_max);
+        expand_indegree(self, id, capped)
+    }
+
+    /// Repairs an empty or all-dead entry slot by selecting a fresh
+    /// neighbor from the slot's region per the table policy. Returns the
+    /// new neighbor if the region had any live member.
+    pub fn repair_slot(
+        &mut self,
+        node: usize,
+        slot: CycloidSlot,
+        rng: &mut SimRng,
+    ) -> Option<CycloidId> {
+        let id = self.nodes[node].id;
+        let region = match slot {
+            CycloidSlot::Cubical => self.space.cubical_region(id)?,
+            CycloidSlot::Cyclic => self.space.cyclic_region(id)?,
+            CycloidSlot::RingSucc | CycloidSlot::RingPred => return None,
+        };
+        let pick = match self.table_policy {
+            TablePolicy::SingleClosest => {
+                let ideal = match slot {
+                    CycloidSlot::Cubical => id.a() ^ (1u32 << id.k()),
+                    _ => id.a(),
+                };
+                self.closest_in_region(region, ideal, id)
+            }
+            TablePolicy::SingleHighestCapacity => {
+                self.highest_capacity_in_region(region, id, &[])
+            }
+            TablePolicy::Elastic => {
+                let members: Vec<CycloidId> = self
+                    .registry
+                    .nodes_in_region(region)
+                    .into_iter()
+                    .filter(|&m| m != id)
+                    .collect();
+                let with_spare: Vec<CycloidId> = members
+                    .iter()
+                    .copied()
+                    .filter(|&m| {
+                        self.node_idx(m).is_some_and(|i| self.nodes[i].spare_indegree() >= 1)
+                    })
+                    .collect();
+                if with_spare.is_empty() {
+                    rng.choose(&members).copied()
+                } else {
+                    rng.choose(&with_spare).copied()
+                }
+            }
+        }?;
+        self.add_link(id, slot, pick);
+        Some(pick)
+    }
+
+    /// Assembles the candidate set for one hop of `node`'s query toward
+    /// `key`. `filter_dead` removes departed candidates (probing
+    /// policies discover them for free; non-probing policies keep them
+    /// and pay timeouts). `ring_only` forces ring routing — set it once
+    /// a previous hop reported [`RouteCandidates::fell_back`]. Returns
+    /// `None` when `node` already owns `key`.
+    pub fn route_candidates(
+        &mut self,
+        node: usize,
+        key: CycloidId,
+        filter_dead: bool,
+        ring_only: bool,
+        rng: &mut SimRng,
+    ) -> Option<RouteCandidates> {
+        let me = self.nodes[node].id;
+        let owner = self.registry.owner(key)?;
+        if owner == me {
+            return None;
+        }
+        // Endgame: within a few cycles of the owner the geometric phase
+        // has nothing useful left to fix (and, in sparse overlays, can
+        // oscillate around empty cycles); finish on the monotone ring.
+        let fwd = self.registry.forward_dist(me, owner);
+        let near = fwd.min(self.space.ring_size() - fwd) <= 4 * self.space.dim() as u64;
+        if ring_only || near {
+            return Some(self.ring_candidates(node, owner));
+        }
+        // Route toward the owner's ID: identical to routing toward the
+        // key in a dense overlay, and robust when the key's own cycle is
+        // unpopulated.
+        match self.space.route_step(me, owner) {
+            RouteStep::Entry(kind) => {
+                let slot = match kind {
+                    SlotKind::Cubical => CycloidSlot::Cubical,
+                    SlotKind::Cyclic => CycloidSlot::Cyclic,
+                };
+                let mut ids: Vec<CycloidId> = self.nodes[node].table.outlinks(slot).to_vec();
+                if filter_dead {
+                    for &dead in ids.iter().filter(|&&x| !self.is_alive(x)).collect::<Vec<_>>()
+                    {
+                        self.purge_dead_link(node, slot, dead);
+                    }
+                    ids.retain(|&x| self.is_alive(x));
+                }
+                if ids.is_empty() || ids.iter().all(|&x| !self.is_alive(x)) {
+                    if let Some(fresh) = self.repair_slot(node, slot, rng) {
+                        return Some(RouteCandidates {
+                            slot: Some(slot),
+                            ids: vec![fresh],
+                            owner,
+                            fell_back: false,
+                        });
+                    }
+                    // Region has no live member: finish on the ring.
+                    let mut rc = self.ring_candidates(node, owner);
+                    rc.fell_back = true;
+                    return Some(rc);
+                }
+                Some(RouteCandidates { slot: Some(slot), ids, owner, fell_back: false })
+            }
+            RouteStep::Ascend => {
+                let mut ids = self.registry.cycle_above(me);
+                if ids.is_empty() {
+                    // Top of the own cycle: continue ascending at the
+                    // head of the *next* cycle (Cycloid's outside leaf
+                    // set). Always moving forward keeps the head-walk
+                    // monotone, so it cannot bounce between two cycles.
+                    if let Some(head) = self.registry.next_cycle_head(me) {
+                        if head != me {
+                            ids.push(head);
+                        }
+                    }
+                }
+                if ids.is_empty() {
+                    let mut rc = self.ring_candidates(node, owner);
+                    rc.fell_back = true;
+                    return Some(rc);
+                }
+                Some(RouteCandidates { slot: None, ids, owner, fell_back: false })
+            }
+            RouteStep::Ring => Some(self.ring_candidates(node, owner)),
+        }
+    }
+
+    /// Ring-walk candidates toward `owner`, along the shorter direction,
+    /// never overshooting. All table links (not just the leaf window)
+    /// are considered so the walk takes the longest safe stride, like
+    /// Chord's greedy final phase. Always returns at least one live
+    /// candidate strictly closer to the owner.
+    fn ring_candidates(&mut self, node: usize, owner: CycloidId) -> RouteCandidates {
+        let me = self.nodes[node].id;
+        self.refresh_ring_slots(node);
+        let fwd = self.registry.forward_dist(me, owner);
+        let bwd = self.space.ring_size() - fwd;
+        let forward = fwd <= bwd;
+        let slot = if forward { CycloidSlot::RingSucc } else { CycloidSlot::RingPred };
+        let in_stride = |x: CycloidId| {
+            if forward {
+                let d = self.registry.forward_dist(me, x);
+                d > 0 && d <= fwd
+            } else {
+                let d = self.registry.forward_dist(x, me);
+                d > 0 && d <= bwd
+            }
+        };
+        let mut ids: Vec<CycloidId> = Vec::new();
+        for (_, x) in self.nodes[node].table.iter_outlinks() {
+            if self.is_alive(x) && in_stride(x) && !ids.contains(&x) {
+                ids.push(x);
+            }
+        }
+        if ids.is_empty() {
+            // Degenerate membership (e.g. two nodes): step to the owner
+            // directly — it is live by construction.
+            return RouteCandidates {
+                slot: Some(slot),
+                ids: vec![owner],
+                owner,
+                fell_back: false,
+            };
+        }
+        RouteCandidates { slot: Some(slot), ids, owner, fell_back: false }
+    }
+}
+
+impl Directory for Topology {
+    type Id = CycloidId;
+    type Slot = CycloidSlot;
+
+    fn table_slots(&self, node: CycloidId) -> Vec<(CycloidSlot, Vec<CycloidId>)> {
+        let mut out = Vec::new();
+        if let Some(region) = self.space.cubical_region(node) {
+            out.push((CycloidSlot::Cubical, self.registry.nodes_in_region(region)));
+        }
+        if let Some(region) = self.space.cyclic_region(node) {
+            out.push((CycloidSlot::Cyclic, self.registry.nodes_in_region(region)));
+        }
+        out
+    }
+
+    fn inlink_candidates(&self, node: CycloidId) -> Vec<(CycloidSlot, CycloidId)> {
+        let mut out = Vec::new();
+        let push_region = |region: Option<CycloidRegion>, slot: CycloidSlot, out: &mut Vec<_>| {
+            if let Some(region) = region {
+                let mut members = self.registry.nodes_in_region(region);
+                // Probe nearer cubical IDs first, like Algorithm 1's
+                // sequential scan but centered on the node.
+                members.sort_by_key(|m| self.cube_dist(m.a(), node.a()));
+                out.extend(members.into_iter().filter(|&m| m != node).map(|m| (slot, m)));
+            }
+        };
+        push_region(self.space.reverse_cubical_region(node), CycloidSlot::Cubical, &mut out);
+        push_region(self.space.reverse_cyclic_region(node), CycloidSlot::Cyclic, &mut out);
+        // Ring predecessors may take us as an extra successor candidate
+        // (Theorem 3.3's note that nodes probe their ring neighbors too).
+        for p in self.registry.pred_window(node, 2 * self.params.leaf_window) {
+            out.push((CycloidSlot::RingSucc, p));
+        }
+        out
+    }
+
+    fn spare_indegree(&self, node: CycloidId) -> i64 {
+        self.node_idx(node).map_or(0, |i| self.nodes[i].spare_indegree())
+    }
+
+    fn indegree(&self, node: CycloidId) -> u32 {
+        self.node_idx(node).map_or(0, |i| self.nodes[i].table.indegree() as u32)
+    }
+
+    fn has_link(&self, from: CycloidId, slot: CycloidSlot, to: CycloidId) -> bool {
+        self.node_idx(from)
+            .is_some_and(|i| self.nodes[i].table.outlinks(slot).contains(&to))
+    }
+
+    fn add_link(&mut self, from: CycloidId, slot: CycloidSlot, to: CycloidId) {
+        let (fi, ti) = match (self.node_idx(from), self.node_idx(to)) {
+            (Some(f), Some(t)) => (f, t),
+            _ => return, // either end departed mid-operation
+        };
+        self.nodes[fi].table.add_outlink(slot, to);
+        self.nodes[ti].table.add_backward(from);
+        self.link_ops += 1;
+        self.note_degrees(fi);
+        self.note_degrees(ti);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ert_core::max_indegree;
+    use ert_overlay::Coord;
+
+    /// A small fully-populated dim-4 overlay with uniform capacities.
+    fn full_topology(policy: TablePolicy) -> (Topology, SimRng) {
+        let space = CycloidSpace::new(4);
+        let params = ErtParams::default().with_alpha_for_dim(4);
+        let mut topo = Topology::new(space, policy, params);
+        let mut rng = SimRng::seed_from(42);
+        for lin in 0..space.ring_size() {
+            let id = space.from_lin(lin);
+            let d_max = max_indegree(params.alpha, 1.0);
+            let host = topo.add_host(Host::new(
+                1000.0,
+                1.0,
+                1.0,
+                d_max,
+                Coord::random(&mut rng),
+            ));
+            topo.add_node(id, host, d_max);
+        }
+        for n in 0..topo.nodes.len() {
+            topo.build_node_table(n, &mut rng);
+        }
+        (topo, rng)
+    }
+
+    #[test]
+    fn single_closest_builds_classic_cycloid_tables() {
+        let (topo, _) = full_topology(TablePolicy::SingleClosest);
+        for node in &topo.nodes {
+            if node.id.k() > 0 {
+                let cub = node.table.outlinks(CycloidSlot::Cubical);
+                assert_eq!(cub.len(), 1, "node {} cubical", node.id);
+                // The classic neighbor flips exactly bit k.
+                assert_eq!(cub[0].a(), node.id.a() ^ (1 << node.id.k()));
+                assert_eq!(cub[0].k(), node.id.k() - 1);
+                let cyc = node.table.outlinks(CycloidSlot::Cyclic);
+                assert_eq!(cyc.len(), 2, "node {} cyclic", node.id);
+            }
+            assert_eq!(node.table.outlinks(CycloidSlot::RingSucc).len(), 4);
+            assert_eq!(node.table.outlinks(CycloidSlot::RingPred).len(), 4);
+        }
+    }
+
+    #[test]
+    fn elastic_tables_expand_toward_beta_target() {
+        let (topo, _) = full_topology(TablePolicy::Elastic);
+        let mut reached = 0;
+        for node in &topo.nodes {
+            let target = initial_indegree_target(&topo.params, node.d_max);
+            assert!(
+                node.table.indegree() as u32 <= node.d_max,
+                "indegree above d_max on {}",
+                node.id
+            );
+            if node.table.indegree() as u32 >= target {
+                reached += 1;
+            }
+        }
+        // Most nodes should reach their reservation target in a full,
+        // uniform-capacity space.
+        assert!(
+            reached * 10 >= topo.nodes.len() * 7,
+            "only {reached}/{} reached target",
+            topo.nodes.len()
+        );
+    }
+
+    #[test]
+    fn ns_prefers_high_capacity_neighbors() {
+        let space = CycloidSpace::new(4);
+        let params = ErtParams::default().with_alpha_for_dim(4);
+        let mut topo = Topology::new(space, TablePolicy::SingleHighestCapacity, params);
+        let mut rng = SimRng::seed_from(7);
+        // Give one region member a huge capacity.
+        for lin in 0..space.ring_size() {
+            let id = space.from_lin(lin);
+            let big = id == space.id(2, 0b1100);
+            let cap = if big { 50.0 } else { 1.0 };
+            let host = topo.add_host(Host::new(
+                cap * 1000.0,
+                cap,
+                cap,
+                max_indegree(params.alpha, cap),
+                Coord::random(&mut rng),
+            ));
+            topo.add_node(id, host, max_indegree(params.alpha, cap));
+        }
+        // Node (3, 0b0000) has cubical region (2, 1xxx): must pick the
+        // big node (2, 1100).
+        let n = topo.node_idx(space.id(3, 0)).unwrap();
+        topo.build_node_table(n, &mut rng);
+        assert_eq!(
+            topo.nodes[n].table.outlinks(CycloidSlot::Cubical),
+            &[space.id(2, 0b1100)]
+        );
+    }
+
+    #[test]
+    fn route_candidates_deliver_and_progress() {
+        let (mut topo, mut rng) = full_topology(TablePolicy::SingleClosest);
+        let space = topo.space;
+        let key = space.id(2, 0b1010);
+        let owner = topo.registry.owner(key).unwrap();
+        let owner_idx = topo.node_idx(owner).unwrap();
+        assert!(topo.route_candidates(owner_idx, key, true, false, &mut rng).is_none());
+        // From every node, a full greedy walk terminates within the hop
+        // bound.
+        for start in 0..topo.nodes.len() {
+            let mut cur = start;
+            let mut hops = 0;
+            let mut ring_mode = false;
+            while let Some(rc) = topo.route_candidates(cur, key, true, ring_mode, &mut rng) {
+                assert!(!rc.ids.is_empty());
+                ring_mode |= rc.fell_back;
+                // Deterministic walk: min logical metric.
+                let next = rc
+                    .ids
+                    .iter()
+                    .copied()
+                    .min_by_key(|&x| topo.logical_metric(x, key))
+                    .unwrap();
+                cur = topo.node_idx(next).expect("candidates are live");
+                hops += 1;
+                assert!(hops <= 40, "no progress from start {start}");
+            }
+            assert_eq!(topo.nodes[cur].id, owner);
+        }
+    }
+
+    #[test]
+    fn dead_entry_links_are_purged_and_repaired() {
+        let (mut topo, mut rng) = full_topology(TablePolicy::SingleClosest);
+        let space = topo.space;
+        let node = topo.node_idx(space.id(3, 0b0000)).unwrap();
+        let neighbor = topo.nodes[node].table.outlinks(CycloidSlot::Cubical)[0];
+        let nidx = topo.node_idx(neighbor).unwrap();
+        topo.remove_node(nidx);
+        // A probing walk filters the dead neighbor and repairs.
+        let key = space.id(0, 0b1000); // forces the cubical slot from (3, 0000)
+        let rc = topo.route_candidates(node, key, true, false, &mut rng).unwrap();
+        assert_eq!(rc.slot, Some(CycloidSlot::Cubical));
+        assert!(rc.ids.iter().all(|&x| topo.is_alive(x)));
+        assert!(!rc.ids.contains(&neighbor));
+    }
+
+    #[test]
+    fn shed_removes_most_distant_inlinks_first() {
+        let (mut topo, _) = full_topology(TablePolicy::Elastic);
+        // Find a node with at least 3 inlinks.
+        let node = (0..topo.nodes.len())
+            .find(|&n| topo.nodes[n].table.indegree() >= 3)
+            .expect("some node has inlinks");
+        let id = topo.nodes[node].id;
+        let before = topo.nodes[node].table.indegree();
+        let furthest = topo.nodes[node]
+            .table
+            .backward_fingers()
+            .iter()
+            .copied()
+            .max_by_key(|&bf| topo.logical_metric(bf, id))
+            .unwrap();
+        let shed = topo.shed_inlinks(node, 2);
+        assert_eq!(shed, 2);
+        assert_eq!(topo.nodes[node].table.indegree(), before - 2);
+        assert!(!topo.nodes[node].table.backward_fingers().contains(&furthest));
+        // The victim no longer points at us.
+        let vidx = topo.node_idx(furthest).unwrap();
+        assert!(!topo.nodes[vidx].table.has_outlink_to(id));
+    }
+
+    #[test]
+    fn grow_respects_d_max() {
+        let (mut topo, _) = full_topology(TablePolicy::Elastic);
+        let node = 5;
+        topo.nodes[node].d_max = topo.nodes[node].table.indegree() as u32; // no headroom
+        assert_eq!(topo.grow_inlinks(node, 10), 0);
+        topo.nodes[node].d_max += 2;
+        let gained = topo.grow_inlinks(node, 10);
+        assert!(gained <= 2, "grew {gained} past headroom");
+    }
+
+    #[test]
+    fn add_link_tracks_backward_finger_and_watermarks() {
+        let (mut topo, _) = full_topology(TablePolicy::SingleClosest);
+        let a = topo.nodes[3].id;
+        let b = topo.nodes[40].id;
+        let before = topo.nodes[40].table.indegree();
+        topo.add_link(a, CycloidSlot::Cyclic, b);
+        assert!(topo.has_link(a, CycloidSlot::Cyclic, b));
+        assert_eq!(topo.nodes[40].table.indegree(), before + 1);
+        let host = topo.nodes[40].host;
+        assert!(topo.hosts[host].max_indegree_seen >= (before + 1) as u32);
+    }
+
+    #[test]
+    fn stabilize_purges_dead_entries_and_repairs() {
+        let (mut topo, mut rng) = full_topology(TablePolicy::SingleClosest);
+        let node = topo.node_idx(topo.space.id(3, 0b0110)).unwrap();
+        let dead = topo.nodes[node].table.outlinks(CycloidSlot::Cubical)[0];
+        let didx = topo.node_idx(dead).unwrap();
+        topo.remove_node(didx);
+        let purged = topo.stabilize_node(node, &mut rng);
+        assert_eq!(purged, 1);
+        let cub = topo.nodes[node].table.outlinks(CycloidSlot::Cubical);
+        assert!(!cub.is_empty(), "slot must be repaired");
+        assert!(cub.iter().all(|&x| topo.is_alive(x)));
+        // A second round is a no-op.
+        assert_eq!(topo.stabilize_node(node, &mut rng), 0);
+    }
+
+    #[test]
+    fn ring_only_candidates_always_progress() {
+        let (mut topo, mut rng) = full_topology(TablePolicy::SingleClosest);
+        let key = topo.space.id(1, 0b1111);
+        let owner = topo.registry.owner(key).unwrap();
+        for start in (0..topo.nodes.len()).step_by(7) {
+            let me = topo.nodes[start].id;
+            if me == owner {
+                continue;
+            }
+            let rc = topo.route_candidates(start, key, true, true, &mut rng).unwrap();
+            let fwd = topo.registry.forward_dist(me, owner);
+            let bwd = topo.space.ring_size() - fwd;
+            for id in rc.ids {
+                let f2 = topo.registry.forward_dist(id, owner);
+                let b2 = topo.space.ring_size() - f2;
+                assert!(
+                    f2.min(b2) < fwd.min(bwd) || id == owner,
+                    "{me} -> {id} did not progress toward {owner}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn logical_metric_is_zero_only_at_target() {
+        let (topo, mut rng) = full_topology(TablePolicy::SingleClosest);
+        let key = topo.space.random_id(&mut rng);
+        assert_eq!(topo.logical_metric(key, key), 0);
+        for node in topo.nodes.iter().take(50) {
+            if node.id != key {
+                assert!(topo.logical_metric(node.id, key) > 0, "{} vs {key}", node.id);
+            }
+        }
+    }
+
+    #[test]
+    fn removed_node_is_not_alive_and_id_is_reusable() {
+        let (mut topo, _) = full_topology(TablePolicy::SingleClosest);
+        let id = topo.nodes[10].id;
+        topo.remove_node(10);
+        assert!(!topo.is_alive(id));
+        assert!(topo.node_idx(id).is_none());
+        let host = topo.add_host(Host::new(1.0, 1.0, 1.0, 1, Coord::new(0.0, 0.0)));
+        let fresh = topo.add_node(id, host, 5);
+        assert_eq!(topo.node_idx(id), Some(fresh));
+    }
+}

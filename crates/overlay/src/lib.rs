@@ -1,0 +1,42 @@
+//! DHT overlay substrates for the ERT reproduction.
+//!
+//! The paper evaluates the elastic-routing-table protocol on **Cycloid**
+//! (a constant-degree, cube-connected-cycles-like DHT) and describes how
+//! the same indegree-expansion rule applies to **Chord**, **Pastry**, and
+//! Tapestry (whose table geometry Pastry shares). This crate implements
+//! the *geometry* of those overlays:
+//!
+//! * ID spaces and key responsibility ([`CycloidSpace`], [`ChordSpace`],
+//!   [`PastrySpace`]);
+//! * **entry regions** — for each routing-table slot, the set of IDs a
+//!   neighbor may legally be drawn from once the paper's "loose
+//!   restriction" is applied (Section 3.2, Figs. 1–3);
+//! * **reverse regions** — the set of IDs whose tables may legally point
+//!   *at* a given node, which is what a node probes to grow its indegree
+//!   (Algorithm 1);
+//! * routing decisions — which slot the original DHT routing algorithm
+//!   would use for a given (current node, target key) pair;
+//! * membership registries with successor/predecessor/region queries;
+//! * synthetic physical coordinates ([`Coord`]) standing in for the
+//!   paper's landmark-based proximity measurements.
+//!
+//! The crate is purely geometric: it holds no queues, no load, and no
+//! protocol state. Those live in `ert-core` (the ERT mechanism) and
+//! `ert-network` (the simulated network).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chord;
+pub mod coords;
+pub mod cycloid;
+pub mod landmarks;
+pub mod pastry;
+pub mod ring;
+
+pub use chord::{ChordRegistry, ChordSpace};
+pub use coords::Coord;
+pub use cycloid::{CycloidId, CycloidRegion, CycloidRegistry, CycloidSpace, RouteStep, SlotKind};
+pub use landmarks::{LandmarkFrame, LandmarkVector};
+pub use pastry::{PastryRegistry, PastrySpace};
+pub use ring::RingRange;

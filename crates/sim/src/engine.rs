@@ -1,0 +1,128 @@
+//! The simulation driver: an event queue plus the current clock.
+
+use crate::event::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// A discrete-event simulation driver.
+///
+/// The engine owns the event queue and the simulated clock. The
+/// simulation loop lives in the caller, which keeps handler code free to
+/// borrow whatever state it needs:
+///
+/// ```
+/// use ert_sim::{Engine, SimDuration, SimTime};
+/// let mut engine = Engine::new();
+/// engine.schedule_at(SimTime::from_secs_f64(1.0), "tick");
+/// while let Some((now, event)) = engine.pop() {
+///     assert_eq!(now, SimTime::from_secs_f64(1.0));
+///     assert_eq!(event, "tick");
+///     assert_eq!(engine.now(), now);
+/// }
+/// ```
+///
+/// Popping an event advances the clock to that event's timestamp; the
+/// clock never moves backwards.
+#[derive(Debug)]
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with an empty queue at time zero.
+    pub fn new() -> Self {
+        Engine { queue: EventQueue::new(), now: SimTime::ZERO, processed: 0 }
+    }
+
+    /// The current simulated time (the timestamp of the last popped
+    /// event, or zero before any event fires).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events delivered so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at the absolute instant `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is before the current clock: an event in the past
+    /// can never fire.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        assert!(time >= self.now, "scheduling into the past: {time} < {}", self.now);
+        self.queue.schedule(time, event);
+    }
+
+    /// Schedules `event` to fire `delay` after the current clock.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.schedule(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let (time, event) = self.queue.pop()?;
+        debug_assert!(time >= self.now);
+        self.now = time;
+        self.processed += 1;
+        Some((time, event))
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_micros(10), 1);
+        e.schedule_at(SimTime::from_micros(20), 2);
+        assert_eq!(e.now(), SimTime::ZERO);
+        assert_eq!(e.pop(), Some((SimTime::from_micros(10), 1)));
+        assert_eq!(e.now(), SimTime::from_micros(10));
+        e.schedule_in(SimDuration::from_micros(5), 3);
+        assert_eq!(e.pop(), Some((SimTime::from_micros(15), 3)));
+        assert_eq!(e.pop(), Some((SimTime::from_micros(20), 2)));
+        assert_eq!(e.pop(), None);
+        assert_eq!(e.events_processed(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_past_panics() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_micros(10), ());
+        e.pop();
+        e.schedule_at(SimTime::from_micros(5), ());
+    }
+
+    #[test]
+    fn pending_counts() {
+        let mut e = Engine::<u8>::new();
+        assert_eq!(e.pending(), 0);
+        e.schedule_in(SimDuration::ZERO, 0);
+        e.schedule_in(SimDuration::ZERO, 1);
+        assert_eq!(e.pending(), 2);
+        assert_eq!(e.peek_time(), Some(SimTime::ZERO));
+    }
+}

@@ -1,0 +1,74 @@
+//! Arrival processes.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// A homogeneous Poisson arrival process.
+///
+/// The paper models both lookup generation and churn (node
+/// join/departure) as Poisson processes; this type produces the
+/// exponential interarrival gaps for them.
+///
+/// ```
+/// use ert_sim::{PoissonProcess, SimRng};
+/// let mut rng = SimRng::seed_from(1);
+/// let mut p = PoissonProcess::new(2.0); // two events per second
+/// let gap = p.next_interarrival(&mut rng);
+/// assert!(gap.as_secs_f64() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoissonProcess {
+    rate_per_sec: f64,
+}
+
+impl PoissonProcess {
+    /// Creates a process with the given rate in events per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_sec` is not strictly positive and finite.
+    pub fn new(rate_per_sec: f64) -> Self {
+        assert!(
+            rate_per_sec.is_finite() && rate_per_sec > 0.0,
+            "invalid Poisson rate: {rate_per_sec}"
+        );
+        PoissonProcess { rate_per_sec }
+    }
+
+    /// The configured rate, in events per second.
+    pub fn rate_per_sec(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// Samples the gap until the next arrival.
+    pub fn next_interarrival(&mut self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(rng.exp_secs(self.rate_per_sec))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empirical_rate_matches() {
+        let mut rng = SimRng::seed_from(11);
+        let mut p = PoissonProcess::new(5.0);
+        let n = 20_000;
+        let total: f64 =
+            (0..n).map(|_| p.next_interarrival(&mut rng).as_secs_f64()).sum();
+        let rate = n as f64 / total;
+        assert!((rate - 5.0).abs() < 0.15, "rate {rate}");
+    }
+
+    #[test]
+    fn rate_accessor() {
+        assert_eq!(PoissonProcess::new(1.5).rate_per_sec(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Poisson rate")]
+    fn negative_rate_panics() {
+        let _ = PoissonProcess::new(-1.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! The supermarket (randomized load balancing) queueing model behind
+//! Theorem 4.1 of the ERT paper.
+//!
+//! Section 4.2 maps the query-forwarding model (QFM) onto
+//! Mitzenmacher's supermarket model: queries arrive in a Poisson stream
+//! of rate `λn` at `n` FIFO servers with exponential(1) service; each
+//! query samples `b` servers and queues at the least loaded (optionally
+//! stopping at the first one below a threshold — the *strong threshold*
+//! variant the paper builds on). Theorem 4.1 then inherits
+//! Mitzenmacher's result: `b ≥ 2` choices yield an **exponential**
+//! improvement in expected waiting time over `b = 1` (random walking).
+//!
+//! This crate provides all three forms the reproduction needs:
+//!
+//! * [`fixed_point`] — the equilibrium tail fractions
+//!   `s_i = λ^{(bⁱ−1)/(b−1)}` (Lemma A.1's analogue for the untruncated
+//!   model);
+//! * [`expected_time`] — the expected time in system at equilibrium,
+//!   `Σ_{i≥1} λ^{(bⁱ−b)/(b−1)}`, which reduces to the M/M/1 time
+//!   `1/(1−λ)` at `b = 1`;
+//! * [`OdeModel`] — an RK4 integrator for the transient system
+//!   `ds_i/dt = λ(s_{i−1}^b − s_i^b) − (s_i − s_{i+1})`, to show
+//!   convergence to the fixed point from any start;
+//! * [`ThresholdModel`] — the paper's own finite-capacity,
+//!   strong-threshold QFM (Appendix equations (3)–(4)) with Lemma
+//!   A.1's closed-form fixed point, verified stationary;
+//! * [`SupermarketSim`] — a discrete-event simulation (on `ert-sim`) of
+//!   the finite-`n` system with the paper's policy knobs (`b`,
+//!   threshold, memory), validating the model and Theorem 4.1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ode;
+mod sim;
+mod threshold;
+
+pub use ode::OdeModel;
+pub use sim::{ChoicePolicy, SimOutcome, SupermarketSim};
+pub use threshold::ThresholdModel;
+
+/// Equilibrium tail fractions of the `b`-choice supermarket model:
+/// `s_i` is the fraction of servers with at least `i` customers,
+/// `s_i = λ^{(bⁱ − 1)/(b − 1)}` (for `b = 1`: `λ^i`).
+///
+/// ```
+/// use ert_supermarket::fixed_point;
+/// let s = fixed_point(0.9, 2, 8);
+/// assert_eq!(s[0], 1.0);
+/// assert!((s[1] - 0.9).abs() < 1e-12);
+/// assert!((s[2] - 0.9f64.powi(3)).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics unless `0 < lambda < 1` and `b >= 1`.
+pub fn fixed_point(lambda: f64, b: u32, max_i: usize) -> Vec<f64> {
+    assert!(lambda > 0.0 && lambda < 1.0, "lambda must be in (0,1): {lambda}");
+    assert!(b >= 1, "need at least one choice");
+    (0..=max_i).map(|i| lambda.powf(exponent(b, i as u32))).collect()
+}
+
+/// The exponent `(bⁱ − 1)/(b − 1)` (which is `i` when `b = 1`),
+/// saturating to avoid overflow for large `i`.
+fn exponent(b: u32, i: u32) -> f64 {
+    if b == 1 {
+        return i as f64;
+    }
+    let mut acc = 0.0f64;
+    let mut power = 1.0f64;
+    for _ in 0..i {
+        acc += power;
+        power *= b as f64;
+        if acc > 1e6 {
+            return 1e6; // λ^1e6 underflows to 0 anyway
+        }
+    }
+    acc
+}
+
+/// Expected time a customer spends in the `b`-choice system at
+/// equilibrium: `Σ_{i≥1} λ^{(bⁱ − b)/(b − 1)}`.
+///
+/// At `b = 1` this is the M/M/1 sojourn time `1/(1 − λ)`; for `b ≥ 2`
+/// it grows like `log(1/(1−λ)) / log b` — Theorem 4.1's exponential
+/// improvement.
+///
+/// ```
+/// use ert_supermarket::expected_time;
+/// let t1 = expected_time(0.99, 1);
+/// let t2 = expected_time(0.99, 2);
+/// assert!((t1 - 100.0).abs() < 1e-6);
+/// assert!(t2 < 10.0, "two choices collapse the wait: {t2}");
+/// ```
+///
+/// # Panics
+///
+/// Panics unless `0 < lambda < 1` and `b >= 1`.
+pub fn expected_time(lambda: f64, b: u32) -> f64 {
+    assert!(lambda > 0.0 && lambda < 1.0, "lambda must be in (0,1): {lambda}");
+    assert!(b >= 1, "need at least one choice");
+    if b == 1 {
+        // Closed form: the M/M/1 sojourn time.
+        return 1.0 / (1.0 - lambda);
+    }
+    let mut total = 0.0;
+    for i in 1..200u32 {
+        // (bⁱ − b)/(b − 1) = exponent(b, i) − 1; equals i − 1 at b = 1.
+        let e = (exponent(b, i) - 1.0).max(0.0);
+        let term = lambda.powf(e);
+        total += term;
+        if term < 1e-15 {
+            break;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_point_b1_is_geometric() {
+        let s = fixed_point(0.5, 1, 6);
+        for (i, &v) in s.iter().enumerate() {
+            assert!((v - 0.5f64.powi(i as i32)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fixed_point_decays_doubly_exponentially_for_b2() {
+        let s = fixed_point(0.9, 2, 10);
+        // s_i = λ^{2^i − 1}: ratios shrink super-geometrically.
+        assert!(s[4] < s[3] * s[3]);
+        assert!(s[6] < 1e-2);
+        assert!(s.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    fn expected_time_matches_mm1_at_b1() {
+        for lambda in [0.5, 0.8, 0.95] {
+            let t = expected_time(lambda, 1);
+            assert!((t - 1.0 / (1.0 - lambda)).abs() < 1e-9, "λ={lambda}: {t}");
+        }
+    }
+
+    #[test]
+    fn two_choices_improve_exponentially_near_saturation() {
+        // T_1 = 1/(1−λ) explodes; T_2 ~ log₂ of that.
+        for lambda in [0.9, 0.99, 0.999] {
+            let t1 = expected_time(lambda, 1);
+            let t2 = expected_time(lambda, 2);
+            let log_ratio = t2 / (t1.ln() / 2f64.ln());
+            assert!(
+                (0.5..2.5).contains(&log_ratio),
+                "λ={lambda}: T2={t2} not logarithmic in T1={t1}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_choices_monotonically_help() {
+        let times: Vec<f64> = (1..=4).map(|b| expected_time(0.95, b)).collect();
+        assert!(times.windows(2).all(|w| w[1] < w[0]), "{times:?}");
+        // But the b=2 step is the big one (Mitzenmacher's observation,
+        // quoted in Section 4.1).
+        let gain_12 = times[0] - times[1];
+        let gain_23 = times[1] - times[2];
+        assert!(gain_12 > 4.0 * gain_23, "{times:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be in (0,1)")]
+    fn saturated_lambda_rejected() {
+        let _ = expected_time(1.0, 2);
+    }
+}

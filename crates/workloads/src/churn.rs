@@ -1,0 +1,87 @@
+//! Membership-churn schedules.
+
+use ert_network::ChurnEvent;
+use ert_sim::{SimDuration, SimRng, SimTime};
+
+use crate::capacity::BoundedPareto;
+
+/// Poisson join/leave schedule up to `horizon`: joins with the given
+/// mean interarrival time (capacities drawn from `capacity`), and
+/// departures likewise. The paper sweeps interarrival from 0.1 to 0.9 s
+/// on its one-lookup-per-second time scale.
+///
+/// # Panics
+///
+/// Panics if either interarrival time is not strictly positive.
+pub fn churn_schedule(
+    horizon: SimTime,
+    join_interarrival_secs: f64,
+    leave_interarrival_secs: f64,
+    capacity: BoundedPareto,
+    rng: &mut SimRng,
+) -> Vec<ChurnEvent> {
+    assert!(join_interarrival_secs > 0.0, "invalid join interarrival");
+    assert!(leave_interarrival_secs > 0.0, "invalid leave interarrival");
+    let mut events = Vec::new();
+    let mut t = SimTime::ZERO;
+    loop {
+        t += SimDuration::from_secs_f64(rng.exp_secs(1.0 / join_interarrival_secs));
+        if t > horizon {
+            break;
+        }
+        events.push(ChurnEvent::Join { at: t, capacity: capacity.sample(rng) });
+    }
+    let mut t = SimTime::ZERO;
+    loop {
+        t += SimDuration::from_secs_f64(rng.exp_secs(1.0 / leave_interarrival_secs));
+        if t > horizon {
+            break;
+        }
+        events.push(ChurnEvent::Leave { at: t });
+    }
+    events.sort_by_key(ChurnEvent::at);
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_sorted_and_balanced() {
+        let mut rng = SimRng::seed_from(6);
+        let horizon = SimTime::from_secs_f64(100.0);
+        let events =
+            churn_schedule(horizon, 0.5, 0.5, BoundedPareto::paper_default(), &mut rng);
+        assert!(events.windows(2).all(|w| w[0].at() <= w[1].at()));
+        assert!(events.iter().all(|e| e.at() <= horizon));
+        let joins = events.iter().filter(|e| matches!(e, ChurnEvent::Join { .. })).count();
+        let leaves = events.len() - joins;
+        assert!((150..=260).contains(&joins), "joins {joins}");
+        assert!((150..=260).contains(&leaves), "leaves {leaves}");
+    }
+
+    #[test]
+    fn asymmetric_rates_skew_the_mix() {
+        let mut rng = SimRng::seed_from(7);
+        let horizon = SimTime::from_secs_f64(50.0);
+        let events =
+            churn_schedule(horizon, 0.25, 2.0, BoundedPareto::paper_default(), &mut rng);
+        let joins = events.iter().filter(|e| matches!(e, ChurnEvent::Join { .. })).count();
+        let leaves = events.len() - joins;
+        assert!(joins > 4 * leaves, "joins {joins} vs leaves {leaves}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid join interarrival")]
+    fn zero_interarrival_rejected() {
+        let mut rng = SimRng::seed_from(8);
+        let _ = churn_schedule(
+            SimTime::from_secs_f64(1.0),
+            0.0,
+            1.0,
+            BoundedPareto::paper_default(),
+            &mut rng,
+        );
+    }
+}

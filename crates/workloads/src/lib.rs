@@ -1,0 +1,27 @@
+//! Workload generators for the ERT reproduction.
+//!
+//! The paper's evaluation draws on three workload ingredients, all
+//! reproduced here:
+//!
+//! * **capacities** ([`BoundedPareto`]) — "machines' capacities vary by
+//!   different orders of magnitude" (Table 2: bounded Pareto, shape 2,
+//!   500–50000);
+//! * **lookup streams** ([`uniform_lookups`], [`impulse_lookups`], and
+//!   the popularity models in [`popularity`]) — from the uniform default
+//!   through the Section 5.4 impulse to the Zipf / time-varying file
+//!   popularity the introduction motivates;
+//! * **churn schedules** ([`churn_schedule`]) — Poisson join/leave
+//!   streams (Section 5.5 sweeps interarrival from 0.1 to 0.9 s).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capacity;
+mod churn;
+mod lookups;
+pub mod popularity;
+
+pub use capacity::BoundedPareto;
+pub use churn::churn_schedule;
+pub use lookups::{impulse_lookups, uniform_lookups};
+pub use popularity::{shifting_hotspot_lookups, zipf_lookups, ZipfKeys};

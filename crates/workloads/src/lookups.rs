@@ -1,0 +1,114 @@
+//! Uniform and impulse lookup streams.
+
+use ert_network::{KeyPick, Lookup, SourcePick};
+use ert_sim::{SimDuration, SimRng, SimTime};
+use rand::Rng;
+
+/// A Poisson stream of `count` lookups with random live sources and
+/// uniformly random keys, at aggregate rate `rate_per_sec`.
+///
+/// The paper generates queries "according to a Poisson process at a
+/// rate of one per second" per node; pass `n as f64 * 1.0` for that
+/// reading.
+///
+/// # Panics
+///
+/// Panics if `rate_per_sec` is not strictly positive.
+pub fn uniform_lookups(count: usize, rate_per_sec: f64, rng: &mut SimRng) -> Vec<Lookup> {
+    assert!(rate_per_sec > 0.0, "invalid rate: {rate_per_sec}");
+    let mut t = SimTime::ZERO;
+    (0..count)
+        .map(|_| {
+            t += SimDuration::from_secs_f64(rng.exp_secs(rate_per_sec));
+            Lookup { at: t, source: SourcePick::Random, key: KeyPick::Random }
+        })
+        .collect()
+}
+
+/// The skewed-lookup impulse of Section 5.4: `impulse_nodes` sources
+/// drawn from one contiguous interval of the ID space (an
+/// `impulse_nodes / n` fraction of the ring) querying the same
+/// `impulse_keys` randomly chosen keys.
+///
+/// # Panics
+///
+/// Panics if any count or the rate is zero.
+pub fn impulse_lookups(
+    count: usize,
+    rate_per_sec: f64,
+    n: usize,
+    impulse_nodes: usize,
+    impulse_keys: usize,
+    rng: &mut SimRng,
+) -> Vec<Lookup> {
+    assert!(rate_per_sec > 0.0, "invalid rate: {rate_per_sec}");
+    assert!(n > 0 && impulse_nodes > 0 && impulse_keys > 0, "counts must be positive");
+    let width = (impulse_nodes as f64 / n as f64).min(1.0);
+    let start: f64 = rng.gen();
+    let keys: Vec<f64> = (0..impulse_keys).map(|_| rng.gen()).collect();
+    let mut t = SimTime::ZERO;
+    (0..count)
+        .map(|_| {
+            t += SimDuration::from_secs_f64(rng.exp_secs(rate_per_sec));
+            let src = (start + rng.gen::<f64>() * width).rem_euclid(1.0);
+            let key = keys[rng.gen_range(0..keys.len())];
+            Lookup {
+                at: t,
+                source: SourcePick::RingFraction(src),
+                key: KeyPick::RingFraction(key),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_lookups_are_ordered_and_uniform() {
+        let mut rng = SimRng::seed_from(4);
+        let ls = uniform_lookups(1000, 100.0, &mut rng);
+        assert_eq!(ls.len(), 1000);
+        assert!(ls.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(ls.iter().all(|l| l.source == SourcePick::Random && l.key == KeyPick::Random));
+        let span = ls.last().unwrap().at.as_secs_f64();
+        assert!((span - 10.0).abs() < 2.0, "1000 lookups at 100/s took {span}s");
+    }
+
+    #[test]
+    fn impulse_confines_sources_and_keys() {
+        let mut rng = SimRng::seed_from(5);
+        let ls = impulse_lookups(2000, 100.0, 2048, 100, 50, &mut rng);
+        let mut keys = std::collections::BTreeSet::new();
+        let mut sources = Vec::new();
+        for l in &ls {
+            match l.key {
+                KeyPick::RingFraction(f) => {
+                    keys.insert((f * 1e12) as u64);
+                }
+                KeyPick::Random => panic!("impulse keys must be fixed"),
+            }
+            match l.source {
+                SourcePick::RingFraction(f) => sources.push(f),
+                SourcePick::Random => panic!("impulse sources must be pinned"),
+            }
+        }
+        assert!(keys.len() <= 50);
+        assert!(keys.len() > 30, "should use most of the 50 keys");
+        let width = 100.0 / 2048.0;
+        let min = sources.iter().copied().fold(f64::INFINITY, f64::min);
+        let spread = sources
+            .iter()
+            .copied()
+            .fold(0.0f64, |acc, s| acc.max((s - min).rem_euclid(1.0)));
+        assert!(spread <= width + 1e-9, "source spread {spread} > {width}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate")]
+    fn zero_rate_rejected() {
+        let mut rng = SimRng::seed_from(6);
+        let _ = uniform_lookups(1, 0.0, &mut rng);
+    }
+}

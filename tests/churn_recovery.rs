@@ -1,0 +1,68 @@
+//! Churn behavior across crates: membership changes, stranded queries,
+//! stale links, and the Section 5.5 timeout claim.
+
+use ert_repro::baselines::base;
+use ert_repro::experiments::{fig9, Scenario};
+use ert_repro::network::ProtocolSpec;
+
+fn churny_scenario(seed: u64, paper_ia: f64) -> Scenario {
+    let mut s = Scenario::quick(seed);
+    s.n = 256;
+    s.lookups = 500;
+    s.churn = Some(fig9::churn_spec_for(&s, paper_ia));
+    s
+}
+
+#[test]
+fn lookups_survive_heavy_churn() {
+    let s = churny_scenario(200, 0.2);
+    for spec in [base(), ProtocolSpec::ert_af()] {
+        let r = s.run(&spec);
+        let done = r.lookups_completed + r.lookups_dropped;
+        assert_eq!(done, 500, "{} lost lookups", r.protocol);
+        assert!(
+            r.lookups_completed >= 480,
+            "{} completed only {}",
+            r.protocol,
+            r.lookups_completed
+        );
+    }
+}
+
+#[test]
+fn probing_eliminates_stale_link_timeouts() {
+    let s = churny_scenario(201, 0.3);
+    let b = s.run(&base());
+    let af = s.run(&ProtocolSpec::ert_af());
+    assert!(b.timeouts_per_lookup > 0.0, "churn should produce Base timeouts");
+    assert!(
+        af.timeouts_per_lookup < b.timeouts_per_lookup / 2.0,
+        "ERT/AF {} vs Base {}",
+        af.timeouts_per_lookup,
+        b.timeouts_per_lookup
+    );
+}
+
+#[test]
+fn handoffs_hit_every_protocol_similarly() {
+    let s = churny_scenario(202, 0.3);
+    let b = s.run(&base());
+    let af = s.run(&ProtocolSpec::ert_af());
+    assert!(b.handoffs_per_lookup > 0.0);
+    assert!(af.handoffs_per_lookup > 0.0);
+    let ratio = af.handoffs_per_lookup / b.handoffs_per_lookup;
+    assert!(
+        (0.4..=2.5).contains(&ratio),
+        "handoffs should be protocol-independent: {ratio}"
+    );
+}
+
+#[test]
+fn churn_without_lookups_is_harmless() {
+    // A network can absorb pure membership churn: run a tiny lookup tail
+    // after heavy churn and verify routability.
+    let mut s = churny_scenario(203, 0.1);
+    s.lookups = 100;
+    let r = s.run(&ProtocolSpec::ert_af());
+    assert!(r.lookups_completed >= 95, "completed {}", r.lookups_completed);
+}

@@ -1,0 +1,92 @@
+//! Failure injection: correlated mass departures rather than the
+//! smooth Poisson churn of Section 5.5.
+
+use ert_repro::network::{ChurnEvent, Network, NetworkConfig, ProtocolSpec};
+use ert_repro::overlay::CycloidSpace;
+use ert_repro::sim::SimRng;
+use ert_repro::workloads::{uniform_lookups, BoundedPareto};
+
+fn build(n: usize, seed: u64, spec: ProtocolSpec) -> (Network, SimRng) {
+    let mut rng = SimRng::seed_from(seed);
+    let capacities = BoundedPareto::paper_default().sample_n(n, &mut rng);
+    let cfg = NetworkConfig::for_dimension(CycloidSpace::dimension_for(n), seed);
+    (Network::new(cfg, &capacities, spec).expect("valid network"), rng)
+}
+
+/// Kill ~30% of the network at one instant mid-run: lookups keep
+/// completing through ring repair and candidate sets.
+#[test]
+fn survives_mass_failure() {
+    for spec in [ProtocolSpec::ert_af(), ert_repro::baselines::base()] {
+        let name = spec.name.clone();
+        let (mut net, mut rng) = build(256, 400, spec);
+        let lookups = uniform_lookups(500, 256.0, &mut rng);
+        let mid = lookups[lookups.len() / 2].at;
+        let blast: Vec<ChurnEvent> =
+            (0..77).map(|_| ChurnEvent::Leave { at: mid }).collect();
+        let report = net.run(&lookups, &blast);
+        assert_eq!(report.lookups_completed + report.lookups_dropped, 500, "{name}");
+        assert!(
+            report.lookups_completed >= 470,
+            "{name} completed only {}",
+            report.lookups_completed
+        );
+        // ~30% of hosts are gone.
+        let alive = net.topology().hosts.iter().filter(|h| h.alive).count();
+        assert_eq!(alive, 256 - 77, "{name}");
+    }
+}
+
+/// A failure burst followed by a recovery wave of joins: the network
+/// re-absorbs the load and new nodes become routable.
+#[test]
+fn recovers_after_failure_burst() {
+    let (mut net, mut rng) = build(192, 401, ProtocolSpec::ert_af());
+    let lookups = uniform_lookups(600, 192.0, &mut rng);
+    let t_fail = lookups[150].at;
+    let t_recover = lookups[300].at;
+    let mut churn: Vec<ChurnEvent> =
+        (0..48).map(|_| ChurnEvent::Leave { at: t_fail }).collect();
+    churn.extend((0..48).map(|i| ChurnEvent::Join {
+        at: t_recover + ert_repro::sim::SimDuration::from_micros(i),
+        capacity: 1200.0,
+    }));
+    let report = net.run(&lookups, &churn);
+    assert!(report.lookups_completed >= 570, "completed {}", report.lookups_completed);
+    let alive = net.topology().hosts.iter().filter(|h| h.alive).count();
+    assert_eq!(alive, 192); // back to full strength
+    // Joined nodes actually participate: at least one has inlinks.
+    let joined_with_inlinks = net
+        .topology()
+        .hosts
+        .iter()
+        .skip(192)
+        .flat_map(|h| &h.nodes)
+        .filter(|&&n| net.topology().nodes[n].table.indegree() > 0)
+        .count();
+    assert!(joined_with_inlinks > 24, "only {joined_with_inlinks} recovered nodes wired in");
+}
+
+/// Lookups injected *during* the failure instant are not lost.
+#[test]
+fn in_flight_queries_survive_the_blast() {
+    let (mut net, mut rng) = build(192, 402, ProtocolSpec::ert_af());
+    let lookups = uniform_lookups(300, 1920.0, &mut rng); // compressed burst
+    let mid = lookups[150].at;
+    let blast: Vec<ChurnEvent> = (0..57).map(|_| ChurnEvent::Leave { at: mid }).collect();
+    let report = net.run(&lookups, &blast);
+    assert_eq!(report.lookups_completed + report.lookups_dropped, 300);
+    assert!(report.lookups_dropped <= 6, "dropped {}", report.lookups_dropped);
+    // Handoffs happened (queries were stranded and rescued).
+    assert!(report.handoffs_per_lookup > 0.0);
+}
+
+#[test]
+fn empty_blast_is_noop() {
+    let (mut net, mut rng) = build(64, 403, ProtocolSpec::ert_af());
+    let lookups = uniform_lookups(100, 64.0, &mut rng);
+    let report = net.run(&lookups, &[]);
+    assert_eq!(report.lookups_completed, 100);
+    assert_eq!(report.handoffs_per_lookup, 0.0);
+    assert_eq!(report.timeouts_per_lookup, 0.0);
+}

@@ -1,0 +1,45 @@
+//! Cross-crate checks of the paper's theorems on measured systems.
+
+use ert_repro::core::ErtParams;
+use ert_repro::experiments::bounds::{
+    theorem31_check, theorem32_check, theorem32_convergence,
+};
+use ert_repro::supermarket::{expected_time, ChoicePolicy, SupermarketSim};
+
+#[test]
+fn theorem31_bounds_hold_across_error_factors() {
+    for (gamma_c, seed) in [(1.0, 301), (1.25, 302), (2.0, 303)] {
+        let (table, ok) = theorem31_check(192, gamma_c, seed);
+        assert!(ok, "gamma_c={gamma_c}:\n{}", table.render());
+    }
+}
+
+#[test]
+fn theorem32_paper_example_converges_to_100() {
+    // Network of 2048, capacity 50, per-inlink rate 0.5, γ_l = 1:
+    // "its indegree is bounded by 100" (Section 3.3).
+    let (table, ok) = theorem32_convergence(&[(50.0, 0.5)], &ErtParams::default());
+    assert!(ok, "{}", table.render());
+    let d: f64 = table.rows[0][2].parse().unwrap();
+    assert!((d - 100.0).abs() <= 2.0, "converged to {d}");
+}
+
+#[test]
+fn theorem32_measured_table_reports() {
+    let table = theorem32_check(192, 300, 304);
+    assert_eq!(table.rows.len(), 1);
+    let nu_min: f64 = table.rows[0][2].parse().unwrap();
+    let nu_max: f64 = table.rows[0][3].parse().unwrap();
+    assert!(nu_min <= nu_max);
+}
+
+#[test]
+fn theorem41_exponential_improvement_in_simulation() {
+    let sim = SupermarketSim::new(250, 0.95);
+    let t1 = sim.run(ChoicePolicy::shortest_of(1), 1_200.0, 305).mean_time_in_system;
+    let t2 = sim.run(ChoicePolicy::shortest_of(2), 1_200.0, 305).mean_time_in_system;
+    // Theorem 4.1's gap: b=2 is in the log class of b=1.
+    assert!(t2 * 3.0 < t1, "sim: b1={t1} b2={t2}");
+    // And the models agree on direction with a wide margin.
+    assert!(expected_time(0.95, 2) * 3.0 < expected_time(0.95, 1));
+}
