@@ -8,9 +8,10 @@ fn bench(c: &mut Criterion) {
     let capacities: Vec<f64> = (0..128).map(|i| 500.0 + 400.0 * (i % 6) as f64).collect();
     let mut group = c.benchmark_group("minidht");
     group.sample_size(10);
-    for (name, protocol) in
-        [("chord_classic", MiniProtocol::Classic), ("chord_elastic", MiniProtocol::ElasticErt)]
-    {
+    for (name, protocol) in [
+        ("chord_classic", MiniProtocol::Classic),
+        ("chord_elastic", MiniProtocol::ElasticErt),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let cfg = MiniDhtConfig::defaults(10, 97);
@@ -24,7 +25,8 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let cfg = MiniDhtConfig::defaults(12, 97);
             let geometry = PastryGeometry::populate(6, 2, 128, &mut SimRng::seed_from(97));
-            let mut net = MiniDht::new(cfg, geometry, &capacities, MiniProtocol::ElasticErt).unwrap();
+            let mut net =
+                MiniDht::new(cfg, geometry, &capacities, MiniProtocol::ElasticErt).unwrap();
             net.run_poisson(200, 128.0)
         })
     });

@@ -47,11 +47,21 @@ fn bench_forward(c: &mut Criterion) {
         })
         .collect();
     let avoid: HashSet<u32> = [2, 5].into_iter().collect();
-    let policy = ForwardPolicy::TwoChoice { topology_aware: true, use_memory: true };
+    let policy = ForwardPolicy::TwoChoice {
+        topology_aware: true,
+        use_memory: true,
+    };
     group.bench_function("two_choice_decision", |b| {
         let mut rng = SimRng::seed_from(1);
         b.iter(|| {
-            choose_next(policy, black_box(&candidates), Some(3), &avoid, 1.0, &mut rng)
+            choose_next(
+                policy,
+                black_box(&candidates),
+                Some(3),
+                &avoid,
+                1.0,
+                &mut rng,
+            )
         })
     });
     group.finish();
@@ -94,5 +104,11 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_table, bench_forward, bench_overlay, bench_engine);
+criterion_group!(
+    benches,
+    bench_table,
+    bench_forward,
+    bench_overlay,
+    bench_engine
+);
 criterion_main!(benches);

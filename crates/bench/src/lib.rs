@@ -7,7 +7,9 @@
 //! * `fig4_congestion` … `fig10_churn_lookups` — the simulation figures;
 //! * `thm41_supermarket` — the queueing-model validation;
 //! * `micro_core` — microbenchmarks of the hot data structures
-//!   (elastic-table updates, forwarding decisions, registry queries).
+//!   (elastic-table updates, forwarding decisions, registry queries);
+//! * `telemetry_overhead` — per-event-site cost of the telemetry layer,
+//!   disabled (must stay branch-cheap) and enabled.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,5 +35,33 @@ mod tests {
         let b = bench_scenario();
         assert_eq!(a.n, b.n);
         assert_eq!(a.seeds, b.seeds);
+    }
+
+    /// Coarse guard on the disabled telemetry path. The precise number
+    /// comes from the `telemetry_overhead` bench (expected < 5 ns per
+    /// site in release mode); this test only catches regressions that
+    /// make the disabled path do real work — the bound is deliberately
+    /// loose because debug builds and noisy CI inflate wall time.
+    #[test]
+    fn disabled_telemetry_stays_branch_cheap() {
+        use ert_sim::SimTime;
+        use ert_telemetry::{Telemetry, TelemetryEvent};
+
+        let mut tel = Telemetry::disabled();
+        let sites = 2_000_000u64;
+        let started = std::time::Instant::now();
+        for i in 0..sites {
+            tel.emit(SimTime::from_micros(i), || TelemetryEvent::LookupHop {
+                q: std::hint::black_box(i),
+                from: i,
+                to: i + 1,
+            });
+        }
+        let per_site = started.elapsed().as_nanos() as f64 / sites as f64;
+        assert_eq!(tel.events_emitted(), 0);
+        assert!(
+            per_site < 200.0,
+            "disabled emit costs {per_site:.1} ns/site"
+        );
     }
 }

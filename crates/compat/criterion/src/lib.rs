@@ -1,0 +1,217 @@
+//! Offline stand-in for the `criterion` 0.5 surface this workspace uses.
+//!
+//! The build environment has no crates.io access, so the benches link
+//! against this minimal harness instead: same macros
+//! (`criterion_group!`/`criterion_main!`), same `Criterion` →
+//! `BenchmarkGroup` → `bench_function(|b| b.iter(..))` shape, but the
+//! measurement is a plain wall-clock loop — calibrate the per-iteration
+//! cost on a short warm-up, then time `sample_size` batches and report
+//! min/median/mean/max ns per iteration to stdout. No statistics
+//! beyond that, no HTML reports, no comparison baselines.
+//!
+//! The numbers are honest monotonic-clock measurements, good enough for
+//! the "is the disabled telemetry path under 5 ns" class of question the
+//! workspace benches ask; they are not criterion's bootstrapped
+//! confidence intervals.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target time for one measured batch; the calibration loop picks an
+/// iteration count so each sample takes roughly this long.
+const SAMPLE_TARGET: Duration = Duration::from_millis(5);
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of samples for groups created after this
+    /// call.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of measured samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark: calibrates, measures, prints a summary line.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples_ns_per_iter: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&self.name, &id, &mut bencher.samples_ns_per_iter);
+        self
+    }
+
+    /// Marks the group complete (kept for API compatibility; reporting
+    /// happens per bench function).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; `iter` does the
+/// actual timing.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns_per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration nanoseconds for each of
+    /// the configured samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and calibrate: find an iteration count whose batch
+        // takes roughly SAMPLE_TARGET so timer overhead amortizes away.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET || iters >= 1 << 40 {
+                break;
+            }
+            // Grow geometrically, aiming past the target on the next
+            // probe rather than creeping up on it.
+            let scale = if elapsed.is_zero() {
+                100
+            } else {
+                (SAMPLE_TARGET.as_nanos() / elapsed.as_nanos().max(1) + 1).min(100) as u64
+            };
+            iters = iters.saturating_mul(scale.max(2));
+        }
+
+        self.samples_ns_per_iter.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns_per_iter
+                .push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+fn report(group: &str, id: &str, samples: &mut [f64]) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples collected");
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{group}/{id}: min {} | median {} | mean {} | max {}  ({} samples)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        fmt_ns(max),
+        samples.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_cheap_routine() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("compat");
+        group.sample_size(3);
+        group.bench_function("add", |b| {
+            let mut acc = 0u64;
+            b.iter(|| {
+                acc = acc.wrapping_add(black_box(1));
+                acc
+            });
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(2.5), "2.50 ns");
+        assert_eq!(fmt_ns(2_500.0), "2.50 µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
+    }
+}

@@ -1,0 +1,317 @@
+//! Offline stand-in for the `proptest` 1.x surface this workspace uses.
+//!
+//! The build environment has no crates.io access, so property tests run
+//! on this minimal harness instead: the [`proptest!`] macro generates a
+//! `#[test]` per property, draws inputs from [`strategy::Strategy`]
+//! implementations (integer/float ranges, tuples, `collection::vec`,
+//! `bool::ANY`) with a deterministic RNG, and runs the body for
+//! `ProptestConfig::cases` accepted cases. `prop_assert!`-family macros
+//! are plain assertions; `prop_assume!` rejects the case and redraws.
+//!
+//! Deliberately absent: shrinking (a failing case panics with the
+//! assertion message only), persistence files, and the combinator DSL
+//! (`prop_map`, `prop_filter`, ...). Grow those if a test needs them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Deterministic RNG and run configuration.
+pub mod test_runner {
+    /// Marker for a rejected test case (`prop_assume!` failed); the
+    /// runner redraws instead of counting the case.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Rejected;
+
+    /// Run configuration; only `cases` is honoured.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases each property must pass.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 128 keeps the debug-mode
+            // suite fast while still exercising the input space.
+            ProptestConfig { cases: 128 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// SplitMix64 — deterministic so test runs are reproducible.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A fixed-seed RNG; every test run draws the same cases.
+        pub fn deterministic() -> Self {
+            TestRng { state: 0x9e37_79b9_7f4a_7c15 }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)` with 53 bits of precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// Input-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for drawing one value of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! range_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+    range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A.0, B.1);
+    tuple_strategy!(A.0, B.1, C.2);
+    tuple_strategy!(A.0, B.1, C.2, D.3);
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of `element` values with a length drawn
+    /// from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy drawing either boolean with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Glob-import surface matching `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace mirror so `prop::collection::vec` resolves.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` drawing inputs until `cases` accepted runs pass.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __pt_cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __pt_rng = $crate::test_runner::TestRng::deterministic();
+                let mut __pt_accepted: u32 = 0;
+                let mut __pt_attempts: u32 = 0;
+                while __pt_accepted < __pt_cfg.cases {
+                    __pt_attempts += 1;
+                    assert!(
+                        __pt_attempts <= __pt_cfg.cases.saturating_mul(16).max(64),
+                        "prop_assume! rejected too many cases ({} attempts for {} accepted)",
+                        __pt_attempts,
+                        __pt_accepted,
+                    );
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strat), &mut __pt_rng);
+                    )+
+                    let __pt_outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::Rejected,
+                    > = (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if __pt_outcome.is_ok() {
+                        __pt_accepted += 1;
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body (no shrinking: this is a
+/// plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Rejects the current case, causing the runner to redraw without
+/// counting it toward `cases`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..1000 {
+            let v = (5u64..17).sample(&mut rng);
+            assert!((5..17).contains(&v));
+            let f = (-2.0f64..3.0).sample(&mut rng);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_len_range() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..200 {
+            let v = prop::collection::vec(0u32..10, 2..6).sample(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: draws tuples, honours assume, runs bodies.
+        #[test]
+        fn macro_smoke(a in 0u8..4, b in 1u64..100, flag in crate::bool::ANY) {
+            prop_assume!(b != 50);
+            prop_assert!(a < 4);
+            prop_assert_eq!(b < 100, true);
+            let _ = flag;
+        }
+    }
+}

@@ -38,7 +38,10 @@ pub enum AdaptAction {
 ///
 /// Panics if `capacity` is not strictly positive or `load` is negative.
 pub fn adaptation_action(load: f64, capacity: f64, params: &ErtParams) -> AdaptAction {
-    assert!(capacity.is_finite() && capacity > 0.0, "invalid capacity: {capacity}");
+    assert!(
+        capacity.is_finite() && capacity > 0.0,
+        "invalid capacity: {capacity}"
+    );
     assert!(load.is_finite() && load >= 0.0, "invalid load: {load}");
     let g = load / capacity;
     if g > params.gamma_l {
@@ -96,7 +99,11 @@ pub fn select_shed_victims<Id: Copy>(fingers: &[ShedCandidate<Id>], count: u32) 
                 .expect("physical distances must not be NaN"),
         )
     });
-    sorted.into_iter().take(count as usize).map(|c| c.id).collect()
+    sorted
+        .into_iter()
+        .take(count as usize)
+        .map(|c| c.id)
+        .collect()
 }
 
 #[cfg(test)]
@@ -104,7 +111,11 @@ mod tests {
     use super::*;
 
     fn params(gamma_l: f64, mu: f64) -> ErtParams {
-        ErtParams { gamma_l, mu, ..ErtParams::default() }
+        ErtParams {
+            gamma_l,
+            mu,
+            ..ErtParams::default()
+        }
     }
 
     #[test]
@@ -140,10 +151,26 @@ mod tests {
     #[test]
     fn victims_ordered_by_logical_then_physical() {
         let fingers = vec![
-            ShedCandidate { id: 1, logical_distance: 5, physical_distance: 0.9 },
-            ShedCandidate { id: 2, logical_distance: 7, physical_distance: 0.1 },
-            ShedCandidate { id: 3, logical_distance: 7, physical_distance: 0.2 },
-            ShedCandidate { id: 4, logical_distance: 1, physical_distance: 0.5 },
+            ShedCandidate {
+                id: 1,
+                logical_distance: 5,
+                physical_distance: 0.9,
+            },
+            ShedCandidate {
+                id: 2,
+                logical_distance: 7,
+                physical_distance: 0.1,
+            },
+            ShedCandidate {
+                id: 3,
+                logical_distance: 7,
+                physical_distance: 0.2,
+            },
+            ShedCandidate {
+                id: 4,
+                logical_distance: 1,
+                physical_distance: 0.5,
+            },
         ];
         assert_eq!(select_shed_victims(&fingers, 3), vec![3, 2, 1]);
         // Asking for more than exist returns all.

@@ -76,8 +76,11 @@ pub fn build_table<D: Directory>(dir: &mut D, node: D::Id, rng: &mut SimRng) -> 
         if candidates.is_empty() {
             continue;
         }
-        let with_spare: Vec<D::Id> =
-            candidates.iter().copied().filter(|&c| dir.spare_indegree(c) >= 1).collect();
+        let with_spare: Vec<D::Id> = candidates
+            .iter()
+            .copied()
+            .filter(|&c| dir.spare_indegree(c) >= 1)
+            .collect();
         let chosen = if with_spare.is_empty() {
             candidates
                 .iter()
@@ -151,14 +154,27 @@ mod tests {
         type Slot = u8;
 
         fn table_slots(&self, node: u32) -> Vec<(u8, Vec<u32>)> {
-            let evens = self.members.iter().copied().filter(|m| m % 2 == 0 && *m != node);
-            let odds = self.members.iter().copied().filter(|m| m % 2 == 1 && *m != node);
+            let evens = self
+                .members
+                .iter()
+                .copied()
+                .filter(|m| m % 2 == 0 && *m != node);
+            let odds = self
+                .members
+                .iter()
+                .copied()
+                .filter(|m| m % 2 == 1 && *m != node);
             vec![(0, evens.collect()), (1, odds.collect())]
         }
 
         fn inlink_candidates(&self, node: u32) -> Vec<(u8, u32)> {
             let slot = (node % 2) as u8;
-            self.members.iter().copied().filter(|&m| m != node).map(|m| (slot, m)).collect()
+            self.members
+                .iter()
+                .copied()
+                .filter(|&m| m != node)
+                .map(|m| (slot, m))
+                .collect()
         }
 
         fn spare_indegree(&self, node: u32) -> i64 {
@@ -242,7 +258,10 @@ mod tests {
 
     #[test]
     fn target_formula() {
-        let p = ErtParams { beta: 0.5, ..ErtParams::default() };
+        let p = ErtParams {
+            beta: 0.5,
+            ..ErtParams::default()
+        };
         assert_eq!(initial_indegree_target(&p, 11), 6); // round(5.5)
         assert_eq!(initial_indegree_target(&p, 0), 1);
     }

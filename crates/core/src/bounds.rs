@@ -51,10 +51,19 @@ pub fn theorem32_adapted_indegree_bounds(
     nu_min: f64,
     nu_max: f64,
 ) -> (f64, f64) {
-    assert!(capacity > 0.0 && nu_min > 0.0 && nu_max > 0.0, "invalid inputs");
-    assert!(gamma_c >= 1.0 && gamma_l >= 1.0, "gammas must be at least 1");
+    assert!(
+        capacity > 0.0 && nu_min > 0.0 && nu_max > 0.0,
+        "invalid inputs"
+    );
+    assert!(
+        gamma_c >= 1.0 && gamma_l >= 1.0,
+        "gammas must be at least 1"
+    );
     assert!(nu_min <= nu_max, "nu_min must not exceed nu_max");
-    (capacity / (gamma_c * gamma_l * nu_max), capacity * gamma_c * gamma_l / nu_min)
+    (
+        capacity / (gamma_c * gamma_l * nu_max),
+        capacity * gamma_c * gamma_l / nu_min,
+    )
 }
 
 /// Theorem 3.3's leading term: a Cycloid node's outdegree is at most
@@ -64,14 +73,12 @@ pub fn theorem32_adapted_indegree_bounds(
 /// # Panics
 ///
 /// Panics if any argument is non-positive or the gammas are below 1.
-pub fn theorem33_outdegree_bound(
-    c_max: f64,
-    gamma_c: f64,
-    gamma_l: f64,
-    nu_min: f64,
-) -> f64 {
+pub fn theorem33_outdegree_bound(c_max: f64, gamma_c: f64, gamma_l: f64, nu_min: f64) -> f64 {
     assert!(c_max > 0.0 && nu_min > 0.0, "invalid inputs");
-    assert!(gamma_c >= 1.0 && gamma_l >= 1.0, "gammas must be at least 1");
+    assert!(
+        gamma_c >= 1.0 && gamma_l >= 1.0,
+        "gammas must be at least 1"
+    );
     2.0 * gamma_c * gamma_l * c_max / nu_min
 }
 

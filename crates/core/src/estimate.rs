@@ -32,7 +32,10 @@ pub struct Estimator {
 impl Default for Estimator {
     /// An exact estimator (`γ_c = γ_n = 1`), the simulation default.
     fn default() -> Self {
-        Estimator { gamma_c: 1.0, gamma_n: 1.0 }
+        Estimator {
+            gamma_c: 1.0,
+            gamma_n: 1.0,
+        }
     }
 }
 
@@ -43,8 +46,14 @@ impl Estimator {
     ///
     /// Panics unless both factors are at least 1 and finite.
     pub fn new(gamma_c: f64, gamma_n: f64) -> Self {
-        assert!(gamma_c.is_finite() && gamma_c >= 1.0, "invalid gamma_c: {gamma_c}");
-        assert!(gamma_n.is_finite() && gamma_n >= 1.0, "invalid gamma_n: {gamma_n}");
+        assert!(
+            gamma_c.is_finite() && gamma_c >= 1.0,
+            "invalid gamma_c: {gamma_c}"
+        );
+        assert!(
+            gamma_n.is_finite() && gamma_n >= 1.0,
+            "invalid gamma_n: {gamma_n}"
+        );
         Estimator { gamma_c, gamma_n }
     }
 
@@ -106,7 +115,9 @@ mod tests {
     fn estimates_spread_above_and_below_truth() {
         let est = Estimator::new(2.0, 2.0);
         let mut rng = SimRng::seed_from(3);
-        let samples: Vec<f64> = (0..500).map(|_| est.estimate_capacity(1.0, &mut rng)).collect();
+        let samples: Vec<f64> = (0..500)
+            .map(|_| est.estimate_capacity(1.0, &mut rng))
+            .collect();
         assert!(samples.iter().any(|&c| c > 1.1));
         assert!(samples.iter().any(|&c| c < 0.9));
     }

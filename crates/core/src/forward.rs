@@ -138,13 +138,19 @@ pub fn choose_next_b<Id: Copy + Eq + Hash + std::fmt::Debug>(
         return None;
     }
     for c in candidates {
-        assert!(c.capacity > 0.0, "candidate {:?} has non-positive capacity", c.id);
+        assert!(
+            c.capacity > 0.0,
+            "candidate {:?} has non-positive capacity",
+            c.id
+        );
     }
     // Exclude known-overloaded nodes unless that empties the pool
     // (Algorithm 4 line 3).
     let pool: Vec<&Candidate<Id>> = {
-        let filtered: Vec<&Candidate<Id>> =
-            candidates.iter().filter(|c| !avoid.contains(&c.id)).collect();
+        let filtered: Vec<&Candidate<Id>> = candidates
+            .iter()
+            .filter(|c| !avoid.contains(&c.id))
+            .collect();
         if filtered.is_empty() {
             candidates.iter().collect()
         } else {
@@ -180,7 +186,10 @@ pub fn choose_next_b<Id: Copy + Eq + Hash + std::fmt::Debug>(
                 probes: 0,
             })
         }
-        ForwardPolicy::TwoChoice { topology_aware, use_memory } => {
+        ForwardPolicy::TwoChoice {
+            topology_aware,
+            use_memory,
+        } => {
             // Assemble the poll set: the remembered candidate first (it
             // is a free extra choice), then fresh random draws up to b.
             let b = probe_width.min(pool.len()).max(1);
@@ -205,19 +214,23 @@ pub fn choose_next_b<Id: Copy + Eq + Hash + std::fmt::Debug>(
             }
             debug_assert!(!polled.is_empty());
 
-            let light: Vec<&Candidate<Id>> =
-                polled.iter().copied().filter(|c| !c.is_heavy(gamma_l)).collect();
-            let newly_overloaded: Vec<Id> =
-                polled.iter().filter(|c| c.is_heavy(gamma_l)).map(|c| c.id).collect();
+            let light: Vec<&Candidate<Id>> = polled
+                .iter()
+                .copied()
+                .filter(|c| !c.is_heavy(gamma_l))
+                .collect();
+            let newly_overloaded: Vec<Id> = polled
+                .iter()
+                .filter(|c| c.is_heavy(gamma_l))
+                .map(|c| c.id)
+                .collect();
 
             let chosen: &Candidate<Id> = if light.is_empty() {
                 // All heavy: the least heavily loaded takes it anyway.
                 polled
                     .iter()
                     .copied()
-                    .min_by(|x, y| {
-                        x.congestion().partial_cmp(&y.congestion()).expect("no NaN")
-                    })
+                    .min_by(|x, y| x.congestion().partial_cmp(&y.congestion()).expect("no NaN"))
                     .expect("polled nonempty")
             } else if topology_aware {
                 light
@@ -266,11 +279,20 @@ mod tests {
     use super::*;
 
     fn cand(id: u32, load: f64, logical: u64, physical: f64) -> Candidate<u32> {
-        Candidate { id, load, capacity: 10.0, logical_distance: logical, physical_distance: physical }
+        Candidate {
+            id,
+            load,
+            capacity: 10.0,
+            logical_distance: logical,
+            physical_distance: physical,
+        }
     }
 
     fn two_choice() -> ForwardPolicy {
-        ForwardPolicy::TwoChoice { topology_aware: true, use_memory: false }
+        ForwardPolicy::TwoChoice {
+            topology_aware: true,
+            use_memory: false,
+        }
     }
 
     #[test]
@@ -284,7 +306,11 @@ mod tests {
     #[test]
     fn deterministic_prefers_logical_then_physical() {
         let mut rng = SimRng::seed_from(2);
-        let cands = [cand(1, 0.0, 5, 0.1), cand(2, 0.0, 2, 0.9), cand(3, 0.0, 2, 0.2)];
+        let cands = [
+            cand(1, 0.0, 5, 0.1),
+            cand(2, 0.0, 2, 0.9),
+            cand(3, 0.0, 2, 0.2),
+        ];
         let c = choose_next(
             ForwardPolicy::Deterministic,
             &cands,
@@ -301,7 +327,11 @@ mod tests {
     #[test]
     fn random_walk_covers_candidates() {
         let mut rng = SimRng::seed_from(3);
-        let cands = [cand(1, 0.0, 1, 0.1), cand(2, 0.0, 1, 0.1), cand(3, 0.0, 1, 0.1)];
+        let cands = [
+            cand(1, 0.0, 1, 0.1),
+            cand(2, 0.0, 1, 0.1),
+            cand(3, 0.0, 1, 0.1),
+        ];
         let mut seen = HashSet::new();
         for _ in 0..100 {
             let c = choose_next(
@@ -324,9 +354,15 @@ mod tests {
         let light = cand(1, 2.0, 9, 0.9);
         let heavy = cand(2, 50.0, 1, 0.1);
         for _ in 0..50 {
-            let c =
-                choose_next(two_choice(), &[light, heavy], None, &HashSet::new(), 1.0, &mut rng)
-                    .unwrap();
+            let c = choose_next(
+                two_choice(),
+                &[light, heavy],
+                None,
+                &HashSet::new(),
+                1.0,
+                &mut rng,
+            )
+            .unwrap();
             assert_eq!(c.next, 1);
             assert_eq!(c.newly_overloaded, vec![2]);
         }
@@ -337,8 +373,15 @@ mod tests {
         let mut rng = SimRng::seed_from(5);
         let h1 = cand(1, 40.0, 1, 0.1);
         let h2 = cand(2, 60.0, 1, 0.1);
-        let c = choose_next(two_choice(), &[h1, h2], None, &HashSet::new(), 1.0, &mut rng)
-            .unwrap();
+        let c = choose_next(
+            two_choice(),
+            &[h1, h2],
+            None,
+            &HashSet::new(),
+            1.0,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(c.next, 1);
         let mut reported = c.newly_overloaded.clone();
         reported.sort_unstable();
@@ -351,8 +394,15 @@ mod tests {
         let near = cand(1, 5.0, 2, 0.5);
         let far = cand(2, 1.0, 7, 0.1);
         for _ in 0..50 {
-            let c = choose_next(two_choice(), &[near, far], None, &HashSet::new(), 1.0, &mut rng)
-                .unwrap();
+            let c = choose_next(
+                two_choice(),
+                &[near, far],
+                None,
+                &HashSet::new(),
+                1.0,
+                &mut rng,
+            )
+            .unwrap();
             assert_eq!(c.next, 1, "logical distance should win over load");
         }
         // Same logical distance: physical breaks the tie.
@@ -368,7 +418,10 @@ mod tests {
     #[test]
     fn both_light_load_based_without_topology() {
         let mut rng = SimRng::seed_from(7);
-        let policy = ForwardPolicy::TwoChoice { topology_aware: false, use_memory: false };
+        let policy = ForwardPolicy::TwoChoice {
+            topology_aware: false,
+            use_memory: false,
+        };
         let a = cand(1, 5.0, 1, 0.1);
         let b = cand(2, 1.0, 9, 0.9);
         for _ in 0..50 {
@@ -396,19 +449,36 @@ mod tests {
     #[test]
     fn memory_is_used_as_first_choice() {
         let mut rng = SimRng::seed_from(9);
-        let policy = ForwardPolicy::TwoChoice { topology_aware: false, use_memory: true };
+        let policy = ForwardPolicy::TwoChoice {
+            topology_aware: false,
+            use_memory: true,
+        };
         // Memory points at the lightest node; with two candidates the
         // pair is always {memory, other}, so the memory node must win.
         let light = cand(1, 0.0, 1, 0.1);
         let heavy = cand(2, 9.0, 1, 0.1);
         for _ in 0..30 {
-            let c = choose_next(policy, &[light, heavy], Some(1), &HashSet::new(), 1.0, &mut rng)
-                .unwrap();
+            let c = choose_next(
+                policy,
+                &[light, heavy],
+                Some(1),
+                &HashSet::new(),
+                1.0,
+                &mut rng,
+            )
+            .unwrap();
             assert_eq!(c.next, 1);
         }
         // Stale memory (id 99 not a candidate) must not panic.
-        let c = choose_next(policy, &[light, heavy], Some(99), &HashSet::new(), 1.0, &mut rng)
-            .unwrap();
+        let c = choose_next(
+            policy,
+            &[light, heavy],
+            Some(99),
+            &HashSet::new(),
+            1.0,
+            &mut rng,
+        )
+        .unwrap();
         assert!([1, 2].contains(&c.next));
     }
 

@@ -134,11 +134,35 @@ mod tests {
             (ErtParams { alpha: 0.0, ..base }, "alpha"),
             (ErtParams { beta: 0.0, ..base }, "beta"),
             (ErtParams { beta: 1.5, ..base }, "beta"),
-            (ErtParams { gamma_l: 0.5, ..base }, "gamma_l"),
+            (
+                ErtParams {
+                    gamma_l: 0.5,
+                    ..base
+                },
+                "gamma_l",
+            ),
             (ErtParams { mu: 0.0, ..base }, "mu"),
-            (ErtParams { adaptation_period: SimDuration::ZERO, ..base }, "period"),
-            (ErtParams { probe_width: 0, ..base }, "probe"),
-            (ErtParams { leaf_window: 0, ..base }, "leaf"),
+            (
+                ErtParams {
+                    adaptation_period: SimDuration::ZERO,
+                    ..base
+                },
+                "period",
+            ),
+            (
+                ErtParams {
+                    probe_width: 0,
+                    ..base
+                },
+                "probe",
+            ),
+            (
+                ErtParams {
+                    leaf_window: 0,
+                    ..base
+                },
+                "leaf",
+            ),
         ] {
             let err = p.validate().unwrap_err();
             assert!(err.to_string().contains(msg), "{err} should mention {msg}");

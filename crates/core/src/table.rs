@@ -39,7 +39,11 @@ pub struct ElasticTable<S: Ord, Id> {
 impl<S: Ord + Copy, Id: Copy + Eq> ElasticTable<S, Id> {
     /// Creates an empty table.
     pub fn new() -> Self {
-        ElasticTable { slots: BTreeMap::new(), backward: Vec::new(), memory: BTreeMap::new() }
+        ElasticTable {
+            slots: BTreeMap::new(),
+            backward: Vec::new(),
+            memory: BTreeMap::new(),
+        }
     }
 
     /// The neighbors currently held in `slot` (empty if none).
@@ -87,7 +91,9 @@ impl<S: Ord + Copy, Id: Copy + Eq> ElasticTable<S, Id> {
 
     /// Iterates `(slot, neighbor)` pairs.
     pub fn iter_outlinks(&self) -> impl Iterator<Item = (S, Id)> + '_ {
-        self.slots.iter().flat_map(|(&s, ids)| ids.iter().map(move |&id| (s, id)))
+        self.slots
+            .iter()
+            .flat_map(|(&s, ids)| ids.iter().map(move |&id| (s, id)))
     }
 
     /// Whether `id` appears in any slot.
@@ -97,7 +103,10 @@ impl<S: Ord + Copy, Id: Copy + Eq> ElasticTable<S, Id> {
 
     /// The slots with at least one neighbor.
     pub fn occupied_slots(&self) -> impl Iterator<Item = S> + '_ {
-        self.slots.iter().filter(|(_, ids)| !ids.is_empty()).map(|(&s, _)| s)
+        self.slots
+            .iter()
+            .filter(|(_, ids)| !ids.is_empty())
+            .map(|(&s, _)| s)
     }
 
     /// Records an inlink holder; returns `false` if already recorded.
@@ -152,8 +161,12 @@ impl<S: Ord + Copy, Id: Copy + Eq> ElasticTable<S, Id> {
             touched |= entry.len() != before;
         }
         touched |= self.remove_backward(id);
-        let slots_to_clear: Vec<S> =
-            self.memory.iter().filter(|&(_, &m)| m == id).map(|(&s, _)| s).collect();
+        let slots_to_clear: Vec<S> = self
+            .memory
+            .iter()
+            .filter(|&(_, &m)| m == id)
+            .map(|(&s, _)| s)
+            .collect();
         for s in slots_to_clear {
             self.memory.remove(&s);
             touched = true;

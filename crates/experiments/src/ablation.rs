@@ -30,15 +30,24 @@ pub fn forwarding_ladder() -> Vec<ProtocolSpec> {
         ert_with_forwarding("random-walk", ForwardPolicy::RandomWalk),
         ert_with_forwarding(
             "2choice",
-            ForwardPolicy::TwoChoice { topology_aware: false, use_memory: false },
+            ForwardPolicy::TwoChoice {
+                topology_aware: false,
+                use_memory: false,
+            },
         ),
         ert_with_forwarding(
             "2choice+topo",
-            ForwardPolicy::TwoChoice { topology_aware: true, use_memory: false },
+            ForwardPolicy::TwoChoice {
+                topology_aware: true,
+                use_memory: false,
+            },
         ),
         ert_with_forwarding(
             "2choice+topo+mem",
-            ForwardPolicy::TwoChoice { topology_aware: true, use_memory: true },
+            ForwardPolicy::TwoChoice {
+                topology_aware: true,
+                use_memory: true,
+            },
         ),
     ]
 }
@@ -55,15 +64,24 @@ fn summary_row(r: &RunReport) -> Vec<String> {
     ]
 }
 
-const SUMMARY_HEADER: [&str; 7] =
-    ["variant", "p99 cong", "p99 share", "heavy", "path", "time_s", "probes"];
+const SUMMARY_HEADER: [&str; 7] = [
+    "variant",
+    "p99 cong",
+    "p99 share",
+    "heavy",
+    "path",
+    "time_s",
+    "probes",
+];
 
 /// Ablation of Algorithm 4's ingredients on a fixed scenario.
 pub fn forwarding_table(base: &Scenario) -> Table {
     let specs = forwarding_ladder();
     let reports = base.run_all(&specs);
-    let mut t = Table::new("Ablation fwd — forwarding-policy ladder (ERT tables + adaptation)",
-        &SUMMARY_HEADER);
+    let mut t = Table::new(
+        "Ablation fwd — forwarding-policy ladder (ERT tables + adaptation)",
+        &SUMMARY_HEADER,
+    );
     for r in &reports {
         t.row(summary_row(r));
     }
@@ -74,7 +92,13 @@ pub fn forwarding_table(base: &Scenario) -> Table {
 pub fn alpha_table(base: &Scenario, alphas: &[f64]) -> Table {
     let mut t = Table::new(
         "Ablation alpha — indegree per unit capacity",
-        &["alpha", "p99 cong", "p99 share", "mean max indegree", "time_s"],
+        &[
+            "alpha",
+            "p99 cong",
+            "p99 share",
+            "mean max indegree",
+            "time_s",
+        ],
     );
     for &alpha in alphas {
         let spec = ProtocolSpec::ert_af();
@@ -103,7 +127,13 @@ pub fn alpha_table(base: &Scenario, alphas: &[f64]) -> Table {
 pub fn beta_table(base: &Scenario, betas: &[f64]) -> Table {
     let mut t = Table::new(
         "Ablation beta — initial indegree reservation",
-        &["beta", "p99 cong", "p99 share", "mean max indegree", "time_s"],
+        &[
+            "beta",
+            "p99 cong",
+            "p99 share",
+            "mean max indegree",
+            "time_s",
+        ],
     );
     for &beta in betas {
         let spec = ProtocolSpec::ert_af();
@@ -172,7 +202,10 @@ mod tests {
         let t = alpha_table(&s, &[4.0, 16.0]);
         let small: f64 = t.rows[0][3].parse().unwrap();
         let large: f64 = t.rows[1][3].parse().unwrap();
-        assert!(large > small, "bigger alpha should mean bigger tables: {small} vs {large}");
+        assert!(
+            large > small,
+            "bigger alpha should mean bigger tables: {small} vs {large}"
+        );
     }
 
     #[test]
@@ -181,8 +214,15 @@ mod tests {
         s.lookups = 200;
         let t = probe_width_table(&s, &[1, 2, 4]);
         let probes: Vec<f64> = t.rows.iter().map(|r| r[4].parse().unwrap()).collect();
-        assert!(probes[0] <= probes[1] && probes[1] <= probes[2], "{probes:?}");
-        assert!(probes[2] > 2.0, "b=4 should poll more than 2: {}", probes[2]);
+        assert!(
+            probes[0] <= probes[1] && probes[1] <= probes[2],
+            "{probes:?}"
+        );
+        assert!(
+            probes[2] > 2.0,
+            "b=4 should poll more than 2: {}",
+            probes[2]
+        );
     }
 
     #[test]

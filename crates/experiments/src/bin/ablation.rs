@@ -1,12 +1,13 @@
 //! Ablation sweeps of the design choices: the forwarding ladder and the
 //! `α` / `β` sensitivities.
 //!
-//! Usage: `ablation [--quick] [--seeds K]`
+//! Usage: `ablation [--quick] [--seeds K] [--telemetry <path.jsonl>]
+//! [--sample-interval <secs>] [--trace <N>]`
 
 use std::path::Path;
 
 use ert_experiments::report::emit;
-use ert_experiments::{ablation, Scenario};
+use ert_experiments::{ablation, Scenario, TelemetryOpts};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -18,7 +19,10 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(if quick { 1 } else { 2 });
     let base = if quick {
-        Scenario { seeds: (1..=seeds as u64).collect(), ..Scenario::quick(8) }
+        Scenario {
+            seeds: (1..=seeds as u64).collect(),
+            ..Scenario::quick(8)
+        }
     } else {
         Scenario::paper_default(seeds)
     };
@@ -30,4 +34,5 @@ fn main() {
         ablation::probe_width_table(&base, &[1, 2, 3, 4]),
     ];
     emit(&tables, Some(Path::new("results")));
+    TelemetryOpts::from_env().capture(&base, &ert_network::ProtocolSpec::ert_af());
 }

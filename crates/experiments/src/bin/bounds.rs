@@ -12,13 +12,22 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (n, lookups) = if quick { (128, 250) } else { (2048, 3000) };
     let params = ErtParams::default();
-    let cases = [(50.0, 0.5), (10.0, 1.0), (100.0, 0.25), (5.0, 2.0), (30.0, 0.1)];
+    let cases = [
+        (50.0, 0.5),
+        (10.0, 1.0),
+        (100.0, 0.25),
+        (5.0, 2.0),
+        (30.0, 0.1),
+    ];
     let (t31_exact, ok1) = bounds::theorem31_check(n, 1.0, 51);
     let (t31_err, ok2) = bounds::theorem31_check(n, 1.5, 52);
     let (t32_conv, ok3) = bounds::theorem32_convergence(&cases, &params);
     let t32_net = bounds::theorem32_check(n, lookups, 53);
     let (t33, ok4) = bounds::theorem33_check(n, lookups, 54);
-    emit(&[t31_exact, t31_err, t32_conv, t32_net, t33], Some(Path::new("results")));
+    emit(
+        &[t31_exact, t31_err, t32_conv, t32_net, t33],
+        Some(Path::new("results")),
+    );
     assert!(ok1 && ok2 && ok3 && ok4, "a theorem bound was violated");
     println!("All theorem bounds hold.");
 }

@@ -1,12 +1,13 @@
 //! Extension experiments beyond the paper's figures: Zipf popularity,
 //! drifting hot sets, and anonymity-mode data forwarding.
 //!
-//! Usage: `extensions [--quick] [--seeds K]`
+//! Usage: `extensions [--quick] [--seeds K] [--telemetry <path.jsonl>]
+//! [--sample-interval <secs>] [--trace <N>]`
 
 use std::path::Path;
 
 use ert_experiments::report::emit;
-use ert_experiments::{extensions, Scenario};
+use ert_experiments::{extensions, Scenario, TelemetryOpts};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -18,7 +19,10 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(if quick { 1 } else { 2 });
     let base = if quick {
-        Scenario { seeds: (1..=seeds as u64).collect(), ..Scenario::quick(9) }
+        Scenario {
+            seeds: (1..=seeds as u64).collect(),
+            ..Scenario::quick(9)
+        }
     } else {
         Scenario::paper_default(seeds)
     };
@@ -33,4 +37,5 @@ fn main() {
         ert_experiments::chord::cross_overlay_table(&base),
     ];
     emit(&tables, Some(Path::new("results")));
+    TelemetryOpts::from_env().capture(&base, &ert_network::ProtocolSpec::ert_af());
 }

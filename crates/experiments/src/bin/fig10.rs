@@ -1,12 +1,13 @@
 //! Regenerates Fig. 10 (lookup efficiency under churn) and the
 //! Section 5.5 timeout statistic.
 //!
-//! Usage: `fig10 [--quick] [--seeds K]`
+//! Usage: `fig10 [--quick] [--seeds K] [--telemetry <path.jsonl>]
+//! [--sample-interval <secs>] [--trace <N>]`
 
 use std::path::Path;
 
 use ert_experiments::report::emit;
-use ert_experiments::{fig10, fig9, Scenario};
+use ert_experiments::{fig10, fig9, Scenario, TelemetryOpts};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -19,7 +20,10 @@ fn main() {
         .unwrap_or(if quick { 1 } else { 2 });
     let (base, ias) = if quick {
         (
-            Scenario { seeds: (1..=seeds as u64).collect(), ..Scenario::quick(6) },
+            Scenario {
+                seeds: (1..=seeds as u64).collect(),
+                ..Scenario::quick(6)
+            },
             fig9::quick_interarrivals(),
         )
     } else {
@@ -27,4 +31,10 @@ fn main() {
     };
     let sweep = fig9::churn_sweep(&base, &ias);
     emit(&fig10::tables(&sweep), Some(Path::new("results")));
+    let mut churned = base;
+    churned.churn = Some(ert_experiments::ChurnSpec {
+        join_interarrival: ias[0],
+        leave_interarrival: ias[0],
+    });
+    TelemetryOpts::from_env().capture(&churned, &ert_network::ProtocolSpec::ert_af());
 }

@@ -1,16 +1,19 @@
 //! Regenerates Fig. 4 (congestion control effectiveness).
 //!
-//! Usage: `fig4 [--quick] [--seeds K]`
+//! Usage: `fig4 [--quick] [--seeds K] [--telemetry <path.jsonl>]
+//! [--sample-interval <secs>] [--trace <N>]`
 
 use std::path::Path;
 
 use ert_experiments::report::emit;
-use ert_experiments::{fig4, Scenario};
+use ert_experiments::{fig4, Scenario, TelemetryOpts};
+use ert_network::ProtocolSpec;
 
 fn main() {
     let (base, points) = scale_from_args();
     let tables = fig4::run(&base, &points);
     emit(&tables, Some(Path::new("results")));
+    TelemetryOpts::from_env().capture(&base, &ProtocolSpec::ert_af());
 }
 
 fn scale_from_args() -> (Scenario, Vec<usize>) {
@@ -23,7 +26,13 @@ fn scale_from_args() -> (Scenario, Vec<usize>) {
         .and_then(|v| v.parse().ok())
         .unwrap_or(if quick { 1 } else { 3 });
     if quick {
-        (Scenario { seeds: (1..=seeds as u64).collect(), ..Scenario::quick(1) }, fig4::quick_points())
+        (
+            Scenario {
+                seeds: (1..=seeds as u64).collect(),
+                ..Scenario::quick(1)
+            },
+            fig4::quick_points(),
+        )
     } else {
         (Scenario::paper_default(seeds), fig4::paper_points())
     }

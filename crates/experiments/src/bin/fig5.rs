@@ -1,11 +1,12 @@
 //! Regenerates Fig. 5 (lookup efficiency).
 //!
-//! Usage: `fig5 [--quick] [--seeds K]`
+//! Usage: `fig5 [--quick] [--seeds K] [--telemetry <path.jsonl>]
+//! [--sample-interval <secs>] [--trace <N>]`
 
 use std::path::Path;
 
 use ert_experiments::report::emit;
-use ert_experiments::{fig4, fig5, Scenario};
+use ert_experiments::{fig4, fig5, Scenario, TelemetryOpts};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -18,15 +19,26 @@ fn main() {
         .unwrap_or(if quick { 1 } else { 3 });
     let (base, points, sizes) = if quick {
         (
-            Scenario { seeds: (1..=seeds as u64).collect(), ..Scenario::quick(2) },
+            Scenario {
+                seeds: (1..=seeds as u64).collect(),
+                ..Scenario::quick(2)
+            },
             fig4::quick_points(),
             fig5::quick_sizes(),
         )
     } else {
-        (Scenario::paper_default(seeds), fig4::paper_points(), fig5::paper_sizes())
+        (
+            Scenario::paper_default(seeds),
+            fig4::paper_points(),
+            fig5::paper_sizes(),
+        )
     };
     let sweep = fig4::lookup_sweep(&base, &points);
-    let tables =
-        vec![fig5::table_5a(&sweep), fig5::table_5b(&base, &sizes), fig5::table_5c(&base)];
+    let tables = vec![
+        fig5::table_5a(&sweep),
+        fig5::table_5b(&base, &sizes),
+        fig5::table_5c(&base),
+    ];
     emit(&tables, Some(Path::new("results")));
+    TelemetryOpts::from_env().capture(&base, &ert_network::ProtocolSpec::ert_af());
 }

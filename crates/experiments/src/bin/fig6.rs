@@ -9,7 +9,11 @@ use ert_experiments::report::emit;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let dims: Vec<u8> = if quick { vec![4, 5, 6] } else { vec![6, 7, 8, 9, 10] };
+    let dims: Vec<u8> = if quick {
+        vec![4, 5, 6]
+    } else {
+        vec![6, 7, 8, 9, 10]
+    };
     let detail_dim = if quick { 5 } else { 8 };
     let tables = vec![
         fig6::summary_table(&dims, true, 8),

@@ -1,11 +1,12 @@
 //! Regenerates Fig. 7 (degrees and maintenance cost).
 //!
-//! Usage: `fig7 [--quick] [--seeds K]`
+//! Usage: `fig7 [--quick] [--seeds K] [--telemetry <path.jsonl>]
+//! [--sample-interval <secs>] [--trace <N>]`
 
 use std::path::Path;
 
 use ert_experiments::report::emit;
-use ert_experiments::{fig4, fig7, Scenario};
+use ert_experiments::{fig4, fig7, Scenario, TelemetryOpts};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -17,10 +18,17 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(if quick { 1 } else { 3 });
     let (base, points) = if quick {
-        (Scenario { seeds: (1..=seeds as u64).collect(), ..Scenario::quick(3) }, fig4::quick_points())
+        (
+            Scenario {
+                seeds: (1..=seeds as u64).collect(),
+                ..Scenario::quick(3)
+            },
+            fig4::quick_points(),
+        )
     } else {
         (Scenario::paper_default(seeds), fig4::paper_points())
     };
     let sweep = fig4::lookup_sweep(&base, &points);
     emit(&fig7::tables(&sweep), Some(Path::new("results")));
+    TelemetryOpts::from_env().capture(&base, &ert_network::ProtocolSpec::ert_af());
 }

@@ -1,11 +1,12 @@
 //! Regenerates Fig. 8 (skewed lookups).
 //!
-//! Usage: `fig8 [--quick] [--seeds K]`
+//! Usage: `fig8 [--quick] [--seeds K] [--telemetry <path.jsonl>]
+//! [--sample-interval <secs>] [--trace <N>]`
 
 use std::path::Path;
 
 use ert_experiments::report::emit;
-use ert_experiments::{fig8, Scenario};
+use ert_experiments::{fig8, Scenario, TelemetryOpts};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -18,14 +19,26 @@ fn main() {
         .unwrap_or(if quick { 1 } else { 3 });
     let (base, services, nodes, keys) = if quick {
         (
-            Scenario { seeds: (1..=seeds as u64).collect(), ..Scenario::quick(4) },
+            Scenario {
+                seeds: (1..=seeds as u64).collect(),
+                ..Scenario::quick(4)
+            },
             fig8::quick_services(),
             20,
             5,
         )
     } else {
-        (Scenario::paper_default(seeds), fig8::paper_services(), 100, 50)
+        (
+            Scenario::paper_default(seeds),
+            fig8::paper_services(),
+            100,
+            50,
+        )
     };
     let sweep = fig8::service_sweep(&base, &services, nodes, keys);
     emit(&fig8::tables(&sweep), Some(Path::new("results")));
+    // Capture under the impulse workload so the stream shows the skew.
+    let mut impulse = base;
+    impulse.workload = ert_experiments::Workload::Impulse { nodes, keys };
+    TelemetryOpts::from_env().capture(&impulse, &ert_network::ProtocolSpec::ert_af());
 }

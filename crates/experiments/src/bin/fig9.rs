@@ -1,11 +1,12 @@
 //! Regenerates Fig. 9 (congestion under churn).
 //!
-//! Usage: `fig9 [--quick] [--seeds K]`
+//! Usage: `fig9 [--quick] [--seeds K] [--telemetry <path.jsonl>]
+//! [--sample-interval <secs>] [--trace <N>]`
 
 use std::path::Path;
 
 use ert_experiments::report::emit;
-use ert_experiments::{fig9, Scenario};
+use ert_experiments::{fig9, Scenario, TelemetryOpts};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -18,7 +19,10 @@ fn main() {
         .unwrap_or(if quick { 1 } else { 2 });
     let (base, ias) = if quick {
         (
-            Scenario { seeds: (1..=seeds as u64).collect(), ..Scenario::quick(5) },
+            Scenario {
+                seeds: (1..=seeds as u64).collect(),
+                ..Scenario::quick(5)
+            },
             fig9::quick_interarrivals(),
         )
     } else {
@@ -26,4 +30,12 @@ fn main() {
     };
     let sweep = fig9::churn_sweep(&base, &ias);
     emit(&fig9::tables(&sweep), Some(Path::new("results")));
+    // The representative instrumented run keeps the churn workload so
+    // the stream shows join/depart/handoff events too.
+    let mut churned = base;
+    churned.churn = Some(ert_experiments::ChurnSpec {
+        join_interarrival: ias[0],
+        leave_interarrival: ias[0],
+    });
+    TelemetryOpts::from_env().capture(&churned, &ert_network::ProtocolSpec::ert_af());
 }

@@ -58,8 +58,7 @@ fn run_geometry<G: Geometry>(
     capacities: &[f64],
     protocol: MiniProtocol,
 ) -> MiniReport {
-    let mut net =
-        MiniDht::new(cfg, geometry, capacities, protocol).expect("valid mini scenario");
+    let mut net = MiniDht::new(cfg, geometry, capacities, protocol).expect("valid mini scenario");
     net.run_poisson(base.lookups, base.per_node_rate * base.n as f64)
 }
 
@@ -76,7 +75,13 @@ pub fn run_mini(
         MiniGeometryKind::Chord => {
             let bits = chord_bits_for(base.n);
             let geometry = ChordGeometry::populate(bits, base.n, &mut rng);
-            run_geometry(base, config_for(base, bits, seed), geometry, &capacities, protocol)
+            run_geometry(
+                base,
+                config_for(base, bits, seed),
+                geometry,
+                &capacities,
+                protocol,
+            )
         }
         MiniGeometryKind::Pastry => {
             let rows = pastry_rows_for(base.n);
@@ -97,7 +102,14 @@ pub fn run_mini(
 pub fn cross_overlay_table(base: &Scenario) -> Table {
     let mut t = Table::new(
         "Ext chord — ERT on O(log n)-degree overlays",
-        &["platform", "p99 cong", "p99 share", "path", "time_s", "heavy"],
+        &[
+            "platform",
+            "p99 cong",
+            "p99 share",
+            "path",
+            "time_s",
+            "heavy",
+        ],
     );
     let seed = *base.seeds.first().unwrap_or(&1);
     for kind in [MiniGeometryKind::Chord, MiniGeometryKind::Pastry] {
@@ -145,8 +157,16 @@ mod tests {
         for kind in [MiniGeometryKind::Chord, MiniGeometryKind::Pastry] {
             let classic = run_mini(&s, kind, MiniProtocol::Classic, 1);
             let elastic = run_mini(&s, kind, MiniProtocol::ElasticErt, 1);
-            assert_eq!(classic.completed, 800, "{kind:?} dropped {}", classic.dropped);
-            assert_eq!(elastic.completed, 800, "{kind:?} dropped {}", elastic.dropped);
+            assert_eq!(
+                classic.completed, 800,
+                "{kind:?} dropped {}",
+                classic.dropped
+            );
+            assert_eq!(
+                elastic.completed, 800,
+                "{kind:?} dropped {}",
+                elastic.dropped
+            );
             assert!(
                 elastic.p99_max_congestion <= classic.p99_max_congestion,
                 "{kind:?}: ERT {} vs classic {}",

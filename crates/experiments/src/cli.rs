@@ -1,0 +1,193 @@
+//! Shared command-line handling for the experiment binaries.
+//!
+//! Every figure binary accepts, besides its own `--quick` / `--seeds`
+//! flags, the telemetry trio parsed here:
+//!
+//! - `--telemetry <path.jsonl>` — stream structured events, periodic
+//!   snapshots, and the end-of-run report to a JSONL file;
+//! - `--sample-interval <secs>` — snapshot cadence on the sim clock
+//!   (default 1 s when telemetry is on; `0` disables the sampler);
+//! - `--trace <N>` — retain the last `N` events in the human-readable
+//!   trace ring and print them to stderr after the run.
+//!
+//! Sweeps average many runs, so instrumenting all of them would
+//! interleave streams; instead [`TelemetryOpts::capture`] performs one
+//! *representative* instrumented run (first seed of the binary's base
+//! scenario) whose stream is the observability artifact. The sweep
+//! itself stays untouched — and because observation never perturbs the
+//! simulation, the captured run reproduces the sweep's first data
+//! point exactly.
+
+use std::path::PathBuf;
+
+use ert_network::ProtocolSpec;
+use ert_sim::SimDuration;
+use ert_telemetry::{JsonlSink, Telemetry};
+
+use crate::Scenario;
+
+/// Parsed telemetry flags.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryOpts {
+    /// Target of `--telemetry`, when given.
+    pub jsonl_path: Option<PathBuf>,
+    /// `--sample-interval` in seconds (0 = sampler off).
+    pub sample_interval_secs: f64,
+    /// `--trace` ring capacity (0 = trace off).
+    pub trace_capacity: usize,
+}
+
+impl TelemetryOpts {
+    /// Parses the telemetry flags out of this process's arguments.
+    pub fn from_env() -> TelemetryOpts {
+        TelemetryOpts::parse(&std::env::args().collect::<Vec<_>>())
+    }
+
+    /// Parses the telemetry flags from an argument list.
+    pub fn parse(args: &[String]) -> TelemetryOpts {
+        let value_of = |flag: &str| {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+        };
+        let jsonl_path = value_of("--telemetry").map(PathBuf::from);
+        let sample_interval_secs = value_of("--sample-interval")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if jsonl_path.is_some() { 1.0 } else { 0.0 });
+        let trace_capacity = value_of("--trace")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        TelemetryOpts {
+            jsonl_path,
+            sample_interval_secs,
+            trace_capacity,
+        }
+    }
+
+    /// Whether any flag asked for an instrumented run.
+    pub fn active(&self) -> bool {
+        self.jsonl_path.is_some() || self.sample_interval_secs > 0.0 || self.trace_capacity > 0
+    }
+
+    /// Builds the telemetry pipeline the flags describe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `--telemetry` file cannot be created.
+    pub fn build(&self) -> Telemetry {
+        let mut tel = Telemetry::with_trace_capacity(self.trace_capacity);
+        if let Some(path) = &self.jsonl_path {
+            let sink = JsonlSink::create(path)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+            tel.add_sink(Box::new(sink));
+        }
+        tel
+    }
+
+    /// When any telemetry flag is set, performs the representative
+    /// instrumented run of `scenario` under `spec` (first seed),
+    /// writes the JSONL stream / prints the trace ring, and reports
+    /// what was captured on stderr. No-op otherwise.
+    pub fn capture(&self, scenario: &Scenario, spec: &ProtocolSpec) {
+        if !self.active() {
+            return;
+        }
+        let seed = scenario.seeds.first().copied().unwrap_or(1);
+        let interval = SimDuration::from_secs_f64(self.sample_interval_secs.max(0.0));
+        let (report, telemetry) = scenario.run_once_instrumented(
+            spec,
+            seed,
+            |cfg| cfg.sample_interval = interval,
+            self.build(),
+        );
+        eprintln!(
+            "[telemetry] {} seed {seed}: {} events, {} snapshots, {} lookups in {:.1}s sim",
+            spec.name,
+            telemetry.events_emitted(),
+            telemetry.snapshots().len(),
+            report.lookups_completed,
+            report.sim_seconds,
+        );
+        if let Some(path) = &self.jsonl_path {
+            eprintln!("[telemetry] stream written to {}", path.display());
+        }
+        if self.trace_capacity > 0 {
+            eprint!("{}", telemetry.trace().render());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| (*a).to_owned()).collect()
+    }
+
+    #[test]
+    fn defaults_are_inert() {
+        let o = TelemetryOpts::parse(&args(&["fig4", "--quick"]));
+        assert!(!o.active());
+        assert_eq!(o.sample_interval_secs, 0.0);
+        assert_eq!(o.trace_capacity, 0);
+    }
+
+    #[test]
+    fn telemetry_flag_implies_default_sampling() {
+        let o = TelemetryOpts::parse(&args(&["fig4", "--telemetry", "run.jsonl"]));
+        assert!(o.active());
+        assert_eq!(
+            o.jsonl_path.as_deref().unwrap().to_str().unwrap(),
+            "run.jsonl"
+        );
+        assert_eq!(o.sample_interval_secs, 1.0);
+    }
+
+    #[test]
+    fn explicit_interval_and_trace_parse() {
+        let o = TelemetryOpts::parse(&args(&[
+            "fig4",
+            "--telemetry",
+            "x.jsonl",
+            "--sample-interval",
+            "0.25",
+            "--trace",
+            "512",
+        ]));
+        assert_eq!(o.sample_interval_secs, 0.25);
+        assert_eq!(o.trace_capacity, 512);
+    }
+
+    #[test]
+    fn trace_alone_activates_without_sink() {
+        let o = TelemetryOpts::parse(&args(&["fig4", "--trace", "64"]));
+        assert!(o.active());
+        assert!(o.jsonl_path.is_none());
+        let tel = o.build();
+        assert!(tel.is_enabled());
+    }
+
+    #[test]
+    fn capture_writes_jsonl_with_events_snapshots_and_report() {
+        let dir = std::env::temp_dir().join("ert_cli_capture_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("capture.jsonl");
+        let opts = TelemetryOpts {
+            jsonl_path: Some(path.clone()),
+            sample_interval_secs: 0.5,
+            trace_capacity: 0,
+        };
+        let mut scenario = Scenario::quick(11);
+        scenario.n = 96;
+        scenario.lookups = 150;
+        opts.capture(&scenario, &ProtocolSpec::ert_af());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().any(|l| l.starts_with("{\"kind\":\"event\"")));
+        assert!(text
+            .lines()
+            .any(|l| l.starts_with("{\"kind\":\"snapshot\"")));
+        assert!(text.lines().any(|l| l.starts_with("{\"kind\":\"report\"")));
+        std::fs::remove_file(&path).ok();
+    }
+}

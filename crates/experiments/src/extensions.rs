@@ -92,7 +92,14 @@ pub fn shifting_hotspot_table(
     ];
     let mut t = Table::new(
         "Ext hotspot — static vs drifting Zipf hot set",
-        &["workload", "protocol", "p99 cong", "p99 share", "heavy", "time_s"],
+        &[
+            "workload",
+            "protocol",
+            "p99 cong",
+            "p99 share",
+            "heavy",
+            "time_s",
+        ],
     );
     for (label, drifting) in [("static", false), ("drifting", true)] {
         for spec in &specs {
@@ -184,7 +191,14 @@ pub fn item_movement_table(base_scenario: &Scenario) -> Table {
     }
     let mut t = Table::new(
         "Ext item-movement — relocation-based balancing vs ERT (3/4 density)",
-        &["workload", "protocol", "p99 cong", "p99 share", "time_s", "maint/lookup"],
+        &[
+            "workload",
+            "protocol",
+            "p99 cong",
+            "p99 share",
+            "time_s",
+            "maint/lookup",
+        ],
     );
     for (label, impulse) in [("uniform", false), ("impulse", true)] {
         for spec in &specs {
@@ -249,7 +263,13 @@ pub fn utilization_table(base_scenario: &Scenario) -> Table {
     let reports = base_scenario.run_all(&specs);
     let mut t = Table::new(
         "Ext utilization — busy-time fraction and capacity tracking",
-        &["protocol", "util mean", "util p01", "util p99", "corr(cap, util)"],
+        &[
+            "protocol",
+            "util mean",
+            "util p01",
+            "util p99",
+            "corr(cap, util)",
+        ],
     );
     for r in &reports {
         t.row(vec![
@@ -285,11 +305,21 @@ mod tests {
         s.lookups = 1200;
         let t = utilization_table(&s);
         let corr = |name: &str| -> f64 {
-            t.rows.iter().find(|r| r[0] == name).unwrap()[4].parse().unwrap()
+            t.rows.iter().find(|r| r[0] == name).unwrap()[4]
+                .parse()
+                .unwrap()
         };
         let base_corr = corr("Base");
-        assert!(corr("NS") > base_corr + 0.05, "NS {} vs Base {base_corr}", corr("NS"));
-        assert!(corr("VS") > base_corr + 0.05, "VS {} vs Base {base_corr}", corr("VS"));
+        assert!(
+            corr("NS") > base_corr + 0.05,
+            "NS {} vs Base {base_corr}",
+            corr("NS")
+        );
+        assert!(
+            corr("VS") > base_corr + 0.05,
+            "VS {} vs Base {base_corr}",
+            corr("VS")
+        );
         // Every host did some work.
         for row in &t.rows {
             let mean: f64 = row[1].parse().unwrap();

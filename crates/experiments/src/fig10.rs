@@ -15,14 +15,19 @@ pub fn tables(sweep: &[(f64, Vec<RunReport>)]) -> Vec<Table> {
         header.extend(rs.iter().map(|r| r.protocol.clone()));
     }
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut t10a = Table::new("Fig. 10a — heavy nodes in routings under churn", &header_refs);
+    let mut t10a = Table::new(
+        "Fig. 10a — heavy nodes in routings under churn",
+        &header_refs,
+    );
     let mut t10b = Table::new("Fig. 10b — lookup path length under churn", &header_refs);
     let mut t10c = Table::new(
         "Fig. 10c — lookup time under churn (seconds)",
         &["interarrival_s", "protocol", "mean", "p01", "p99"],
     );
-    let mut timeouts =
-        Table::new("Sec. 5.5 — average timeouts per lookup under churn", &header_refs);
+    let mut timeouts = Table::new(
+        "Sec. 5.5 — average timeouts per lookup under churn",
+        &header_refs,
+    );
     for (ia, reports) in sweep {
         let key = format!("{ia:.1}");
         t10a.row(

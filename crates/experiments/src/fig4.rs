@@ -35,12 +35,18 @@ pub fn quick_points() -> Vec<usize> {
 /// Builds the three Fig. 4 panels from a sweep.
 pub fn tables(sweep: &[(usize, Vec<RunReport>)]) -> Vec<Table> {
     let mut header = vec!["lookups"];
-    let names: Vec<String> =
-        sweep.first().map_or(Vec::new(), |(_, rs)| rs.iter().map(|r| r.protocol.clone()).collect());
+    let names: Vec<String> = sweep.first().map_or(Vec::new(), |(_, rs)| {
+        rs.iter().map(|r| r.protocol.clone()).collect()
+    });
     header.extend(names.iter().map(String::as_str));
-    let mut t4a = Table::new("Fig. 4a — 99th percentile max congestion vs lookups", &header);
-    let mut t4b =
-        Table::new("Fig. 4b — 99th percentile congestion of min-capacity node", &header);
+    let mut t4a = Table::new(
+        "Fig. 4a — 99th percentile max congestion vs lookups",
+        &header,
+    );
+    let mut t4b = Table::new(
+        "Fig. 4b — 99th percentile congestion of min-capacity node",
+        &header,
+    );
     let mut t4c = Table::new("Fig. 4c — 99th percentile share vs lookups", &header);
     for (lookups, reports) in sweep {
         let key = lookups.to_string();

@@ -15,7 +15,10 @@ pub fn table_5a(sweep: &[(usize, Vec<RunReport>)]) -> Table {
         header.extend(rs.iter().map(|r| r.protocol.clone()));
     }
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut t = Table::new("Fig. 5a — heavy nodes encountered in routings", &header_refs);
+    let mut t = Table::new(
+        "Fig. 5a — heavy nodes encountered in routings",
+        &header_refs,
+    );
     for (lookups, reports) in sweep {
         t.row(
             std::iter::once(lookups.to_string())
@@ -96,7 +99,10 @@ mod tests {
         let t = table_5b(&s, &[48, 160]);
         let small: f64 = t.rows[0][1].parse().unwrap(); // Base column
         let large: f64 = t.rows[1][1].parse().unwrap();
-        assert!(large > small, "paths should grow with n: {small} -> {large}");
+        assert!(
+            large > small,
+            "paths should grow with n: {small} -> {large}"
+        );
     }
 
     #[test]

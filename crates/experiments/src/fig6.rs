@@ -20,11 +20,7 @@ fn cube_dist(space: CycloidSpace, a: u32, b: u32) -> u64 {
     fwd.min(space.cube_size() - fwd)
 }
 
-fn classic_neighbors(
-    space: CycloidSpace,
-    reg: &CycloidRegistry,
-    j: CycloidId,
-) -> Vec<CycloidId> {
+fn classic_neighbors(space: CycloidSpace, reg: &CycloidRegistry, j: CycloidId) -> Vec<CycloidId> {
     let mut out = Vec::with_capacity(7);
     // Cubical neighbor: region member closest to the bit-k flip.
     if let Some(region) = space.cubical_region(j) {
@@ -40,8 +36,11 @@ fn classic_neighbors(
     }
     // Cyclic neighbors: closest-larger and closest-smaller cubical IDs.
     if let Some(region) = space.cyclic_region(j) {
-        let members: Vec<CycloidId> =
-            reg.nodes_in_region(region).into_iter().filter(|&m| m != j).collect();
+        let members: Vec<CycloidId> = reg
+            .nodes_in_region(region)
+            .into_iter()
+            .filter(|&m| m != j)
+            .collect();
         if !members.is_empty() {
             let larger = members
                 .iter()
@@ -61,10 +60,7 @@ fn classic_neighbors(
     }
     // Inside leaf set: nearest same-cycle members above and below
     // (cyclic within the cycle).
-    let cycle: Vec<CycloidId> = reg
-        .iter()
-        .filter(|m| m.a() == j.a())
-        .collect();
+    let cycle: Vec<CycloidId> = reg.iter().filter(|m| m.a() == j.a()).collect();
     if cycle.len() > 1 {
         let pos = cycle.iter().position(|&m| m == j).expect("j is live");
         let up = cycle[(pos + 1) % cycle.len()];
@@ -75,7 +71,10 @@ fn classic_neighbors(
         }
     }
     // Outside leaf set: heads of the adjacent non-empty cycles.
-    for head in [reg.next_cycle_head(j), reg.prev_cycle_head(j)].into_iter().flatten() {
+    for head in [reg.next_cycle_head(j), reg.prev_cycle_head(j)]
+        .into_iter()
+        .flatten()
+    {
         if head != j {
             out.push(head);
         }
@@ -118,7 +117,13 @@ pub fn census(dim: u8, n: usize, seed: u64) -> Histogram {
 pub fn summary_table(dims: &[u8], full_occupancy: bool, seed: u64) -> Table {
     let mut t = Table::new(
         "Fig. 6 — indegrees of plain Cycloid nodes",
-        &["dim", "nodes", "modal indegree", "max indegree", "pct high (>=2d)"],
+        &[
+            "dim",
+            "nodes",
+            "modal indegree",
+            "max indegree",
+            "pct high (>=2d)",
+        ],
     );
     for &dim in dims {
         let space = CycloidSpace::new(dim);

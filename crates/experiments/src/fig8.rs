@@ -32,7 +32,10 @@ pub fn service_sweep(
         .map(|&svc| {
             let mut s = base.clone();
             s.light_service_secs = svc;
-            s.workload = Workload::Impulse { nodes: impulse_nodes, keys: impulse_keys };
+            s.workload = Workload::Impulse {
+                nodes: impulse_nodes,
+                keys: impulse_keys,
+            };
             (svc, s.run_all(&specs))
         })
         .collect()
@@ -45,8 +48,10 @@ pub fn tables(sweep: &[(f64, Vec<RunReport>)]) -> Vec<Table> {
         header.extend(rs.iter().map(|r| r.protocol.clone()));
     }
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut t8a =
-        Table::new("Fig. 8a — heavy nodes in routings (skewed lookups)", &header_refs);
+    let mut t8a = Table::new(
+        "Fig. 8a — heavy nodes in routings (skewed lookups)",
+        &header_refs,
+    );
     let mut t8b = Table::new("Fig. 8b — mean lookup time, seconds (skewed)", &header_refs);
     let mut t8c = Table::new("Fig. 8c — 99th percentile share (skewed)", &header_refs);
     for (svc, reports) in sweep {

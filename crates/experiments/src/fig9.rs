@@ -27,7 +27,10 @@ pub fn quick_interarrivals() -> Vec<f64> {
 pub fn churn_spec_for(base: &Scenario, paper_interarrival: f64) -> ChurnSpec {
     let lookup_rate = base.per_node_rate * base.n as f64;
     let sim_interarrival = paper_interarrival / lookup_rate;
-    ChurnSpec { join_interarrival: sim_interarrival, leave_interarrival: sim_interarrival }
+    ChurnSpec {
+        join_interarrival: sim_interarrival,
+        leave_interarrival: sim_interarrival,
+    }
 }
 
 /// Runs every protocol at each churn level.
@@ -50,8 +53,10 @@ pub fn tables(sweep: &[(f64, Vec<RunReport>)]) -> Vec<Table> {
         header.extend(rs.iter().map(|r| r.protocol.clone()));
     }
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut t9a =
-        Table::new("Fig. 9a — 99th percentile max congestion under churn", &header_refs);
+    let mut t9a = Table::new(
+        "Fig. 9a — 99th percentile max congestion under churn",
+        &header_refs,
+    );
     let mut t9b = Table::new("Fig. 9b — 99th percentile share under churn", &header_refs);
     for (ia, reports) in sweep {
         let key = format!("{ia:.1}");

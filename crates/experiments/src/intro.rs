@@ -31,15 +31,20 @@ pub fn interval_imbalance(n: usize, seed: u64) -> (f64, f64) {
     let mut intervals: Vec<f64> = lins
         .windows(2)
         .map(|w| (w[1] - w[0]) as f64)
-        .chain(std::iter::once((ring - lins[lins.len() - 1] + lins[0]) as f64))
+        .chain(std::iter::once(
+            (ring - lins[lins.len() - 1] + lins[0]) as f64,
+        ))
         .collect();
     let mean = ring as f64 / n as f64;
     let max = intervals.iter().copied().fold(0.0f64, f64::max);
     // Gini coefficient of the interval lengths.
     intervals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let total: f64 = intervals.iter().sum();
-    let weighted: f64 =
-        intervals.iter().enumerate().map(|(i, &v)| (i as f64 + 1.0) * v).sum();
+    let weighted: f64 = intervals
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as f64 + 1.0) * v)
+        .sum();
     let gini = (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64;
     (max / mean, gini)
 }

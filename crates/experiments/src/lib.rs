@@ -17,6 +17,7 @@
 pub mod ablation;
 pub mod bounds;
 pub mod chord;
+pub mod cli;
 pub mod extensions;
 pub mod fig10;
 pub mod fig4;
@@ -30,5 +31,6 @@ pub mod report;
 pub mod scenario;
 pub mod thm41;
 
+pub use cli::TelemetryOpts;
 pub use report::Table;
 pub use scenario::{average_reports, ChurnSpec, Scenario, Workload};

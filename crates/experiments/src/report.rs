@@ -44,7 +44,12 @@ impl Table {
     ///
     /// Panics if the row width differs from the header width.
     pub fn row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.header.len(), "row width mismatch in {}", self.title);
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width mismatch in {}",
+            self.title
+        );
         self.rows.push(row);
     }
 
@@ -240,7 +245,12 @@ mod tests {
         let t = Table::new("Fig. 4a — congestion", &["x"]);
         let dir = std::env::temp_dir().join("ert_report_test");
         let path = t.write_csv(&dir).unwrap();
-        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("fig_4a"));
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("fig_4a"));
         std::fs::remove_file(path).ok();
     }
 

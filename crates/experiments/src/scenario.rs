@@ -4,6 +4,7 @@ use ert_network::{ChurnEvent, Lookup, Network, NetworkConfig, ProtocolSpec, RunR
 use ert_overlay::CycloidSpace;
 use ert_sim::stats::Summary;
 use ert_sim::{SimRng, SimTime};
+use ert_telemetry::Telemetry;
 use ert_workloads::{churn_schedule, impulse_lookups, uniform_lookups, BoundedPareto};
 use serde::{Deserialize, Serialize};
 
@@ -103,6 +104,43 @@ impl Scenario {
         seed: u64,
         tweak: impl FnOnce(&mut NetworkConfig),
     ) -> RunReport {
+        let (mut net, lookups, churn) = self.build(spec, seed, tweak);
+        net.run(&lookups, &churn)
+    }
+
+    /// Like [`Scenario::run_once_with`], but with a telemetry pipeline
+    /// installed for the run. After the run the report record (the
+    /// [`RunReport`] plus the metric registry) is appended to the
+    /// pipeline's sinks and everything is flushed; the pipeline comes
+    /// back to the caller for reading snapshots or the trace ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting configuration is rejected by
+    /// [`Network::new`].
+    pub fn run_once_instrumented(
+        &self,
+        spec: &ProtocolSpec,
+        seed: u64,
+        tweak: impl FnOnce(&mut NetworkConfig),
+        telemetry: Telemetry,
+    ) -> (RunReport, Telemetry) {
+        let (mut net, lookups, churn) = self.build(spec, seed, tweak);
+        net.set_telemetry(telemetry);
+        let report = net.run(&lookups, &churn);
+        let mut telemetry = net.take_telemetry();
+        telemetry.record_report(&report);
+        telemetry.flush();
+        (report, telemetry)
+    }
+
+    /// Builds the network and the workload/churn schedules for one run.
+    fn build(
+        &self,
+        spec: &ProtocolSpec,
+        seed: u64,
+        tweak: impl FnOnce(&mut NetworkConfig),
+    ) -> (Network, Vec<Lookup>, Vec<ChurnEvent>) {
         let mut rng = SimRng::seed_from(seed.wrapping_mul(0x9e37_79b9));
         let capacities =
             BoundedPareto::paper_default().sample_n(self.n, &mut rng.fork("capacities"));
@@ -129,15 +167,13 @@ impl Scenario {
             ),
             None => Vec::new(),
         };
-        let mut net =
-            Network::new(cfg, &capacities, spec.clone()).expect("valid scenario");
-        net.run(&lookups, &churn)
+        let net = Network::new(cfg, &capacities, spec.clone()).expect("valid scenario");
+        (net, lookups, churn)
     }
 
     /// Runs one protocol across every seed and averages the reports.
     pub fn run(&self, spec: &ProtocolSpec) -> RunReport {
-        let reports: Vec<RunReport> =
-            self.seeds.iter().map(|&s| self.run_once(spec, s)).collect();
+        let reports: Vec<RunReport> = self.seeds.iter().map(|&s| self.run_once(spec, s)).collect();
         average_reports(&reports)
     }
 
@@ -145,9 +181,14 @@ impl Scenario {
     /// preserving order.
     pub fn run_all(&self, specs: &[ProtocolSpec]) -> Vec<RunReport> {
         std::thread::scope(|scope| {
-            let handles: Vec<_> =
-                specs.iter().map(|spec| scope.spawn(move || self.run(spec))).collect();
-            handles.into_iter().map(|h| h.join().expect("run panicked")).collect()
+            let handles: Vec<_> = specs
+                .iter()
+                .map(|spec| scope.spawn(move || self.run(spec)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("run panicked"))
+                .collect()
         })
     }
 }
@@ -187,10 +228,7 @@ pub fn average_reports(reports: &[RunReport]) -> RunReport {
         lookups_completed: reports.iter().map(|r| r.lookups_completed).sum::<u64>() / n as u64,
         lookups_dropped: reports.iter().map(|r| r.lookups_dropped).sum::<u64>() / n as u64,
         p99_max_congestion: mean(reports.iter().map(|r| r.p99_max_congestion), n),
-        p99_min_capacity_congestion: mean(
-            reports.iter().map(|r| r.p99_min_capacity_congestion),
-            n,
-        ),
+        p99_min_capacity_congestion: mean(reports.iter().map(|r| r.p99_min_capacity_congestion), n),
         p99_share: mean(reports.iter().map(|r| r.p99_share), n),
         heavy_encounters: reports.iter().map(|r| r.heavy_encounters).sum::<u64>() / n as u64,
         mean_path_length: mean(reports.iter().map(|r| r.mean_path_length), n),
@@ -230,8 +268,7 @@ mod tests {
         let b = s.run_once(&base(), 2);
         let avg = average_reports(&[a.clone(), b.clone()]);
         assert!(
-            (avg.mean_path_length - (a.mean_path_length + b.mean_path_length) / 2.0).abs()
-                < 1e-12
+            (avg.mean_path_length - (a.mean_path_length + b.mean_path_length) / 2.0).abs() < 1e-12
         );
         assert_eq!(avg.protocol, "Base");
     }
@@ -256,8 +293,15 @@ mod tests {
     #[test]
     fn churn_scenario_runs() {
         let mut s = Scenario::quick(5);
-        s.churn = Some(ChurnSpec { join_interarrival: 0.5, leave_interarrival: 0.5 });
+        s.churn = Some(ChurnSpec {
+            join_interarrival: 0.5,
+            leave_interarrival: 0.5,
+        });
         let r = s.run(&ert_network::ProtocolSpec::ert_af());
-        assert!(r.lookups_completed > 270, "completed {}", r.lookups_completed);
+        assert!(
+            r.lookups_completed > 270,
+            "completed {}",
+            r.lookups_completed
+        );
     }
 }

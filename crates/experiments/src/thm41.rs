@@ -31,10 +31,22 @@ pub fn expected_time_table(lambdas: &[f64], n: usize, horizon: f64, seed: u64) -
         // threshold so both choices are usually compared.
         let qfm = ThresholdModel::new(lambda, 2, 60, 58).expected_time();
         let sim = SupermarketSim::new(n, lambda);
-        let s1 = sim.run(ChoicePolicy::shortest_of(1), horizon, seed).mean_time_in_system;
-        let s2 = sim.run(ChoicePolicy::shortest_of(2), horizon, seed).mean_time_in_system;
+        let s1 = sim
+            .run(ChoicePolicy::shortest_of(1), horizon, seed)
+            .mean_time_in_system;
+        let s2 = sim
+            .run(ChoicePolicy::shortest_of(2), horizon, seed)
+            .mean_time_in_system;
         let sm = sim
-            .run(ChoicePolicy { choices: 2, threshold: None, memory: true }, horizon, seed)
+            .run(
+                ChoicePolicy {
+                    choices: 2,
+                    threshold: None,
+                    memory: true,
+                },
+                horizon,
+                seed,
+            )
             .mean_time_in_system;
         t.row(vec![
             format!("{lambda:.2}"),
@@ -92,7 +104,10 @@ mod tests {
         let t = expected_time_table(&[0.95], 200, 800.0, 21);
         let row = &t.rows[0];
         let speedup: f64 = row[8].parse().unwrap();
-        assert!(speedup > 3.0, "b=2 should be far faster at λ=0.95: {speedup}");
+        assert!(
+            speedup > 3.0,
+            "b=2 should be far faster at λ=0.95: {speedup}"
+        );
     }
 
     #[test]

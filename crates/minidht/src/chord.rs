@@ -38,7 +38,11 @@ impl ChordGeometry {
         while registry.len() < n {
             registry.insert(space.random_id(rng));
         }
-        ChordGeometry { space, registry, succ_list: 4 }
+        ChordGeometry {
+            space,
+            registry,
+            succ_list: 4,
+        }
     }
 
     /// The underlying ID space.
@@ -85,7 +89,10 @@ impl Geometry for ChordGeometry {
         let mut out = Vec::new();
         // Long fingers first: they are the scarcest inlinks.
         for m in (STRUCTURAL_MAX_FINGER as u8 + 1..self.space.bits()).rev() {
-            for cand in self.registry.nodes_in(self.space.reverse_finger_region(node, m)) {
+            for cand in self
+                .registry
+                .nodes_in(self.space.reverse_finger_region(node, m))
+            {
                 if cand != node {
                     out.push((m as u16, cand));
                 }
@@ -119,10 +126,17 @@ impl Geometry for ChordGeometry {
         };
         let mut m = self.space.best_finger(cur, owner).unwrap_or(0) as u16;
         loop {
-            let members: Vec<u64> =
-                table.outlinks(m).iter().copied().filter(|&c| in_budget(c)).collect();
+            let members: Vec<u64> = table
+                .outlinks(m)
+                .iter()
+                .copied()
+                .filter(|&c| in_budget(c))
+                .collect();
             if !members.is_empty() {
-                return HopCandidates { slot: m, ids: members };
+                return HopCandidates {
+                    slot: m,
+                    ids: members,
+                };
             }
             if m == 0 {
                 break;
@@ -135,9 +149,15 @@ impl Geometry for ChordGeometry {
         table.set_slot(SUCC_SLOT, succ.clone());
         let ids: Vec<u64> = succ.into_iter().filter(|&c| in_budget(c)).collect();
         if ids.is_empty() {
-            HopCandidates { slot: SUCC_SLOT, ids: vec![owner] }
+            HopCandidates {
+                slot: SUCC_SLOT,
+                ids: vec![owner],
+            }
         } else {
-            HopCandidates { slot: SUCC_SLOT, ids }
+            HopCandidates {
+                slot: SUCC_SLOT,
+                ids,
+            }
         }
     }
 

@@ -171,9 +171,15 @@ impl Geometry for PastryGeometry {
             .filter(|&c| shortest_distance(c, owner, size) < my_dist)
             .collect();
         if ids.is_empty() {
-            HopCandidates { slot: LEAF_SLOT, ids: vec![owner] }
+            HopCandidates {
+                slot: LEAF_SLOT,
+                ids: vec![owner],
+            }
         } else {
-            HopCandidates { slot: LEAF_SLOT, ids }
+            HopCandidates {
+                slot: LEAF_SLOT,
+                ids,
+            }
         }
     }
 
@@ -222,7 +228,11 @@ mod tests {
         for (slot, cand) in g.inlink_candidates(node) {
             let row = g.row_of(slot);
             let col = (slot % g.space.base() as u16) as u64;
-            assert_eq!(col, g.space.digit(node, row), "slot col must be node's digit");
+            assert_eq!(
+                col,
+                g.space.digit(node, row),
+                "slot col must be node's digit"
+            );
             // The candidate shares the first `row` digits and differs at
             // `row`.
             assert_eq!(g.space.shared_prefix_len(node, cand), row);

@@ -4,8 +4,8 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use ert_core::{
     adaptation_action, assign::initial_indegree_target, choose_next_b, expand_indegree,
-    max_indegree, normalize_capacities, AdaptAction, Candidate, Directory, ElasticTable,
-    ErtParams, ForwardPolicy,
+    max_indegree, normalize_capacities, AdaptAction, Candidate, Directory, ElasticTable, ErtParams,
+    ForwardPolicy,
 };
 use ert_sim::stats::{Samples, Summary};
 use ert_sim::{Engine, SimDuration, SimRng, SimTime};
@@ -49,7 +49,10 @@ impl MiniDhtConfig {
             seed,
             light_service: SimDuration::from_secs_f64(0.2),
             heavy_service: SimDuration::from_secs_f64(1.0),
-            ert: ErtParams { alpha: scale_hint as f64 + 3.0, ..ErtParams::default() },
+            ert: ErtParams {
+                alpha: scale_hint as f64 + 3.0,
+                ..ErtParams::default()
+            },
             max_hops: 64 + 8 * scale_hint as u32,
         }
     }
@@ -172,11 +175,13 @@ impl<G: Geometry> Directory for MiniDirectory<'_, G> {
     }
 
     fn indegree(&self, node: u64) -> u32 {
-        self.idx(node).map_or(0, |i| self.nodes[i].table.indegree() as u32)
+        self.idx(node)
+            .map_or(0, |i| self.nodes[i].table.indegree() as u32)
     }
 
     fn has_link(&self, from: u64, slot: u16, to: u64) -> bool {
-        self.idx(from).is_some_and(|i| self.nodes[i].table.outlinks(slot).contains(&to))
+        self.idx(from)
+            .is_some_and(|i| self.nodes[i].table.outlinks(slot).contains(&to))
     }
 
     fn add_link(&mut self, from: u64, slot: u16, to: u64) {
@@ -216,8 +221,7 @@ impl<G: Geometry> MiniDht<G> {
         let norm = normalize_capacities(capacities);
         let mut nodes = Vec::with_capacity(members.len());
         let mut id_map = HashMap::new();
-        for (i, (&id, (&raw, &nc))) in
-            members.iter().zip(capacities.iter().zip(&norm)).enumerate()
+        for (i, (&id, (&raw, &nc))) in members.iter().zip(capacities.iter().zip(&norm)).enumerate()
         {
             let capacity_eval = max_indegree(cfg.ert.alpha, nc);
             let d_max = match protocol {
@@ -268,7 +272,10 @@ impl<G: Geometry> MiniDht<G> {
 
     /// Elastic indegree of every node (for bound checks).
     pub fn indegrees(&self) -> Vec<(u64, u32, u32)> {
-        self.nodes.iter().map(|n| (n.id, n.table.indegree() as u32, n.d_max)).collect()
+        self.nodes
+            .iter()
+            .map(|n| (n.id, n.table.indegree() as u32, n.d_max))
+            .collect()
     }
 
     fn build_table(&mut self, i: usize) {
@@ -332,7 +339,8 @@ impl<G: Geometry> MiniDht<G> {
             self.engine.schedule_at(t, Ev::Inject { key });
         }
         if self.protocol == MiniProtocol::ElasticErt {
-            self.engine.schedule_in(self.cfg.ert.adaptation_period, Ev::Adapt);
+            self.engine
+                .schedule_in(self.cfg.ert.adaptation_period, Ev::Adapt);
         }
         while let Some((now, ev)) = self.engine.pop() {
             match ev {
@@ -355,8 +363,7 @@ impl<G: Geometry> MiniDht<G> {
         let mut shares = Samples::new();
         if total_load > 0.0 {
             for n in &self.nodes {
-                shares
-                    .push((n.total_received as f64 / total_load) / (n.raw_capacity / total_cap));
+                shares.push((n.total_received as f64 / total_load) / (n.raw_capacity / total_cap));
             }
         }
         let suffix = match self.protocol {
@@ -422,9 +429,13 @@ impl<G: Geometry> MiniDht<G> {
     fn start_service(&mut self, idx: usize, q: usize, now: SimTime) {
         let node = &mut self.nodes[idx];
         node.in_service = Some(q);
-        let service =
-            if node.is_heavy() { self.cfg.heavy_service } else { self.cfg.light_service };
-        self.engine.schedule_at(now + service, Ev::Done { node: idx, q });
+        let service = if node.is_heavy() {
+            self.cfg.heavy_service
+        } else {
+            self.cfg.light_service
+        };
+        self.engine
+            .schedule_at(now + service, Ev::Done { node: idx, q });
     }
 
     fn on_done(&mut self, idx: usize, q: usize, now: SimTime) {
@@ -469,7 +480,10 @@ impl<G: Geometry> MiniDht<G> {
             .iter()
             .map(|&c| {
                 let (load, capacity) = match self.id_map.get(&c) {
-                    Some(&i) => (self.nodes[i].load() as f64, self.nodes[i].capacity_eval as f64),
+                    Some(&i) => (
+                        self.nodes[i].load() as f64,
+                        self.nodes[i].capacity_eval as f64,
+                    ),
                     None => (0.0, 1.0),
                 };
                 Candidate {
@@ -483,9 +497,10 @@ impl<G: Geometry> MiniDht<G> {
             .collect();
         let policy = match self.protocol {
             MiniProtocol::Classic => ForwardPolicy::Deterministic,
-            MiniProtocol::ElasticErt => {
-                ForwardPolicy::TwoChoice { topology_aware: true, use_memory: true }
-            }
+            MiniProtocol::ElasticErt => ForwardPolicy::TwoChoice {
+                topology_aware: true,
+                use_memory: true,
+            },
         };
         let memory = self.nodes[idx].table.memory(hc.slot);
         let choice = choose_next_b(
@@ -507,7 +522,8 @@ impl<G: Geometry> MiniDht<G> {
             }
         }
         self.queries[q].hops += 1;
-        self.engine.schedule_at(now, Ev::Arrive { q, to: choice.next });
+        self.engine
+            .schedule_at(now, Ev::Arrive { q, to: choice.next });
     }
 
     fn on_adapt(&mut self) {
@@ -531,8 +547,7 @@ impl<G: Geometry> MiniDht<G> {
                         .collect();
                     for v in victims {
                         if let Some(&vi) = self.id_map.get(&v) {
-                            let slots: Vec<u16> =
-                                self.nodes[vi].table.occupied_slots().collect();
+                            let slots: Vec<u16> = self.nodes[vi].table.occupied_slots().collect();
                             for slot in slots {
                                 self.nodes[vi].table.remove_outlink(slot, me);
                             }
@@ -558,7 +573,8 @@ impl<G: Geometry> MiniDht<G> {
             self.nodes[i].period_load = 0;
         }
         if self.injections_left > 0 || self.outstanding > 0 {
-            self.engine.schedule_in(self.cfg.ert.adaptation_period, Ev::Adapt);
+            self.engine
+                .schedule_in(self.cfg.ert.adaptation_period, Ev::Adapt);
         }
     }
 
@@ -592,8 +608,7 @@ mod tests {
     #[test]
     fn classic_chord_completes_lookups() {
         let cfg = MiniDhtConfig::defaults(10, 1);
-        let mut net =
-            MiniDht::new(cfg, chord(200, 1), &caps(200), MiniProtocol::Classic).unwrap();
+        let mut net = MiniDht::new(cfg, chord(200, 1), &caps(200), MiniProtocol::Classic).unwrap();
         let r = net.run_poisson(400, 200.0);
         assert_eq!(r.completed, 400, "dropped {}", r.dropped);
         assert!(r.mean_path_length > 1.0 && r.mean_path_length < 12.0);
@@ -613,11 +628,14 @@ mod tests {
     #[test]
     fn classic_pastry_completes_lookups() {
         let cfg = MiniDhtConfig::defaults(12, 3);
-        let mut net =
-            MiniDht::new(cfg, pastry(200, 3), &caps(200), MiniProtocol::Classic).unwrap();
+        let mut net = MiniDht::new(cfg, pastry(200, 3), &caps(200), MiniProtocol::Classic).unwrap();
         let r = net.run_poisson(400, 200.0);
         assert_eq!(r.completed, 400, "dropped {}", r.dropped);
-        assert!(r.mean_path_length < 8.0, "prefix paths are short: {}", r.mean_path_length);
+        assert!(
+            r.mean_path_length < 8.0,
+            "prefix paths are short: {}",
+            r.mean_path_length
+        );
         assert_eq!(r.protocol, "Pastry");
     }
 
@@ -688,8 +706,7 @@ mod tests {
     #[test]
     fn elastic_indegrees_respect_bounds_strictly() {
         let cfg = MiniDhtConfig::defaults(10, 6);
-        let net =
-            MiniDht::new(cfg, chord(150, 6), &caps(150), MiniProtocol::ElasticErt).unwrap();
+        let net = MiniDht::new(cfg, chord(150, 6), &caps(150), MiniProtocol::ElasticErt).unwrap();
         for (id, indegree, d_max) in net.indegrees() {
             assert!(indegree <= d_max, "node {id:#b}: {indegree} > {d_max}");
         }
@@ -697,7 +714,10 @@ mod tests {
         let pnet =
             MiniDht::new(pcfg, pastry(150, 6), &caps(150), MiniProtocol::ElasticErt).unwrap();
         for (id, indegree, d_max) in pnet.indegrees() {
-            assert!(indegree <= d_max, "pastry node {id:#x}: {indegree} > {d_max}");
+            assert!(
+                indegree <= d_max,
+                "pastry node {id:#x}: {indegree} > {d_max}"
+            );
         }
     }
 
@@ -712,8 +732,7 @@ mod tests {
         let run = || {
             let cfg = MiniDhtConfig::defaults(10, 8);
             let mut net =
-                MiniDht::new(cfg, chord(100, 8), &caps(100), MiniProtocol::ElasticErt)
-                    .unwrap();
+                MiniDht::new(cfg, chord(100, 8), &caps(100), MiniProtocol::ElasticErt).unwrap();
             net.run_poisson(200, 100.0)
         };
         let (a, b) = (run(), run());

@@ -1,6 +1,6 @@
 //! Simulation configuration (Table 2 of the paper).
 
-use ert_core::{Estimator, ErtParams};
+use ert_core::{ErtParams, Estimator};
 use ert_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -46,6 +46,12 @@ pub struct NetworkConfig {
     /// Number of trace entries to retain for debugging (0 disables
     /// tracing; see [`ert_sim::TraceLog`]).
     pub trace_capacity: usize,
+    /// Telemetry sampling interval: every Δt of sim time the run takes
+    /// a time-series snapshot (congestion percentiles, degree census,
+    /// queue depths, utilization). Zero — the default — disables the
+    /// sampler entirely: no sample events are scheduled, so the event
+    /// sequence is identical to an unsampled run.
+    pub sample_interval: SimDuration,
     /// When nonzero, physical distances are *estimated* from landmark
     /// vectors of this many landmarks (the paper's landmarking method,
     /// refs. \[30\],\[31\]) instead of read exactly from coordinates.
@@ -73,6 +79,7 @@ impl NetworkConfig {
             max_hops: 64 + 8 * dim as u32,
             anonymous_responses: false,
             trace_capacity: 0,
+            sample_interval: SimDuration::ZERO,
             landmark_count: 0,
             stabilization: false,
         }

@@ -72,8 +72,13 @@ mod tests {
 
     #[test]
     fn churn_event_time_accessor() {
-        let j = ChurnEvent::Join { at: SimTime::from_micros(5), capacity: 100.0 };
-        let l = ChurnEvent::Leave { at: SimTime::from_micros(9) };
+        let j = ChurnEvent::Join {
+            at: SimTime::from_micros(5),
+            capacity: 100.0,
+        };
+        let l = ChurnEvent::Leave {
+            at: SimTime::from_micros(9),
+        };
         assert_eq!(j.at(), SimTime::from_micros(5));
         assert_eq!(l.at(), SimTime::from_micros(9));
     }

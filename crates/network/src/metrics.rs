@@ -97,16 +97,13 @@ pub struct RunReport {
 
 /// Spearman rank correlation: robust to the heavy-tailed capacity
 /// distribution, which would dominate a plain Pearson coefficient.
-fn rank_correlation(
-    xs: impl Iterator<Item = f64>,
-    ys: impl Iterator<Item = f64>,
-    n: usize,
-) -> f64 {
-    if n < 2 {
-        return 0.0;
-    }
+/// Returns 0.0 for fewer than two pairs or mismatched series lengths.
+fn rank_correlation(xs: impl Iterator<Item = f64>, ys: impl Iterator<Item = f64>) -> f64 {
     let xs: Vec<f64> = xs.collect();
     let ys: Vec<f64> = ys.collect();
+    if xs.len() < 2 || xs.len() != ys.len() {
+        return 0.0;
+    }
     pearson(ranks(&xs).into_iter(), ranks(&ys).into_iter(), xs.len())
 }
 
@@ -130,11 +127,7 @@ fn ranks(values: &[f64]) -> Vec<f64> {
     out
 }
 
-fn pearson(
-    xs: impl Iterator<Item = f64>,
-    ys: impl Iterator<Item = f64>,
-    n: usize,
-) -> f64 {
+fn pearson(xs: impl Iterator<Item = f64>, ys: impl Iterator<Item = f64>, n: usize) -> f64 {
     if n < 2 {
         return 0.0;
     }
@@ -188,8 +181,7 @@ impl Metrics {
     /// `hosts` must include departed hosts: the paper's churn metrics
     /// are "collected from all node\[s\] including ... the nodes departed".
     pub fn into_report(mut self, protocol: &str, hosts: &[Host], sim_seconds: f64) -> RunReport {
-        let mut max_congestion: Samples =
-            hosts.iter().map(|h| h.max_congestion).collect();
+        let mut max_congestion: Samples = hosts.iter().map(|h| h.max_congestion).collect();
         let mut shares = Samples::new();
         let total_load: f64 = hosts.iter().map(|h| h.total_received as f64).sum();
         let total_cap: f64 = hosts.iter().map(|h| h.raw_capacity).sum();
@@ -202,12 +194,15 @@ impl Metrics {
         let mut in_deg: Samples = hosts.iter().map(|h| h.max_indegree_seen as f64).collect();
         let mut out_deg: Samples = hosts.iter().map(|h| h.max_outdegree_seen as f64).collect();
         let horizon_micros = (sim_seconds * 1e6).max(1.0);
-        let mut utilization: Samples =
-            hosts.iter().map(|h| (h.busy_micros as f64 / horizon_micros).min(1.0)).collect();
+        let mut utilization: Samples = hosts
+            .iter()
+            .map(|h| (h.busy_micros as f64 / horizon_micros).min(1.0))
+            .collect();
         let correlation = rank_correlation(
             hosts.iter().map(|h| h.raw_capacity),
-            hosts.iter().map(|h| (h.busy_micros as f64 / horizon_micros).min(1.0)),
-            hosts.len(),
+            hosts
+                .iter()
+                .map(|h| (h.busy_micros as f64 / horizon_micros).min(1.0)),
         );
         RunReport {
             protocol: protocol.to_owned(),
@@ -260,14 +255,52 @@ mod tests {
     }
 
     #[test]
+    fn ranks_tie_heavy_inputs_share_midpoint_ranks() {
+        // All equal: everyone gets the midpoint rank (n + 1) / 2.
+        assert_eq!(ranks(&[7.0; 5]), vec![3.0; 5]);
+        // Two tie groups: ranks average within each group and the
+        // total still sums to n(n+1)/2.
+        let r = ranks(&[1.0, 1.0, 1.0, 9.0, 9.0]);
+        assert_eq!(r, vec![2.0, 2.0, 2.0, 4.5, 4.5]);
+        assert_eq!(r.iter().sum::<f64>(), 15.0);
+        // Ties interleaved with distinct values.
+        assert_eq!(ranks(&[3.0, 1.0, 3.0, 2.0]), vec![3.5, 1.0, 3.5, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no NaN")]
+    fn ranks_reject_nan() {
+        ranks(&[1.0, f64::NAN, 2.0]);
+    }
+
+    #[test]
     fn rank_correlation_signs() {
-        let up = rank_correlation([1.0, 2.0, 3.0, 4.0].into_iter(),
-            [10.0, 20.0, 30.0, 400.0].into_iter(), 4);
+        let up = rank_correlation(
+            [1.0, 2.0, 3.0, 4.0].into_iter(),
+            [10.0, 20.0, 30.0, 400.0].into_iter(),
+        );
         assert!((up - 1.0).abs() < 1e-12, "monotone pairs: {up}");
-        let down = rank_correlation([1.0, 2.0, 3.0].into_iter(),
-            [3.0, 2.0, 1.0].into_iter(), 3);
+        let down = rank_correlation([1.0, 2.0, 3.0].into_iter(), [3.0, 2.0, 1.0].into_iter());
         assert!((down + 1.0).abs() < 1e-12);
-        assert_eq!(rank_correlation([1.0].into_iter(), [1.0].into_iter(), 1), 0.0);
+        assert_eq!(rank_correlation([1.0].into_iter(), [1.0].into_iter()), 0.0);
+    }
+
+    #[test]
+    fn rank_correlation_degenerate_inputs_are_zero() {
+        // Mismatched lengths refuse rather than misalign.
+        assert_eq!(
+            rank_correlation([1.0, 2.0, 3.0].into_iter(), [1.0, 2.0].into_iter()),
+            0.0
+        );
+        // A constant series has zero rank variance.
+        assert_eq!(
+            rank_correlation([5.0, 5.0, 5.0].into_iter(), [1.0, 2.0, 3.0].into_iter()),
+            0.0
+        );
+        assert_eq!(
+            rank_correlation(std::iter::empty(), std::iter::empty()),
+            0.0
+        );
     }
 
     fn host(raw: f64, received: u64, max_g: f64) -> Host {
@@ -280,8 +313,11 @@ mod tests {
     #[test]
     fn report_computes_shares_and_percentiles() {
         let hosts = vec![host(100.0, 10, 0.5), host(100.0, 30, 2.0)];
-        let mut m =
-            Metrics { lookups_started: 40, lookups_completed: 40, ..Metrics::default() };
+        let mut m = Metrics {
+            lookups_started: 40,
+            lookups_completed: 40,
+            ..Metrics::default()
+        };
         m.lookup_times.push(1.0);
         m.path_lengths.push(4.0);
         let r = m.into_report("Test", &hosts, 12.5);
@@ -305,7 +341,11 @@ mod tests {
     #[test]
     fn report_display_is_one_glance() {
         let hosts = vec![host(100.0, 10, 0.5)];
-        let mut m = Metrics { lookups_started: 10, lookups_completed: 10, ..Metrics::default() };
+        let mut m = Metrics {
+            lookups_started: 10,
+            lookups_completed: 10,
+            ..Metrics::default()
+        };
         m.lookup_times.push(2.0);
         m.path_lengths.push(5.0);
         let text = m.into_report("ERT/AF", &hosts, 3.0).to_string();
@@ -315,7 +355,11 @@ mod tests {
 
     #[test]
     fn probe_rate() {
-        let m = Metrics { probes: 10, forward_decisions: 5, ..Metrics::default() };
+        let m = Metrics {
+            probes: 10,
+            forward_decisions: 5,
+            ..Metrics::default()
+        };
         let r = m.into_report("P", &[], 1.0);
         assert_eq!(r.probes_per_decision, 2.0);
     }

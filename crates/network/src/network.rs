@@ -3,11 +3,12 @@
 use std::collections::HashSet;
 
 use ert_core::{
-    adaptation_action, choose_next_b, max_indegree, normalize_capacities, AdaptAction,
-    Candidate, ForwardPolicy,
+    adaptation_action, choose_next_b, max_indegree, normalize_capacities, AdaptAction, Candidate,
+    ForwardPolicy,
 };
 use ert_overlay::{Coord, CycloidId, CycloidSpace};
-use ert_sim::{Engine, SimDuration, SimRng, SimTime, TraceLog};
+use ert_sim::{Engine, SampleClock, SimDuration, SimRng, SimTime, TraceLog};
+use ert_telemetry::{Snapshot, Telemetry, TelemetryEvent};
 use rand::Rng;
 
 use crate::config::NetworkConfig;
@@ -20,10 +21,22 @@ use crate::topology::Topology;
 #[derive(Debug)]
 enum Event {
     Inject(usize),
-    Arrive { q: usize, to: CycloidId },
-    ServiceDone { host: usize, q: usize },
+    Arrive {
+        q: usize,
+        to: CycloidId,
+    },
+    ServiceDone {
+        host: usize,
+        q: usize,
+    },
     AdaptTick,
     Churn(usize),
+    /// Telemetry snapshot tick; scheduled only when
+    /// [`NetworkConfig::sample_interval`] is nonzero, and side-effect
+    /// free with respect to the simulation (no RNG draws, no state
+    /// mutation), so sampled and unsampled runs produce identical
+    /// reports.
+    Sample,
 }
 
 #[derive(Debug)]
@@ -78,7 +91,9 @@ pub struct Network {
     outstanding: u64,
     injections_left: u64,
     churn_schedule: Vec<ChurnEvent>,
-    trace: TraceLog,
+    telemetry: Telemetry,
+    sample_clock: Option<SampleClock>,
+    adapt_rounds: u64,
 }
 
 impl Network {
@@ -125,8 +140,10 @@ impl Network {
         };
         let mut topo = Topology::new(space, protocol.table, params);
         if cfg.landmark_count > 0 {
-            topo.landmarks =
-                Some(ert_overlay::LandmarkFrame::random(cfg.landmark_count, &mut rng_topology));
+            topo.landmarks = Some(ert_overlay::LandmarkFrame::random(
+                cfg.landmark_count,
+                &mut rng_topology,
+            ));
         }
 
         let mut min_cap_host = 0;
@@ -198,7 +215,9 @@ impl Network {
             outstanding: 0,
             injections_left: 0,
             churn_schedule: Vec::new(),
-            trace: TraceLog::new(cfg.trace_capacity),
+            telemetry: Telemetry::with_trace_capacity(cfg.trace_capacity),
+            sample_clock: None,
+            adapt_rounds: 0,
         })
     }
 
@@ -210,7 +229,28 @@ impl Network {
     /// The retained event trace (empty unless
     /// [`NetworkConfig::trace_capacity`] is set).
     pub fn trace(&self) -> &TraceLog {
-        &self.trace
+        self.telemetry.trace()
+    }
+
+    /// Read access to the run's telemetry pipeline (snapshots, registry,
+    /// trace ring).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Installs a telemetry pipeline — typically one with a JSONL or
+    /// in-memory sink attached — before calling [`Network::run`]. The
+    /// pipeline installed here replaces the default one built from
+    /// [`NetworkConfig::trace_capacity`].
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Takes the telemetry pipeline out of the network (for reading
+    /// snapshots and writing the final report record after a run),
+    /// leaving a disabled one behind.
+    pub fn take_telemetry(&mut self) -> Telemetry {
+        std::mem::take(&mut self.telemetry)
     }
 
     /// Runs the schedule to completion and digests the metrics.
@@ -228,9 +268,13 @@ impl Network {
         for (i, c) in churn.iter().enumerate() {
             self.engine.schedule_at(c.at(), Event::Churn(i));
         }
-        if self.protocol.adaptation || self.protocol.item_movement || self.cfg.stabilization
-        {
-            self.engine.schedule_in(self.cfg.ert.adaptation_period, Event::AdaptTick);
+        if self.protocol.adaptation || self.protocol.item_movement || self.cfg.stabilization {
+            self.engine
+                .schedule_in(self.cfg.ert.adaptation_period, Event::AdaptTick);
+        }
+        self.sample_clock = SampleClock::new(self.cfg.sample_interval);
+        if let Some(clock) = &self.sample_clock {
+            self.engine.schedule_at(clock.next_at(), Event::Sample);
         }
 
         while let Some((now, event)) = self.engine.pop() {
@@ -238,16 +282,22 @@ impl Network {
                 Event::Inject(i) => self.on_inject(i, now),
                 Event::Arrive { q, to } => self.on_arrive(q, to, now),
                 Event::ServiceDone { host, q } => self.on_service_done(host, q, now),
-                Event::AdaptTick => self.on_adapt_tick(),
-                Event::Churn(i) => self.on_churn(i),
+                Event::AdaptTick => self.on_adapt_tick(now),
+                Event::Churn(i) => self.on_churn(i, now),
+                Event::Sample => self.on_sample(now),
             }
             if self.injections_left == 0 && self.outstanding == 0 {
                 break;
             }
         }
+        self.telemetry.flush();
         let mut metrics = std::mem::take(&mut self.metrics);
         metrics.maintenance_ops = self.topo.link_ops;
-        metrics.into_report(&self.protocol.name, &self.topo.hosts, self.engine.now().as_secs_f64())
+        metrics.into_report(
+            &self.protocol.name,
+            &self.topo.hosts,
+            self.engine.now().as_secs_f64(),
+        )
     }
 
     fn resolve_source(&mut self, pick: SourcePick) -> Option<usize> {
@@ -256,8 +306,7 @@ impl Network {
                 if self.alive_hosts.is_empty() {
                     return None;
                 }
-                let hi = self.alive_hosts
-                    [self.rng_workload.gen_range(0..self.alive_hosts.len())];
+                let hi = self.alive_hosts[self.rng_workload.gen_range(0..self.alive_hosts.len())];
                 let nodes: Vec<usize> = self.topo.hosts[hi]
                     .nodes
                     .iter()
@@ -311,7 +360,12 @@ impl Network {
         self.metrics.lookups_started += 1;
         self.outstanding += 1;
         let source_id = self.topo.nodes[source].id;
-        self.trace.record(now, || format!("q{q} inject at {source_id} key {key}"));
+        let (src_lin, key_lin) = (self.topo.space.lin(source_id), self.topo.space.lin(key));
+        self.telemetry.emit(now, || TelemetryEvent::LookupStart {
+            q: q as u64,
+            source: src_lin,
+            key: key_lin,
+        });
         self.deliver(q, source_id, now);
     }
 
@@ -326,12 +380,17 @@ impl Network {
                 self.metrics.handoffs += 1;
                 match self.topo.registry.owner(to) {
                     Some(successor) => {
+                        let succ_lin = self.topo.space.lin(successor);
+                        self.telemetry.emit(now, || TelemetryEvent::LookupHandoff {
+                            q: q as u64,
+                            successor: succ_lin,
+                        });
                         self.engine.schedule_at(
                             now + self.cfg.timeout_penalty,
                             Event::Arrive { q, to: successor },
                         );
                     }
-                    None => self.drop_query(q),
+                    None => self.drop_query(q, now),
                 }
             }
             Some(node) => {
@@ -368,10 +427,14 @@ impl Network {
     fn start_service(&mut self, host_idx: usize, q: usize, now: SimTime) {
         let host = &mut self.topo.hosts[host_idx];
         host.in_service = Some(q);
-        let service =
-            if host.is_heavy() { self.cfg.heavy_service } else { self.cfg.light_service };
+        let service = if host.is_heavy() {
+            self.cfg.heavy_service
+        } else {
+            self.cfg.light_service
+        };
         host.busy_micros += service.as_micros();
-        self.engine.schedule_at(now + service, Event::ServiceDone { host: host_idx, q });
+        self.engine
+            .schedule_at(now + service, Event::ServiceDone { host: host_idx, q });
     }
 
     fn on_service_done(&mut self, host_idx: usize, q: usize, now: SimTime) {
@@ -393,11 +456,18 @@ impl Network {
             let id = self.topo.nodes[node].id;
             self.metrics.handoffs += 1;
             match self.topo.registry.owner(id) {
-                Some(successor) => self.engine.schedule_at(
-                    now + self.cfg.timeout_penalty,
-                    Event::Arrive { q, to: successor },
-                ),
-                None => self.drop_query(q),
+                Some(successor) => {
+                    let succ_lin = self.topo.space.lin(successor);
+                    self.telemetry.emit(now, || TelemetryEvent::LookupHandoff {
+                        q: q as u64,
+                        successor: succ_lin,
+                    });
+                    self.engine.schedule_at(
+                        now + self.cfg.timeout_penalty,
+                        Event::Arrive { q, to: successor },
+                    )
+                }
+                None => self.drop_query(q, now),
             }
             return;
         }
@@ -430,10 +500,10 @@ impl Network {
             return;
         };
         let me = self.topo.nodes[self.queries[q].at_node].id;
-        let latency = SimDuration::from_secs_f64(
-            self.cfg.latency_scale * self.topo.phys_dist(me, next),
-        );
-        self.engine.schedule_at(now + latency, Event::Arrive { q, to: next });
+        let latency =
+            SimDuration::from_secs_f64(self.cfg.latency_scale * self.topo.phys_dist(me, next));
+        self.engine
+            .schedule_at(now + latency, Event::Arrive { q, to: next });
     }
 
     fn complete_query(&mut self, q: usize, now: SimTime) {
@@ -444,13 +514,19 @@ impl Network {
         qs.done = true;
         self.outstanding -= 1;
         self.metrics.lookups_completed += 1;
-        self.metrics.lookup_times.push((now - qs.started).as_secs_f64());
+        self.metrics
+            .lookup_times
+            .push((now - qs.started).as_secs_f64());
         self.metrics.path_lengths.push(qs.hops as f64);
         let (hops, heavy) = (qs.hops, qs.heavy_seen);
-        self.trace.record(now, || format!("q{q} complete hops={hops} heavy={heavy}"));
+        self.telemetry.emit(now, || TelemetryEvent::LookupComplete {
+            q: q as u64,
+            hops,
+            heavy,
+        });
     }
 
-    fn drop_query(&mut self, q: usize) {
+    fn drop_query(&mut self, q: usize, now: SimTime) {
         let qs = &mut self.queries[q];
         if qs.done {
             return;
@@ -458,6 +534,9 @@ impl Network {
         qs.done = true;
         self.outstanding -= 1;
         self.metrics.lookups_dropped += 1;
+        let hops = self.queries[q].hops;
+        self.telemetry
+            .emit(now, || TelemetryEvent::LookupDropped { q: q as u64, hops });
     }
 
     fn candidate_info(&self, me: CycloidId, id: CycloidId, key: CycloidId) -> Candidate<CycloidId> {
@@ -479,7 +558,7 @@ impl Network {
 
     fn forward(&mut self, q: usize, node: usize, now: SimTime) {
         if self.queries[q].hops >= self.cfg.max_hops {
-            self.drop_query(q);
+            self.drop_query(q, now);
             return;
         }
         let key = self.queries[q].key;
@@ -487,13 +566,14 @@ impl Network {
         let probing = matches!(self.protocol.forwarding, ForwardPolicy::TwoChoice { .. });
         let ring_mode = self.queries[q].ring_mode;
         let Some(rc) =
-            self.topo.route_candidates(node, key, probing, ring_mode, &mut self.rng_forward)
+            self.topo
+                .route_candidates(node, key, probing, ring_mode, &mut self.rng_forward)
         else {
             // Ownership shifted to us mid-flight, or the overlay emptied.
             if self.topo.registry.owner(key) == Some(me) {
                 self.complete_query(q, now);
             } else {
-                self.drop_query(q);
+                self.drop_query(q, now);
             }
             return;
         };
@@ -501,12 +581,18 @@ impl Network {
         if rc.fell_back {
             self.queries[q].ring_mode = true;
         }
-        let cands: Vec<Candidate<CycloidId>> =
-            rc.ids.iter().map(|&id| self.candidate_info(me, id, key)).collect();
+        let cands: Vec<Candidate<CycloidId>> = rc
+            .ids
+            .iter()
+            .map(|&id| self.candidate_info(me, id, key))
+            .collect();
         let memory = match (self.protocol.forwarding, rc.slot) {
-            (ForwardPolicy::TwoChoice { use_memory: true, .. }, Some(slot)) => {
-                self.topo.nodes[node].table.memory(slot)
-            }
+            (
+                ForwardPolicy::TwoChoice {
+                    use_memory: true, ..
+                },
+                Some(slot),
+            ) => self.topo.nodes[node].table.memory(slot),
             _ => None,
         };
         let choice = choose_next_b(
@@ -536,12 +622,30 @@ impl Network {
             // Timeout: the stale link is discovered the hard way.
             self.metrics.timeouts += 1;
             penalty = self.cfg.timeout_penalty;
+            let (me_lin, dead_lin) = (self.topo.space.lin(me), self.topo.space.lin(next));
+            self.telemetry.emit(now, || TelemetryEvent::LookupTimeout {
+                q: q as u64,
+                at: me_lin,
+                dead: dead_lin,
+            });
             if let Some(slot) = rc.slot {
                 self.topo.purge_dead_link(node, slot, next);
+                self.telemetry.emit(now, || TelemetryEvent::LinkPurged {
+                    node: me_lin,
+                    peer: dead_lin,
+                });
             }
-            let live: Vec<CycloidId> =
-                rc.ids.iter().copied().filter(|&x| x != next && self.topo.is_alive(x)).collect();
-            next = match live.iter().copied().min_by_key(|&x| self.topo.logical_metric(x, key)) {
+            let live: Vec<CycloidId> = rc
+                .ids
+                .iter()
+                .copied()
+                .filter(|&x| x != next && self.topo.is_alive(x))
+                .collect();
+            next = match live
+                .iter()
+                .copied()
+                .min_by_key(|&x| self.topo.logical_metric(x, key))
+            {
                 Some(alt) => alt,
                 None => {
                     // Re-assemble with dead filtering (repairs the slot).
@@ -568,11 +672,17 @@ impl Network {
         }
 
         self.queries[q].hops += 1;
-        self.trace.record(now, || format!("q{q} forward {me} -> {next}"));
-        let latency = SimDuration::from_secs_f64(
-            self.cfg.latency_scale * self.topo.phys_dist(me, next),
-        ) + penalty;
-        self.engine.schedule_at(now + latency, Event::Arrive { q, to: next });
+        let (from_lin, to_lin) = (self.topo.space.lin(me), self.topo.space.lin(next));
+        self.telemetry.emit(now, || TelemetryEvent::LookupHop {
+            q: q as u64,
+            from: from_lin,
+            to: to_lin,
+        });
+        let latency =
+            SimDuration::from_secs_f64(self.cfg.latency_scale * self.topo.phys_dist(me, next))
+                + penalty;
+        self.engine
+            .schedule_at(now + latency, Event::Arrive { q, to: next });
     }
 
     fn on_arrive(&mut self, q: usize, to: CycloidId, now: SimTime) {
@@ -582,7 +692,11 @@ impl Network {
         self.deliver(q, to, now);
     }
 
-    fn on_adapt_tick(&mut self) {
+    fn on_adapt_tick(&mut self, now: SimTime) {
+        self.adapt_rounds += 1;
+        let round = self.adapt_rounds;
+        self.telemetry
+            .emit(now, || TelemetryEvent::AdaptTick { round });
         if self.protocol.table == TablePolicy::Elastic && self.protocol.adaptation {
             for node in 0..self.topo.nodes.len() {
                 if !self.topo.nodes[node].alive {
@@ -599,6 +713,11 @@ impl Network {
                             let shed = self.topo.shed_inlinks(node, x);
                             let nd = &mut self.topo.nodes[node];
                             nd.d_max = nd.d_max.saturating_sub(shed).max(1);
+                            let node_lin = self.topo.space.lin(self.topo.nodes[node].id);
+                            self.telemetry.emit(now, || TelemetryEvent::LinkShed {
+                                node: node_lin,
+                                count: shed,
+                            });
                         }
                     }
                     AdaptAction::Grow(x) => {
@@ -606,12 +725,17 @@ impl Network {
                         let nd = &mut self.topo.nodes[node];
                         nd.d_max = (nd.d_max + x).min(cap);
                         self.topo.grow_inlinks(node, x);
+                        let node_lin = self.topo.space.lin(self.topo.nodes[node].id);
+                        self.telemetry.emit(now, || TelemetryEvent::LinkGrown {
+                            node: node_lin,
+                            count: x,
+                        });
                     }
                 }
             }
         }
         if self.protocol.item_movement {
-            self.item_movement_round();
+            self.item_movement_round(now);
         }
         if self.cfg.stabilization {
             for node in 0..self.topo.nodes.len() {
@@ -624,7 +748,8 @@ impl Network {
             h.period_load = 0;
         }
         if self.injections_left > 0 || self.outstanding > 0 {
-            self.engine.schedule_in(self.cfg.ert.adaptation_period, Event::AdaptTick);
+            self.engine
+                .schedule_in(self.cfg.ert.adaptation_period, Event::AdaptTick);
         }
     }
 
@@ -632,7 +757,7 @@ impl Network {
     /// the most overloaded hosts each pull a sampled light node to
     /// leave its position and rejoin just before them, splitting their
     /// responsibility interval. ID changes are charged as maintenance.
-    fn item_movement_round(&mut self) {
+    fn item_movement_round(&mut self, now: SimTime) {
         let gamma_l = self.cfg.ert.gamma_l;
         let mut heavy: Vec<usize> = self
             .alive_hosts
@@ -644,16 +769,18 @@ impl Network {
             })
             .collect();
         heavy.sort_by(|&a, &b| {
-            let ga = self.topo.hosts[a].period_load as f64
-                / self.topo.hosts[a].capacity_eval as f64;
-            let gb = self.topo.hosts[b].period_load as f64
-                / self.topo.hosts[b].capacity_eval as f64;
+            let ga =
+                self.topo.hosts[a].period_load as f64 / self.topo.hosts[a].capacity_eval as f64;
+            let gb =
+                self.topo.hosts[b].period_load as f64 / self.topo.hosts[b].capacity_eval as f64;
             gb.partial_cmp(&ga).expect("finite loads")
         });
         let budget = (self.alive_hosts.len() / 64).max(1);
         for &hh in heavy.iter().take(budget) {
-            let Some(&heavy_node) =
-                self.topo.hosts[hh].nodes.iter().find(|&&n| self.topo.nodes[n].alive)
+            let Some(&heavy_node) = self.topo.hosts[hh]
+                .nodes
+                .iter()
+                .find(|&&n| self.topo.nodes[n].alive)
             else {
                 continue;
             };
@@ -675,14 +802,18 @@ impl Network {
                     ga.partial_cmp(&gb).expect("finite loads")
                 });
             let Some(lh) = light_host else { continue };
-            let Some(&light_node) =
-                self.topo.hosts[lh].nodes.iter().find(|&&n| self.topo.nodes[n].alive)
+            let Some(&light_node) = self.topo.hosts[lh]
+                .nodes
+                .iter()
+                .find(|&&n| self.topo.nodes[n].alive)
             else {
                 continue;
             };
             // Split the heavy node's interval at its midpoint.
             let heavy_id = self.topo.nodes[heavy_node].id;
-            let Some(pred) = self.topo.registry.predecessor(heavy_id) else { continue };
+            let Some(pred) = self.topo.registry.predecessor(heavy_id) else {
+                continue;
+            };
             let gap = self.topo.registry.forward_dist(pred, heavy_id);
             if gap < 2 {
                 continue;
@@ -697,56 +828,143 @@ impl Network {
             let old = &self.topo.nodes[light_node];
             self.topo.link_ops += (old.table.outdegree() + old.table.indegree()) as u64;
             let d_max = old.d_max;
+            let old_lin = self.topo.space.lin(old.id);
             self.topo.remove_node(light_node);
             let fresh = self.topo.add_node(new_id, lh, d_max);
             self.topo.build_node_table(fresh, &mut self.rng_topology);
+            let new_lin = self.topo.space.lin(new_id);
+            self.telemetry.emit(now, || TelemetryEvent::NodeRelocated {
+                from: old_lin,
+                to: new_lin,
+            });
         }
     }
 
-    fn on_churn(&mut self, i: usize) {
+    /// Takes one periodic telemetry snapshot and schedules the next
+    /// tick. Pure observation: it reads state but never mutates the
+    /// simulation or draws randomness, so a sampled run produces the
+    /// same [`RunReport`] as an unsampled one.
+    fn on_sample(&mut self, now: SimTime) {
+        let mut congestion = ert_sim::stats::Samples::new();
+        let mut utilization_sum = 0.0;
+        let (mut queue_total, mut queue_max) = (0u64, 0u64);
+        for &h in &self.alive_hosts {
+            let host = &self.topo.hosts[h];
+            congestion.push(host.congestion());
+            let depth = host.load() as u64;
+            queue_total += depth;
+            queue_max = queue_max.max(depth);
+            if now > SimTime::ZERO {
+                utilization_sum +=
+                    (host.busy_micros.min(now.as_micros())) as f64 / now.as_micros() as f64;
+            }
+        }
+        let host_count = self.alive_hosts.len().max(1) as f64;
+        let (mut in_min, mut in_max, mut in_sum) = (u64::MAX, 0u64, 0u64);
+        let (mut out_min, mut out_max, mut out_sum) = (u64::MAX, 0u64, 0u64);
+        let mut alive_nodes = 0u64;
+        for node in &self.topo.nodes {
+            if !node.alive {
+                continue;
+            }
+            alive_nodes += 1;
+            let (ind, outd) = (node.table.indegree() as u64, node.table.outdegree() as u64);
+            in_min = in_min.min(ind);
+            in_max = in_max.max(ind);
+            in_sum += ind;
+            out_min = out_min.min(outd);
+            out_max = out_max.max(outd);
+            out_sum += outd;
+        }
+        let node_count = alive_nodes.max(1) as f64;
+        let congestion_p99 = congestion.percentile(0.99);
+        self.telemetry.record_snapshot(Snapshot {
+            at: now,
+            lookups_in_flight: self.outstanding,
+            lookups_completed: self.metrics.lookups_completed,
+            lookups_dropped: self.metrics.lookups_dropped,
+            queue_depth_total: queue_total,
+            queue_depth_max: queue_max,
+            congestion_p50: congestion.percentile(0.50),
+            congestion_p99,
+            congestion_max: congestion.max(),
+            utilization_mean: utilization_sum / host_count,
+            indegree_min: if alive_nodes == 0 { 0 } else { in_min },
+            indegree_mean: in_sum as f64 / node_count,
+            indegree_max: in_max,
+            outdegree_min: if alive_nodes == 0 { 0 } else { out_min },
+            outdegree_mean: out_sum as f64 / node_count,
+            outdegree_max: out_max,
+            alive_nodes,
+            alive_hosts: self.alive_hosts.len() as u64,
+        });
+        self.telemetry
+            .observe("congestion_p99", now, || congestion_p99);
+        self.telemetry.counter_add("samples", 1);
+        if let Some(clock) = &mut self.sample_clock {
+            clock.advance();
+            if self.injections_left > 0 || self.outstanding > 0 {
+                self.engine.schedule_at(clock.next_at(), Event::Sample);
+            }
+        }
+    }
+
+    fn on_churn(&mut self, i: usize, now: SimTime) {
         match self.churn_schedule[i] {
-            ChurnEvent::Join { capacity, .. } => self.join_host(capacity),
-            ChurnEvent::Leave { .. } => self.leave_random_host(),
+            ChurnEvent::Join { capacity, .. } => self.join_host(capacity, now),
+            ChurnEvent::Leave { .. } => self.leave_random_host(now),
         }
     }
 
-    fn join_host(&mut self, raw_capacity: f64) {
+    fn join_host(&mut self, raw_capacity: f64, now: SimTime) {
         let nc = raw_capacity / self.capacity_unit;
-        let est = self.cfg.estimator.estimate_capacity(nc, &mut self.rng_topology);
+        let est = self
+            .cfg
+            .estimator
+            .estimate_capacity(nc, &mut self.rng_topology);
         let alpha = self.topo.params.alpha;
         let capacity_eval = max_indegree(alpha, est);
         let coord = Coord::random(&mut self.rng_topology);
         let Some(id) = self.topo.registry.random_vacant(&mut self.rng_topology) else {
             return; // the ID space is full
         };
-        let host =
-            self.topo.add_host(Host::new(raw_capacity, nc, est, capacity_eval, coord));
+        let host = self
+            .topo
+            .add_host(Host::new(raw_capacity, nc, est, capacity_eval, coord));
         let d_max = node_d_max(&self.protocol, &self.topo.hosts[host], alpha);
         let node = self.topo.add_node(id, host, d_max);
         self.topo.build_node_table(node, &mut self.rng_topology);
         self.alive_hosts.push(host);
+        let node_lin = self.topo.space.lin(id);
+        self.telemetry
+            .emit(now, || TelemetryEvent::NodeJoined { node: node_lin });
     }
 
-    fn leave_random_host(&mut self) {
+    fn leave_random_host(&mut self, now: SimTime) {
         if self.alive_hosts.len() <= 2 {
             return; // keep the overlay routable
         }
         let pos = self.rng_topology.gen_range(0..self.alive_hosts.len());
         let host_idx = self.alive_hosts.swap_remove(pos);
         let node_idxs = self.topo.hosts[host_idx].nodes.clone();
+        let mut removed: u32 = 0;
         for n in node_idxs {
             if self.topo.nodes[n].alive {
                 self.topo.remove_node(n);
+                removed += 1;
             }
         }
         self.topo.hosts[host_idx].alive = false;
+        self.telemetry.emit(now, || TelemetryEvent::NodeDeparted {
+            host: host_idx as u64,
+            nodes: removed,
+        });
         // Queries stranded on the departed host resume at the successor
         // of the node they were queued at, after a timeout.
         let mut stranded: Vec<usize> = self.topo.hosts[host_idx].queue.drain(..).collect();
         if let Some(in_service) = self.topo.hosts[host_idx].in_service.take() {
             stranded.push(in_service);
         }
-        let now = self.engine.now();
         for q in stranded {
             if self.queries[q].done {
                 continue;
@@ -754,11 +972,18 @@ impl Network {
             self.metrics.handoffs += 1;
             let at = self.topo.nodes[self.queries[q].at_node].id;
             match self.topo.registry.owner(at) {
-                Some(successor) => self.engine.schedule_at(
-                    now + self.cfg.timeout_penalty,
-                    Event::Arrive { q, to: successor },
-                ),
-                None => self.drop_query(q),
+                Some(successor) => {
+                    let succ_lin = self.topo.space.lin(successor);
+                    self.telemetry.emit(now, || TelemetryEvent::LookupHandoff {
+                        q: q as u64,
+                        successor: succ_lin,
+                    });
+                    self.engine.schedule_at(
+                        now + self.cfg.timeout_penalty,
+                        Event::Arrive { q, to: successor },
+                    )
+                }
+                None => self.drop_query(q, now),
             }
         }
     }
@@ -784,7 +1009,11 @@ pub fn uniform_lookup_burst(count: usize, rate_per_sec: f64, seed: u64) -> Vec<L
     (0..count)
         .map(|_| {
             t += SimDuration::from_secs_f64(rng.exp_secs(rate_per_sec));
-            Lookup { at: t, source: SourcePick::Random, key: KeyPick::Random }
+            Lookup {
+                at: t,
+                source: SourcePick::Random,
+                key: KeyPick::Random,
+            }
         })
         .collect()
 }
@@ -829,7 +1058,11 @@ mod tests {
         for spec in [ProtocolSpec::ert_a(), ProtocolSpec::ert_f()] {
             let name = spec.name.clone();
             let r = run_protocol(spec, 200, 3);
-            assert_eq!(r.lookups_completed, 200, "{name} dropped {}", r.lookups_dropped);
+            assert_eq!(
+                r.lookups_completed, 200,
+                "{name} dropped {}",
+                r.lookups_dropped
+            );
         }
     }
 
@@ -866,13 +1099,19 @@ mod tests {
         let mut t = SimTime::ZERO;
         while t < horizon {
             t += SimDuration::from_secs_f64(rng.exp_secs(20.0));
-            churn.push(ChurnEvent::Join { at: t, capacity: 800.0 });
+            churn.push(ChurnEvent::Join {
+                at: t,
+                capacity: 800.0,
+            });
             t += SimDuration::from_secs_f64(rng.exp_secs(20.0));
             churn.push(ChurnEvent::Leave { at: t });
         }
         let r = net.run(&lookups, &churn);
         assert_eq!(r.lookups_completed + r.lookups_dropped, 300);
-        assert!(r.lookups_completed >= 290, "churn should not drop many lookups");
+        assert!(
+            r.lookups_completed >= 290,
+            "churn should not drop many lookups"
+        );
         assert!(net.topology().hosts.len() > 128, "joins must have happened");
     }
 
@@ -918,9 +1157,18 @@ mod tests {
         // Landmark estimates only affect tie-breaks; the headline
         // metrics stay in the same ballpark.
         let rel = (rl.lookup_time.mean - re.lookup_time.mean).abs() / re.lookup_time.mean;
-        assert!(rel < 0.30, "exact {} vs landmark {}", re.lookup_time.mean, rl.lookup_time.mean);
+        assert!(
+            rel < 0.30,
+            "exact {} vs landmark {}",
+            re.lookup_time.mean,
+            rl.lookup_time.mean
+        );
         assert!(lm.topology().hosts.iter().all(|h| h.landmark_vec.is_some()));
-        assert!(exact.topology().hosts.iter().all(|h| h.landmark_vec.is_none()));
+        assert!(exact
+            .topology()
+            .hosts
+            .iter()
+            .all(|h| h.landmark_vec.is_none()));
     }
 
     #[test]
@@ -958,9 +1206,8 @@ mod tests {
 
         assert_eq!(ra.lookups_completed, 250, "dropped {}", ra.lookups_dropped);
         // The response retraces the path: total load roughly doubles...
-        let load = |net: &Network| -> u64 {
-            net.topology().hosts.iter().map(|h| h.total_received).sum()
-        };
+        let load =
+            |net: &Network| -> u64 { net.topology().hosts.iter().map(|h| h.total_received).sum() };
         let (lp, la) = (load(&plain), load(&anon));
         assert!(
             la as f64 > 1.6 * lp as f64 && (la as f64) < 2.4 * lp as f64,
@@ -987,11 +1234,80 @@ mod tests {
             t += SimDuration::from_secs_f64(rng.exp_secs(30.0));
             churn.push(ChurnEvent::Leave { at: t });
             t += SimDuration::from_secs_f64(rng.exp_secs(30.0));
-            churn.push(ChurnEvent::Join { at: t, capacity: 900.0 });
+            churn.push(ChurnEvent::Join {
+                at: t,
+                capacity: 900.0,
+            });
         }
         let r = net.run(&lookups, &churn);
         assert_eq!(r.lookups_completed + r.lookups_dropped, 200);
-        assert!(r.lookups_completed >= 190, "completed {}", r.lookups_completed);
+        assert!(
+            r.lookups_completed >= 190,
+            "completed {}",
+            r.lookups_completed
+        );
+    }
+
+    #[test]
+    fn telemetry_streams_events_and_snapshots_without_perturbing_the_run() {
+        use ert_telemetry::{MemorySink, Telemetry};
+
+        let capacities = caps(64);
+        let schedule = uniform_lookup_burst(100, 64.0, 31);
+
+        // Plain run: no telemetry at all.
+        let cfg = NetworkConfig::for_dimension(6, 31);
+        let mut plain = Network::new(cfg, &capacities, ProtocolSpec::ert_af()).unwrap();
+        let rp = plain.run(&schedule, &[]);
+
+        // Instrumented run: sink attached, sampler at 0.5 s.
+        let mut cfg2 = NetworkConfig::for_dimension(6, 31);
+        cfg2.sample_interval = SimDuration::from_secs_f64(0.5);
+        let mut net = Network::new(cfg2, &capacities, ProtocolSpec::ert_af()).unwrap();
+        let sink = MemorySink::new();
+        let lines = sink.handle();
+        let mut tel = Telemetry::disabled();
+        tel.add_sink(Box::new(sink));
+        net.set_telemetry(tel);
+        let rt = net.run(&schedule, &[]);
+
+        // Observation must not perturb the simulation.
+        assert_eq!(rp.lookups_completed, rt.lookups_completed);
+        assert_eq!(rp.lookup_time.mean, rt.lookup_time.mean);
+        assert_eq!(rp.p99_max_congestion, rt.p99_max_congestion);
+        assert_eq!(rp.sim_seconds, rt.sim_seconds);
+
+        let lines = lines.lock().unwrap();
+        let kinds: std::collections::HashSet<&str> = lines
+            .iter()
+            .filter(|l| l.starts_with("{\"kind\":\"event\""))
+            .filter_map(|l| {
+                let tag = l.split("\"event\":{\"").nth(1)?;
+                tag.split('"').next()
+            })
+            .collect();
+        assert!(
+            kinds.len() >= 3,
+            "want >=3 distinct event kinds, got {kinds:?}"
+        );
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("{\"kind\":\"snapshot\"")));
+
+        // Retained snapshot series: monotone sim timestamps at Δt grid.
+        let tel = net.take_telemetry();
+        let snaps = tel.snapshots();
+        assert!(
+            snaps.len() >= 2,
+            "expected several samples, got {}",
+            snaps.len()
+        );
+        for pair in snaps.windows(2) {
+            assert!(pair[0].at < pair[1].at);
+        }
+        assert_eq!(snaps[0].at.as_micros(), 500_000);
+        assert!(snaps.iter().all(|s| s.alive_hosts == 64));
+        assert_eq!(tel.registry().counter("samples"), snaps.len() as u64);
     }
 
     /// Local stand-in for `ert_baselines::base()` (the baselines crate
@@ -1007,4 +1323,3 @@ mod tests {
         }
     }
 }
-

@@ -55,7 +55,10 @@ impl VirtualServerConfig {
     /// The classic `Θ(log n)`-flavored sizing for an `n`-host network.
     pub fn for_network_size(n: usize) -> Self {
         let log2n = (n.max(2) as f64).log2();
-        VirtualServerConfig { virtuals_per_capacity: log2n / 2.0, max_per_host: 16 * log2n as u32 }
+        VirtualServerConfig {
+            virtuals_per_capacity: log2n / 2.0,
+            max_per_host: 16 * log2n as u32,
+        }
     }
 
     /// Number of virtual servers for a host of normalized capacity `c`,
@@ -95,7 +98,10 @@ impl ProtocolSpec {
             name: "ERT/AF".into(),
             table: TablePolicy::Elastic,
             adaptation: true,
-            forwarding: ForwardPolicy::TwoChoice { topology_aware: true, use_memory: true },
+            forwarding: ForwardPolicy::TwoChoice {
+                topology_aware: true,
+                use_memory: true,
+            },
             virtual_servers: None,
             item_movement: false,
         }
@@ -121,7 +127,10 @@ impl ProtocolSpec {
             name: "ERT/F".into(),
             table: TablePolicy::Elastic,
             adaptation: false,
-            forwarding: ForwardPolicy::TwoChoice { topology_aware: true, use_memory: true },
+            forwarding: ForwardPolicy::TwoChoice {
+                topology_aware: true,
+                use_memory: true,
+            },
             virtual_servers: None,
             item_movement: false,
         }
@@ -172,7 +181,9 @@ mod tests {
 
     #[test]
     fn named_and_toggles() {
-        let s = ProtocolSpec::ert_af().with_adaptation(false).named("ablation");
+        let s = ProtocolSpec::ert_af()
+            .with_adaptation(false)
+            .named("ablation");
         assert_eq!(s.name, "ablation");
         assert!(!s.adaptation);
     }

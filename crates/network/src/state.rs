@@ -120,7 +120,13 @@ pub struct OverlayNode {
 impl OverlayNode {
     /// Creates a node with an empty table.
     pub fn new(id: CycloidId, host: usize, d_max: u32) -> Self {
-        OverlayNode { id, host, table: ElasticTable::new(), d_max: d_max.max(1), alive: true }
+        OverlayNode {
+            id,
+            host,
+            table: ElasticTable::new(),
+            d_max: d_max.max(1),
+            alive: true,
+        }
     }
 
     /// Spare indegree `d^∞ − d` (negative when adaptation shrank `d^∞`

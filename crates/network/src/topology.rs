@@ -5,12 +5,12 @@
 use std::collections::HashMap;
 
 use ert_core::{
-    assign::initial_indegree_target, build_table, expand_indegree, select_shed_victims,
-    Directory, ErtParams, ShedCandidate,
+    assign::initial_indegree_target, build_table, expand_indegree, select_shed_victims, Directory,
+    ErtParams, ShedCandidate,
 };
 use ert_overlay::{
-    ring::forward_distance, CycloidId, CycloidRegion, CycloidRegistry, CycloidSpace,
-    LandmarkFrame, RouteStep, SlotKind,
+    ring::forward_distance, CycloidId, CycloidRegion, CycloidRegistry, CycloidSpace, LandmarkFrame,
+    RouteStep, SlotKind,
 };
 use ert_sim::SimRng;
 
@@ -120,7 +120,10 @@ impl Topology {
 
     /// The slab index currently holding `id`, if the ID is live.
     pub fn node_idx(&self, id: CycloidId) -> Option<usize> {
-        self.id_map.get(&id).copied().filter(|&i| self.nodes[i].alive)
+        self.id_map
+            .get(&id)
+            .copied()
+            .filter(|&i| self.nodes[i].alive)
     }
 
     /// Whether `id` is a live overlay node.
@@ -161,8 +164,11 @@ impl Topology {
             return 0;
         }
         let d = self.space.dim() as u64;
-        let fwd =
-            forward_distance(self.space.lin(from), self.space.lin(key), self.space.ring_size());
+        let fwd = forward_distance(
+            self.space.lin(from),
+            self.space.lin(key),
+            self.space.ring_size(),
+        );
         let ring = fwd.min(self.space.ring_size() - fwd);
         if from.a() == key.a() {
             return ring;
@@ -240,14 +246,22 @@ impl Topology {
             return None;
         }
         let capacity = |id: CycloidId| {
-            self.host_of_id(id).map_or(0.0, |h| self.hosts[h].est_capacity)
+            self.host_of_id(id)
+                .map_or(0.0, |h| self.hosts[h].est_capacity)
         };
         let with_spare: Vec<CycloidId> = members
             .iter()
             .copied()
-            .filter(|&m| self.node_idx(m).is_some_and(|i| self.nodes[i].spare_indegree() >= 1))
+            .filter(|&m| {
+                self.node_idx(m)
+                    .is_some_and(|i| self.nodes[i].spare_indegree() >= 1)
+            })
             .collect();
-        let pool = if with_spare.is_empty() { &members } else { &with_spare };
+        let pool = if with_spare.is_empty() {
+            &members
+        } else {
+            &with_spare
+        };
         pool.iter().copied().max_by(|&x, &y| {
             capacity(x)
                 .partial_cmp(&capacity(y))
@@ -289,8 +303,7 @@ impl Topology {
                 if let Some(region) = self.space.cyclic_region(id) {
                     if let Some(first) = self.highest_capacity_in_region(region, id, &[]) {
                         self.add_link(id, CycloidSlot::Cyclic, first);
-                        if let Some(second) =
-                            self.highest_capacity_in_region(region, id, &[first])
+                        if let Some(second) = self.highest_capacity_in_region(region, id, &[first])
                         {
                             self.add_link(id, CycloidSlot::Cyclic, second);
                         }
@@ -314,9 +327,7 @@ impl Topology {
         let window = self.params.leaf_window;
         let succ = self.registry.succ_window(id, window);
         let pred = self.registry.pred_window(id, window);
-        for (slot, structural) in
-            [(CycloidSlot::RingSucc, succ), (CycloidSlot::RingPred, pred)]
-        {
+        for (slot, structural) in [(CycloidSlot::RingSucc, succ), (CycloidSlot::RingPred, pred)] {
             let mut members: Vec<CycloidId> = structural;
             for extra in self.nodes[node].table.outlinks(slot).to_vec() {
                 if self.is_alive(extra) && !members.contains(&extra) {
@@ -443,9 +454,7 @@ impl Topology {
                 };
                 self.closest_in_region(region, ideal, id)
             }
-            TablePolicy::SingleHighestCapacity => {
-                self.highest_capacity_in_region(region, id, &[])
-            }
+            TablePolicy::SingleHighestCapacity => self.highest_capacity_in_region(region, id, &[]),
             TablePolicy::Elastic => {
                 let members: Vec<CycloidId> = self
                     .registry
@@ -457,7 +466,8 @@ impl Topology {
                     .iter()
                     .copied()
                     .filter(|&m| {
-                        self.node_idx(m).is_some_and(|i| self.nodes[i].spare_indegree() >= 1)
+                        self.node_idx(m)
+                            .is_some_and(|i| self.nodes[i].spare_indegree() >= 1)
                     })
                     .collect();
                 if with_spare.is_empty() {
@@ -509,7 +519,10 @@ impl Topology {
                 };
                 let mut ids: Vec<CycloidId> = self.nodes[node].table.outlinks(slot).to_vec();
                 if filter_dead {
-                    for &dead in ids.iter().filter(|&&x| !self.is_alive(x)).collect::<Vec<_>>()
+                    for &dead in ids
+                        .iter()
+                        .filter(|&&x| !self.is_alive(x))
+                        .collect::<Vec<_>>()
                     {
                         self.purge_dead_link(node, slot, dead);
                     }
@@ -529,7 +542,12 @@ impl Topology {
                     rc.fell_back = true;
                     return Some(rc);
                 }
-                Some(RouteCandidates { slot: Some(slot), ids, owner, fell_back: false })
+                Some(RouteCandidates {
+                    slot: Some(slot),
+                    ids,
+                    owner,
+                    fell_back: false,
+                })
             }
             RouteStep::Ascend => {
                 let mut ids = self.registry.cycle_above(me);
@@ -549,7 +567,12 @@ impl Topology {
                     rc.fell_back = true;
                     return Some(rc);
                 }
-                Some(RouteCandidates { slot: None, ids, owner, fell_back: false })
+                Some(RouteCandidates {
+                    slot: None,
+                    ids,
+                    owner,
+                    fell_back: false,
+                })
             }
             RouteStep::Ring => Some(self.ring_candidates(node, owner)),
         }
@@ -566,7 +589,11 @@ impl Topology {
         let fwd = self.registry.forward_dist(me, owner);
         let bwd = self.space.ring_size() - fwd;
         let forward = fwd <= bwd;
-        let slot = if forward { CycloidSlot::RingSucc } else { CycloidSlot::RingPred };
+        let slot = if forward {
+            CycloidSlot::RingSucc
+        } else {
+            CycloidSlot::RingPred
+        };
         let in_stride = |x: CycloidId| {
             if forward {
                 let d = self.registry.forward_dist(me, x);
@@ -592,7 +619,12 @@ impl Topology {
                 fell_back: false,
             };
         }
-        RouteCandidates { slot: Some(slot), ids, owner, fell_back: false }
+        RouteCandidates {
+            slot: Some(slot),
+            ids,
+            owner,
+            fell_back: false,
+        }
     }
 }
 
@@ -619,11 +651,24 @@ impl Directory for Topology {
                 // Probe nearer cubical IDs first, like Algorithm 1's
                 // sequential scan but centered on the node.
                 members.sort_by_key(|m| self.cube_dist(m.a(), node.a()));
-                out.extend(members.into_iter().filter(|&m| m != node).map(|m| (slot, m)));
+                out.extend(
+                    members
+                        .into_iter()
+                        .filter(|&m| m != node)
+                        .map(|m| (slot, m)),
+                );
             }
         };
-        push_region(self.space.reverse_cubical_region(node), CycloidSlot::Cubical, &mut out);
-        push_region(self.space.reverse_cyclic_region(node), CycloidSlot::Cyclic, &mut out);
+        push_region(
+            self.space.reverse_cubical_region(node),
+            CycloidSlot::Cubical,
+            &mut out,
+        );
+        push_region(
+            self.space.reverse_cyclic_region(node),
+            CycloidSlot::Cyclic,
+            &mut out,
+        );
         // Ring predecessors may take us as an extra successor candidate
         // (Theorem 3.3's note that nodes probe their ring neighbors too).
         for p in self.registry.pred_window(node, 2 * self.params.leaf_window) {
@@ -633,11 +678,13 @@ impl Directory for Topology {
     }
 
     fn spare_indegree(&self, node: CycloidId) -> i64 {
-        self.node_idx(node).map_or(0, |i| self.nodes[i].spare_indegree())
+        self.node_idx(node)
+            .map_or(0, |i| self.nodes[i].spare_indegree())
     }
 
     fn indegree(&self, node: CycloidId) -> u32 {
-        self.node_idx(node).map_or(0, |i| self.nodes[i].table.indegree() as u32)
+        self.node_idx(node)
+            .map_or(0, |i| self.nodes[i].table.indegree() as u32)
     }
 
     fn has_link(&self, from: CycloidId, slot: CycloidSlot, to: CycloidId) -> bool {
@@ -673,13 +720,7 @@ mod tests {
         for lin in 0..space.ring_size() {
             let id = space.from_lin(lin);
             let d_max = max_indegree(params.alpha, 1.0);
-            let host = topo.add_host(Host::new(
-                1000.0,
-                1.0,
-                1.0,
-                d_max,
-                Coord::random(&mut rng),
-            ));
+            let host = topo.add_host(Host::new(1000.0, 1.0, 1.0, d_max, Coord::random(&mut rng)));
             topo.add_node(id, host, d_max);
         }
         for n in 0..topo.nodes.len() {
@@ -767,7 +808,9 @@ mod tests {
         let key = space.id(2, 0b1010);
         let owner = topo.registry.owner(key).unwrap();
         let owner_idx = topo.node_idx(owner).unwrap();
-        assert!(topo.route_candidates(owner_idx, key, true, false, &mut rng).is_none());
+        assert!(topo
+            .route_candidates(owner_idx, key, true, false, &mut rng)
+            .is_none());
         // From every node, a full greedy walk terminates within the hop
         // bound.
         for start in 0..topo.nodes.len() {
@@ -802,7 +845,9 @@ mod tests {
         topo.remove_node(nidx);
         // A probing walk filters the dead neighbor and repairs.
         let key = space.id(0, 0b1000); // forces the cubical slot from (3, 0000)
-        let rc = topo.route_candidates(node, key, true, false, &mut rng).unwrap();
+        let rc = topo
+            .route_candidates(node, key, true, false, &mut rng)
+            .unwrap();
         assert_eq!(rc.slot, Some(CycloidSlot::Cubical));
         assert!(rc.ids.iter().all(|&x| topo.is_alive(x)));
         assert!(!rc.ids.contains(&neighbor));
@@ -827,7 +872,10 @@ mod tests {
         let shed = topo.shed_inlinks(node, 2);
         assert_eq!(shed, 2);
         assert_eq!(topo.nodes[node].table.indegree(), before - 2);
-        assert!(!topo.nodes[node].table.backward_fingers().contains(&furthest));
+        assert!(!topo.nodes[node]
+            .table
+            .backward_fingers()
+            .contains(&furthest));
         // The victim no longer points at us.
         let vidx = topo.node_idx(furthest).unwrap();
         assert!(!topo.nodes[vidx].table.has_outlink_to(id));
@@ -883,7 +931,9 @@ mod tests {
             if me == owner {
                 continue;
             }
-            let rc = topo.route_candidates(start, key, true, true, &mut rng).unwrap();
+            let rc = topo
+                .route_candidates(start, key, true, true, &mut rng)
+                .unwrap();
             let fwd = topo.registry.forward_dist(me, owner);
             let bwd = topo.space.ring_size() - fwd;
             for id in rc.ids {
@@ -904,7 +954,11 @@ mod tests {
         assert_eq!(topo.logical_metric(key, key), 0);
         for node in topo.nodes.iter().take(50) {
             if node.id != key {
-                assert!(topo.logical_metric(node.id, key) > 0, "{} vs {key}", node.id);
+                assert!(
+                    topo.logical_metric(node.id, key) > 0,
+                    "{} vs {key}",
+                    node.id
+                );
             }
         }
     }

@@ -76,7 +76,11 @@ impl ChordSpace {
     pub fn finger_region(self, node: u64, m: u8) -> RingRange {
         assert!(m < self.bits, "finger index {m} out of range");
         assert!(node < self.ring_size(), "id out of range");
-        RingRange::new(node.wrapping_add(1 << m) % self.ring_size(), self.window(m), self.ring_size())
+        RingRange::new(
+            node.wrapping_add(1 << m) % self.ring_size(),
+            self.window(m),
+            self.ring_size(),
+        )
     }
 
     /// Region of nodes that may take `node` as their `(m+1)`-th finger —
@@ -122,7 +126,10 @@ pub struct ChordRegistry {
 impl ChordRegistry {
     /// Creates an empty registry over `space`.
     pub fn new(space: ChordSpace) -> Self {
-        ChordRegistry { space, members: BTreeSet::new() }
+        ChordRegistry {
+            space,
+            members: BTreeSet::new(),
+        }
     }
 
     /// The underlying ID space.
@@ -167,13 +174,21 @@ impl ChordRegistry {
 
     /// First live ID at or after `key` (wrapping): the key's owner.
     pub fn owner(&self, key: u64) -> Option<u64> {
-        self.members.range(key..).next().or_else(|| self.members.iter().next()).copied()
+        self.members
+            .range(key..)
+            .next()
+            .or_else(|| self.members.iter().next())
+            .copied()
     }
 
     /// First live ID strictly after `id` (wrapping). Returns `id` when it
     /// is the only member.
     pub fn successor(&self, id: u64) -> Option<u64> {
-        self.members.range(id + 1..).next().or_else(|| self.members.iter().next()).copied()
+        self.members
+            .range(id + 1..)
+            .next()
+            .or_else(|| self.members.iter().next())
+            .copied()
     }
 
     /// First live ID strictly before `id` (wrapping). Returns `id` when

@@ -34,12 +34,18 @@ impl Coord {
     /// Panics if either component is not finite.
     pub fn new(x: f64, y: f64) -> Self {
         assert!(x.is_finite() && y.is_finite(), "non-finite coordinate");
-        Coord { x: x.rem_euclid(1.0), y: y.rem_euclid(1.0) }
+        Coord {
+            x: x.rem_euclid(1.0),
+            y: y.rem_euclid(1.0),
+        }
     }
 
     /// Draws a uniformly random coordinate.
     pub fn random<R: Rng>(rng: &mut R) -> Self {
-        Coord { x: rng.gen::<f64>(), y: rng.gen::<f64>() }
+        Coord {
+            x: rng.gen::<f64>(),
+            y: rng.gen::<f64>(),
+        }
     }
 
     /// Torus Euclidean distance to `other` (at most `sqrt(0.5)`).

@@ -136,7 +136,10 @@ impl CycloidSpace {
     /// Panics unless `2 <= dim <= 26` (the ring size must fit
     /// comfortably in `u64`, and dimension 1 has no routable structure).
     pub fn new(dim: u8) -> Self {
-        assert!((2..=26).contains(&dim), "unsupported Cycloid dimension: {dim}");
+        assert!(
+            (2..=26).contains(&dim),
+            "unsupported Cycloid dimension: {dim}"
+        );
         CycloidSpace { dim }
     }
 
@@ -173,7 +176,11 @@ impl CycloidSpace {
     ///
     /// Panics if `k >= d` or `a >= 2^d`.
     pub fn id(self, k: u8, a: u32) -> CycloidId {
-        assert!(k < self.dim, "cyclic index {k} out of range for dim {}", self.dim);
+        assert!(
+            k < self.dim,
+            "cyclic index {k} out of range for dim {}",
+            self.dim
+        );
         assert!((a as u64) < self.cube_size(), "cubical id {a} out of range");
         CycloidId { k, a }
     }
@@ -191,7 +198,10 @@ impl CycloidSpace {
     /// Panics if `lin` is outside the ring.
     pub fn from_lin(self, lin: u64) -> CycloidId {
         assert!(lin < self.ring_size(), "ring position {lin} out of range");
-        CycloidId { k: (lin % self.dim as u64) as u8, a: (lin / self.dim as u64) as u32 }
+        CycloidId {
+            k: (lin % self.dim as u64) as u8,
+            a: (lin / self.dim as u64) as u32,
+        }
     }
 
     /// Draws a uniformly random ID.
@@ -206,7 +216,11 @@ impl CycloidSpace {
             return None;
         }
         let base = ((id.a >> id.k) ^ 1) << id.k;
-        Some(CycloidRegion { k: id.k - 1, a_lo: base, a_hi: base + (1 << id.k) - 1 })
+        Some(CycloidRegion {
+            k: id.k - 1,
+            a_lo: base,
+            a_hi: base + (1 << id.k) - 1,
+        })
     }
 
     /// The region the cyclic slot of `id` may draw neighbors from, or
@@ -216,7 +230,11 @@ impl CycloidSpace {
             return None;
         }
         let base = (id.a >> id.k) << id.k;
-        Some(CycloidRegion { k: id.k - 1, a_lo: base, a_hi: base + (1 << id.k) - 1 })
+        Some(CycloidRegion {
+            k: id.k - 1,
+            a_lo: base,
+            a_hi: base + (1 << id.k) - 1,
+        })
     }
 
     /// IDs whose **cubical** slot may point at `id` — what Algorithm 1
@@ -227,7 +245,11 @@ impl CycloidSpace {
         }
         let shift = id.k + 1;
         let base = ((id.a >> shift) ^ 1) << shift;
-        Some(CycloidRegion { k: shift, a_lo: base, a_hi: base + (1 << shift) - 1 })
+        Some(CycloidRegion {
+            k: shift,
+            a_lo: base,
+            a_hi: base + (1 << shift) - 1,
+        })
     }
 
     /// IDs whose **cyclic** slot may point at `id` — what Algorithm 1
@@ -238,7 +260,11 @@ impl CycloidSpace {
         }
         let shift = id.k + 1;
         let base = (id.a >> shift) << shift;
-        Some(CycloidRegion { k: shift, a_lo: base, a_hi: base + (1 << shift) - 1 })
+        Some(CycloidRegion {
+            k: shift,
+            a_lo: base,
+            a_hi: base + (1 << shift) - 1,
+        })
     }
 
     /// One hop of the original Cycloid routing algorithm, as a slot
@@ -297,7 +323,11 @@ pub struct CycloidRegistry {
 impl CycloidRegistry {
     /// Creates an empty registry over `space`.
     pub fn new(space: CycloidSpace) -> Self {
-        CycloidRegistry { space, a_major: BTreeSet::new(), k_major: BTreeSet::new() }
+        CycloidRegistry {
+            space,
+            a_major: BTreeSet::new(),
+            k_major: BTreeSet::new(),
+        }
     }
 
     /// The underlying ID space.
@@ -344,14 +374,20 @@ impl CycloidRegistry {
 
     /// Iterates over all live IDs in ring order.
     pub fn iter(&self) -> impl Iterator<Item = CycloidId> + '_ {
-        self.a_major.iter().map(move |&lin| self.space.from_lin(lin))
+        self.a_major
+            .iter()
+            .map(move |&lin| self.space.from_lin(lin))
     }
 
     /// First live ID at or after `key` on the ring (wrapping): the owner
     /// of the key. `None` when the registry is empty.
     pub fn owner(&self, key: CycloidId) -> Option<CycloidId> {
         let lin = self.space.lin(key);
-        let next = self.a_major.range(lin..).next().or_else(|| self.a_major.iter().next());
+        let next = self
+            .a_major
+            .range(lin..)
+            .next()
+            .or_else(|| self.a_major.iter().next());
         next.map(|&l| self.space.from_lin(l))
     }
 
@@ -359,8 +395,11 @@ impl CycloidRegistry {
     /// `id` itself when it is the only member; `None` when empty.
     pub fn successor(&self, id: CycloidId) -> Option<CycloidId> {
         let lin = self.space.lin(id);
-        let next =
-            self.a_major.range(lin + 1..).next().or_else(|| self.a_major.iter().next());
+        let next = self
+            .a_major
+            .range(lin + 1..)
+            .next()
+            .or_else(|| self.a_major.iter().next());
         next.map(|&l| self.space.from_lin(l))
     }
 
@@ -368,8 +407,11 @@ impl CycloidRegistry {
     /// Returns `id` itself when it is the only member; `None` when empty.
     pub fn predecessor(&self, id: CycloidId) -> Option<CycloidId> {
         let lin = self.space.lin(id);
-        let prev =
-            self.a_major.range(..lin).next_back().or_else(|| self.a_major.iter().next_back());
+        let prev = self
+            .a_major
+            .range(..lin)
+            .next_back()
+            .or_else(|| self.a_major.iter().next_back());
         prev.map(|&l| self.space.from_lin(l))
     }
 
@@ -388,7 +430,9 @@ impl CycloidRegistry {
     /// Number of live members of a region.
     pub fn region_population(&self, region: CycloidRegion) -> usize {
         let base = region.k as u64 * self.space.cube_size();
-        self.k_major.range(base + region.a_lo as u64..=base + region.a_hi as u64).count()
+        self.k_major
+            .range(base + region.a_lo as u64..=base + region.a_hi as u64)
+            .count()
     }
 
     /// Live members of `id`'s own cycle with a *higher* cyclic index,
@@ -396,7 +440,10 @@ impl CycloidRegistry {
     pub fn cycle_above(&self, id: CycloidId) -> Vec<CycloidId> {
         let lo = self.space.lin(id) + 1;
         let hi = id.a as u64 * self.space.dim() as u64 + self.space.dim() as u64;
-        self.a_major.range(lo..hi).map(|&l| self.space.from_lin(l)).collect()
+        self.a_major
+            .range(lo..hi)
+            .map(|&l| self.space.from_lin(l))
+            .collect()
     }
 
     /// The next `window` live IDs strictly after `id` on the ring
@@ -404,7 +451,11 @@ impl CycloidRegistry {
     pub fn succ_window(&self, id: CycloidId, window: usize) -> Vec<CycloidId> {
         let lin = self.space.lin(id);
         let mut out = Vec::with_capacity(window);
-        for &l in self.a_major.range(lin + 1..).chain(self.a_major.range(..lin)) {
+        for &l in self
+            .a_major
+            .range(lin + 1..)
+            .chain(self.a_major.range(..lin))
+        {
             if out.len() == window {
                 break;
             }
@@ -418,8 +469,11 @@ impl CycloidRegistry {
     pub fn pred_window(&self, id: CycloidId, window: usize) -> Vec<CycloidId> {
         let lin = self.space.lin(id);
         let mut out = Vec::with_capacity(window);
-        for &l in
-            self.a_major.range(..lin).rev().chain(self.a_major.range(lin + 1..).rev())
+        for &l in self
+            .a_major
+            .range(..lin)
+            .rev()
+            .chain(self.a_major.range(lin + 1..).rev())
         {
             if out.len() == window {
                 break;
@@ -435,7 +489,10 @@ impl CycloidRegistry {
     pub fn cycle_head(&self, a: u32) -> Option<CycloidId> {
         let lo = a as u64 * self.space.dim() as u64;
         let hi = lo + self.space.dim() as u64;
-        self.a_major.range(lo..hi).next_back().map(|&l| self.space.from_lin(l))
+        self.a_major
+            .range(lo..hi)
+            .next_back()
+            .map(|&l| self.space.from_lin(l))
     }
 
     /// The head of the first non-empty cycle after `id`'s own (wrapping),
@@ -476,7 +533,11 @@ impl CycloidRegistry {
 
     /// Clockwise ring distance from `from` to `to`.
     pub fn forward_dist(&self, from: CycloidId, to: CycloidId) -> u64 {
-        forward_distance(self.space.lin(from), self.space.lin(to), self.space.ring_size())
+        forward_distance(
+            self.space.lin(from),
+            self.space.lin(to),
+            self.space.ring_size(),
+        )
     }
 
     /// Draws a uniformly random *vacant* ID, or `None` if the space is
@@ -523,13 +584,27 @@ mod tests {
         let s = space8();
         let node = s.id(4, 0b1011_1010);
         let cub = s.cubical_region(node).unwrap();
-        assert_eq!(cub, CycloidRegion { k: 3, a_lo: 0b1010_0000, a_hi: 0b1010_1111 });
+        assert_eq!(
+            cub,
+            CycloidRegion {
+                k: 3,
+                a_lo: 0b1010_0000,
+                a_hi: 0b1010_1111
+            }
+        );
         // The three cubical outlink examples from Section 4.1 all fit.
         for a in [0b1010_0000, 0b1010_0001, 0b1010_0010] {
             assert!(cub.contains(s.id(3, a)));
         }
         let cyc = s.cyclic_region(node).unwrap();
-        assert_eq!(cyc, CycloidRegion { k: 3, a_lo: 0b1011_0000, a_hi: 0b1011_1111 });
+        assert_eq!(
+            cyc,
+            CycloidRegion {
+                k: 3,
+                a_lo: 0b1011_0000,
+                a_hi: 0b1011_1111
+            }
+        );
         assert!(cyc.contains(s.id(3, 0b1011_1100)));
         assert!(cyc.contains(s.id(3, 0b1011_0011)));
     }
@@ -540,7 +615,14 @@ mod tests {
         let s = space8();
         let node = s.id(3, 0b1010_0000);
         let rev = s.reverse_cubical_region(node).unwrap();
-        assert_eq!(rev, CycloidRegion { k: 4, a_lo: 0b1011_0000, a_hi: 0b1011_1111 });
+        assert_eq!(
+            rev,
+            CycloidRegion {
+                k: 4,
+                a_lo: 0b1011_0000,
+                a_hi: 0b1011_1111
+            }
+        );
     }
 
     #[test]
@@ -613,7 +695,10 @@ mod tests {
         // k = 0 and only bit 0 differs: ring.
         assert_eq!(s.route_step(s.id(0, 0b10), s.id(0, 0b11)), RouteStep::Ring);
         // k = 0 and a high bit differs: ascend.
-        assert_eq!(s.route_step(s.id(0, 0b10), s.id(0, 0b1000_0010)), RouteStep::Ascend);
+        assert_eq!(
+            s.route_step(s.id(0, 0b10), s.id(0, 0b1000_0010)),
+            RouteStep::Ascend
+        );
     }
 
     #[test]

@@ -52,7 +52,9 @@ impl LandmarkFrame {
     /// Panics if `count` is zero.
     pub fn random<R: Rng>(count: usize, rng: &mut R) -> Self {
         assert!(count > 0, "need at least one landmark");
-        LandmarkFrame { landmarks: (0..count).map(|_| Coord::random(rng)).collect() }
+        LandmarkFrame {
+            landmarks: (0..count).map(|_| Coord::random(rng)).collect(),
+        }
     }
 
     /// Number of landmarks.
@@ -69,7 +71,12 @@ impl LandmarkFrame {
     /// Measures a node's landmark vector from its (true) position —
     /// the analogue of pinging every landmark.
     pub fn vector(&self, position: Coord) -> LandmarkVector {
-        LandmarkVector(self.landmarks.iter().map(|&l| position.distance(l)).collect())
+        LandmarkVector(
+            self.landmarks
+                .iter()
+                .map(|&l| position.distance(l))
+                .collect(),
+        )
     }
 
     /// Estimates the distance between two nodes from their landmark
@@ -141,10 +148,12 @@ mod tests {
         // inversions among adjacent deciles.
         pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("no NaN"));
         let decile = pairs.len() / 10;
-        let near_mean: f64 =
-            pairs[..decile].iter().map(|p| p.1).sum::<f64>() / decile as f64;
-        let far_mean: f64 =
-            pairs[pairs.len() - decile..].iter().map(|p| p.1).sum::<f64>() / decile as f64;
+        let near_mean: f64 = pairs[..decile].iter().map(|p| p.1).sum::<f64>() / decile as f64;
+        let far_mean: f64 = pairs[pairs.len() - decile..]
+            .iter()
+            .map(|p| p.1)
+            .sum::<f64>()
+            / decile as f64;
         assert!(
             far_mean > 2.0 * near_mean,
             "estimates should separate near from far: {near_mean} vs {far_mean}"

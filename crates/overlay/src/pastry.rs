@@ -44,7 +44,10 @@ impl PastrySpace {
         assert!((1..=4).contains(&bits_per_digit), "unsupported digit width");
         assert!(rows >= 2, "need at least two digit rows");
         assert!((rows as u32) * (bits_per_digit as u32) <= 62, "id too wide");
-        PastrySpace { rows, bits_per_digit }
+        PastrySpace {
+            rows,
+            bits_per_digit,
+        }
     }
 
     /// Number of digit rows.
@@ -162,7 +165,10 @@ pub struct PastryRegistry {
 impl PastryRegistry {
     /// Creates an empty registry over `space`.
     pub fn new(space: PastrySpace) -> Self {
-        PastryRegistry { space, members: BTreeSet::new() }
+        PastryRegistry {
+            space,
+            members: BTreeSet::new(),
+        }
     }
 
     /// The underlying ID space.
@@ -209,9 +215,16 @@ impl PastryRegistry {
     /// ID, wrapping considered), or `None` when empty.
     pub fn owner(&self, key: u64) -> Option<u64> {
         let size = self.space.ring_size();
-        let above = self.members.range(key..).next().or_else(|| self.members.iter().next());
-        let below =
-            self.members.range(..=key).next_back().or_else(|| self.members.iter().next_back());
+        let above = self
+            .members
+            .range(key..)
+            .next()
+            .or_else(|| self.members.iter().next());
+        let below = self
+            .members
+            .range(..=key)
+            .next_back()
+            .or_else(|| self.members.iter().next_back());
         match (above, below) {
             (None, None) => None,
             (Some(&a), None) => Some(a),
@@ -275,7 +288,10 @@ impl PastryRegistry {
         if owner == cur {
             return None;
         }
-        Some(self.prefix_hop(cur, key).unwrap_or_else(|| self.numeric_hop(cur, key, owner)))
+        Some(
+            self.prefix_hop(cur, key)
+                .unwrap_or_else(|| self.numeric_hop(cur, key, owner)),
+        )
     }
 
     /// The full route from `from` to `key`'s owner, inclusive of both
@@ -424,7 +440,7 @@ mod tests {
         }
         let key = s.id_from_digits(&[2, 3, 3, 3]);
         assert_eq!(reg.next_hop(c, key), None); // c owns the key
-        // From a, the row-0 column-2 cell holds b and c; c is closer.
+                                                // From a, the row-0 column-2 cell holds b and c; c is closer.
         assert_eq!(reg.next_hop(a, key), Some(c));
     }
 

@@ -30,7 +30,11 @@ impl RingRange {
     pub fn new(start: u64, len: u64, modulus: u64) -> Self {
         assert!(modulus > 0, "empty ring");
         assert!(len <= modulus, "arc longer than ring: {len} > {modulus}");
-        RingRange { start: start % modulus, len, modulus }
+        RingRange {
+            start: start % modulus,
+            len,
+            modulus,
+        }
     }
 
     /// First point of the arc.

@@ -32,7 +32,11 @@ pub struct Engine<E> {
 impl<E> Engine<E> {
     /// Creates an engine with an empty queue at time zero.
     pub fn new() -> Self {
-        Engine { queue: EventQueue::new(), now: SimTime::ZERO, processed: 0 }
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
     }
 
     /// The current simulated time (the timestamp of the last popped
@@ -58,7 +62,11 @@ impl<E> Engine<E> {
     /// Panics if `time` is before the current clock: an event in the past
     /// can never fire.
     pub fn schedule_at(&mut self, time: SimTime, event: E) {
-        assert!(time >= self.now, "scheduling into the past: {time} < {}", self.now);
+        assert!(
+            time >= self.now,
+            "scheduling into the past: {time} < {}",
+            self.now
+        );
         self.queue.schedule(time, event);
     }
 

@@ -15,6 +15,9 @@
 //! * [`stats`] — the small statistics toolkit (online moments, percentile
 //!   sketches, histograms) used to report the paper's metrics (99th
 //!   percentile congestion, shares, lookup times, ...).
+//! * [`SampleClock`] — the cadence generator behind periodic telemetry
+//!   sampling: strictly increasing tick instants at a fixed Δt on the
+//!   sim clock, so two runs with the same interval sample identically.
 //!
 //! # Example
 //!
@@ -57,6 +60,7 @@ mod engine;
 mod event;
 mod process;
 mod rng;
+mod sample;
 pub mod stats;
 mod time;
 mod trace;
@@ -65,5 +69,6 @@ pub use engine::Engine;
 pub use event::EventQueue;
 pub use process::PoissonProcess;
 pub use rng::SimRng;
+pub use sample::SampleClock;
 pub use time::{SimDuration, SimTime};
 pub use trace::TraceLog;

@@ -55,8 +55,9 @@ mod tests {
         let mut rng = SimRng::seed_from(11);
         let mut p = PoissonProcess::new(5.0);
         let n = 20_000;
-        let total: f64 =
-            (0..n).map(|_| p.next_interarrival(&mut rng).as_secs_f64()).sum();
+        let total: f64 = (0..n)
+            .map(|_| p.next_interarrival(&mut rng).as_secs_f64())
+            .sum();
         let rate = n as f64 / total;
         assert!((rate - 5.0).abs() < 0.15, "rate {rate}");
     }

@@ -34,7 +34,10 @@ pub struct Samples {
 impl Samples {
     /// Creates an empty collector.
     pub fn new() -> Self {
-        Samples { values: Vec::new(), sorted: true }
+        Samples {
+            values: Vec::new(),
+            sorted: true,
+        }
     }
 
     /// Adds one observation.
@@ -70,7 +73,11 @@ impl Samples {
 
     /// Largest observation, or 0.0 when empty.
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(0.0)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(0.0)
     }
 
     /// The `p`-quantile (`0.0 ..= 1.0`) using the nearest-rank method, or
@@ -85,7 +92,8 @@ impl Samples {
             return 0.0;
         }
         if !self.sorted {
-            self.values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
             self.sorted = true;
         }
         let rank = ((p * self.values.len() as f64).ceil() as usize).max(1);
@@ -179,7 +187,13 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.

@@ -35,7 +35,11 @@ impl TraceLog {
     /// Creates a log keeping at most `capacity` entries (0 disables
     /// recording entirely).
     pub fn new(capacity: usize) -> Self {
-        TraceLog { capacity, entries: VecDeque::new(), recorded: 0 }
+        TraceLog {
+            capacity,
+            entries: VecDeque::new(),
+            recorded: 0,
+        }
     }
 
     /// Whether recording is enabled.

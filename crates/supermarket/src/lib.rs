@@ -55,9 +55,14 @@ pub use threshold::ThresholdModel;
 ///
 /// Panics unless `0 < lambda < 1` and `b >= 1`.
 pub fn fixed_point(lambda: f64, b: u32, max_i: usize) -> Vec<f64> {
-    assert!(lambda > 0.0 && lambda < 1.0, "lambda must be in (0,1): {lambda}");
+    assert!(
+        lambda > 0.0 && lambda < 1.0,
+        "lambda must be in (0,1): {lambda}"
+    );
     assert!(b >= 1, "need at least one choice");
-    (0..=max_i).map(|i| lambda.powf(exponent(b, i as u32))).collect()
+    (0..=max_i)
+        .map(|i| lambda.powf(exponent(b, i as u32)))
+        .collect()
 }
 
 /// The exponent `(bⁱ − 1)/(b − 1)` (which is `i` when `b = 1`),
@@ -97,7 +102,10 @@ fn exponent(b: u32, i: u32) -> f64 {
 ///
 /// Panics unless `0 < lambda < 1` and `b >= 1`.
 pub fn expected_time(lambda: f64, b: u32) -> f64 {
-    assert!(lambda > 0.0 && lambda < 1.0, "lambda must be in (0,1): {lambda}");
+    assert!(
+        lambda > 0.0 && lambda < 1.0,
+        "lambda must be in (0,1): {lambda}"
+    );
     assert!(b >= 1, "need at least one choice");
     if b == 1 {
         // Closed form: the M/M/1 sojourn time.

@@ -35,10 +35,17 @@ impl OdeModel {
     ///
     /// Panics unless `0 < lambda < 1`, `b >= 1` and `max_queue >= 2`.
     pub fn new(lambda: f64, b: u32, max_queue: usize) -> Self {
-        assert!(lambda > 0.0 && lambda < 1.0, "lambda must be in (0,1): {lambda}");
+        assert!(
+            lambda > 0.0 && lambda < 1.0,
+            "lambda must be in (0,1): {lambda}"
+        );
         assert!(b >= 1, "need at least one choice");
         assert!(max_queue >= 2, "truncation too small");
-        OdeModel { lambda, b, max_queue }
+        OdeModel {
+            lambda,
+            b,
+            max_queue,
+        }
     }
 
     /// The arrival rate per server.
@@ -107,7 +114,10 @@ impl OdeModel {
     /// parameters are not positive.
     pub fn integrate(&self, mut s: Vec<f64>, horizon: f64, dt: f64) -> Vec<f64> {
         assert_eq!(s.len(), self.max_queue + 1, "state length mismatch");
-        assert!(horizon > 0.0 && dt > 0.0, "time parameters must be positive");
+        assert!(
+            horizon > 0.0 && dt > 0.0,
+            "time parameters must be positive"
+        );
         let steps = (horizon / dt).ceil() as usize;
         for _ in 0..steps {
             self.step(&mut s, dt);
@@ -167,7 +177,10 @@ mod tests {
         let model = OdeModel::new(0.95, 2, 40);
         let s = model.integrate_from_empty(30.0, 1e-3);
         assert!(s.iter().all(|&v| (0.0..=1.0).contains(&v)));
-        assert!(s.windows(2).all(|w| w[1] <= w[0] + 1e-9), "tails must be monotone");
+        assert!(
+            s.windows(2).all(|w| w[1] <= w[0] + 1e-9),
+            "tails must be monotone"
+        );
     }
 
     #[test]

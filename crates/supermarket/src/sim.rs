@@ -21,7 +21,11 @@ pub struct ChoicePolicy {
 impl ChoicePolicy {
     /// Plain `b`-choice shortest-queue dispatch.
     pub fn shortest_of(choices: u32) -> Self {
-        ChoicePolicy { choices, threshold: None, memory: false }
+        ChoicePolicy {
+            choices,
+            threshold: None,
+            memory: false,
+        }
     }
 }
 
@@ -71,7 +75,10 @@ impl SupermarketSim {
     /// Panics unless `n >= 2` and `0 < lambda < 1`.
     pub fn new(n: usize, lambda: f64) -> Self {
         assert!(n >= 2, "need at least two servers");
-        assert!(lambda > 0.0 && lambda < 1.0, "lambda must be in (0,1): {lambda}");
+        assert!(
+            lambda > 0.0 && lambda < 1.0,
+            "lambda must be in (0,1): {lambda}"
+        );
         SupermarketSim { n, lambda }
     }
 
@@ -98,7 +105,10 @@ impl SupermarketSim {
         let arrival_rate = self.lambda * self.n as f64;
         let end = SimTime::from_secs_f64(horizon);
 
-        engine.schedule_in(SimDuration::from_secs_f64(rng.exp_secs(arrival_rate)), Ev::Arrive);
+        engine.schedule_in(
+            SimDuration::from_secs_f64(rng.exp_secs(arrival_rate)),
+            Ev::Arrive,
+        );
         while let Some((now, ev)) = engine.pop() {
             if now > end {
                 break;
@@ -120,9 +130,7 @@ impl SupermarketSim {
                             .iter()
                             .rev()
                             .copied()
-                            .min_by_key(|&s| {
-                                queues[s].len() + usize::from(s == chosen)
-                            })
+                            .min_by_key(|&s| queues[s].len() + usize::from(s == chosen))
                             .or(Some(chosen));
                     }
                     queue_sum += queues[chosen].len() as f64;
@@ -154,7 +162,11 @@ impl SupermarketSim {
             }
         }
         SimOutcome {
-            mean_time_in_system: if served == 0 { 0.0 } else { total_time / served as f64 },
+            mean_time_in_system: if served == 0 {
+                0.0
+            } else {
+                total_time / served as f64
+            },
             mean_queue_at_arrival: if arrivals == 0 {
                 0.0
             } else {
@@ -216,7 +228,11 @@ mod tests {
         let out = sim.run(ChoicePolicy::shortest_of(1), 1_500.0, 1);
         let theory = expected_time(0.7, 1); // 3.33
         let rel = (out.mean_time_in_system - theory).abs() / theory;
-        assert!(rel < 0.12, "sim {} vs theory {theory}", out.mean_time_in_system);
+        assert!(
+            rel < 0.12,
+            "sim {} vs theory {theory}",
+            out.mean_time_in_system
+        );
     }
 
     #[test]
@@ -225,14 +241,22 @@ mod tests {
         let out = sim.run(ChoicePolicy::shortest_of(2), 1_500.0, 2);
         let theory = expected_time(0.9, 2);
         let rel = (out.mean_time_in_system - theory).abs() / theory;
-        assert!(rel < 0.15, "sim {} vs theory {theory}", out.mean_time_in_system);
+        assert!(
+            rel < 0.15,
+            "sim {} vs theory {theory}",
+            out.mean_time_in_system
+        );
     }
 
     #[test]
     fn theorem_41_exponential_improvement() {
         let sim = SupermarketSim::new(300, 0.95);
-        let t1 = sim.run(ChoicePolicy::shortest_of(1), 2_000.0, 3).mean_time_in_system;
-        let t2 = sim.run(ChoicePolicy::shortest_of(2), 2_000.0, 3).mean_time_in_system;
+        let t1 = sim
+            .run(ChoicePolicy::shortest_of(1), 2_000.0, 3)
+            .mean_time_in_system;
+        let t2 = sim
+            .run(ChoicePolicy::shortest_of(2), 2_000.0, 3)
+            .mean_time_in_system;
         assert!(t2 * 3.0 < t1, "b=2 ({t2}) should crush b=1 ({t1})");
     }
 
@@ -241,14 +265,22 @@ mod tests {
         let sim = SupermarketSim::new(300, 0.9);
         let plain = sim.run(ChoicePolicy::shortest_of(2), 1_500.0, 4);
         let thresh = sim.run(
-            ChoicePolicy { choices: 2, threshold: Some(2), memory: false },
+            ChoicePolicy {
+                choices: 2,
+                threshold: Some(2),
+                memory: false,
+            },
             1_500.0,
             4,
         );
         let rel = (plain.mean_time_in_system - thresh.mean_time_in_system).abs()
             / plain.mean_time_in_system;
-        assert!(rel < 0.35, "plain {} vs threshold {}", plain.mean_time_in_system,
-            thresh.mean_time_in_system);
+        assert!(
+            rel < 0.35,
+            "plain {} vs threshold {}",
+            plain.mean_time_in_system,
+            thresh.mean_time_in_system
+        );
     }
 
     #[test]
@@ -261,7 +293,11 @@ mod tests {
         let one = sim.run(ChoicePolicy::shortest_of(1), 2_000.0, 5);
         let plain = sim.run(ChoicePolicy::shortest_of(2), 2_000.0, 5);
         let with_mem = sim.run(
-            ChoicePolicy { choices: 2, threshold: None, memory: true },
+            ChoicePolicy {
+                choices: 2,
+                threshold: None,
+                memory: true,
+            },
             2_000.0,
             5,
         );

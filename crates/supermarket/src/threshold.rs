@@ -39,13 +39,21 @@ impl ThresholdModel {
     /// Panics unless `0 < lambda < 1`, `b >= 1`, and
     /// `1 <= threshold < capacity`.
     pub fn new(lambda: f64, b: u32, capacity: usize, threshold: usize) -> Self {
-        assert!(lambda > 0.0 && lambda < 1.0, "lambda must be in (0,1): {lambda}");
+        assert!(
+            lambda > 0.0 && lambda < 1.0,
+            "lambda must be in (0,1): {lambda}"
+        );
         assert!(b >= 1, "need at least one choice");
         assert!(
             threshold >= 1 && threshold < capacity,
             "need 1 <= threshold < capacity (got {threshold} / {capacity})"
         );
-        ThresholdModel { lambda, b, capacity, threshold }
+        ThresholdModel {
+            lambda,
+            b,
+            capacity,
+            threshold,
+        }
     }
 
     /// The arrival rate per server.
@@ -155,8 +163,7 @@ impl ThresholdModel {
             ds[i] = if i >= self.threshold - 1 {
                 a * (s[i + 1] - s[i]) - (s[i] - below)
             } else {
-                self.lambda
-                    * (s[i + 1].powi(self.b as i32) - s[i].powi(self.b as i32))
+                self.lambda * (s[i + 1].powi(self.b as i32) - s[i].powi(self.b as i32))
                     - (s[i] - below)
             };
         }
@@ -213,8 +220,7 @@ mod tests {
             let m = model(lambda, b);
             let s = m.fixed_point();
             let ds = m.derivative(&s);
-            let max_residual =
-                ds.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
+            let max_residual = ds.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
             assert!(
                 max_residual < 1e-6,
                 "λ={lambda}, b={b}: residual {max_residual}"
@@ -264,7 +270,11 @@ mod tests {
         let model_time = m.expected_time();
         let sim = crate::SupermarketSim::new(300, 0.85);
         let out = sim.run(
-            crate::ChoicePolicy { choices: 2, threshold: Some(4), memory: false },
+            crate::ChoicePolicy {
+                choices: 2,
+                threshold: Some(4),
+                memory: false,
+            },
             1_500.0,
             77,
         );

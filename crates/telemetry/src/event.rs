@@ -1,0 +1,229 @@
+//! Typed structured events emitted by the simulator.
+//!
+//! Node and key identifiers are linearized ring positions (`u64`, see
+//! `CycloidSpace::lin`) so the event stream is overlay-agnostic and
+//! serializes to plain integers. The `Display` impl renders the compact
+//! one-line form retained in the human-readable trace ring
+//! (`q42 forward 13 -> 77`); the `Serialize` impl produces the typed
+//! JSON form written to sinks (`{"LookupHop":{"q":42,...}}`).
+
+use std::fmt;
+
+use serde::Serialize;
+
+/// One structured simulator event.
+///
+/// Grouped by lifecycle: query events carry the query index `q`;
+/// link/topology events carry linearized node ids.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum TelemetryEvent {
+    /// A lookup was injected at `source` for `key`.
+    LookupStart {
+        /// Query index within the run.
+        q: u64,
+        /// Linearized id of the source node.
+        source: u64,
+        /// Linearized target key.
+        key: u64,
+    },
+    /// A lookup was forwarded one hop.
+    LookupHop {
+        /// Query index.
+        q: u64,
+        /// Linearized id of the forwarding node.
+        from: u64,
+        /// Linearized id of the chosen next hop.
+        to: u64,
+    },
+    /// A forwarding step hit a departed node and paid a timeout.
+    LookupTimeout {
+        /// Query index.
+        q: u64,
+        /// Linearized id of the node whose link was stale.
+        at: u64,
+        /// Linearized id of the dead peer the link pointed to.
+        dead: u64,
+    },
+    /// A query in flight (or queued) was handed to the ring successor
+    /// of a departed node.
+    LookupHandoff {
+        /// Query index.
+        q: u64,
+        /// Linearized id of the successor taking over.
+        successor: u64,
+    },
+    /// A lookup reached its owner (and, in anonymity mode, returned).
+    LookupComplete {
+        /// Query index.
+        q: u64,
+        /// Hops taken.
+        hops: u32,
+        /// Heavy nodes encountered along the path.
+        heavy: u32,
+    },
+    /// A lookup was dropped (hop budget exhausted or overlay emptied).
+    LookupDropped {
+        /// Query index.
+        q: u64,
+        /// Hops taken before the drop.
+        hops: u32,
+    },
+    /// Adaptation shed inlinks from an overloaded node.
+    LinkShed {
+        /// Linearized id of the shedding node.
+        node: u64,
+        /// Inlinks removed.
+        count: u32,
+    },
+    /// Adaptation grew inlinks toward an underloaded node.
+    LinkGrown {
+        /// Linearized id of the growing node.
+        node: u64,
+        /// Inlinks requested.
+        count: u32,
+    },
+    /// A stale outlink to a departed peer was purged after a timeout.
+    LinkPurged {
+        /// Linearized id of the purging node.
+        node: u64,
+        /// Linearized id of the departed peer.
+        peer: u64,
+    },
+    /// A host joined the overlay mid-run.
+    NodeJoined {
+        /// Linearized id of the new node.
+        node: u64,
+    },
+    /// A host departed the overlay mid-run.
+    NodeDeparted {
+        /// Host index of the departed host.
+        host: u64,
+        /// Overlay nodes it took down with it.
+        nodes: u32,
+    },
+    /// An item-movement round relocated a light node next to a heavy
+    /// one.
+    NodeRelocated {
+        /// Linearized id of the node's old position.
+        from: u64,
+        /// Linearized id of the new position.
+        to: u64,
+    },
+    /// One periodic adaptation tick ran.
+    AdaptTick {
+        /// Tick ordinal (1-based).
+        round: u64,
+    },
+}
+
+impl TelemetryEvent {
+    /// The stable kind tag (the JSON enum tag) — handy for filtering.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TelemetryEvent::LookupStart { .. } => "LookupStart",
+            TelemetryEvent::LookupHop { .. } => "LookupHop",
+            TelemetryEvent::LookupTimeout { .. } => "LookupTimeout",
+            TelemetryEvent::LookupHandoff { .. } => "LookupHandoff",
+            TelemetryEvent::LookupComplete { .. } => "LookupComplete",
+            TelemetryEvent::LookupDropped { .. } => "LookupDropped",
+            TelemetryEvent::LinkShed { .. } => "LinkShed",
+            TelemetryEvent::LinkGrown { .. } => "LinkGrown",
+            TelemetryEvent::LinkPurged { .. } => "LinkPurged",
+            TelemetryEvent::NodeJoined { .. } => "NodeJoined",
+            TelemetryEvent::NodeDeparted { .. } => "NodeDeparted",
+            TelemetryEvent::NodeRelocated { .. } => "NodeRelocated",
+            TelemetryEvent::AdaptTick { .. } => "AdaptTick",
+        }
+    }
+}
+
+impl fmt::Display for TelemetryEvent {
+    /// The compact trace-ring line. Query events keep the historical
+    /// `q{index} <verb> ...` shape so trace filters written against the
+    /// old free-form strings keep working.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelemetryEvent::LookupStart { q, source, key } => {
+                write!(f, "q{q} inject at {source} key {key}")
+            }
+            TelemetryEvent::LookupHop { q, from, to } => {
+                write!(f, "q{q} forward {from} -> {to}")
+            }
+            TelemetryEvent::LookupTimeout { q, at, dead } => {
+                write!(f, "q{q} timeout at {at} dead {dead}")
+            }
+            TelemetryEvent::LookupHandoff { q, successor } => {
+                write!(f, "q{q} handoff to {successor}")
+            }
+            TelemetryEvent::LookupComplete { q, hops, heavy } => {
+                write!(f, "q{q} complete hops={hops} heavy={heavy}")
+            }
+            TelemetryEvent::LookupDropped { q, hops } => {
+                write!(f, "q{q} dropped hops={hops}")
+            }
+            TelemetryEvent::LinkShed { node, count } => {
+                write!(f, "node {node} shed {count} inlinks")
+            }
+            TelemetryEvent::LinkGrown { node, count } => {
+                write!(f, "node {node} grew {count} inlinks")
+            }
+            TelemetryEvent::LinkPurged { node, peer } => {
+                write!(f, "node {node} purged dead link {peer}")
+            }
+            TelemetryEvent::NodeJoined { node } => write!(f, "node {node} joined"),
+            TelemetryEvent::NodeDeparted { host, nodes } => {
+                write!(f, "host {host} departed ({nodes} nodes)")
+            }
+            TelemetryEvent::NodeRelocated { from, to } => {
+                write!(f, "node {from} relocated to {to}")
+            }
+            TelemetryEvent::AdaptTick { round } => write!(f, "adapt tick {round}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_keeps_legacy_trace_shapes() {
+        let e = TelemetryEvent::LookupStart {
+            q: 42,
+            source: 7,
+            key: 9,
+        };
+        assert_eq!(e.to_string(), "q42 inject at 7 key 9");
+        let e = TelemetryEvent::LookupHop {
+            q: 42,
+            from: 7,
+            to: 8,
+        };
+        assert_eq!(e.to_string(), "q42 forward 7 -> 8");
+        let e = TelemetryEvent::LookupComplete {
+            q: 42,
+            hops: 5,
+            heavy: 1,
+        };
+        assert_eq!(e.to_string(), "q42 complete hops=5 heavy=1");
+    }
+
+    #[test]
+    fn serializes_externally_tagged() {
+        let e = TelemetryEvent::LookupHop {
+            q: 1,
+            from: 2,
+            to: 3,
+        };
+        assert_eq!(
+            serde::json::to_string(&e),
+            r#"{"LookupHop":{"q":1,"from":2,"to":3}}"#
+        );
+    }
+
+    #[test]
+    fn kind_matches_serialized_tag() {
+        let e = TelemetryEvent::AdaptTick { round: 3 };
+        assert!(serde::json::to_string(&e).starts_with(&format!("{{\"{}\"", e.kind())));
+    }
+}

@@ -1,0 +1,88 @@
+//! Periodic time-series snapshots of run state.
+//!
+//! A [`Snapshot`] is one row of the time series: aggregate run state at
+//! one sim instant, cheap enough to take every Δt without disturbing
+//! the run. The simulator fills one in at each sample tick and hands it
+//! to `Telemetry::record_snapshot`, which retains it in memory and
+//! writes it to any sinks as a `{"kind":"snapshot",...}` JSONL record.
+
+use ert_sim::SimTime;
+use serde::Serialize;
+
+/// Aggregate run state at one sampling instant.
+///
+/// Degree statistics cover alive overlay nodes; congestion, queue and
+/// utilization statistics cover alive hosts. All fields are plain
+/// numbers so a snapshot row maps 1:1 onto a CSV/dataframe column set.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Snapshot {
+    /// Sim time of the sample (serialized as integer microseconds).
+    pub at: SimTime,
+    /// Queries injected but not yet completed or dropped.
+    pub lookups_in_flight: u64,
+    /// Completions so far.
+    pub lookups_completed: u64,
+    /// Drops so far.
+    pub lookups_dropped: u64,
+    /// Sum of host queue lengths (including in-service slots).
+    pub queue_depth_total: u64,
+    /// Longest single host queue.
+    pub queue_depth_max: u64,
+    /// Median host congestion (load over capacity).
+    pub congestion_p50: f64,
+    /// 99th-percentile host congestion.
+    pub congestion_p99: f64,
+    /// Maximum host congestion.
+    pub congestion_max: f64,
+    /// Mean host utilization: busy time over elapsed time.
+    pub utilization_mean: f64,
+    /// Minimum alive-node indegree.
+    pub indegree_min: u64,
+    /// Mean alive-node indegree.
+    pub indegree_mean: f64,
+    /// Maximum alive-node indegree.
+    pub indegree_max: u64,
+    /// Minimum alive-node outdegree.
+    pub outdegree_min: u64,
+    /// Mean alive-node outdegree.
+    pub outdegree_mean: f64,
+    /// Maximum alive-node outdegree.
+    pub outdegree_max: u64,
+    /// Alive overlay nodes.
+    pub alive_nodes: u64,
+    /// Alive hosts.
+    pub alive_hosts: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_serializes_flat() {
+        let s = Snapshot {
+            at: SimTime::from_micros(1_500_000),
+            lookups_in_flight: 3,
+            lookups_completed: 10,
+            lookups_dropped: 0,
+            queue_depth_total: 4,
+            queue_depth_max: 2,
+            congestion_p50: 0.5,
+            congestion_p99: 1.5,
+            congestion_max: 2.0,
+            utilization_mean: 0.25,
+            indegree_min: 1,
+            indegree_mean: 6.5,
+            indegree_max: 12,
+            outdegree_min: 2,
+            outdegree_mean: 7.0,
+            outdegree_max: 11,
+            alive_nodes: 64,
+            alive_hosts: 64,
+        };
+        let json = serde::json::to_string(&s);
+        assert!(json.starts_with("{\"at\":1500000,"), "{json}");
+        assert!(json.contains("\"congestion_p99\":1.5"), "{json}");
+        assert!(json.contains("\"alive_hosts\":64"), "{json}");
+    }
+}

@@ -34,7 +34,11 @@ impl BoundedPareto {
             lower > 0.0 && lower < upper && upper.is_finite(),
             "invalid bounds: [{lower}, {upper}]"
         );
-        BoundedPareto { shape, lower, upper }
+        BoundedPareto {
+            shape,
+            lower,
+            upper,
+        }
     }
 
     /// Table 2's capacity distribution: shape 2 on `[500, 50000]`.
@@ -94,9 +98,11 @@ mod tests {
         let samples = dist.sample_n(100_000, &mut rng);
         let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
         let (a, l, h) = (2.0f64, 500.0f64, 50000.0f64);
-        let expect =
-            l.powf(a) / (1.0 - (l / h).powf(a)) * a / (a - 1.0) * (1.0 / l - 1.0 / h);
-        assert!((mean - expect).abs() / expect < 0.03, "mean {mean} vs {expect}");
+        let expect = l.powf(a) / (1.0 - (l / h).powf(a)) * a / (a - 1.0) * (1.0 / l - 1.0 / h);
+        assert!(
+            (mean - expect).abs() / expect < 0.03,
+            "mean {mean} vs {expect}"
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub fn churn_schedule(
         if t > horizon {
             break;
         }
-        events.push(ChurnEvent::Join { at: t, capacity: capacity.sample(rng) });
+        events.push(ChurnEvent::Join {
+            at: t,
+            capacity: capacity.sample(rng),
+        });
     }
     let mut t = SimTime::ZERO;
     loop {
@@ -51,11 +54,13 @@ mod tests {
     fn schedule_is_sorted_and_balanced() {
         let mut rng = SimRng::seed_from(6);
         let horizon = SimTime::from_secs_f64(100.0);
-        let events =
-            churn_schedule(horizon, 0.5, 0.5, BoundedPareto::paper_default(), &mut rng);
+        let events = churn_schedule(horizon, 0.5, 0.5, BoundedPareto::paper_default(), &mut rng);
         assert!(events.windows(2).all(|w| w[0].at() <= w[1].at()));
         assert!(events.iter().all(|e| e.at() <= horizon));
-        let joins = events.iter().filter(|e| matches!(e, ChurnEvent::Join { .. })).count();
+        let joins = events
+            .iter()
+            .filter(|e| matches!(e, ChurnEvent::Join { .. }))
+            .count();
         let leaves = events.len() - joins;
         assert!((150..=260).contains(&joins), "joins {joins}");
         assert!((150..=260).contains(&leaves), "leaves {leaves}");
@@ -65,9 +70,11 @@ mod tests {
     fn asymmetric_rates_skew_the_mix() {
         let mut rng = SimRng::seed_from(7);
         let horizon = SimTime::from_secs_f64(50.0);
-        let events =
-            churn_schedule(horizon, 0.25, 2.0, BoundedPareto::paper_default(), &mut rng);
-        let joins = events.iter().filter(|e| matches!(e, ChurnEvent::Join { .. })).count();
+        let events = churn_schedule(horizon, 0.25, 2.0, BoundedPareto::paper_default(), &mut rng);
+        let joins = events
+            .iter()
+            .filter(|e| matches!(e, ChurnEvent::Join { .. }))
+            .count();
         let leaves = events.len() - joins;
         assert!(joins > 4 * leaves, "joins {joins} vs leaves {leaves}");
     }

@@ -20,7 +20,11 @@ pub fn uniform_lookups(count: usize, rate_per_sec: f64, rng: &mut SimRng) -> Vec
     (0..count)
         .map(|_| {
             t += SimDuration::from_secs_f64(rng.exp_secs(rate_per_sec));
-            Lookup { at: t, source: SourcePick::Random, key: KeyPick::Random }
+            Lookup {
+                at: t,
+                source: SourcePick::Random,
+                key: KeyPick::Random,
+            }
         })
         .collect()
 }
@@ -42,7 +46,10 @@ pub fn impulse_lookups(
     rng: &mut SimRng,
 ) -> Vec<Lookup> {
     assert!(rate_per_sec > 0.0, "invalid rate: {rate_per_sec}");
-    assert!(n > 0 && impulse_nodes > 0 && impulse_keys > 0, "counts must be positive");
+    assert!(
+        n > 0 && impulse_nodes > 0 && impulse_keys > 0,
+        "counts must be positive"
+    );
     let width = (impulse_nodes as f64 / n as f64).min(1.0);
     let start: f64 = rng.gen();
     let keys: Vec<f64> = (0..impulse_keys).map(|_| rng.gen()).collect();
@@ -71,9 +78,14 @@ mod tests {
         let ls = uniform_lookups(1000, 100.0, &mut rng);
         assert_eq!(ls.len(), 1000);
         assert!(ls.windows(2).all(|w| w[0].at <= w[1].at));
-        assert!(ls.iter().all(|l| l.source == SourcePick::Random && l.key == KeyPick::Random));
+        assert!(ls
+            .iter()
+            .all(|l| l.source == SourcePick::Random && l.key == KeyPick::Random));
         let span = ls.last().unwrap().at.as_secs_f64();
-        assert!((span - 10.0).abs() < 2.0, "1000 lookups at 100/s took {span}s");
+        assert!(
+            (span - 10.0).abs() < 2.0,
+            "1000 lookups at 100/s took {span}s"
+        );
     }
 
     #[test]

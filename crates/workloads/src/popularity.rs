@@ -76,7 +76,10 @@ impl ZipfKeys {
     /// Draws a rank according to the Zipf weights.
     pub fn sample_rank(&self, rng: &mut SimRng) -> usize {
         let u: f64 = rng.gen();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("no NaN")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN"))
+        {
             Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
         }
     }
@@ -173,7 +176,11 @@ mod tests {
             counts[keys.sample_rank(&mut rng)] += 1;
         }
         // Rank 1 ~ 2x rank 2 ~ 10x rank 10 under s = 1.
-        assert!(counts[0] as f64 > 1.6 * counts[1] as f64, "{:?}", &counts[..5]);
+        assert!(
+            counts[0] as f64 > 1.6 * counts[1] as f64,
+            "{:?}",
+            &counts[..5]
+        );
         assert!(counts[0] as f64 > 6.0 * counts[9] as f64);
         // Every rank still appears.
         assert!(counts.iter().filter(|&&c| c > 0).count() >= 45);

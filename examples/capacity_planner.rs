@@ -18,7 +18,10 @@ use ert_repro::workloads::{uniform_lookups, BoundedPareto};
 fn main() {
     let n = 512;
     let dim = CycloidSpace::dimension_for(n);
-    println!("alpha sweep at n = {n} (dimension {dim}; paper default alpha = {})\n", dim + 3);
+    println!(
+        "alpha sweep at n = {n} (dimension {dim}; paper default alpha = {})\n",
+        dim + 3
+    );
     println!(
         "{:>6} {:>16} {:>12} {:>14}",
         "alpha", "p99 congestion", "p99 share", "mean indegree"
@@ -28,8 +31,7 @@ fn main() {
         let capacities = BoundedPareto::paper_default().sample_n(n, &mut rng);
         let mut cfg = NetworkConfig::for_dimension(dim, 31);
         cfg.ert.alpha = alpha;
-        let mut net =
-            Network::new(cfg, &capacities, ProtocolSpec::ert_af()).expect("valid config");
+        let mut net = Network::new(cfg, &capacities, ProtocolSpec::ert_af()).expect("valid config");
         let lookups = uniform_lookups(1200, n as f64, &mut rng);
         let r = net.run(&lookups, &[]);
         println!(
@@ -39,10 +41,15 @@ fn main() {
     }
 
     println!("\nforwarding layer (supermarket model, exp(1) service):\n");
-    println!("{:>6} {:>12} {:>12} {:>12}", "load", "1-way (s)", "2-way (s)", "sim 2-way");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "load", "1-way (s)", "2-way (s)", "sim 2-way"
+    );
     for lambda in [0.7, 0.9, 0.97] {
         let sim = SupermarketSim::new(300, lambda);
-        let s2 = sim.run(ChoicePolicy::shortest_of(2), 800.0, 31).mean_time_in_system;
+        let s2 = sim
+            .run(ChoicePolicy::shortest_of(2), 800.0, 31)
+            .mean_time_in_system;
         println!(
             "{lambda:>6.2} {:>12.2} {:>12.2} {:>12.2}",
             expected_time(lambda, 1),

@@ -20,7 +20,10 @@ fn main() {
         per_node_rate: 1.0,
         light_service_secs: 0.6,
         seeds: vec![1, 2],
-        workload: Workload::Impulse { nodes: 50, keys: 20 },
+        workload: Workload::Impulse {
+            nodes: 50,
+            keys: 20,
+        },
         churn: None,
     };
     println!("flash crowd: 50 co-located requesters hammer 20 keys\n");

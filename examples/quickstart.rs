@@ -23,8 +23,8 @@ fn main() {
 
     // 3. Pick a protocol: full ERT with indegree adaptation and
     //    topology-aware two-choice forwarding.
-    let mut net = Network::new(cfg, &capacities, ProtocolSpec::ert_af())
-        .expect("configuration is valid");
+    let mut net =
+        Network::new(cfg, &capacities, ProtocolSpec::ert_af()).expect("configuration is valid");
 
     // 4. Generate a Poisson lookup stream (one lookup per node-second)
     //    and run.
@@ -32,12 +32,27 @@ fn main() {
     let report = net.run(&lookups, &[]);
 
     println!("protocol                 : {}", report.protocol);
-    println!("lookups completed        : {}/{}", report.lookups_completed, report.lookups_started);
-    println!("mean path length         : {:.2} hops", report.mean_path_length);
-    println!("mean lookup time         : {:.3} s", report.lookup_time.mean);
+    println!(
+        "lookups completed        : {}/{}",
+        report.lookups_completed, report.lookups_started
+    );
+    println!(
+        "mean path length         : {:.2} hops",
+        report.mean_path_length
+    );
+    println!(
+        "mean lookup time         : {:.3} s",
+        report.lookup_time.mean
+    );
     println!("p99 lookup time          : {:.3} s", report.lookup_time.p99);
-    println!("p99 max congestion (l/c) : {:.3}", report.p99_max_congestion);
+    println!(
+        "p99 max congestion (l/c) : {:.3}",
+        report.p99_max_congestion
+    );
     println!("p99 fair-share ratio     : {:.3}", report.p99_share);
     println!("heavy nodes in routings  : {}", report.heavy_encounters);
-    println!("timeouts per lookup      : {:.4}", report.timeouts_per_lookup);
+    println!(
+        "timeouts per lookup      : {:.4}",
+        report.timeouts_per_lookup
+    );
 }

@@ -19,8 +19,8 @@ fn main() {
     let mut cfg = NetworkConfig::for_dimension(CycloidSpace::dimension_for(n), 404);
     cfg.trace_capacity = 4096;
 
-    let mut net = Network::new(cfg, &capacities, ProtocolSpec::ert_af())
-        .expect("configuration is valid");
+    let mut net =
+        Network::new(cfg, &capacities, ProtocolSpec::ert_af()).expect("configuration is valid");
     let report = net.run(&uniform_lookups(120, n as f64, &mut rng), &[]);
 
     println!(
@@ -43,8 +43,11 @@ fn main() {
     // And the overall tail, the way one would scan it in a debug
     // session.
     println!("\nlast 10 events:");
-    let tail: Vec<String> =
-        net.trace().iter().map(|(t, m)| format!("  [{t}] {m}")).collect();
+    let tail: Vec<String> = net
+        .trace()
+        .iter()
+        .map(|(t, m)| format!("  [{t}] {m}"))
+        .collect();
     for line in tail.iter().rev().take(10).rev() {
         println!("{line}");
     }

@@ -21,9 +21,9 @@
 #![warn(missing_docs)]
 
 pub use ert_baselines as baselines;
-pub use ert_minidht as minidht;
 pub use ert_core as core;
 pub use ert_experiments as experiments;
+pub use ert_minidht as minidht;
 pub use ert_network as network;
 pub use ert_overlay as overlay;
 pub use ert_sim as sim;

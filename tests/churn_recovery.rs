@@ -34,7 +34,10 @@ fn probing_eliminates_stale_link_timeouts() {
     let s = churny_scenario(201, 0.3);
     let b = s.run(&base());
     let af = s.run(&ProtocolSpec::ert_af());
-    assert!(b.timeouts_per_lookup > 0.0, "churn should produce Base timeouts");
+    assert!(
+        b.timeouts_per_lookup > 0.0,
+        "churn should produce Base timeouts"
+    );
     assert!(
         af.timeouts_per_lookup < b.timeouts_per_lookup / 2.0,
         "ERT/AF {} vs Base {}",
@@ -64,5 +67,9 @@ fn churn_without_lookups_is_harmless() {
     let mut s = churny_scenario(203, 0.1);
     s.lookups = 100;
     let r = s.run(&ProtocolSpec::ert_af());
-    assert!(r.lookups_completed >= 95, "completed {}", r.lookups_completed);
+    assert!(
+        r.lookups_completed >= 95,
+        "completed {}",
+        r.lookups_completed
+    );
 }

@@ -60,8 +60,7 @@ impl Directory for ChordDirectory {
     }
 
     fn spare_indegree(&self, node: u64) -> i64 {
-        self.state.d_max[&node] as i64
-            - self.state.indegree.get(&node).copied().unwrap_or(0) as i64
+        self.state.d_max[&node] as i64 - self.state.indegree.get(&node).copied().unwrap_or(0) as i64
     }
 
     fn indegree(&self, node: u64) -> u32 {
@@ -119,8 +118,7 @@ impl Directory for PastryDirectory {
     }
 
     fn spare_indegree(&self, node: u64) -> i64 {
-        self.state.d_max[&node] as i64
-            - self.state.indegree.get(&node).copied().unwrap_or(0) as i64
+        self.state.d_max[&node] as i64 - self.state.indegree.get(&node).copied().unwrap_or(0) as i64
     }
 
     fn indegree(&self, node: u64) -> u32 {
@@ -139,7 +137,9 @@ impl Directory for PastryDirectory {
 
 fn capacities(ids: &[u64], rng: &mut SimRng) -> Vec<(u64, u32)> {
     use rand::Rng;
-    ids.iter().map(|&id| (id, max_indegree(8.0, 0.25 + rng.gen::<f64>() * 2.0))).collect()
+    ids.iter()
+        .map(|&id| (id, max_indegree(8.0, 0.25 + rng.gen::<f64>() * 2.0)))
+        .collect()
 }
 
 #[test]
@@ -152,8 +152,15 @@ fn ert_builds_and_expands_on_chord() {
     }
     let ids: Vec<u64> = registry.iter().collect();
     let caps = capacities(&ids, &mut rng);
-    let mut dir = ChordDirectory { space, registry, state: Links::new(caps.into_iter()) };
-    let params = ErtParams { beta: 0.75, ..ErtParams::default() };
+    let mut dir = ChordDirectory {
+        space,
+        registry,
+        state: Links::new(caps.into_iter()),
+    };
+    let params = ErtParams {
+        beta: 0.75,
+        ..ErtParams::default()
+    };
 
     let mut reached = 0;
     for &id in &ids {
@@ -189,7 +196,11 @@ fn ert_builds_and_expands_on_pastry() {
     }
     let ids: Vec<u64> = registry.iter().collect();
     let caps = capacities(&ids, &mut rng);
-    let mut dir = PastryDirectory { space, registry, state: Links::new(caps.into_iter()) };
+    let mut dir = PastryDirectory {
+        space,
+        registry,
+        state: Links::new(caps.into_iter()),
+    };
     let params = ErtParams::default();
 
     for &id in &ids {
@@ -213,5 +224,9 @@ fn ert_builds_and_expands_on_pastry() {
     }
     // Expansion must have produced meaningful indegree somewhere.
     let expanded = ids.iter().filter(|&&id| dir.indegree(id) >= 3).count();
-    assert!(expanded * 3 >= ids.len(), "{expanded}/{} pastry nodes expanded", ids.len());
+    assert!(
+        expanded * 3 >= ids.len(),
+        "{expanded}/{} pastry nodes expanded",
+        ids.len()
+    );
 }

@@ -10,7 +10,9 @@ fn reports(scenario: &Scenario) -> Vec<RunReport> {
 }
 
 fn find<'a>(rs: &'a [RunReport], name: &str) -> &'a RunReport {
-    rs.iter().find(|r| r.protocol == name).unwrap_or_else(|| panic!("missing {name}"))
+    rs.iter()
+        .find(|r| r.protocol == name)
+        .unwrap_or_else(|| panic!("missing {name}"))
 }
 
 #[test]
@@ -25,7 +27,11 @@ fn every_protocol_completes_the_workload() {
             "{} lost lookups",
             r.protocol
         );
-        assert!(r.lookups_dropped * 50 <= 400, "{} dropped too many", r.protocol);
+        assert!(
+            r.lookups_dropped * 50 <= 400,
+            "{} dropped too many",
+            r.protocol
+        );
         assert!(r.mean_path_length > 0.0);
         assert!(r.lookup_time.mean > 0.0);
     }

@@ -10,7 +10,10 @@ fn build(n: usize, seed: u64, spec: ProtocolSpec) -> (Network, SimRng) {
     let mut rng = SimRng::seed_from(seed);
     let capacities = BoundedPareto::paper_default().sample_n(n, &mut rng);
     let cfg = NetworkConfig::for_dimension(CycloidSpace::dimension_for(n), seed);
-    (Network::new(cfg, &capacities, spec).expect("valid network"), rng)
+    (
+        Network::new(cfg, &capacities, spec).expect("valid network"),
+        rng,
+    )
 }
 
 /// Kill ~30% of the network at one instant mid-run: lookups keep
@@ -22,10 +25,13 @@ fn survives_mass_failure() {
         let (mut net, mut rng) = build(256, 400, spec);
         let lookups = uniform_lookups(500, 256.0, &mut rng);
         let mid = lookups[lookups.len() / 2].at;
-        let blast: Vec<ChurnEvent> =
-            (0..77).map(|_| ChurnEvent::Leave { at: mid }).collect();
+        let blast: Vec<ChurnEvent> = (0..77).map(|_| ChurnEvent::Leave { at: mid }).collect();
         let report = net.run(&lookups, &blast);
-        assert_eq!(report.lookups_completed + report.lookups_dropped, 500, "{name}");
+        assert_eq!(
+            report.lookups_completed + report.lookups_dropped,
+            500,
+            "{name}"
+        );
         assert!(
             report.lookups_completed >= 470,
             "{name} completed only {}",
@@ -45,17 +51,20 @@ fn recovers_after_failure_burst() {
     let lookups = uniform_lookups(600, 192.0, &mut rng);
     let t_fail = lookups[150].at;
     let t_recover = lookups[300].at;
-    let mut churn: Vec<ChurnEvent> =
-        (0..48).map(|_| ChurnEvent::Leave { at: t_fail }).collect();
+    let mut churn: Vec<ChurnEvent> = (0..48).map(|_| ChurnEvent::Leave { at: t_fail }).collect();
     churn.extend((0..48).map(|i| ChurnEvent::Join {
         at: t_recover + ert_repro::sim::SimDuration::from_micros(i),
         capacity: 1200.0,
     }));
     let report = net.run(&lookups, &churn);
-    assert!(report.lookups_completed >= 570, "completed {}", report.lookups_completed);
+    assert!(
+        report.lookups_completed >= 570,
+        "completed {}",
+        report.lookups_completed
+    );
     let alive = net.topology().hosts.iter().filter(|h| h.alive).count();
     assert_eq!(alive, 192); // back to full strength
-    // Joined nodes actually participate: at least one has inlinks.
+                            // Joined nodes actually participate: at least one has inlinks.
     let joined_with_inlinks = net
         .topology()
         .hosts
@@ -64,7 +73,10 @@ fn recovers_after_failure_burst() {
         .flat_map(|h| &h.nodes)
         .filter(|&&n| net.topology().nodes[n].table.indegree() > 0)
         .count();
-    assert!(joined_with_inlinks > 24, "only {joined_with_inlinks} recovered nodes wired in");
+    assert!(
+        joined_with_inlinks > 24,
+        "only {joined_with_inlinks} recovered nodes wired in"
+    );
 }
 
 /// Lookups injected *during* the failure instant are not lost.
@@ -76,7 +88,11 @@ fn in_flight_queries_survive_the_blast() {
     let blast: Vec<ChurnEvent> = (0..57).map(|_| ChurnEvent::Leave { at: mid }).collect();
     let report = net.run(&lookups, &blast);
     assert_eq!(report.lookups_completed + report.lookups_dropped, 300);
-    assert!(report.lookups_dropped <= 6, "dropped {}", report.lookups_dropped);
+    assert!(
+        report.lookups_dropped <= 6,
+        "dropped {}",
+        report.lookups_dropped
+    );
     // Handoffs happened (queries were stranded and rescued).
     assert!(report.handoffs_per_lookup > 0.0);
 }

@@ -5,10 +5,10 @@ use std::collections::HashSet;
 
 use proptest::prelude::*;
 
-use ert_repro::core::{adaptation_action, choose_next, AdaptAction, Candidate, ElasticTable,
-    ErtParams, ForwardPolicy};
-use ert_repro::overlay::{ring, ChordSpace, CycloidRegistry, CycloidSpace, PastrySpace,
-    RingRange};
+use ert_repro::core::{
+    adaptation_action, choose_next, AdaptAction, Candidate, ElasticTable, ErtParams, ForwardPolicy,
+};
+use ert_repro::overlay::{ring, ChordSpace, CycloidRegistry, CycloidSpace, PastrySpace, RingRange};
 use ert_repro::sim::stats::Samples;
 use ert_repro::sim::SimRng;
 

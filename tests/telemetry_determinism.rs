@@ -1,0 +1,112 @@
+//! The telemetry stream is a deterministic function of the seed, and
+//! observing a run never changes it.
+//!
+//! Two properties are pinned here:
+//!
+//! 1. **Byte-identical replay** — the same fixed-seed scenario run
+//!    twice produces byte-for-byte the same JSONL event stream and the
+//!    same snapshot series.
+//! 2. **Observer neutrality** — running with telemetry (sinks attached,
+//!    sampler on) yields exactly the [`ert_network::RunReport`] of an
+//!    uninstrumented run.
+
+use ert_network::{Network, NetworkConfig, ProtocolSpec};
+use ert_sim::SimDuration;
+use ert_telemetry::{MemorySink, Telemetry};
+
+fn capacities(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 600.0 + 250.0 * (i % 5) as f64).collect()
+}
+
+fn fixed_config() -> NetworkConfig {
+    let mut cfg = NetworkConfig::for_dimension(6, 17);
+    cfg.sample_interval = SimDuration::from_secs_f64(0.5);
+    cfg
+}
+
+/// Runs the fixed scenario with a memory sink and returns the recorded
+/// JSONL lines plus the report.
+fn instrumented_run() -> (Vec<String>, ert_network::RunReport) {
+    let caps = capacities(96);
+    let lookups = ert_network::network::uniform_lookup_burst(200, 96.0, 17);
+    let mut net = Network::new(fixed_config(), &caps, ProtocolSpec::ert_af()).unwrap();
+    let sink = MemorySink::new();
+    let lines = sink.handle();
+    let mut tel = Telemetry::disabled();
+    tel.add_sink(Box::new(sink));
+    net.set_telemetry(tel);
+    let report = net.run(&lookups, &[]);
+    let lines = lines.lock().unwrap().clone();
+    (lines, report)
+}
+
+#[test]
+fn event_stream_is_byte_identical_across_runs() {
+    let (a, ra) = instrumented_run();
+    let (b, rb) = instrumented_run();
+    assert!(!a.is_empty());
+    assert_eq!(a.len(), b.len(), "stream lengths diverged");
+    for (i, (la, lb)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(la, lb, "line {i} diverged");
+    }
+    assert_eq!(ra.lookup_time.mean, rb.lookup_time.mean);
+}
+
+#[test]
+fn stream_has_events_snapshots_and_monotone_timestamps() {
+    let (lines, _) = instrumented_run();
+    let kinds: std::collections::HashSet<&str> = lines
+        .iter()
+        .filter(|l| l.starts_with("{\"kind\":\"event\""))
+        .filter_map(|l| l.split("\"event\":{\"").nth(1)?.split('"').next())
+        .collect();
+    assert!(kinds.len() >= 3, "want >=3 event kinds, got {kinds:?}");
+
+    // Snapshot timestamps strictly increase on the 0.5 s grid.
+    let snapshot_ats: Vec<u64> = lines
+        .iter()
+        .filter(|l| l.starts_with("{\"kind\":\"snapshot\""))
+        .filter_map(|l| l.split("\"at\":").nth(1)?.split(',').next()?.parse().ok())
+        .collect();
+    assert!(
+        snapshot_ats.len() >= 2,
+        "want several snapshots, got {snapshot_ats:?}"
+    );
+    assert!(
+        snapshot_ats.windows(2).all(|w| w[0] < w[1]),
+        "{snapshot_ats:?}"
+    );
+    assert!(
+        snapshot_ats.iter().all(|at| at % 500_000 == 0),
+        "{snapshot_ats:?}"
+    );
+
+    // Event timestamps are non-decreasing (FIFO-stable sim clock).
+    let event_ats: Vec<u64> = lines
+        .iter()
+        .filter(|l| l.starts_with("{\"kind\":\"event\""))
+        .filter_map(|l| l.split("\"at\":").nth(1)?.split(',').next()?.parse().ok())
+        .collect();
+    assert!(event_ats.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn telemetry_does_not_perturb_the_report() {
+    let caps = capacities(96);
+    let lookups = ert_network::network::uniform_lookup_burst(200, 96.0, 17);
+
+    // Fully uninstrumented: default config, no sinks, no sampler.
+    let cfg = NetworkConfig::for_dimension(6, 17);
+    let mut plain = Network::new(cfg, &caps, ProtocolSpec::ert_af()).unwrap();
+    let rp = plain.run(&lookups, &[]);
+
+    let (_, rt) = instrumented_run();
+    assert_eq!(rp.lookups_completed, rt.lookups_completed);
+    assert_eq!(rp.lookups_dropped, rt.lookups_dropped);
+    assert_eq!(rp.lookup_time.mean, rt.lookup_time.mean);
+    assert_eq!(rp.lookup_time.p99, rt.lookup_time.p99);
+    assert_eq!(rp.p99_max_congestion, rt.p99_max_congestion);
+    assert_eq!(rp.mean_path_length, rt.mean_path_length);
+    assert_eq!(rp.heavy_encounters, rt.heavy_encounters);
+    assert_eq!(rp.sim_seconds, rt.sim_seconds);
+}

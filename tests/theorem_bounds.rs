@@ -1,9 +1,7 @@
 //! Cross-crate checks of the paper's theorems on measured systems.
 
 use ert_repro::core::ErtParams;
-use ert_repro::experiments::bounds::{
-    theorem31_check, theorem32_check, theorem32_convergence,
-};
+use ert_repro::experiments::bounds::{theorem31_check, theorem32_check, theorem32_convergence};
 use ert_repro::supermarket::{expected_time, ChoicePolicy, SupermarketSim};
 
 #[test]
@@ -36,8 +34,12 @@ fn theorem32_measured_table_reports() {
 #[test]
 fn theorem41_exponential_improvement_in_simulation() {
     let sim = SupermarketSim::new(250, 0.95);
-    let t1 = sim.run(ChoicePolicy::shortest_of(1), 1_200.0, 305).mean_time_in_system;
-    let t2 = sim.run(ChoicePolicy::shortest_of(2), 1_200.0, 305).mean_time_in_system;
+    let t1 = sim
+        .run(ChoicePolicy::shortest_of(1), 1_200.0, 305)
+        .mean_time_in_system;
+    let t2 = sim
+        .run(ChoicePolicy::shortest_of(2), 1_200.0, 305)
+        .mean_time_in_system;
     // Theorem 4.1's gap: b=2 is in the log class of b=1.
     assert!(t2 * 3.0 < t1, "sim: b1={t1} b2={t2}");
     // And the models agree on direction with a wide margin.
