@@ -1,6 +1,6 @@
 //! Microbenchmarks of the hot core data structures and decisions.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ert_core::{choose_next, Candidate, ElasticTable, ForwardPolicy};
@@ -46,7 +46,7 @@ fn bench_forward(c: &mut Criterion) {
             physical_distance: 0.1 * i as f64,
         })
         .collect();
-    let avoid: HashSet<u32> = [2, 5].into_iter().collect();
+    let avoid: BTreeSet<u32> = [2, 5].into_iter().collect();
     let policy = ForwardPolicy::TwoChoice {
         topology_aware: true,
         use_memory: true,

@@ -49,6 +49,9 @@ mod tests {
 
         let mut tel = Telemetry::disabled();
         let sites = 2_000_000u64;
+        // Timing measurement is this crate's purpose; ert-bench is
+        // exempt from rule D1 (clippy.toml / ert-lint).
+        #[allow(clippy::disallowed_methods)]
         let started = std::time::Instant::now();
         for i in 0..sites {
             tel.emit(SimTime::from_micros(i), || TelemetryEvent::LookupHop {

@@ -93,11 +93,9 @@ pub struct ShedCandidate<Id> {
 pub fn select_shed_victims<Id: Copy>(fingers: &[ShedCandidate<Id>], count: u32) -> Vec<Id> {
     let mut sorted: Vec<&ShedCandidate<Id>> = fingers.iter().collect();
     sorted.sort_by(|x, y| {
-        y.logical_distance.cmp(&x.logical_distance).then(
-            y.physical_distance
-                .partial_cmp(&x.physical_distance)
-                .expect("physical distances must not be NaN"),
-        )
+        y.logical_distance
+            .cmp(&x.logical_distance)
+            .then(y.physical_distance.total_cmp(&x.physical_distance))
     });
     sorted
         .into_iter()

@@ -127,15 +127,15 @@ pub fn expand_indegree<D: Directory>(dir: &mut D, node: D::Id, target: u32) -> u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     /// A two-slot toy overlay: every node's table has slots 0 and 1;
     /// slot-0 candidates are even ids, slot-1 candidates odd ids.
     struct MockDir {
         members: Vec<u32>,
-        d_max: HashMap<u32, i64>,
+        d_max: BTreeMap<u32, i64>,
         links: Vec<(u32, u8, u32)>,
-        indegree: HashMap<u32, u32>,
+        indegree: BTreeMap<u32, u32>,
     }
 
     impl MockDir {
@@ -144,7 +144,7 @@ mod tests {
                 members: members.to_vec(),
                 d_max: members.iter().map(|&m| (m, d_max)).collect(),
                 links: Vec::new(),
-                indegree: HashMap::new(),
+                indegree: BTreeMap::new(),
             }
         }
     }

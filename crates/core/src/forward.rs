@@ -13,8 +13,7 @@
 //!   the forward, and carry the set of overloaded nodes seen so far so
 //!   later hops avoid them.
 
-use std::collections::HashSet;
-use std::hash::Hash;
+use std::collections::BTreeSet;
 
 use ert_sim::SimRng;
 use serde::{Deserialize, Serialize};
@@ -91,13 +90,13 @@ pub struct ForwardChoice<Id> {
 /// ```
 /// use ert_core::{choose_next, Candidate, ForwardPolicy};
 /// use ert_sim::SimRng;
-/// use std::collections::HashSet;
+/// use std::collections::BTreeSet;
 ///
 /// let mut rng = SimRng::seed_from(4);
 /// let light = Candidate { id: 1, load: 1.0, capacity: 10.0, logical_distance: 3, physical_distance: 0.2 };
 /// let heavy = Candidate { id: 2, load: 99.0, capacity: 10.0, logical_distance: 1, physical_distance: 0.1 };
 /// let policy = ForwardPolicy::TwoChoice { topology_aware: true, use_memory: false };
-/// let choice = choose_next(policy, &[light, heavy], None, &HashSet::new(), 1.0, &mut rng).unwrap();
+/// let choice = choose_next(policy, &[light, heavy], None, &BTreeSet::new(), 1.0, &mut rng).unwrap();
 /// assert_eq!(choice.next, 1);
 /// assert_eq!(choice.newly_overloaded, vec![2]);
 /// ```
@@ -105,11 +104,11 @@ pub struct ForwardChoice<Id> {
 /// # Panics
 ///
 /// Panics if any candidate has non-positive capacity.
-pub fn choose_next<Id: Copy + Eq + Hash + std::fmt::Debug>(
+pub fn choose_next<Id: Copy + Ord + std::fmt::Debug>(
     policy: ForwardPolicy,
     candidates: &[Candidate<Id>],
     memory: Option<Id>,
-    avoid: &HashSet<Id>,
+    avoid: &BTreeSet<Id>,
     gamma_l: f64,
     rng: &mut SimRng,
 ) -> Option<ForwardChoice<Id>> {
@@ -124,11 +123,11 @@ pub fn choose_next<Id: Copy + Eq + Hash + std::fmt::Debug>(
 ///
 /// Panics if any candidate has non-positive capacity or
 /// `probe_width == 0`.
-pub fn choose_next_b<Id: Copy + Eq + Hash + std::fmt::Debug>(
+pub fn choose_next_b<Id: Copy + Ord + std::fmt::Debug>(
     policy: ForwardPolicy,
     candidates: &[Candidate<Id>],
     memory: Option<Id>,
-    avoid: &HashSet<Id>,
+    avoid: &BTreeSet<Id>,
     gamma_l: f64,
     probe_width: usize,
     rng: &mut SimRng,
@@ -160,16 +159,13 @@ pub fn choose_next_b<Id: Copy + Eq + Hash + std::fmt::Debug>(
 
     match policy {
         ForwardPolicy::Deterministic => {
-            let best = pool
-                .iter()
-                .min_by(|x, y| {
-                    x.logical_distance.cmp(&y.logical_distance).then(
-                        x.physical_distance
-                            .partial_cmp(&y.physical_distance)
-                            .expect("distances must not be NaN"),
-                    )
-                })
-                .expect("pool nonempty");
+            // `?` never fires: the pool is nonempty by the emptiness
+            // check above. Propagating keeps this hot path panic-free.
+            let best = pool.iter().min_by(|x, y| {
+                x.logical_distance
+                    .cmp(&y.logical_distance)
+                    .then(x.physical_distance.total_cmp(&y.physical_distance))
+            })?;
             Some(ForwardChoice {
                 next: best.id,
                 new_memory: None,
@@ -178,7 +174,7 @@ pub fn choose_next_b<Id: Copy + Eq + Hash + std::fmt::Debug>(
             })
         }
         ForwardPolicy::RandomWalk => {
-            let pick = *rng.choose(&pool).expect("pool nonempty");
+            let pick = *rng.choose(&pool)?;
             Some(ForwardChoice {
                 next: pick.id,
                 new_memory: None,
@@ -225,31 +221,26 @@ pub fn choose_next_b<Id: Copy + Eq + Hash + std::fmt::Debug>(
                 .map(|c| c.id)
                 .collect();
 
+            // The three `?`s below never fire — `polled` is nonempty by
+            // construction and `light` is checked first — and
+            // `total_cmp` gives NaN a fixed order instead of a panic.
             let chosen: &Candidate<Id> = if light.is_empty() {
                 // All heavy: the least heavily loaded takes it anyway.
                 polled
                     .iter()
                     .copied()
-                    .min_by(|x, y| x.congestion().partial_cmp(&y.congestion()).expect("no NaN"))
-                    .expect("polled nonempty")
+                    .min_by(|x, y| x.congestion().total_cmp(&y.congestion()))?
             } else if topology_aware {
-                light
-                    .iter()
-                    .copied()
-                    .min_by(|x, y| {
-                        x.logical_distance.cmp(&y.logical_distance).then(
-                            x.physical_distance
-                                .partial_cmp(&y.physical_distance)
-                                .expect("no NaN"),
-                        )
-                    })
-                    .expect("light nonempty")
+                light.iter().copied().min_by(|x, y| {
+                    x.logical_distance
+                        .cmp(&y.logical_distance)
+                        .then(x.physical_distance.total_cmp(&y.physical_distance))
+                })?
             } else {
                 light
                     .iter()
                     .copied()
-                    .min_by(|x, y| x.load.partial_cmp(&y.load).expect("no NaN"))
-                    .expect("light nonempty")
+                    .min_by(|x, y| x.load.total_cmp(&y.load))?
             };
 
             // Remember the least-loaded option *after* the forward adds
@@ -260,7 +251,7 @@ pub fn choose_next_b<Id: Copy + Eq + Hash + std::fmt::Debug>(
                 .min_by(|x, y| {
                     let lx = x.load + f64::from(x.id == chosen.id);
                     let ly = y.load + f64::from(y.id == chosen.id);
-                    lx.partial_cmp(&ly).expect("no NaN")
+                    lx.total_cmp(&ly)
                 })
                 .map(|c| c.id);
 
@@ -299,7 +290,7 @@ mod tests {
     fn empty_candidates_yield_none() {
         let mut rng = SimRng::seed_from(1);
         let none: Option<ForwardChoice<u32>> =
-            choose_next(two_choice(), &[], None, &HashSet::new(), 1.0, &mut rng);
+            choose_next(two_choice(), &[], None, &BTreeSet::new(), 1.0, &mut rng);
         assert!(none.is_none());
     }
 
@@ -315,7 +306,7 @@ mod tests {
             ForwardPolicy::Deterministic,
             &cands,
             None,
-            &HashSet::new(),
+            &BTreeSet::new(),
             1.0,
             &mut rng,
         )
@@ -332,13 +323,13 @@ mod tests {
             cand(2, 0.0, 1, 0.1),
             cand(3, 0.0, 1, 0.1),
         ];
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for _ in 0..100 {
             let c = choose_next(
                 ForwardPolicy::RandomWalk,
                 &cands,
                 None,
-                &HashSet::new(),
+                &BTreeSet::new(),
                 1.0,
                 &mut rng,
             )
@@ -358,7 +349,7 @@ mod tests {
                 two_choice(),
                 &[light, heavy],
                 None,
-                &HashSet::new(),
+                &BTreeSet::new(),
                 1.0,
                 &mut rng,
             )
@@ -377,7 +368,7 @@ mod tests {
             two_choice(),
             &[h1, h2],
             None,
-            &HashSet::new(),
+            &BTreeSet::new(),
             1.0,
             &mut rng,
         )
@@ -398,7 +389,7 @@ mod tests {
                 two_choice(),
                 &[near, far],
                 None,
-                &HashSet::new(),
+                &BTreeSet::new(),
                 1.0,
                 &mut rng,
             )
@@ -410,7 +401,7 @@ mod tests {
         let b = cand(2, 1.0, 3, 0.2);
         for _ in 0..50 {
             let c =
-                choose_next(two_choice(), &[a, b], None, &HashSet::new(), 1.0, &mut rng).unwrap();
+                choose_next(two_choice(), &[a, b], None, &BTreeSet::new(), 1.0, &mut rng).unwrap();
             assert_eq!(c.next, 2);
         }
     }
@@ -425,7 +416,7 @@ mod tests {
         let a = cand(1, 5.0, 1, 0.1);
         let b = cand(2, 1.0, 9, 0.9);
         for _ in 0..50 {
-            let c = choose_next(policy, &[a, b], None, &HashSet::new(), 1.0, &mut rng).unwrap();
+            let c = choose_next(policy, &[a, b], None, &BTreeSet::new(), 1.0, &mut rng).unwrap();
             assert_eq!(c.next, 2, "lower load should win when not topology-aware");
         }
     }
@@ -435,13 +426,13 @@ mod tests {
         let mut rng = SimRng::seed_from(8);
         let a = cand(1, 0.0, 1, 0.1);
         let b = cand(2, 0.0, 1, 0.1);
-        let avoid: HashSet<u32> = [1].into_iter().collect();
+        let avoid: BTreeSet<u32> = [1].into_iter().collect();
         for _ in 0..20 {
             let c = choose_next(two_choice(), &[a, b], None, &avoid, 1.0, &mut rng).unwrap();
             assert_eq!(c.next, 2);
         }
         // All candidates avoided: fall back to the full set.
-        let avoid_all: HashSet<u32> = [1, 2].into_iter().collect();
+        let avoid_all: BTreeSet<u32> = [1, 2].into_iter().collect();
         let c = choose_next(two_choice(), &[a, b], None, &avoid_all, 1.0, &mut rng).unwrap();
         assert!([1, 2].contains(&c.next));
     }
@@ -462,7 +453,7 @@ mod tests {
                 policy,
                 &[light, heavy],
                 Some(1),
-                &HashSet::new(),
+                &BTreeSet::new(),
                 1.0,
                 &mut rng,
             )
@@ -474,7 +465,7 @@ mod tests {
             policy,
             &[light, heavy],
             Some(99),
-            &HashSet::new(),
+            &BTreeSet::new(),
             1.0,
             &mut rng,
         )
@@ -488,13 +479,13 @@ mod tests {
         // Chosen node ends at load 1; other sits at load 5 -> remember chosen.
         let a = cand(1, 0.0, 1, 0.1);
         let b = cand(2, 5.0, 1, 0.1);
-        let c = choose_next(two_choice(), &[a, b], None, &HashSet::new(), 1.0, &mut rng).unwrap();
+        let c = choose_next(two_choice(), &[a, b], None, &BTreeSet::new(), 1.0, &mut rng).unwrap();
         assert_eq!(c.next, 1);
         assert_eq!(c.new_memory, Some(1));
         // Chosen ends at load 1; other sits at 0 -> remember the other.
         let a = cand(1, 0.0, 1, 0.1);
         let b = cand(2, 0.0, 9, 0.9);
-        let c = choose_next(two_choice(), &[a, b], None, &HashSet::new(), 1.0, &mut rng).unwrap();
+        let c = choose_next(two_choice(), &[a, b], None, &BTreeSet::new(), 1.0, &mut rng).unwrap();
         assert_eq!(c.next, 1);
         assert_eq!(c.new_memory, Some(2));
     }
@@ -503,7 +494,7 @@ mod tests {
     fn single_candidate_probes_once() {
         let mut rng = SimRng::seed_from(11);
         let only = cand(1, 3.0, 1, 0.1);
-        let c = choose_next(two_choice(), &[only], None, &HashSet::new(), 1.0, &mut rng).unwrap();
+        let c = choose_next(two_choice(), &[only], None, &BTreeSet::new(), 1.0, &mut rng).unwrap();
         assert_eq!(c.next, 1);
         assert_eq!(c.probes, 1);
         assert_eq!(c.new_memory, Some(1));

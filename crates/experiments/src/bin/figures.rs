@@ -27,6 +27,9 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(if quick { 1 } else { 2 });
     let results = Path::new("results");
+    // Wall-clock here is progress reporting for the operator, not sim
+    // state — binaries are exempt from rule D1 (clippy.toml / ert-lint).
+    #[allow(clippy::disallowed_methods)]
     let started = Instant::now();
 
     let base = if quick {

@@ -7,7 +7,7 @@
 //! classic 7-link tables (cubical neighbor, two cyclic neighbors, two
 //! inside-leaf, two outside-leaf links) and counts inlinks.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ert_overlay::{ring::forward_distance, CycloidId, CycloidRegistry, CycloidSpace};
 use ert_sim::stats::Histogram;
@@ -100,7 +100,7 @@ pub fn census(dim: u8, n: usize, seed: u64) -> Histogram {
             reg.insert(id);
         }
     }
-    let mut indegree: HashMap<CycloidId, u64> = reg.iter().map(|m| (m, 0)).collect();
+    let mut indegree: BTreeMap<CycloidId, u64> = reg.iter().map(|m| (m, 0)).collect();
     for j in reg.iter() {
         for nb in classic_neighbors(space, &reg, j) {
             *indegree.get_mut(&nb).expect("neighbor is live") += 1;

@@ -1,0 +1,497 @@
+//! A small hand-rolled Rust lexer: just enough token structure for the
+//! D1–D5 rules, with line numbers and comment capture for suppressions.
+//!
+//! The lexer deliberately does not aim for full fidelity with rustc's
+//! grammar. It needs three properties: (1) identifiers and punctuation
+//! come out with correct line numbers, (2) string/char literals and
+//! comments never leak their contents into the token stream (so a rule
+//! can't fire on `"thread_rng"` inside a string), and (3) line comments
+//! are surfaced separately so the suppression parser can see them.
+
+/// What a token is. Literal contents of strings are discarded; only the
+/// classification matters to the rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `unwrap`, `fn`, ...).
+    Ident(String),
+    /// A lifetime such as `'a` (kept distinct so it never looks like a
+    /// char literal or an identifier).
+    Lifetime,
+    /// An integer literal (`42`, `0xff`, `1_000`).
+    Int,
+    /// A float literal (`0.5`, `1.`, `2e-3`).
+    Float,
+    /// A string, raw string, byte string, byte, or char literal.
+    Literal,
+    /// Punctuation; multi-character operators that the rules care about
+    /// (`==`, `!=`, `::`, `..`) are fused into one token.
+    Punct(&'static str),
+}
+
+/// One token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token classification (see [`TokenKind`]).
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A `//` comment, surfaced for suppression parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineComment {
+    /// Comment text after the `//` (or `///`, `//!`) marker.
+    pub text: String,
+    /// 1-based source line the comment sits on.
+    pub line: u32,
+    /// True for doc comments (`///`, `//!`). Suppressions are only
+    /// honored in plain `//` comments, so prose *describing* the
+    /// suppression syntax in rustdoc never parses as one.
+    pub doc: bool,
+}
+
+/// Lexer output: the token stream plus every line comment encountered.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Line comments in source order.
+    pub comments: Vec<LineComment>,
+}
+
+/// Tokenizes `src`. Unknown bytes are skipped rather than rejected: the
+/// linter must never fail a build because of an exotic construct, only
+/// report what it positively recognizes.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! push {
+        ($kind:expr) => {
+            out.tokens.push(Token { kind: $kind, line })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let doc = matches!(bytes.get(start), Some(b'/') | Some(b'!'));
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\n' {
+                    j += 1;
+                }
+                out.comments.push(LineComment {
+                    text: src[start..j].to_string(),
+                    line,
+                    doc,
+                });
+                i = j;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comment; contents (including any line
+                // breaks) are skipped but lines are still counted.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    match bytes[j] {
+                        b'\n' => line += 1,
+                        b'/' if bytes.get(j + 1) == Some(&b'*') => {
+                            depth += 1;
+                            j += 1;
+                        }
+                        b'*' if bytes.get(j + 1) == Some(&b'/') => {
+                            depth -= 1;
+                            j += 1;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            '"' => {
+                i = skip_string(bytes, i, &mut line);
+                push!(TokenKind::Literal);
+            }
+            'r' | 'b' if starts_raw_or_byte_string(bytes, i) => {
+                let at = line;
+                i = skip_raw_or_byte_string(bytes, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line: at,
+                });
+            }
+            '\'' => {
+                if let Some(end) = char_literal_end(bytes, i) {
+                    push!(TokenKind::Literal);
+                    i = end;
+                } else {
+                    // A lifetime: consume the quote and the identifier.
+                    push!(TokenKind::Lifetime);
+                    i += 1;
+                    while i < bytes.len() && is_ident_continue(bytes[i]) {
+                        i += 1;
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (end, is_float) = scan_number(bytes, i);
+                push!(if is_float {
+                    TokenKind::Float
+                } else {
+                    TokenKind::Int
+                });
+                i = end;
+            }
+            c if c == '_' || c.is_alphabetic() => {
+                let start = i;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                push!(TokenKind::Ident(src[start..i].to_string()));
+            }
+            _ => {
+                let two = |a: u8, b: u8| bytes[i] == a && bytes.get(i + 1) == Some(&b);
+                let fused = if two(b'=', b'=') {
+                    Some("==")
+                } else if two(b'!', b'=') {
+                    Some("!=")
+                } else if two(b':', b':') {
+                    Some("::")
+                } else if two(b'.', b'.') {
+                    Some("..")
+                } else {
+                    None
+                };
+                if let Some(op) = fused {
+                    push!(TokenKind::Punct(op));
+                    i += 2;
+                } else {
+                    push!(TokenKind::Punct(punct_str(c)));
+                    i += c.len_utf8();
+                }
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b == b'_' || (b as char).is_alphanumeric()
+}
+
+/// Interns single-char punctuation into `&'static str` so rules can
+/// match on `Punct("!")` etc. without allocation.
+fn punct_str(c: char) -> &'static str {
+    match c {
+        '!' => "!",
+        '#' => "#",
+        '(' => "(",
+        ')' => ")",
+        '{' => "{",
+        '}' => "}",
+        '[' => "[",
+        ']' => "]",
+        '.' => ".",
+        ',' => ",",
+        ';' => ";",
+        ':' => ":",
+        '=' => "=",
+        '<' => "<",
+        '>' => ">",
+        '&' => "&",
+        '|' => "|",
+        '+' => "+",
+        '-' => "-",
+        '*' => "*",
+        '/' => "/",
+        '%' => "%",
+        '?' => "?",
+        '@' => "@",
+        '$' => "$",
+        '~' => "~",
+        '^' => "^",
+        '\\' => "\\",
+        _ => "<other>",
+    }
+}
+
+/// Skips a `"..."` string starting at `start` (the opening quote),
+/// honoring backslash escapes; returns the index just past the closing
+/// quote and keeps the line counter current across embedded newlines.
+fn skip_string(bytes: &[u8], start: usize, line: &mut u32) -> usize {
+    let mut j = start + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// True when position `i` begins `r"`, `r#`, `b"`, `b'`, `br"`, or
+/// `br#` — the literal prefixes the lexer must not read as identifiers.
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let rest = &bytes[i..];
+    matches!(
+        rest,
+        [b'r', b'"', ..]
+            | [b'r', b'#', ..]
+            | [b'b', b'"', ..]
+            | [b'b', b'\'', ..]
+            | [b'b', b'r', b'"', ..]
+            | [b'b', b'r', b'#', ..]
+    )
+}
+
+fn skip_raw_or_byte_string(bytes: &[u8], start: usize, line: &mut u32) -> usize {
+    let mut j = start;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'\'' {
+        // Byte literal b'x'.
+        return char_literal_end(bytes, j).unwrap_or(j + 1);
+    }
+    let raw = j < bytes.len() && bytes[j] == b'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b'"' {
+        return j; // Not actually a string prefix; resync.
+    }
+    j += 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\n' => *line += 1,
+            b'\\' if !raw => j += 1,
+            b'"' => {
+                let mut k = 0usize;
+                while k < hashes && bytes.get(j + 1 + k) == Some(&b'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    return j + 1 + hashes;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// If a char literal starts at `i` (which holds `'`), returns the index
+/// just past its closing quote; `None` means `i` starts a lifetime.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let next = *bytes.get(i + 1)?;
+    if next == b'\\' {
+        // Escaped char: scan to the closing quote, starting AT the
+        // backslash so escape pairs stay paired (`'\\'` must not read
+        // its own closing quote as escaped).
+        let mut j = i + 1;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'\\' => j += 2,
+                b'\'' => return Some(j + 1),
+                _ => j += 1,
+            }
+        }
+        return None;
+    }
+    // `'a'` is a char literal; `'a` followed by anything else is a
+    // lifetime. Look for the quote right after one ident-like run or a
+    // single non-ident char.
+    if next == b'\'' {
+        return None; // `''` — malformed; treat as lifetime-ish.
+    }
+    if is_ident_continue(next) {
+        let mut j = i + 2;
+        while j < bytes.len() && is_ident_continue(bytes[j]) {
+            j += 1;
+        }
+        if bytes.get(j) == Some(&b'\'') {
+            return Some(j + 1);
+        }
+        return None;
+    }
+    if bytes.get(i + 2) == Some(&b'\'') {
+        return Some(i + 3);
+    }
+    None
+}
+
+/// Scans a numeric literal starting at `i`; returns (end, is_float).
+/// A `.` continues the number only when followed by a digit or by a
+/// non-identifier, non-dot character (`1.max(2)` and `0..n` stay
+/// integers; `1.` and `1.5` are floats).
+fn scan_number(bytes: &[u8], i: usize) -> (usize, bool) {
+    let mut j = i;
+    let mut is_float = false;
+    while j < bytes.len() {
+        let b = bytes[j];
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            if (b == b'e' || b == b'E')
+                && !bytes[i..].starts_with(b"0x")
+                && matches!(bytes.get(j + 1), Some(b'+') | Some(b'-'))
+            {
+                is_float = true;
+                j += 2; // Exponent sign.
+                continue;
+            }
+            j += 1;
+        } else if b == b'.' {
+            match bytes.get(j + 1) {
+                Some(n) if n.is_ascii_digit() => {
+                    is_float = true;
+                    j += 2;
+                }
+                Some(b'.') => break,                       // Range `0..n`.
+                Some(n) if is_ident_continue(*n) => break, // Method `1.max(..)`.
+                _ => {
+                    is_float = true; // Trailing-dot float `1.`.
+                    j += 1;
+                    break;
+                }
+            }
+        } else {
+            break;
+        }
+    }
+    (j, is_float)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let a = "thread_rng()";
+            // thread_rng in a comment
+            /* HashMap in a block
+               comment */
+            let b = r#"SystemTime"#;
+            let c = 'H';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "thread_rng"));
+        assert!(!ids.iter().any(|s| s == "HashMap"));
+        assert!(!ids.iter().any(|s| s == "SystemTime"));
+        assert_eq!(ids, vec!["let", "a", "let", "b", "let", "c"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let s = \"a\nb\";\nlet t = 1;\n";
+        let lexed = lex(src);
+        let t_line = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("t".into()))
+            .map(|t| t.line);
+        assert_eq!(t_line, Some(3));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 3);
+        assert!(!lexed.tokens.iter().any(|t| t.kind == TokenKind::Literal));
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let kinds: Vec<TokenKind> = lex("0.5 17 0..n 1.max(2) 2e-3")
+            .tokens
+            .into_iter()
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(kinds[0], TokenKind::Float);
+        assert_eq!(kinds[1], TokenKind::Int);
+        assert_eq!(kinds[2], TokenKind::Int); // 0
+        assert_eq!(kinds[3], TokenKind::Punct("..")); // ..
+        assert!(matches!(kinds[4], TokenKind::Ident(_))); // n
+        assert_eq!(kinds[5], TokenKind::Int); // 1 (method call)
+        assert_eq!(*kinds.last().expect("tokens"), TokenKind::Float); // 2e-3
+    }
+
+    #[test]
+    fn escaped_backslash_char_literal_does_not_desync() {
+        // `'\\'` once swallowed its own closing quote and lexed the
+        // rest of the file as garbage until the next apostrophe.
+        let ids = idents("let c = '\\\\'; let after = 1;");
+        assert_eq!(ids, vec!["let", "c", "let", "after"]);
+    }
+
+    #[test]
+    fn doc_comments_are_marked() {
+        let lexed = lex("/// outer doc\n//! inner doc\n// plain\n");
+        let flags: Vec<bool> = lexed.comments.iter().map(|c| c.doc).collect();
+        assert_eq!(flags, vec![true, true, false]);
+    }
+
+    #[test]
+    fn comments_surface_text_and_line() {
+        let lexed = lex("let x = 1; // ert-lint: allow(float-eq) - why\n");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[0].text.contains("ert-lint"));
+    }
+
+    #[test]
+    fn fused_operators() {
+        let kinds: Vec<TokenKind> = lex("a == b != c :: d")
+            .tokens
+            .into_iter()
+            .filter(|t| matches!(t.kind, TokenKind::Punct(_)))
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Punct("=="),
+                TokenKind::Punct("!="),
+                TokenKind::Punct("::")
+            ]
+        );
+    }
+}

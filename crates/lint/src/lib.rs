@@ -1,0 +1,59 @@
+//! `ert-lint`: workspace determinism & panic-safety analysis.
+//!
+//! The paper's provable bounds (Theorems 3.1–3.3, 4.1) are only
+//! reproducible if every simulation run is a pure function of its seed
+//! and never tears down mid-run. This crate enforces that property
+//! mechanically with a small hand-rolled Rust lexer (no dependencies)
+//! and a five-rule catalog:
+//!
+//! | rule | name | what it bans | where |
+//! |------|------|--------------|-------|
+//! | D1 | `wall-clock` | `Instant::now`, `SystemTime` | everywhere except `ert-bench` and binary/bench/example targets |
+//! | D2 | `ambient-rng` | `thread_rng`, `from_entropy`, `OsRng` | everywhere |
+//! | D3 | `hash-container` | `HashMap`/`HashSet` | `ert-sim`, `ert-network`, `ert-core`, `ert-overlay` |
+//! | D4 | `panic-path` | `.unwrap()`, `.expect()`, `panic!` family | `core::forward`, `core::adapt`, `sim::engine`, `network::lookup` (tests exempt) |
+//! | D5 | `float-eq` | `==`/`!=` against float literals or load/capacity pairs | everywhere |
+//!
+//! A violation can be waived inline with
+//! `// ert-lint: allow(<rule>) — <justification>` on the same or the
+//! preceding line; the justification is mandatory and malformed
+//! suppressions are themselves violations.
+//!
+//! Run it as `cargo run -p ert-lint --` (nonzero exit on violations)
+//! or `cargo run -p ert-lint -- --json` for the machine-readable
+//! report. The runtime counterpart — the `sanitize` feature of
+//! `ert-network` — asserts the theorem bounds dynamically while this
+//! crate keeps nondeterminism out statically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+use std::fs;
+use std::path::Path;
+
+pub use report::Report;
+pub use rules::{check_file, FileContext, Suppressed, Violation};
+pub use workspace::{find_workspace_root, workspace_files};
+
+/// Lints every workspace source file under `root` and returns the
+/// aggregated, sorted report. Unreadable files are skipped (the walk
+/// already filtered to regular `.rs` files).
+pub fn lint_workspace(root: &Path) -> Report {
+    let mut report = Report::default();
+    for file in workspace_files(root) {
+        let Ok(src) = fs::read_to_string(&file.path) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        let mut outcome = check_file(&src, &file.ctx);
+        report.violations.append(&mut outcome.violations);
+        report.suppressed.append(&mut outcome.suppressed);
+    }
+    report.sort();
+    report
+}

@@ -1,0 +1,67 @@
+//! CLI for `ert-lint`.
+//!
+//! ```text
+//! cargo run -p ert-lint --              # human diagnostics, exit 1 on violations
+//! cargo run -p ert-lint -- --json       # JSON report on stdout
+//! cargo run -p ert-lint -- --root PATH  # lint a different workspace checkout
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ert_lint::{find_workspace_root, lint_workspace};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("ert-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: ert-lint [--json] [--root PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("ert-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("ert-lint: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = lint_workspace(&root);
+    if json {
+        println!("{}", report.json());
+    } else {
+        print!("{}", report.human());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

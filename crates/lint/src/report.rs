@@ -1,0 +1,167 @@
+//! Aggregated lint results: human diagnostics and a JSON report.
+//!
+//! JSON is emitted by hand (the linter takes no dependencies, not even
+//! the vendored serde) — the shape is small and stable:
+//!
+//! ```json
+//! {
+//!   "files_scanned": 93,
+//!   "violations": [{"rule": "...", "file": "...", "line": 7, "message": "..."}],
+//!   "suppressed": [{"rule": "...", "file": "...", "line": 9, "justification": "..."}]
+//! }
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::rules::{Suppressed, Violation};
+
+/// The outcome of linting a whole workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Standing violations, sorted by file/line/rule.
+    pub violations: Vec<Violation>,
+    /// Waived violations with their justifications.
+    pub suppressed: Vec<Suppressed>,
+}
+
+impl Report {
+    /// True when the workspace is clean (CI gate passes).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Sorts both lists into a stable file/line/rule order.
+    pub fn sort(&mut self) {
+        self.violations
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        self.suppressed.sort_by(|a, b| {
+            (&a.violation.file, a.violation.line, a.violation.rule).cmp(&(
+                &b.violation.file,
+                b.violation.line,
+                b.violation.rule,
+            ))
+        });
+    }
+
+    /// Human-readable diagnostics, one `file:line: [rule] message` per
+    /// violation, with a trailing summary line.
+    pub fn human(&self) -> String {
+        let mut s = String::new();
+        for v in &self.violations {
+            let _ = writeln!(s, "{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        }
+        let _ = writeln!(
+            s,
+            "ert-lint: {} file(s) scanned, {} violation(s), {} suppressed",
+            self.files_scanned,
+            self.violations.len(),
+            self.suppressed.len()
+        );
+        s
+    }
+
+    /// The machine-readable JSON report.
+    pub fn json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+        s.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(v.rule),
+                json_str(&v.file),
+                v.line,
+                json_str(&v.message)
+            );
+        }
+        s.push_str(if self.violations.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        s.push_str("  \"suppressed\": [");
+        for (i, sv) in self.suppressed.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"justification\": {}}}",
+                json_str(sv.violation.rule),
+                json_str(&sv.violation.file),
+                sv.violation.line,
+                json_str(&sv.justification)
+            );
+        }
+        s.push_str(if self.suppressed.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        s.push('}');
+        s
+    }
+}
+
+/// Escapes a string for JSON output.
+fn json_str(raw: &str) -> String {
+    let mut s = String::with_capacity(raw.len() + 2);
+    s.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shape() {
+        let mut r = Report {
+            files_scanned: 2,
+            violations: vec![Violation {
+                rule: "ambient-rng",
+                file: "a\\b.rs".into(),
+                line: 3,
+                message: "say \"no\"".into(),
+            }],
+            suppressed: vec![],
+        };
+        r.sort();
+        let j = r.json();
+        assert!(j.contains("\"files_scanned\": 2"));
+        assert!(j.contains("a\\\\b.rs"));
+        assert!(j.contains("say \\\"no\\\""));
+        assert!(j.contains("\"suppressed\": []"));
+    }
+
+    #[test]
+    fn human_summary_counts() {
+        let r = Report {
+            files_scanned: 5,
+            violations: vec![],
+            suppressed: vec![],
+        };
+        assert!(r.is_clean());
+        assert!(r.human().contains("5 file(s) scanned, 0 violation(s)"));
+    }
+}

@@ -1,0 +1,617 @@
+//! The D1–D5 rule catalog and the engine that applies it to one file.
+//!
+//! Every rule is purely token-based (see [`crate::lexer`]); scope is
+//! decided from the [`FileContext`] the workspace walker supplies.
+//! Suppressions are inline comments of the form
+//! `// ert-lint: allow(<rule>) — <justification>` and cover the line
+//! they sit on plus the following line; the justification is mandatory.
+
+use crate::lexer::{lex, LineComment, Token, TokenKind};
+
+/// Rule D1: wall-clock reads outside `ert-bench`/binaries.
+pub const WALL_CLOCK: &str = "wall-clock";
+/// Rule D2: ambient (non-seeded) randomness anywhere.
+pub const AMBIENT_RNG: &str = "ambient-rng";
+/// Rule D3: hash-ordered containers in determinism-critical crates.
+pub const HASH_CONTAINER: &str = "hash-container";
+/// Rule D4: `unwrap`/`expect`/`panic!` in library hot paths.
+pub const PANIC_PATH: &str = "panic-path";
+/// Rule D5: direct `f64` equality in load/capacity comparisons.
+pub const FLOAT_EQ: &str = "float-eq";
+/// Meta-rule: a malformed `ert-lint:` suppression comment.
+pub const SUPPRESSION: &str = "suppression";
+
+/// All suppressible rule names, with their catalog codes.
+pub const CATALOG: &[(&str, &str)] = &[
+    ("D1", WALL_CLOCK),
+    ("D2", AMBIENT_RNG),
+    ("D3", HASH_CONTAINER),
+    ("D4", PANIC_PATH),
+    ("D5", FLOAT_EQ),
+];
+
+/// Crates where hash-ordered iteration breaks run reproducibility
+/// (rule D3): anything on the seed → trace path.
+const D3_CRATES: &[&str] = &["ert-sim", "ert-network", "ert-core", "ert-overlay"];
+
+/// Hot-path modules where a panic would tear down the whole simulated
+/// network mid-run (rule D4).
+const D4_FILES: &[&str] = &[
+    "crates/core/src/forward.rs",
+    "crates/core/src/adapt.rs",
+    "crates/sim/src/engine.rs",
+    "crates/network/src/lookup.rs",
+];
+
+/// Where a source file sits in the workspace; decides rule scope.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// Cargo package name the file belongs to (e.g. `ert-core`).
+    pub crate_name: String,
+    /// True for `src/bin/*`, `src/main.rs`, benches, and examples —
+    /// leaf targets where wall-clock time is legitimate.
+    pub is_binary: bool,
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule name (one of the `pub const` rule names in this module).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable description of what fired.
+    pub message: String,
+}
+
+/// A violation that an inline `ert-lint: allow` comment waived.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppressed {
+    /// The waived violation.
+    pub violation: Violation,
+    /// The justification text from the suppression comment.
+    pub justification: String,
+}
+
+/// Outcome of linting one file.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    /// Violations that stand (fail the build).
+    pub violations: Vec<Violation>,
+    /// Violations waived by a justified suppression.
+    pub suppressed: Vec<Suppressed>,
+}
+
+/// An `ert-lint: allow` comment, parsed.
+struct Allow {
+    line: u32,
+    rules: Vec<String>,
+    justification: String,
+}
+
+/// Lints `src` as the file described by `ctx`.
+pub fn check_file(src: &str, ctx: &FileContext) -> FileOutcome {
+    let lexed = lex(src);
+    let mut out = FileOutcome::default();
+    let (allows, mut malformed) = parse_allows(&lexed.comments, ctx);
+    out.violations.append(&mut malformed);
+
+    let raw = run_rules(&lexed.tokens, ctx);
+    for v in raw {
+        // A suppression covers its own line and the next one, so it can
+        // trail the offending expression or sit on the line above it.
+        let waiver = allows.iter().find(|a| {
+            (a.line == v.line || a.line + 1 == v.line) && a.rules.iter().any(|r| r == v.rule)
+        });
+        match waiver {
+            Some(a) => out.suppressed.push(Suppressed {
+                violation: v,
+                justification: a.justification.clone(),
+            }),
+            None => out.violations.push(v),
+        }
+    }
+    out
+}
+
+fn run_rules(tokens: &[Token], ctx: &FileContext) -> Vec<Violation> {
+    let mut vs = Vec::new();
+    let test_spans = test_item_spans(tokens);
+    let in_test = |idx: usize| test_spans.iter().any(|&(a, b)| idx >= a && idx <= b);
+
+    let d1 = ctx.crate_name != "ert-bench" && !ctx.is_binary;
+    let d3 = D3_CRATES.contains(&ctx.crate_name.as_str());
+    let d4 = D4_FILES.contains(&ctx.rel_path.as_str());
+
+    let ident = |i: usize| match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    let punct = |i: usize| match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Punct(p)) => Some(*p),
+        _ => None,
+    };
+    let mut push = |rule, line, message: String| {
+        vs.push(Violation {
+            rule,
+            file: ctx.rel_path.clone(),
+            line,
+            message,
+        })
+    };
+
+    for i in 0..tokens.len() {
+        let line = tokens[i].line;
+        match ident(i) {
+            Some("Instant") if d1 && punct(i + 1) == Some("::") && ident(i + 2) == Some("now") => {
+                push(
+                    WALL_CLOCK,
+                    line,
+                    "wall-clock read `Instant::now()`; sims must be pure functions of the seed \
+                     (use the event clock)"
+                        .into(),
+                );
+            }
+            Some("SystemTime") if d1 => {
+                push(
+                    WALL_CLOCK,
+                    line,
+                    "wall-clock type `SystemTime`; sims must be pure functions of the seed".into(),
+                );
+            }
+            Some(r @ ("thread_rng" | "from_entropy" | "OsRng")) => {
+                push(
+                    AMBIENT_RNG,
+                    line,
+                    format!("ambient randomness `{r}`; derive all RNG state from the run seed"),
+                );
+            }
+            Some(h @ ("HashMap" | "HashSet")) if d3 => {
+                push(
+                    HASH_CONTAINER,
+                    line,
+                    format!(
+                        "`{h}` in determinism-critical crate `{}`; iteration order is \
+                         randomized — use BTreeMap/BTreeSet",
+                        ctx.crate_name
+                    ),
+                );
+            }
+            Some(m @ ("unwrap" | "expect"))
+                if d4
+                    && !in_test(i)
+                    && matches!(punct(i.wrapping_sub(1)), Some(".") | Some("::"))
+                    && punct(i + 1) == Some("(") =>
+            {
+                push(
+                    PANIC_PATH,
+                    line,
+                    format!(
+                        "`.{m}()` in hot path; propagate with `?`/`Result` or add a justified \
+                         `ert-lint: allow(panic-path)`"
+                    ),
+                );
+            }
+            Some(m @ ("panic" | "unreachable" | "todo" | "unimplemented"))
+                if d4 && !in_test(i) && punct(i + 1) == Some("!") =>
+            {
+                push(
+                    PANIC_PATH,
+                    line,
+                    format!("`{m}!` in hot path; return an error value instead"),
+                );
+            }
+            _ => {}
+        }
+
+        if matches!(punct(i), Some("==") | Some("!=")) {
+            let float_operand = [i.wrapping_sub(1), i + 1]
+                .iter()
+                .any(|&j| matches!(tokens.get(j).map(|t| &t.kind), Some(TokenKind::Float)));
+            let loady = |j: usize| {
+                ident(j).is_some_and(|s| {
+                    let s = s.to_ascii_lowercase();
+                    s.contains("load") || s.contains("capacity") || s.contains("congestion")
+                })
+            };
+            if float_operand || (loady(i.wrapping_sub(1)) && loady(i + 1)) {
+                push(
+                    FLOAT_EQ,
+                    tokens[i].line,
+                    "direct float equality; compare with an epsilon, `total_cmp`, or integer \
+                     units"
+                        .into(),
+                );
+            }
+        }
+    }
+    vs
+}
+
+/// Token-index spans (inclusive) of items annotated `#[test]` or
+/// `#[cfg(test)]` — typically the trailing `mod tests { .. }` block.
+/// D4 ignores these: tests may unwrap freely.
+fn test_item_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let punct = |i: usize| match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Punct(p)) => Some(*p),
+        _ => None,
+    };
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if punct(i) == Some("#") && punct(i + 1) == Some("[") {
+            let start = i;
+            // Collect the attribute's identifiers up to the closing `]`.
+            let mut j = i + 2;
+            let mut depth = 1i32;
+            let mut idents: Vec<&str> = Vec::new();
+            while j < tokens.len() && depth > 0 {
+                match &tokens[j].kind {
+                    TokenKind::Punct("[") => depth += 1,
+                    TokenKind::Punct("]") => depth -= 1,
+                    TokenKind::Ident(s) => idents.push(s.as_str()),
+                    _ => {}
+                }
+                j += 1;
+            }
+            let is_test_attr = idents.first().is_some_and(|&f| f == "test")
+                || (idents.first() == Some(&"cfg") && idents.contains(&"test"));
+            if is_test_attr {
+                // Skip any stacked attributes, then span the item: up to
+                // a top-level `;`, or through a matched `{ .. }` body.
+                while punct(j) == Some("#") && punct(j + 1) == Some("[") {
+                    let mut d = 1i32;
+                    j += 2;
+                    while j < tokens.len() && d > 0 {
+                        match punct(j) {
+                            Some("[") => d += 1,
+                            Some("]") => d -= 1,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+                while j < tokens.len() {
+                    match punct(j) {
+                        Some(";") => break,
+                        Some("{") => {
+                            let mut d = 1i32;
+                            j += 1;
+                            while j < tokens.len() && d > 0 {
+                                match punct(j) {
+                                    Some("{") => d += 1,
+                                    Some("}") => d -= 1,
+                                    _ => {}
+                                }
+                                j += 1;
+                            }
+                            j -= 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                spans.push((start, j.min(tokens.len().saturating_sub(1))));
+                i = j + 1;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Parses `ert-lint: allow(...)` comments; malformed ones (unknown
+/// rule, missing justification) come back as violations in their own
+/// right so a suppression can never silently rot.
+fn parse_allows(comments: &[LineComment], ctx: &FileContext) -> (Vec<Allow>, Vec<Violation>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    let known: Vec<&str> = CATALOG.iter().map(|&(_, name)| name).collect();
+    for c in comments {
+        if c.doc {
+            continue; // Rustdoc may *describe* the syntax; only plain
+                      // `//` comments carry live suppressions.
+        }
+        let Some(pos) = c.text.find("ert-lint:") else {
+            continue;
+        };
+        let mut fail = |msg: String| {
+            bad.push(Violation {
+                rule: SUPPRESSION,
+                file: ctx.rel_path.clone(),
+                line: c.line,
+                message: msg,
+            })
+        };
+        let rest = c.text[pos + "ert-lint:".len()..].trim_start();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            fail("malformed suppression: expected `ert-lint: allow(<rule>) — <why>`".into());
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            fail("malformed suppression: unclosed `allow(`".into());
+            continue;
+        };
+        let rules: Vec<String> = args[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            fail("suppression names no rule".into());
+            continue;
+        }
+        if let Some(unknown) = rules.iter().find(|r| !known.contains(&r.as_str())) {
+            fail(format!(
+                "suppression names unknown rule `{unknown}` (known: {})",
+                known.join(", ")
+            ));
+            continue;
+        }
+        let justification = args[close + 1..]
+            .trim_start_matches(|ch: char| {
+                ch.is_whitespace() || matches!(ch, '-' | '—' | '–' | ':')
+            })
+            .trim()
+            .to_string();
+        if justification.is_empty() {
+            fail("suppression has no justification; say why the rule is safe to waive here".into());
+            continue;
+        }
+        allows.push(Allow {
+            line: c.line,
+            rules,
+            justification,
+        });
+    }
+    (allows, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(rel: &str, krate: &str) -> FileContext {
+        FileContext {
+            rel_path: rel.into(),
+            crate_name: krate.into(),
+            is_binary: false,
+        }
+    }
+
+    fn rules_fired(src: &str, c: &FileContext) -> Vec<&'static str> {
+        check_file(src, c)
+            .violations
+            .iter()
+            .map(|v| v.rule)
+            .collect()
+    }
+
+    // ---- D1 wall-clock: fires / doesn't fire / suppressed ----
+
+    #[test]
+    fn d1_fires_in_library_code() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        assert_eq!(
+            rules_fired(src, &ctx("crates/x/src/lib.rs", "ert-x")),
+            vec![WALL_CLOCK]
+        );
+        let src2 = "use std::time::SystemTime;";
+        assert_eq!(
+            rules_fired(src2, &ctx("crates/x/src/lib.rs", "ert-x")),
+            vec![WALL_CLOCK]
+        );
+    }
+
+    #[test]
+    fn d1_exempts_bench_and_binaries() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert!(rules_fired(src, &ctx("crates/bench/src/lib.rs", "ert-bench")).is_empty());
+        let mut bin = ctx("crates/x/src/bin/tool.rs", "ert-x");
+        bin.is_binary = true;
+        assert!(rules_fired(src, &bin).is_empty());
+        // `Instant` without `::now` (e.g. a type in a signature that a
+        // binary passes in) is not flagged either.
+        assert!(
+            rules_fired("fn g(t: Instant) {}", &ctx("crates/x/src/lib.rs", "ert-x")).is_empty()
+        );
+    }
+
+    #[test]
+    fn d1_suppressed_with_justification() {
+        let src = "// ert-lint: allow(wall-clock) — progress logging only, not sim state\n\
+                   fn f() { let t = Instant::now(); }";
+        let out = check_file(src, &ctx("crates/x/src/lib.rs", "ert-x"));
+        assert!(out.violations.is_empty());
+        assert_eq!(out.suppressed.len(), 1);
+        assert!(out.suppressed[0].justification.contains("progress logging"));
+    }
+
+    // ---- D2 ambient-rng ----
+
+    #[test]
+    fn d2_fires_everywhere_even_bench() {
+        let src = "fn f() { let mut r = thread_rng(); }";
+        assert_eq!(
+            rules_fired(src, &ctx("crates/bench/src/lib.rs", "ert-bench")),
+            vec![AMBIENT_RNG]
+        );
+        let src2 = "let r = SmallRng::from_entropy();";
+        assert_eq!(
+            rules_fired(src2, &ctx("crates/x/src/lib.rs", "ert-x")),
+            vec![AMBIENT_RNG]
+        );
+    }
+
+    #[test]
+    fn d2_ignores_seeded_rng_and_strings() {
+        let src = "let r = ChaCha8Rng::seed_from_u64(42); let s = \"thread_rng\";";
+        assert!(rules_fired(src, &ctx("crates/x/src/lib.rs", "ert-x")).is_empty());
+    }
+
+    #[test]
+    fn d2_suppressed() {
+        let src = "let r = thread_rng(); // ert-lint: allow(ambient-rng) - test shim\n";
+        let out = check_file(src, &ctx("crates/x/src/lib.rs", "ert-x"));
+        assert!(out.violations.is_empty());
+        assert_eq!(out.suppressed.len(), 1);
+    }
+
+    // ---- D3 hash-container ----
+
+    #[test]
+    fn d3_fires_in_scoped_crates_only() {
+        let src = "use std::collections::HashMap;";
+        for k in ["ert-sim", "ert-network", "ert-core", "ert-overlay"] {
+            assert_eq!(
+                rules_fired(src, &ctx("crates/k/src/lib.rs", k)),
+                vec![HASH_CONTAINER]
+            );
+        }
+        assert!(rules_fired(
+            src,
+            &ctx("crates/experiments/src/lib.rs", "ert-experiments")
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn d3_suppressed_on_previous_line() {
+        let src = "// ert-lint: allow(hash-container) — drained through a sorted Vec below\n\
+                   use std::collections::HashSet;";
+        let out = check_file(src, &ctx("crates/core/src/x.rs", "ert-core"));
+        assert!(out.violations.is_empty());
+        assert_eq!(out.suppressed.len(), 1);
+    }
+
+    // ---- D4 panic-path ----
+
+    #[test]
+    fn d4_fires_only_in_hot_path_files() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert_eq!(
+            rules_fired(src, &ctx("crates/core/src/forward.rs", "ert-core")),
+            vec![PANIC_PATH]
+        );
+        assert!(rules_fired(src, &ctx("crates/core/src/table.rs", "ert-core")).is_empty());
+        let src2 = "fn g() { panic!(\"boom\"); }";
+        assert_eq!(
+            rules_fired(src2, &ctx("crates/sim/src/engine.rs", "ert-sim")),
+            vec![PANIC_PATH]
+        );
+    }
+
+    #[test]
+    fn d4_ignores_tests_and_expect_named_fields() {
+        let src = "fn f() -> u32 { 1 }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { Some(1).unwrap(); Option::<u32>::None.expect(\"x\"); }\n\
+                   }\n";
+        assert!(rules_fired(src, &ctx("crates/core/src/forward.rs", "ert-core")).is_empty());
+        // A struct field named `expect` is not a call.
+        let src2 = "struct S { expect: u32 } fn f(s: S) -> u32 { s.expect }";
+        assert!(rules_fired(src2, &ctx("crates/core/src/forward.rs", "ert-core")).is_empty());
+    }
+
+    #[test]
+    fn d4_suppressed_with_invariant_note() {
+        let src = "fn f(v: &[u32]) -> u32 {\n\
+                   // ert-lint: allow(panic-path) — v is non-empty: callers check is_empty first\n\
+                   *v.first().unwrap()\n\
+                   }";
+        let out = check_file(src, &ctx("crates/core/src/adapt.rs", "ert-core"));
+        assert!(out.violations.is_empty());
+        assert_eq!(out.suppressed.len(), 1);
+    }
+
+    // ---- D5 float-eq ----
+
+    #[test]
+    fn d5_fires_on_float_literal_equality() {
+        assert_eq!(
+            rules_fired("if x == 0.5 {}", &ctx("crates/x/src/lib.rs", "ert-x")),
+            vec![FLOAT_EQ]
+        );
+        assert_eq!(
+            rules_fired(
+                "if load != capacity {}",
+                &ctx("crates/x/src/lib.rs", "ert-x")
+            ),
+            vec![FLOAT_EQ]
+        );
+    }
+
+    #[test]
+    fn d5_ignores_integer_equality() {
+        assert!(rules_fired(
+            "if self.capacity == 0 {}",
+            &ctx("crates/x/src/lib.rs", "ert-x")
+        )
+        .is_empty());
+        assert!(rules_fired("if n == 17 {}", &ctx("crates/x/src/lib.rs", "ert-x")).is_empty());
+    }
+
+    #[test]
+    fn d5_suppressed() {
+        let src = "if g == 1.0 { return 1.0; } // ert-lint: allow(float-eq) — exact sentinel\n";
+        let out = check_file(src, &ctx("crates/x/src/lib.rs", "ert-x"));
+        assert!(out.violations.is_empty());
+        assert_eq!(out.suppressed.len(), 1);
+    }
+
+    // ---- suppression hygiene ----
+
+    #[test]
+    fn suppression_without_justification_is_a_violation() {
+        let src = "let r = thread_rng(); // ert-lint: allow(ambient-rng)\n";
+        let fired = rules_fired(src, &ctx("crates/x/src/lib.rs", "ert-x"));
+        assert!(fired.contains(&SUPPRESSION));
+        assert!(fired.contains(&AMBIENT_RNG)); // Broken waiver does not waive.
+    }
+
+    #[test]
+    fn suppression_with_unknown_rule_is_a_violation() {
+        let src = "// ert-lint: allow(no-such-rule) — whatever\nfn f() {}";
+        assert_eq!(
+            rules_fired(src, &ctx("crates/x/src/lib.rs", "ert-x")),
+            vec![SUPPRESSION]
+        );
+    }
+
+    #[test]
+    fn suppression_only_reaches_adjacent_line() {
+        let src = "// ert-lint: allow(ambient-rng) — shim\n\nlet r = thread_rng();\n";
+        let fired = rules_fired(src, &ctx("crates/x/src/lib.rs", "ert-x"));
+        assert_eq!(fired, vec![AMBIENT_RNG]); // Two lines away: not covered.
+    }
+
+    #[test]
+    fn doc_comments_describing_the_syntax_are_inert() {
+        let src = "/// Waive with `ert-lint: allow(<rule>) — <why>`.\nfn f() {}";
+        assert!(rules_fired(src, &ctx("crates/x/src/lib.rs", "ert-x")).is_empty());
+        // ...and a doc comment cannot waive a real violation either.
+        let src2 = "/// ert-lint: allow(ambient-rng) — nope\nfn f() { thread_rng(); }";
+        assert_eq!(
+            rules_fired(src2, &ctx("crates/x/src/lib.rs", "ert-x")),
+            vec![AMBIENT_RNG]
+        );
+    }
+
+    #[test]
+    fn one_comment_can_waive_multiple_rules() {
+        let src = "// ert-lint: allow(ambient-rng, wall-clock) — fixture exercising both\n\
+                   fn f() { thread_rng(); Instant::now(); }";
+        let out = check_file(src, &ctx("crates/x/src/lib.rs", "ert-x"));
+        assert!(out.violations.is_empty());
+        assert_eq!(out.suppressed.len(), 2);
+    }
+}

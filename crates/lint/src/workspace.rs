@@ -1,0 +1,117 @@
+//! Workspace discovery: which `.rs` files to lint and in what scope.
+//!
+//! The walk is deterministic (directory entries are sorted) — the
+//! linter holds itself to the same reproducibility bar it enforces.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::rules::FileContext;
+
+/// A source file scheduled for linting.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Scope information handed to the rule engine.
+    pub ctx: FileContext,
+}
+
+/// Enumerates every lintable `.rs` file under `root` (a workspace
+/// checkout): the root package's `src`/`tests` and each `crates/*`
+/// member's `src`/`tests`/`benches`/`examples`. The vendored
+/// third-party code under `crates/compat` is external and skipped.
+pub fn workspace_files(root: &Path) -> Vec<SourceFile> {
+    let mut out = Vec::new();
+    for dir in ["src", "tests", "benches", "examples"] {
+        collect(root, &root.join(dir), "ert-repro", &mut out);
+    }
+    let crates_dir = root.join("crates");
+    for member in sorted_entries(&crates_dir) {
+        if !member.is_dir() || member.file_name().is_some_and(|n| n == "compat") {
+            continue;
+        }
+        let name = package_name(&member.join("Cargo.toml")).unwrap_or_else(|| {
+            member
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default()
+        });
+        for dir in ["src", "tests", "benches", "examples"] {
+            collect(root, &member.join(dir), &name, &mut out);
+        }
+    }
+    out
+}
+
+/// Recursively gathers `.rs` files under `dir` into `out`.
+fn collect(root: &Path, dir: &Path, crate_name: &str, out: &mut Vec<SourceFile>) {
+    for path in sorted_entries(dir) {
+        if path.is_dir() {
+            collect(root, &path, crate_name, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let is_binary = rel.contains("/src/bin/")
+                || rel.ends_with("/main.rs")
+                || rel.contains("/benches/")
+                || rel.contains("/examples/");
+            out.push(SourceFile {
+                path: path.clone(),
+                ctx: FileContext {
+                    rel_path: rel,
+                    crate_name: crate_name.to_string(),
+                    is_binary,
+                },
+            });
+        }
+    }
+}
+
+/// Directory children in lexicographic order; empty when unreadable.
+fn sorted_entries(dir: &Path) -> Vec<PathBuf> {
+    let mut entries: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(rd) => rd.filter_map(|e| e.ok()).map(|e| e.path()).collect(),
+        Err(_) => Vec::new(),
+    };
+    entries.sort();
+    entries
+}
+
+/// Pulls `name = "..."` out of a `Cargo.toml` without a TOML parser —
+/// enough for well-formed workspace manifests.
+fn package_name(manifest: &Path) -> Option<String> {
+    let text = fs::read_to_string(manifest).ok()?;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix('=') {
+                let v = rest.trim().trim_matches('"');
+                if !v.is_empty() {
+                    return Some(v.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Walks up from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,100 @@
+//! Integration: `ert-lint` over the real workspace must be clean, and
+//! a planted fixture violation must fail the CLI with a nonzero exit.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn real_workspace_has_zero_unsuppressed_violations() {
+    let report = ert_lint::lint_workspace(&repo_root());
+    assert!(
+        report.violations.is_empty(),
+        "workspace must be lint-clean, found:\n{}",
+        report.human()
+    );
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}); did workspace discovery break?",
+        report.files_scanned
+    );
+    // Every suppression in the tree carries a real justification.
+    for s in &report.suppressed {
+        assert!(
+            !s.justification.trim().is_empty(),
+            "bare suppression at {}:{}",
+            s.violation.file,
+            s.violation.line
+        );
+    }
+}
+
+#[test]
+fn cli_exits_zero_and_emits_json_on_clean_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ert-lint"))
+        .args([
+            "--root",
+            repo_root().to_str().expect("utf-8 path"),
+            "--json",
+        ])
+        .output()
+        .expect("run ert-lint");
+    assert!(out.status.success(), "expected exit 0 on clean workspace");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 report");
+    assert!(stdout.contains("\"violations\": []"), "report: {stdout}");
+    assert!(stdout.contains("\"files_scanned\""));
+}
+
+#[test]
+fn cli_exits_nonzero_on_planted_violation() {
+    // Build a minimal throwaway workspace with one doomed crate.
+    let fixture = std::env::temp_dir().join(format!("ert-lint-fixture-{}", std::process::id()));
+    let src_dir = fixture.join("crates/evil/src");
+    fs::create_dir_all(&src_dir).expect("mkdir fixture");
+    fs::write(
+        fixture.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/*\"]\n",
+    )
+    .expect("write root manifest");
+    fs::write(
+        fixture.join("crates/evil/Cargo.toml"),
+        "[package]\nname = \"ert-network\"\nversion = \"0.0.0\"\n",
+    )
+    .expect("write crate manifest");
+    fs::write(
+        src_dir.join("lib.rs"),
+        "use std::collections::HashMap;\n\
+         pub fn f() -> u64 { let r = thread_rng(); r.gen() }\n",
+    )
+    .expect("write doomed source");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_ert-lint"))
+        .args(["--root", fixture.to_str().expect("utf-8 path"), "--json"])
+        .output()
+        .expect("run ert-lint");
+    fs::remove_dir_all(&fixture).ok();
+
+    assert!(
+        !out.status.success(),
+        "planted violations must fail the gate"
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 report");
+    // D2 fires anywhere; D3 fires because the fixture names itself
+    // ert-network (a determinism-critical crate).
+    assert!(
+        stdout.contains("\"rule\": \"ambient-rng\""),
+        "report: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"rule\": \"hash-container\""),
+        "report: {stdout}"
+    );
+}

@@ -1,6 +1,6 @@
 //! The shared mini queueing simulator.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use ert_core::{
     adaptation_action, assign::initial_indegree_target, choose_next_b, expand_indegree,
@@ -110,7 +110,7 @@ struct Query {
     key: u64,
     started: SimTime,
     hops: u32,
-    avoid: HashSet<u64>,
+    avoid: BTreeSet<u64>,
     at: usize,
     done: bool,
     numeric_mode: bool,
@@ -130,7 +130,7 @@ pub struct MiniDht<G: Geometry> {
     cfg: MiniDhtConfig,
     protocol: MiniProtocol,
     geometry: G,
-    id_map: HashMap<u64, usize>,
+    id_map: BTreeMap<u64, usize>,
     nodes: Vec<MiniNode>,
     engine: Engine<Ev>,
     queries: Vec<Query>,
@@ -146,7 +146,7 @@ pub struct MiniDht<G: Geometry> {
 /// The [`Directory`] view `ert-core`'s algorithms need.
 struct MiniDirectory<'a, G: Geometry> {
     geometry: &'a G,
-    id_map: &'a HashMap<u64, usize>,
+    id_map: &'a BTreeMap<u64, usize>,
     nodes: &'a mut Vec<MiniNode>,
 }
 
@@ -220,7 +220,7 @@ impl<G: Geometry> MiniDht<G> {
         cfg.ert.validate().map_err(|e| e.to_string())?;
         let norm = normalize_capacities(capacities);
         let mut nodes = Vec::with_capacity(members.len());
-        let mut id_map = HashMap::new();
+        let mut id_map = BTreeMap::new();
         for (i, (&id, (&raw, &nc))) in members.iter().zip(capacities.iter().zip(&norm)).enumerate()
         {
             let capacity_eval = max_indegree(cfg.ert.alpha, nc);
@@ -390,7 +390,7 @@ impl<G: Geometry> MiniDht<G> {
             key,
             started: now,
             hops: 0,
-            avoid: HashSet::new(),
+            avoid: BTreeSet::new(),
             at: source,
             done: false,
             numeric_mode: false,

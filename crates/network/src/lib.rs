@@ -24,6 +24,15 @@
 //! overlay is built of capacity-proportional virtual servers. The ERT
 //! variants are constructed here ([`ProtocolSpec::ert_af`] etc.); the
 //! paper's comparison baselines live in `ert-baselines`.
+//!
+//! # Invariant sanitizer
+//!
+//! Debug builds (and any build with the `sanitize` feature) assert the
+//! paper's invariants while the simulation runs: event-clock
+//! monotonicity, per-host FIFO discipline, and the Theorem 3.1–3.3
+//! degree envelopes. See the `sanitize` module and
+//! [`Network::sanitize_checks`]. Plain release builds compile the
+//! checks out entirely.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +41,7 @@ pub mod config;
 pub mod lookup;
 pub mod metrics;
 pub mod network;
+mod sanitize;
 pub mod spec;
 pub mod state;
 pub mod topology;

@@ -1,6 +1,6 @@
 //! The simulation run: query lifecycle, churn, and adaptation events.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use ert_core::{
     adaptation_action, choose_next_b, max_indegree, normalize_capacities, AdaptAction, Candidate,
@@ -14,6 +14,7 @@ use rand::Rng;
 use crate::config::NetworkConfig;
 use crate::lookup::{ChurnEvent, KeyPick, Lookup, SourcePick};
 use crate::metrics::{Metrics, RunReport};
+use crate::sanitize::Sanitizer;
 use crate::spec::{ProtocolSpec, TablePolicy};
 use crate::state::Host;
 use crate::topology::Topology;
@@ -45,7 +46,7 @@ struct QueryState {
     started: SimTime,
     hops: u32,
     heavy_seen: u32,
-    avoid: HashSet<CycloidId>,
+    avoid: BTreeSet<CycloidId>,
     at_node: usize,
     done: bool,
     /// Set once a geometric step dead-ended; the query then finishes on
@@ -94,6 +95,7 @@ pub struct Network {
     telemetry: Telemetry,
     sample_clock: Option<SampleClock>,
     adapt_rounds: u64,
+    sanitizer: Sanitizer,
 }
 
 impl Network {
@@ -218,12 +220,21 @@ impl Network {
             telemetry: Telemetry::with_trace_capacity(cfg.trace_capacity),
             sample_clock: None,
             adapt_rounds: 0,
+            sanitizer: Sanitizer::new(),
         })
     }
 
     /// Read access to the overlay (for tests and structural metrics).
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// How many runtime invariant checks the sanitizer has performed.
+    /// Always 0 in plain release builds (no `debug_assertions`, no
+    /// `sanitize` feature), where the checks compile out; tests use
+    /// this to prove the sanitizer actually covered the run.
+    pub fn sanitize_checks(&self) -> u64 {
+        self.sanitizer.checks()
     }
 
     /// The retained event trace (empty unless
@@ -278,6 +289,7 @@ impl Network {
         }
 
         while let Some((now, event)) = self.engine.pop() {
+            self.sanitizer.on_event(now);
             match event {
                 Event::Inject(i) => self.on_inject(i, now),
                 Event::Arrive { q, to } => self.on_arrive(q, to, now),
@@ -290,6 +302,8 @@ impl Network {
                 break;
             }
         }
+        self.sanitizer
+            .sweep(&self.topo, self.cfg.estimator.gamma_c());
         self.telemetry.flush();
         let mut metrics = std::mem::take(&mut self.metrics);
         metrics.maintenance_ops = self.topo.link_ops;
@@ -349,7 +363,7 @@ impl Network {
             started: now,
             hops: 0,
             heavy_seen: 0,
-            avoid: HashSet::new(),
+            avoid: BTreeSet::new(),
             at_node: source,
             done: false,
             ring_mode: false,
@@ -420,6 +434,10 @@ impl Network {
                     let g = host.congestion();
                     self.metrics.min_cap_congestion.push(g);
                 }
+                self.sanitizer
+                    .check_host(&self.topo.hosts[host_idx], host_idx, |q| {
+                        self.queries[q].done
+                    });
             }
         }
     }
@@ -448,6 +466,10 @@ impl Network {
         if let Some(next) = self.topo.hosts[host_idx].queue.pop_front() {
             self.start_service(host_idx, next, now);
         }
+        self.sanitizer
+            .check_host(&self.topo.hosts[host_idx], host_idx, |qq| {
+                self.queries[qq].done
+            });
 
         let node = self.queries[q].at_node;
         if !self.topo.nodes[node].alive {
@@ -744,6 +766,8 @@ impl Network {
                 }
             }
         }
+        self.sanitizer
+            .sweep(&self.topo, self.cfg.estimator.gamma_c());
         for h in &mut self.topo.hosts {
             h.period_load = 0;
         }
@@ -773,7 +797,7 @@ impl Network {
                 self.topo.hosts[a].period_load as f64 / self.topo.hosts[a].capacity_eval as f64;
             let gb =
                 self.topo.hosts[b].period_load as f64 / self.topo.hosts[b].capacity_eval as f64;
-            gb.partial_cmp(&ga).expect("finite loads")
+            gb.total_cmp(&ga)
         });
         let budget = (self.alive_hosts.len() / 64).max(1);
         for &hh in heavy.iter().take(budget) {
@@ -799,7 +823,7 @@ impl Network {
                         / self.topo.hosts[a].capacity_eval as f64;
                     let gb = self.topo.hosts[b].period_load as f64
                         / self.topo.hosts[b].capacity_eval as f64;
-                    ga.partial_cmp(&gb).expect("finite loads")
+                    ga.total_cmp(&gb)
                 });
             let Some(lh) = light_host else { continue };
             let Some(&light_node) = self.topo.hosts[lh]
@@ -1278,7 +1302,7 @@ mod tests {
         assert_eq!(rp.sim_seconds, rt.sim_seconds);
 
         let lines = lines.lock().unwrap();
-        let kinds: std::collections::HashSet<&str> = lines
+        let kinds: std::collections::BTreeSet<&str> = lines
             .iter()
             .filter(|l| l.starts_with("{\"kind\":\"event\""))
             .filter_map(|l| {

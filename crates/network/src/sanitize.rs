@@ -1,0 +1,264 @@
+//! Runtime invariant sanitizer — the dynamic counterpart of `ert-lint`.
+//!
+//! Where the static pass keeps nondeterminism out of the source, this
+//! module asserts the paper's *provable* properties while a simulation
+//! actually runs: event-clock monotonicity, FIFO service discipline on
+//! every host, and the Theorem 3.1–3.3 degree envelopes (with explicit
+//! structural slack for the mandatory Cycloid links the theorems'
+//! asymptotic `O(1)` terms absorb).
+//!
+//! The checks are compiled in under `debug_assertions` (so the whole
+//! debug test suite runs sanitized for free) or the `sanitize` cargo
+//! feature (so CI can run them against release-speed builds:
+//! `cargo test --release --features sanitize -p ert-network`). In a
+//! plain release build [`Sanitizer::ACTIVE`] is `false` and every call
+//! compiles to nothing.
+//!
+//! Cost model: per-event checks are O(1) (plus O(queue) when a host is
+//! touched); the degree sweep is O(nodes) and runs only on adaptation
+//! ticks and at the end of the run.
+
+use ert_core::bounds::{theorem31_initial_indegree_bounds, theorem33_outdegree_bound};
+use ert_sim::SimTime;
+
+use crate::spec::TablePolicy;
+use crate::state::Host;
+use crate::topology::Topology;
+
+/// Runtime invariant checker owned by a [`crate::Network`].
+#[derive(Debug)]
+pub(crate) struct Sanitizer {
+    last_event_at: SimTime,
+    checks: u64,
+}
+
+impl Sanitizer {
+    /// Whether the sanitizer does anything in this build.
+    pub(crate) const ACTIVE: bool = cfg!(any(debug_assertions, feature = "sanitize"));
+
+    pub(crate) fn new() -> Self {
+        Sanitizer {
+            last_event_at: SimTime::ZERO,
+            checks: 0,
+        }
+    }
+
+    /// Number of individual invariant checks performed so far (0 when
+    /// the sanitizer is compiled out).
+    pub(crate) fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Event-clock monotonicity: a discrete-event simulation must never
+    /// pop an event earlier than one it already processed.
+    pub(crate) fn on_event(&mut self, now: SimTime) {
+        if !Self::ACTIVE {
+            return;
+        }
+        assert!(
+            now >= self.last_event_at,
+            "sanitize: event clock ran backwards ({:?} after {:?})",
+            now,
+            self.last_event_at
+        );
+        self.last_event_at = now;
+        self.checks += 1;
+    }
+
+    /// FIFO service discipline on one host, checked whenever an event
+    /// touches it: the service slot drains before the queue holds
+    /// anything, nothing finished sits in the queue, and the load
+    /// accounting stays consistent.
+    pub(crate) fn check_host(
+        &mut self,
+        host: &Host,
+        host_idx: usize,
+        done: impl Fn(usize) -> bool,
+    ) {
+        if !Self::ACTIVE || !host.alive {
+            return;
+        }
+        assert!(
+            host.in_service.is_some() || host.queue.is_empty(),
+            "sanitize: host {host_idx} queues {} queries with an idle service slot",
+            host.queue.len()
+        );
+        if let Some(q) = host.in_service {
+            assert!(
+                !done(q),
+                "sanitize: host {host_idx} is serving already-completed query {q}"
+            );
+            assert!(
+                !host.queue.contains(&q),
+                "sanitize: query {q} both in service and queued on host {host_idx}"
+            );
+        }
+        for &q in &host.queue {
+            assert!(
+                !done(q),
+                "sanitize: completed query {q} still queued on host {host_idx}"
+            );
+        }
+        assert!(
+            host.load() as u64 <= host.total_received,
+            "sanitize: host {host_idx} holds {} queries but only ever received {}",
+            host.load(),
+            host.total_received
+        );
+        assert!(
+            host.period_load <= host.total_received,
+            "sanitize: host {host_idx} period load {} exceeds lifetime total {}",
+            host.period_load,
+            host.total_received
+        );
+        self.checks += 1;
+    }
+
+    /// The O(nodes) degree sweep: Theorem 3.1 capacity-evaluation
+    /// envelopes per host, the Theorem 3.2-enforcing elastic indegree
+    /// cap per node, and the Theorem 3.3 outdegree ceiling. `gamma_c`
+    /// is the capacity estimation error factor in force.
+    pub(crate) fn sweep(&mut self, topo: &Topology, gamma_c: f64) {
+        if !Self::ACTIVE {
+            return;
+        }
+        let params = &topo.params;
+        // Mandatory Cycloid links (leaf-set, cyclic, cubical) sit outside
+        // the elastic budget; the theorems bury them in O(1)/O(2^d/d)
+        // terms, so the envelopes get an explicit structural slack. The
+        // extra constant covers saturated-fallback recruitment during
+        // table construction.
+        let slack = 2 * params.leaf_window as u64 + topo.space.dim() as u64 + 8;
+
+        for (i, host) in topo.hosts.iter().enumerate() {
+            if !host.alive {
+                continue;
+            }
+            // Theorem 3.1: capacity_eval = ⌊0.5 + α·ĉ⌋ with ĉ within a
+            // factor γ_c of the true normalized capacity must land in
+            // [αc/γ_c − O(1), αcγ_c + O(1)] (the clamp to ≥ 1 only ever
+            // raises it toward the lower bound).
+            let (lo, hi) =
+                theorem31_initial_indegree_bounds(params.alpha, host.norm_capacity, gamma_c);
+            let ce = host.capacity_eval as f64;
+            assert!(
+                ce >= lo && ce <= hi,
+                "sanitize: host {i} capacity_eval {ce} outside Theorem 3.1 envelope \
+                 [{lo:.2}, {hi:.2}] (α={}, c={}, γ_c={gamma_c})",
+                params.alpha,
+                host.norm_capacity
+            );
+        }
+
+        if topo.table_policy != TablePolicy::Elastic {
+            // Degree elasticity (and Theorems 3.2/3.3) only applies to
+            // ERT tables; Base/VS tables are structurally fixed.
+            self.checks += 1;
+            return;
+        }
+
+        let c_max = topo
+            .hosts
+            .iter()
+            .filter(|h| h.alive)
+            .map(|h| h.capacity_eval)
+            .max()
+            .unwrap_or(1);
+        // Theorem 3.3 leading term with ν_min at one query per link per
+        // period (the implementation's accounting unit).
+        let out_bound =
+            theorem33_outdegree_bound(c_max as f64, gamma_c, params.gamma_l, 1.0) as u64 + slack;
+
+        for (i, node) in topo.nodes.iter().enumerate() {
+            if !node.alive {
+                continue;
+            }
+            assert!(node.d_max >= 1, "sanitize: node {i} adapted d_max to zero");
+            // Theorem 3.2 enforcement: adaptation keeps the elastic
+            // indegree within a capacity-proportional band. The growth
+            // cap in `on_adapt_tick` is 8·max(capacity_eval, 8); links
+            // outside the elastic budget are covered by `slack`.
+            let host = &topo.hosts[node.host];
+            let in_cap = 8 * u64::from(host.capacity_eval.max(8)) + slack;
+            let ind = node.table.indegree() as u64;
+            assert!(
+                ind <= in_cap,
+                "sanitize: node {i} indegree {ind} exceeds adapted Theorem 3.2 cap {in_cap} \
+                 (capacity_eval {})",
+                host.capacity_eval
+            );
+            let outd = node.table.outdegree() as u64;
+            assert!(
+                outd <= out_bound,
+                "sanitize: node {i} outdegree {outd} exceeds Theorem 3.3 bound {out_bound} \
+                 (c_max {c_max})"
+            );
+        }
+        self.checks += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizer_is_active_in_debug_or_feature_builds() {
+        // The test suite itself runs under debug_assertions or with the
+        // feature on, so ACTIVE must hold here — this guards against the
+        // cfg expression rotting into never-true.
+        #[allow(clippy::assertions_on_constants)]
+        {
+            assert!(Sanitizer::ACTIVE);
+        }
+    }
+
+    #[test]
+    fn clock_monotonicity_accepts_equal_times() {
+        let mut s = Sanitizer::new();
+        let t = SimTime::ZERO + ert_sim::SimDuration::from_secs_f64(1.0);
+        s.on_event(t);
+        s.on_event(t); // Simultaneous events are fine.
+        assert_eq!(s.checks(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "event clock ran backwards")]
+    fn clock_regression_panics() {
+        let mut s = Sanitizer::new();
+        let t = SimTime::ZERO + ert_sim::SimDuration::from_secs_f64(2.0);
+        s.on_event(t);
+        s.on_event(SimTime::ZERO + ert_sim::SimDuration::from_secs_f64(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "idle service slot")]
+    fn queued_query_with_idle_slot_panics() {
+        let mut host = Host::new(1000.0, 1.0, 1.0, 4, ert_overlay::Coord::new(0.0, 0.0));
+        host.queue.push_back(0);
+        host.total_received = 1;
+        let mut s = Sanitizer::new();
+        s.check_host(&host, 0, |_| false);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-completed query")]
+    fn serving_a_done_query_panics() {
+        let mut host = Host::new(1000.0, 1.0, 1.0, 4, ert_overlay::Coord::new(0.0, 0.0));
+        host.in_service = Some(3);
+        host.total_received = 1;
+        let mut s = Sanitizer::new();
+        s.check_host(&host, 0, |_| true);
+    }
+
+    #[test]
+    fn healthy_host_passes() {
+        let mut host = Host::new(1000.0, 1.0, 1.0, 4, ert_overlay::Coord::new(0.0, 0.0));
+        host.in_service = Some(0);
+        host.queue.push_back(1);
+        host.total_received = 2;
+        let mut s = Sanitizer::new();
+        s.check_host(&host, 0, |_| false);
+        assert_eq!(s.checks(), 1);
+    }
+}

@@ -2,7 +2,7 @@
 //! the protocols perform (construction, expansion, shedding, repair,
 //! and routing-candidate assembly).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ert_core::{
     assign::initial_indegree_target, build_table, expand_indegree, select_shed_victims, Directory,
@@ -48,7 +48,7 @@ pub struct Topology {
     /// Live membership.
     pub registry: CycloidRegistry,
     /// ID → node slab index (latest holder of the ID).
-    pub id_map: HashMap<CycloidId, usize>,
+    pub id_map: BTreeMap<CycloidId, usize>,
     /// All overlay nodes ever created (departed ones keep their slot).
     pub nodes: Vec<OverlayNode>,
     /// All hosts ever created (departed ones keep their slot).
@@ -71,7 +71,7 @@ impl Topology {
         Topology {
             space,
             registry: CycloidRegistry::new(space),
-            id_map: HashMap::new(),
+            id_map: BTreeMap::new(),
             nodes: Vec::new(),
             hosts: Vec::new(),
             table_policy,
@@ -263,15 +263,10 @@ impl Topology {
             &with_spare
         };
         pool.iter().copied().max_by(|&x, &y| {
-            capacity(x)
-                .partial_cmp(&capacity(y))
-                .expect("capacities are finite")
-                .then_with(|| {
-                    // Prefer physically *closer* on capacity ties.
-                    self.phys_dist(node, y)
-                        .partial_cmp(&self.phys_dist(node, x))
-                        .expect("distances are finite")
-                })
+            capacity(x).total_cmp(&capacity(y)).then_with(|| {
+                // Prefer physically *closer* on capacity ties.
+                self.phys_dist(node, y).total_cmp(&self.phys_dist(node, x))
+            })
         })
     }
 

@@ -1,0 +1,62 @@
+//! Runs simulations with the runtime invariant sanitizer active and
+//! proves it covered the run (`sanitize_checks() > 0`). The sanitizer
+//! panics on any violated invariant, so completion == all checks held.
+
+use ert_network::{network::uniform_lookup_burst, Network, NetworkConfig, ProtocolSpec};
+
+fn caps(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 500.0 + 300.0 * (i % 7) as f64).collect()
+}
+
+#[test]
+fn quick_run_is_fully_sanitized() {
+    let capacities = caps(128);
+    let cfg = NetworkConfig::for_dimension(6, 41);
+    let mut net = Network::new(cfg, &capacities, ProtocolSpec::ert_af()).unwrap();
+    let lookups = uniform_lookup_burst(300, 128.0, 41);
+    let r = net.run(&lookups, &[]);
+    assert_eq!(r.lookups_completed + r.lookups_dropped, 300);
+    // Debug builds and sanitize-feature builds must actually have
+    // checked something; plain release builds compile the checks out.
+    if cfg!(any(debug_assertions, feature = "sanitize")) {
+        assert!(
+            net.sanitize_checks() > 300,
+            "sanitizer barely ran: {} checks",
+            net.sanitize_checks()
+        );
+    } else {
+        assert_eq!(net.sanitize_checks(), 0);
+    }
+}
+
+/// The acceptance run: the paper's Table 2 default scenario (2048
+/// hosts with bounded-Pareto capacities, 3000 lookups at one per
+/// node-second, 0.2 s light service, uniform workload, no churn) under
+/// ERT/AF with every theorem-bound assertion armed. Mirrors
+/// `Scenario::paper_default` in ert-experiments, including its seeding
+/// scheme, via the same ert-workloads generators.
+#[cfg(feature = "sanitize")]
+#[test]
+fn table2_default_scenario_completes_with_assertions_armed() {
+    use ert_overlay::CycloidSpace;
+    use ert_sim::SimRng;
+    use ert_workloads::{uniform_lookups, BoundedPareto};
+
+    let (n, lookups_n, seed) = (2048usize, 3000usize, 1u64);
+    let mut rng = SimRng::seed_from(seed.wrapping_mul(0x9e37_79b9));
+    let capacities = BoundedPareto::paper_default().sample_n(n, &mut rng.fork("capacities"));
+    let dim = CycloidSpace::dimension_for(n);
+    let cfg = NetworkConfig::for_dimension(dim, seed).with_light_service_secs(0.2);
+    let lookups = uniform_lookups(lookups_n, n as f64, &mut rng.fork("lookups"));
+
+    let mut net = Network::new(cfg, &capacities, ProtocolSpec::ert_af()).unwrap();
+    let r = net.run(&lookups, &[]);
+
+    assert_eq!(r.lookups_completed + r.lookups_dropped, lookups_n as u64);
+    assert_eq!(r.lookups_dropped, 0, "Table 2 default run should not drop");
+    assert!(
+        net.sanitize_checks() > lookups_n as u64,
+        "sanitizer coverage too thin: {} checks",
+        net.sanitize_checks()
+    );
+}

@@ -165,7 +165,7 @@ pub fn shifting_hotspot_lookups(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     #[test]
     fn zipf_rank_frequencies_decay() {
@@ -203,7 +203,7 @@ mod tests {
     fn zipf_lookups_reuse_the_catalogue() {
         let mut rng = SimRng::seed_from(12);
         let ls = zipf_lookups(5000, 100.0, 30, 1.0, &mut rng);
-        let mut distinct: HashMap<u64, u32> = HashMap::new();
+        let mut distinct: BTreeMap<u64, u32> = BTreeMap::new();
         for l in &ls {
             if let KeyPick::RingFraction(f) = l.key {
                 *distinct.entry((f * 1e12) as u64).or_insert(0) += 1;
@@ -219,7 +219,7 @@ mod tests {
         let mut rng = SimRng::seed_from(13);
         let ls = shifting_hotspot_lookups(4000, 100.0, 20, 1.2, 1000, &mut rng);
         let hot_of = |slice: &[Lookup]| {
-            let mut counts: HashMap<u64, u32> = HashMap::new();
+            let mut counts: BTreeMap<u64, u32> = BTreeMap::new();
             for l in slice {
                 if let KeyPick::RingFraction(f) = l.key {
                     *counts.entry((f * 1e12) as u64).or_insert(0) += 1;

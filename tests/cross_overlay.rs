@@ -3,7 +3,7 @@
 //! tests drive `ert_core`'s table construction and expansion over Chord
 //! and Pastry geometries through small [`Directory`] adapters.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ert_repro::core::{
     assign::initial_indegree_target, build_table, expand_indegree, max_indegree, Directory,
@@ -14,8 +14,8 @@ use ert_repro::sim::SimRng;
 
 /// State shared by both adapters: per-node tables, indegrees, capacities.
 struct Links {
-    d_max: HashMap<u64, u32>,
-    indegree: HashMap<u64, u32>,
+    d_max: BTreeMap<u64, u32>,
+    indegree: BTreeMap<u64, u32>,
     links: Vec<(u64, u32, u64)>, // (from, slot, to)
 }
 
@@ -23,7 +23,7 @@ impl Links {
     fn new(ids: impl Iterator<Item = (u64, u32)>) -> Self {
         Links {
             d_max: ids.collect(),
-            indegree: HashMap::new(),
+            indegree: BTreeMap::new(),
             links: Vec::new(),
         }
     }

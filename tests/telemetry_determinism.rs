@@ -55,7 +55,7 @@ fn event_stream_is_byte_identical_across_runs() {
 #[test]
 fn stream_has_events_snapshots_and_monotone_timestamps() {
     let (lines, _) = instrumented_run();
-    let kinds: std::collections::HashSet<&str> = lines
+    let kinds: std::collections::BTreeSet<&str> = lines
         .iter()
         .filter(|l| l.starts_with("{\"kind\":\"event\""))
         .filter_map(|l| l.split("\"event\":{\"").nth(1)?.split('"').next())
