@@ -53,7 +53,9 @@ pub mod test_runner {
     impl TestRng {
         /// A fixed-seed RNG; every test run draws the same cases.
         pub fn deterministic() -> Self {
-            TestRng { state: 0x9e37_79b9_7f4a_7c15 }
+            TestRng {
+                state: 0x9e37_79b9_7f4a_7c15,
+            }
         }
 
         /// Next 64 uniform bits.

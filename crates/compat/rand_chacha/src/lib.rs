@@ -36,7 +36,10 @@ impl std::fmt::Debug for ChaCha12Rng {
         // The key is not secret here, but dumping 16 words of state is
         // noise; show the stream position instead.
         f.debug_struct("ChaCha12Rng")
-            .field("block", &(u64::from(self.state[13]) << 32 | u64::from(self.state[12])))
+            .field(
+                "block",
+                &(u64::from(self.state[13]) << 32 | u64::from(self.state[12])),
+            )
             .field("word", &self.idx)
             .finish()
     }
@@ -105,7 +108,11 @@ impl SeedableRng for ChaCha12Rng {
             *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
         }
         // Words 12..16 (counter and stream id) start at zero.
-        ChaCha12Rng { state, buf: [0; 16], idx: 16 }
+        ChaCha12Rng {
+            state,
+            buf: [0; 16],
+            idx: 16,
+        }
     }
 }
 

@@ -180,10 +180,7 @@ impl<T: Serialize> Serialize for Box<T> {
     }
 }
 
-fn serialize_seq<'a, T: Serialize + 'a>(
-    items: impl Iterator<Item = &'a T>,
-    out: &mut String,
-) {
+fn serialize_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
     out.push('[');
     for (i, item) in items.enumerate() {
         if i > 0 {
@@ -255,8 +252,7 @@ macro_rules! deserialize_marker {
     ($($t:ty),*) => {$( impl Deserialize for $t {} )*};
 }
 deserialize_marker!(
-    i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize, f32, f64, bool, char,
-    String
+    i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize, f32, f64, bool, char, String
 );
 
 impl<T: Deserialize> Deserialize for Option<T> {}

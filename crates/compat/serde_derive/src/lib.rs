@@ -44,7 +44,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 }
 
 fn compile_error(msg: &str) -> TokenStream {
-    format!("compile_error!({msg:?});").parse().expect("literal parses")
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal parses")
 }
 
 struct Item {
@@ -60,7 +62,10 @@ enum Param {
     /// `const N: usize` — full declaration plus the bare name.
     Const { decl: String, name: String },
     /// `T` or `S: Ord` — name plus any inline bounds (defaults dropped).
-    Type { name: String, bounds: Option<String> },
+    Type {
+        name: String,
+        bounds: Option<String>,
+    },
 }
 
 impl Item {
@@ -76,7 +81,10 @@ impl Item {
             .iter()
             .map(|p| match p {
                 Param::Lifetime { decl, .. } | Param::Const { decl, .. } => decl.clone(),
-                Param::Type { name, bounds: Some(b) } => format!("{name}: {b} + {trait_path}"),
+                Param::Type {
+                    name,
+                    bounds: Some(b),
+                } => format!("{name}: {b} + {trait_path}"),
                 Param::Type { name, bounds: None } => format!("{name}: {trait_path}"),
             })
             .collect();
@@ -134,11 +142,15 @@ enum Shape {
 fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
     let mut skip = false;
     while *i < tokens.len() {
-        let TokenTree::Punct(p) = &tokens[*i] else { break };
+        let TokenTree::Punct(p) = &tokens[*i] else {
+            break;
+        };
         if p.as_char() != '#' {
             break;
         }
-        let Some(TokenTree::Group(g)) = tokens.get(*i + 1) else { break };
+        let Some(TokenTree::Group(g)) = tokens.get(*i + 1) else {
+            break;
+        };
         if g.delimiter() != Delimiter::Bracket {
             break;
         }
@@ -340,7 +352,11 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
         },
         other => return Err(format!("cannot derive serde traits for `{other}` items")),
     };
-    Ok(Item { name, generics, kind })
+    Ok(Item {
+        name,
+        generics,
+        kind,
+    })
 }
 
 /// Parses the generic parameter list, `tokens[*i]` being the token
@@ -383,14 +399,20 @@ fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Result<Vec<Param>, Str
 
 fn parse_one_param(toks: &[TokenTree]) -> Result<Param, String> {
     let text = |ts: &[TokenTree]| -> String {
-        ts.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ")
+        ts.iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
     };
     match &toks[0] {
         TokenTree::Punct(p) if p.as_char() == '\'' => {
             let Some(TokenTree::Ident(id)) = toks.get(1) else {
                 return Err("malformed lifetime parameter".to_string());
             };
-            Ok(Param::Lifetime { decl: text(toks), name: format!("'{id}") })
+            Ok(Param::Lifetime {
+                decl: text(toks),
+                name: format!("'{id}"),
+            })
         }
         TokenTree::Ident(id) if id.to_string() == "const" => {
             let Some(TokenTree::Ident(name)) = toks.get(1) else {
@@ -401,7 +423,10 @@ fn parse_one_param(toks: &[TokenTree]) -> Result<Param, String> {
                 .iter()
                 .position(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == '='))
                 .unwrap_or(toks.len());
-            Ok(Param::Const { decl: text(&toks[..decl_end]), name: name.to_string() })
+            Ok(Param::Const {
+                decl: text(&toks[..decl_end]),
+                name: name.to_string(),
+            })
         }
         TokenTree::Ident(id) => {
             let name = id.to_string();
@@ -519,8 +544,7 @@ fn gen_enum_body(name: &str, variants: &[Variant]) -> String {
                 ));
             }
             Shape::Named(fields) => {
-                let binds: Vec<&str> =
-                    fields.iter().map(|f| f.name.as_str()).collect();
+                let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                 let open = lit(&format!("{{\"{vname}\":"));
                 let mut inner = format!("out.push_str({open});\n");
                 inner.push_str(&gen_named_body(fields, "", ""));

@@ -265,6 +265,47 @@ pub fn choose_next_b<Id: Copy + Ord + std::fmt::Debug>(
     }
 }
 
+/// [`choose_next_b`] restricted to *reachable* candidates.
+///
+/// Fault injection (`ert-faults`) can make candidates unreachable in a
+/// way the avoid-set must not model: `avoid` is a soft preference
+/// (Algorithm 4 falls back to the full set when it empties the pool),
+/// while a crashed or partitioned peer is a hard exclusion — forwarding
+/// to it can never succeed. This wrapper drops unreachable candidates
+/// first and returns `None` when nothing survives, letting the caller
+/// degrade to its successor-ring fallback (or retry after backoff)
+/// instead of livelocking on a dead entry.
+///
+/// With an empty `unreachable` set the result is identical to
+/// [`choose_next_b`], RNG draw for RNG draw.
+///
+/// # Panics
+///
+/// Panics if any surviving candidate has non-positive capacity or
+/// `probe_width == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn choose_next_reachable<Id: Copy + Ord + std::fmt::Debug>(
+    policy: ForwardPolicy,
+    candidates: &[Candidate<Id>],
+    unreachable: &BTreeSet<Id>,
+    memory: Option<Id>,
+    avoid: &BTreeSet<Id>,
+    gamma_l: f64,
+    probe_width: usize,
+    rng: &mut SimRng,
+) -> Option<ForwardChoice<Id>> {
+    if unreachable.is_empty() {
+        return choose_next_b(policy, candidates, memory, avoid, gamma_l, probe_width, rng);
+    }
+    let reachable: Vec<Candidate<Id>> = candidates
+        .iter()
+        .filter(|c| !unreachable.contains(&c.id))
+        .copied()
+        .collect();
+    let memory = memory.filter(|m| !unreachable.contains(m));
+    choose_next_b(policy, &reachable, memory, avoid, gamma_l, probe_width, rng)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -504,5 +545,106 @@ mod tests {
     fn congestion_accessor() {
         let c = cand(1, 5.0, 1, 0.1);
         assert_eq!(c.congestion(), 0.5);
+    }
+
+    #[test]
+    fn reachable_filter_hard_excludes() {
+        let mut rng = SimRng::seed_from(12);
+        let a = cand(1, 0.0, 1, 0.1);
+        let b = cand(2, 0.0, 1, 0.1);
+        let cut: BTreeSet<u32> = [1].into_iter().collect();
+        for _ in 0..20 {
+            let c = choose_next_reachable(
+                two_choice(),
+                &[a, b],
+                &cut,
+                None,
+                &BTreeSet::new(),
+                1.0,
+                2,
+                &mut rng,
+            )
+            .unwrap();
+            assert_eq!(c.next, 2);
+        }
+    }
+
+    #[test]
+    fn all_unreachable_yields_none_not_fallback() {
+        // Unlike the avoid-set (soft), unreachability never falls back
+        // to the full candidate list.
+        let mut rng = SimRng::seed_from(13);
+        let a = cand(1, 0.0, 1, 0.1);
+        let b = cand(2, 0.0, 1, 0.1);
+        let cut: BTreeSet<u32> = [1, 2].into_iter().collect();
+        let c = choose_next_reachable(
+            two_choice(),
+            &[a, b],
+            &cut,
+            None,
+            &BTreeSet::new(),
+            1.0,
+            2,
+            &mut rng,
+        );
+        assert!(c.is_none());
+    }
+
+    #[test]
+    fn unreachable_memory_is_forgotten() {
+        let mut rng = SimRng::seed_from(14);
+        let policy = ForwardPolicy::TwoChoice {
+            topology_aware: false,
+            use_memory: true,
+        };
+        let a = cand(1, 0.0, 1, 0.1);
+        let b = cand(2, 9.0, 1, 0.1);
+        let cut: BTreeSet<u32> = [1].into_iter().collect();
+        // Memory points at the unreachable node; the pick must not be it.
+        let c = choose_next_reachable(
+            policy,
+            &[a, b],
+            &cut,
+            Some(1),
+            &BTreeSet::new(),
+            1.0,
+            2,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(c.next, 2);
+    }
+
+    #[test]
+    fn empty_cut_matches_choose_next_b_exactly() {
+        let cands = [
+            cand(1, 1.0, 4, 0.3),
+            cand(2, 3.0, 2, 0.2),
+            cand(3, 0.0, 6, 0.6),
+        ];
+        for seed in 0..16 {
+            let mut ra = SimRng::seed_from(seed);
+            let mut rb = SimRng::seed_from(seed);
+            let a = choose_next_b(
+                two_choice(),
+                &cands,
+                None,
+                &BTreeSet::new(),
+                1.0,
+                2,
+                &mut ra,
+            );
+            let b = choose_next_reachable(
+                two_choice(),
+                &cands,
+                &BTreeSet::new(),
+                None,
+                &BTreeSet::new(),
+                1.0,
+                2,
+                &mut rb,
+            );
+            assert_eq!(a, b);
+        }
     }
 }

@@ -50,6 +50,8 @@ pub use adapt::{adaptation_action, select_shed_victims, AdaptAction, ShedCandida
 pub use assign::{build_table, expand_indegree, Directory};
 pub use capacity::{max_indegree, normalize_capacities};
 pub use estimate::Estimator;
-pub use forward::{choose_next, choose_next_b, Candidate, ForwardChoice, ForwardPolicy};
+pub use forward::{
+    choose_next, choose_next_b, choose_next_reachable, Candidate, ForwardChoice, ForwardPolicy,
+};
 pub use params::ErtParams;
 pub use table::ElasticTable;

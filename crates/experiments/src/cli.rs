@@ -89,6 +89,18 @@ impl TelemetryOpts {
     /// writes the JSONL stream / prints the trace ring, and reports
     /// what was captured on stderr. No-op otherwise.
     pub fn capture(&self, scenario: &Scenario, spec: &ProtocolSpec) {
+        self.capture_with(scenario, spec, |_| {});
+    }
+
+    /// Like [`TelemetryOpts::capture`], but lets the caller apply the
+    /// same config tweak the surrounding sweep used (e.g. a retry
+    /// policy), so the captured run reproduces the sweep's data point.
+    pub fn capture_with(
+        &self,
+        scenario: &Scenario,
+        spec: &ProtocolSpec,
+        tweak: impl FnOnce(&mut ert_network::NetworkConfig),
+    ) {
         if !self.active() {
             return;
         }
@@ -97,7 +109,10 @@ impl TelemetryOpts {
         let (report, telemetry) = scenario.run_once_instrumented(
             spec,
             seed,
-            |cfg| cfg.sample_interval = interval,
+            |cfg| {
+                cfg.sample_interval = interval;
+                tweak(cfg);
+            },
             self.build(),
         );
         eprintln!(
@@ -117,12 +132,48 @@ impl TelemetryOpts {
     }
 }
 
+/// Parses the `--faults <intensity>` knob shared by binaries that
+/// support fault injection: a chaos intensity in `[0, 1]` fed to
+/// [`Scenario::chaos`] (see `ert-faults`). Absent, malformed, or
+/// non-finite values read as "no faults".
+pub fn parse_faults(args: &[String]) -> Option<f64> {
+    args.iter()
+        .position(|a| a == "--faults")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| v.is_finite())
+        .map(|v| v.clamp(0.0, 1.0))
+}
+
+/// [`parse_faults`] over this process's arguments.
+pub fn faults_from_env() -> Option<f64> {
+    parse_faults(&std::env::args().collect::<Vec<_>>())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn args(s: &[&str]) -> Vec<String> {
         s.iter().map(|a| (*a).to_owned()).collect()
+    }
+
+    #[test]
+    fn faults_flag_parses_and_clamps() {
+        assert_eq!(parse_faults(&args(&["resilience"])), None);
+        assert_eq!(
+            parse_faults(&args(&["resilience", "--faults", "0.4"])),
+            Some(0.4)
+        );
+        assert_eq!(
+            parse_faults(&args(&["resilience", "--faults", "7"])),
+            Some(1.0)
+        );
+        assert_eq!(
+            parse_faults(&args(&["resilience", "--faults", "NaN"])),
+            None
+        );
+        assert_eq!(parse_faults(&args(&["resilience", "--faults"])), None);
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod intro;
 pub mod report;
+pub mod resilience;
 pub mod scenario;
 pub mod thm41;
 

@@ -1,6 +1,8 @@
 //! Scenario descriptions and multi-seed execution.
 
-use ert_network::{ChurnEvent, Lookup, Network, NetworkConfig, ProtocolSpec, RunReport};
+use ert_network::{
+    ChaosPlan, ChurnEvent, FaultPlan, Lookup, Network, NetworkConfig, ProtocolSpec, RunReport,
+};
 use ert_overlay::CycloidSpace;
 use ert_sim::stats::Summary;
 use ert_sim::{SimRng, SimTime};
@@ -50,6 +52,14 @@ pub struct Scenario {
     pub workload: Workload,
     /// Churn, if any.
     pub churn: Option<ChurnSpec>,
+    /// Injected-fault intensity in `[0, 1]`, if any: each run interprets
+    /// a [`ChaosPlan`] generated from its seed over the lookup horizon
+    /// (crashes, degraded hosts, message loss, partitions — see
+    /// `ert-faults`). `None` runs fault-free and byte-identical to a
+    /// build without fault support. Retries for lost forwards are
+    /// configured separately via [`NetworkConfig::retry`] (e.g. in a
+    /// `run_once_with` tweak).
+    pub chaos: Option<f64>,
 }
 
 impl Scenario {
@@ -64,6 +74,7 @@ impl Scenario {
             seeds: (1..=seeds as u64).collect(),
             workload: Workload::Uniform,
             churn: None,
+            chaos: None,
         }
     }
 
@@ -77,6 +88,7 @@ impl Scenario {
             seeds: vec![seed],
             workload: Workload::Uniform,
             churn: None,
+            chaos: None,
         }
     }
 
@@ -104,8 +116,8 @@ impl Scenario {
         seed: u64,
         tweak: impl FnOnce(&mut NetworkConfig),
     ) -> RunReport {
-        let (mut net, lookups, churn) = self.build(spec, seed, tweak);
-        net.run(&lookups, &churn)
+        let (mut net, lookups, churn, faults) = self.build(spec, seed, tweak);
+        net.run_with_faults(&lookups, &churn, &faults)
     }
 
     /// Like [`Scenario::run_once_with`], but with a telemetry pipeline
@@ -125,9 +137,9 @@ impl Scenario {
         tweak: impl FnOnce(&mut NetworkConfig),
         telemetry: Telemetry,
     ) -> (RunReport, Telemetry) {
-        let (mut net, lookups, churn) = self.build(spec, seed, tweak);
+        let (mut net, lookups, churn, faults) = self.build(spec, seed, tweak);
         net.set_telemetry(telemetry);
-        let report = net.run(&lookups, &churn);
+        let report = net.run_with_faults(&lookups, &churn, &faults);
         let mut telemetry = net.take_telemetry();
         telemetry.record_report(&report);
         telemetry.flush();
@@ -140,7 +152,7 @@ impl Scenario {
         spec: &ProtocolSpec,
         seed: u64,
         tweak: impl FnOnce(&mut NetworkConfig),
-    ) -> (Network, Vec<Lookup>, Vec<ChurnEvent>) {
+    ) -> (Network, Vec<Lookup>, Vec<ChurnEvent>, FaultPlan) {
         let mut rng = SimRng::seed_from(seed.wrapping_mul(0x9e37_79b9));
         let capacities =
             BoundedPareto::paper_default().sample_n(self.n, &mut rng.fork("capacities"));
@@ -167,8 +179,19 @@ impl Scenario {
             ),
             None => Vec::new(),
         };
+        // The chaos plan covers the injection phase plus a tail for
+        // retries; its seed folds the run seed so every averaged seed
+        // sees a different (but reproducible) schedule.
+        let faults = match self.chaos {
+            Some(intensity) => ChaosPlan::generate_over(
+                seed.wrapping_mul(0xa076_1d64_78bd_642f),
+                intensity,
+                horizon,
+            ),
+            None => FaultPlan::default(),
+        };
         let net = Network::new(cfg, &capacities, spec.clone()).expect("valid scenario");
-        (net, lookups, churn)
+        (net, lookups, churn, faults)
     }
 
     /// Runs one protocol across every seed and averages the reports.
@@ -227,6 +250,7 @@ pub fn average_reports(reports: &[RunReport]) -> RunReport {
         lookups_started: reports.iter().map(|r| r.lookups_started).sum::<u64>() / n as u64,
         lookups_completed: reports.iter().map(|r| r.lookups_completed).sum::<u64>() / n as u64,
         lookups_dropped: reports.iter().map(|r| r.lookups_dropped).sum::<u64>() / n as u64,
+        lookups_failed: reports.iter().map(|r| r.lookups_failed).sum::<u64>() / n as u64,
         p99_max_congestion: mean(reports.iter().map(|r| r.p99_max_congestion), n),
         p99_min_capacity_congestion: mean(reports.iter().map(|r| r.p99_min_capacity_congestion), n),
         p99_share: mean(reports.iter().map(|r| r.p99_share), n),
@@ -242,6 +266,7 @@ pub fn average_reports(reports: &[RunReport]) -> RunReport {
         ),
         timeouts_per_lookup: mean(reports.iter().map(|r| r.timeouts_per_lookup), n),
         handoffs_per_lookup: mean(reports.iter().map(|r| r.handoffs_per_lookup), n),
+        retries_per_lookup: mean(reports.iter().map(|r| r.retries_per_lookup), n),
         probes_per_decision: mean(reports.iter().map(|r| r.probes_per_decision), n),
         maintenance_per_lookup: mean(reports.iter().map(|r| r.maintenance_per_lookup), n),
         sim_seconds: mean(reports.iter().map(|r| r.sim_seconds), n),

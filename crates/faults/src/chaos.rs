@@ -1,0 +1,177 @@
+//! Randomized-but-reproducible fault schedules for the chaos harness.
+
+use ert_sim::{SimDuration, SimRng, SimTime};
+use rand::Rng;
+
+use crate::plan::{FaultEvent, FaultKind, FaultPlan};
+
+/// Generator of chaos schedules: a [`FaultPlan`] sampled from a seed
+/// and an intensity knob.
+///
+/// `intensity` in `[0, 1]` scales both the event rate and the severity
+/// of each fault (loss probabilities, degrade factors, episode
+/// lengths). Intensity 0 yields an empty plan; intensity 1 is a hostile
+/// environment that still leaves the overlay routable (crashes are
+/// capped so the membership never collapses — the network additionally
+/// refuses to crash below 3 live hosts).
+///
+/// The same `(seed, intensity, horizon)` triple always yields the same
+/// plan, so chaos findings reproduce from their logged parameters.
+///
+/// ```
+/// use ert_faults::ChaosPlan;
+/// let a = ChaosPlan::generate(42, 0.5);
+/// let b = ChaosPlan::generate(42, 0.5);
+/// assert_eq!(a, b);
+/// assert!(!a.is_empty());
+/// assert_eq!(ChaosPlan::generate(42, 0.0).events.len(), 0);
+/// ```
+pub struct ChaosPlan;
+
+/// Default schedule horizon: matches the ~10 sim-seconds a quick
+/// scenario's injection phase covers.
+const DEFAULT_HORIZON_SECS: f64 = 10.0;
+
+impl ChaosPlan {
+    /// Generates a chaos schedule over the default 10 s horizon.
+    pub fn generate(seed: u64, intensity: f64) -> FaultPlan {
+        Self::generate_over(
+            seed,
+            intensity,
+            SimTime::ZERO + SimDuration::from_secs_f64(DEFAULT_HORIZON_SECS),
+        )
+    }
+
+    /// Generates a chaos schedule over `[0, horizon)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `intensity` is not finite.
+    pub fn generate_over(seed: u64, intensity: f64, horizon: SimTime) -> FaultPlan {
+        assert!(intensity.is_finite(), "intensity must be finite");
+        let intensity = intensity.clamp(0.0, 1.0);
+        let mut plan = FaultPlan::new(seed);
+        if intensity <= 0.0 || horizon == SimTime::ZERO {
+            return plan;
+        }
+        let mut rng = SimRng::seed_from(seed ^ 0x000c_4a05_u64.rotate_left(17));
+        let horizon_secs = horizon.as_micros() as f64 / 1e6;
+        // Up to ~2 fault events per sim-second at full intensity.
+        let rate = (2.0 * intensity).max(0.05);
+        let mut t = SimTime::ZERO;
+        loop {
+            t += SimDuration::from_secs_f64(rng.exp_secs(rate));
+            if t >= horizon {
+                break;
+            }
+            let kind = Self::sample_kind(&mut rng, intensity, horizon_secs);
+            plan.events.push(FaultEvent { at: t, kind });
+        }
+        debug_assert!(plan.validate().is_ok());
+        plan
+    }
+
+    /// Draws one fault kind with intensity-scaled severity. Weights:
+    /// crash 30%, degrade 25%, message loss 20%, partition 10%,
+    /// heal 15%.
+    fn sample_kind(rng: &mut SimRng, intensity: f64, horizon_secs: f64) -> FaultKind {
+        // Episodes last 5–30% of the horizon, stretched by intensity.
+        let window = |rng: &mut SimRng| {
+            let frac = 0.05 + 0.25 * intensity * rng.gen::<f64>();
+            SimDuration::from_secs_f64((frac * horizon_secs).max(1e-6))
+        };
+        let roll: f64 = rng.gen();
+        if roll < 0.30 {
+            FaultKind::Crash
+        } else if roll < 0.55 {
+            FaultKind::Degrade {
+                factor: 1.5 + 4.5 * intensity * rng.gen::<f64>(),
+            }
+        } else if roll < 0.75 {
+            FaultKind::DropMessages {
+                p: (0.05 + 0.45 * intensity * rng.gen::<f64>()).min(0.5),
+                window: window(rng),
+            }
+        } else if roll < 0.85 {
+            FaultKind::Partition {
+                groups: 2 + (rng.gen::<f64>() * 2.0 * intensity) as u32,
+                window: window(rng),
+            }
+        } else {
+            FaultKind::Heal
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = ChaosPlan::generate(7, 0.8);
+        let b = ChaosPlan::generate(7, 0.8);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ChaosPlan::generate(1, 0.8);
+        let b = ChaosPlan::generate(2, 0.8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generated_plans_always_validate() {
+        for seed in 0..32 {
+            for &i in &[0.1, 0.5, 1.0] {
+                let plan = ChaosPlan::generate(seed, i);
+                plan.validate()
+                    .unwrap_or_else(|e| panic!("seed {seed} intensity {i}: {e}"));
+                assert!(plan
+                    .events
+                    .iter()
+                    .all(|e| e.at < SimTime::ZERO + SimDuration::from_secs_f64(10.0)));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_intensity_is_empty() {
+        assert!(ChaosPlan::generate(3, 0.0).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_intensity_is_clamped() {
+        let hot = ChaosPlan::generate(5, 7.5);
+        let one = ChaosPlan::generate(5, 1.0);
+        assert_eq!(hot, one);
+        assert!(ChaosPlan::generate(5, -3.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "intensity must be finite")]
+    fn nan_intensity_panics() {
+        ChaosPlan::generate(1, f64::NAN);
+    }
+
+    #[test]
+    fn intensity_scales_event_count() {
+        let mild: usize = (0..16)
+            .map(|s| ChaosPlan::generate(s, 0.1).events.len())
+            .sum();
+        let hot: usize = (0..16)
+            .map(|s| ChaosPlan::generate(s, 1.0).events.len())
+            .sum();
+        assert!(hot > 2 * mild, "mild {mild} vs hot {hot}");
+    }
+
+    #[test]
+    fn horizon_bounds_event_times() {
+        let horizon = SimTime::ZERO + SimDuration::from_secs_f64(3.0);
+        let plan = ChaosPlan::generate_over(9, 1.0, horizon);
+        assert!(plan.events.iter().all(|e| e.at < horizon));
+        assert!(ChaosPlan::generate_over(9, 1.0, SimTime::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! Deterministic fault injection for the ERT reproduction.
+//!
+//! The paper's churn model (Section 5.5) is the gentlest failure model
+//! imaginable: nodes leave instantly and cleanly, every message is
+//! delivered, and a stale link costs one fixed timeout. This crate
+//! supplies the adversarial counterpart:
+//!
+//! * [`FaultPlan`] — a seeded, serializable schedule of [`FaultEvent`]s
+//!   (crash-stop departures, host degradation, probabilistic message
+//!   loss, correlated partitions, and heal events) that `ert-network`
+//!   interprets alongside the churn schedule;
+//! * [`RetryPolicy`] — a bounded retry budget with deterministic
+//!   exponential backoff, off by default so paper runs stay
+//!   byte-identical;
+//! * [`ChaosPlan`] — a generator of randomized-but-reproducible fault
+//!   schedules for the workspace chaos harness.
+//!
+//! Everything here is a pure function of its seed: no wall clock, no
+//! ambient randomness, no platform-dependent ordering. Equal-timestamp
+//! fault events carry an explicit taxonomy tie-break (see
+//! [`FaultEvent::sort_key`]) so permuting a schedule never changes a
+//! run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chaos;
+mod plan;
+mod retry;
+
+pub use chaos::ChaosPlan;
+pub use plan::{FaultEvent, FaultKind, FaultPlan};
+pub use retry::RetryPolicy;

@@ -4,7 +4,7 @@
 //! reproducible if every simulation run is a pure function of its seed
 //! and never tears down mid-run. This crate enforces that property
 //! mechanically with a small hand-rolled Rust lexer (no dependencies)
-//! and a five-rule catalog:
+//! and a six-rule catalog:
 //!
 //! | rule | name | what it bans | where |
 //! |------|------|--------------|-------|
@@ -13,6 +13,7 @@
 //! | D3 | `hash-container` | `HashMap`/`HashSet` | `ert-sim`, `ert-network`, `ert-core`, `ert-overlay` |
 //! | D4 | `panic-path` | `.unwrap()`, `.expect()`, `panic!` family | `core::forward`, `core::adapt`, `sim::engine`, `network::lookup` (tests exempt) |
 //! | D5 | `float-eq` | `==`/`!=` against float literals or load/capacity pairs | everywhere |
+//! | D6 | `swallowed-result` | `let _ =` and trailing `.ok();` discards | `network::network`, `network::topology`, all of `ert-faults` (tests exempt) |
 //!
 //! A violation can be waived inline with
 //! `// ert-lint: allow(<rule>) — <justification>` on the same or the

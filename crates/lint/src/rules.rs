@@ -1,4 +1,4 @@
-//! The D1–D5 rule catalog and the engine that applies it to one file.
+//! The D1–D6 rule catalog and the engine that applies it to one file.
 //!
 //! Every rule is purely token-based (see [`crate::lexer`]); scope is
 //! decided from the [`FileContext`] the workspace walker supplies.
@@ -18,6 +18,8 @@ pub const HASH_CONTAINER: &str = "hash-container";
 pub const PANIC_PATH: &str = "panic-path";
 /// Rule D5: direct `f64` equality in load/capacity comparisons.
 pub const FLOAT_EQ: &str = "float-eq";
+/// Rule D6: silently discarded `Result`s in fault-handling code.
+pub const SWALLOWED_RESULT: &str = "swallowed-result";
 /// Meta-rule: a malformed `ert-lint:` suppression comment.
 pub const SUPPRESSION: &str = "suppression";
 
@@ -28,6 +30,7 @@ pub const CATALOG: &[(&str, &str)] = &[
     ("D3", HASH_CONTAINER),
     ("D4", PANIC_PATH),
     ("D5", FLOAT_EQ),
+    ("D6", SWALLOWED_RESULT),
 ];
 
 /// Crates where hash-ordered iteration breaks run reproducibility
@@ -42,6 +45,17 @@ const D4_FILES: &[&str] = &[
     "crates/sim/src/engine.rs",
     "crates/network/src/lookup.rs",
 ];
+
+/// Fault-handling code where a silently discarded outcome hides a
+/// recovery bug (rule D6): the fault-injection surface and the network
+/// modules that interpret fault schedules.
+const D6_FILES: &[&str] = &[
+    "crates/network/src/network.rs",
+    "crates/network/src/topology.rs",
+];
+
+/// D6 also covers the whole fault-injection crate.
+const D6_CRATES: &[&str] = &["ert-faults"];
 
 /// Where a source file sits in the workspace; decides rule scope.
 #[derive(Debug, Clone)]
@@ -126,6 +140,8 @@ fn run_rules(tokens: &[Token], ctx: &FileContext) -> Vec<Violation> {
     let d1 = ctx.crate_name != "ert-bench" && !ctx.is_binary;
     let d3 = D3_CRATES.contains(&ctx.crate_name.as_str());
     let d4 = D4_FILES.contains(&ctx.rel_path.as_str());
+    let d6 =
+        D6_FILES.contains(&ctx.rel_path.as_str()) || D6_CRATES.contains(&ctx.crate_name.as_str());
 
     let ident = |i: usize| match tokens.get(i).map(|t| &t.kind) {
         Some(TokenKind::Ident(s)) => Some(s.as_str()),
@@ -203,6 +219,38 @@ fn run_rules(tokens: &[Token], ctx: &FileContext) -> Vec<Violation> {
                     PANIC_PATH,
                     line,
                     format!("`{m}!` in hot path; return an error value instead"),
+                );
+            }
+            // `let _ = ...` (with or without a type ascription the
+            // lexer would split after `_`) discards an outcome.
+            Some("let")
+                if d6
+                    && !in_test(i)
+                    && ident(i + 1) == Some("_")
+                    && matches!(punct(i + 2), Some("=") | Some(":")) =>
+            {
+                push(
+                    SWALLOWED_RESULT,
+                    line,
+                    "`let _ =` discards a result in fault-handling code; handle the \
+                     outcome or bind it to a named `_reason` with a comment"
+                        .into(),
+                );
+            }
+            Some("ok")
+                if d6
+                    && !in_test(i)
+                    && punct(i.wrapping_sub(1)) == Some(".")
+                    && punct(i + 1) == Some("(")
+                    && punct(i + 2) == Some(")")
+                    && punct(i + 3) == Some(";") =>
+            {
+                push(
+                    SWALLOWED_RESULT,
+                    line,
+                    "`.ok();` swallows a Result in fault-handling code; propagate the \
+                     error or record why it is safe to drop"
+                        .into(),
                 );
             }
             _ => {}
@@ -564,6 +612,55 @@ mod tests {
     fn d5_suppressed() {
         let src = "if g == 1.0 { return 1.0; } // ert-lint: allow(float-eq) — exact sentinel\n";
         let out = check_file(src, &ctx("crates/x/src/lib.rs", "ert-x"));
+        assert!(out.violations.is_empty());
+        assert_eq!(out.suppressed.len(), 1);
+    }
+
+    // ---- D6 swallowed-result ----
+
+    #[test]
+    fn d6_fires_in_fault_handling_scope_only() {
+        let src = "fn f() { let _ = send(); }";
+        assert_eq!(
+            rules_fired(src, &ctx("crates/network/src/network.rs", "ert-network")),
+            vec![SWALLOWED_RESULT]
+        );
+        assert_eq!(
+            rules_fired(src, &ctx("crates/faults/src/plan.rs", "ert-faults")),
+            vec![SWALLOWED_RESULT]
+        );
+        // Out of scope: same pattern elsewhere is fine.
+        assert!(rules_fired(src, &ctx("crates/core/src/table.rs", "ert-core")).is_empty());
+    }
+
+    #[test]
+    fn d6_fires_on_trailing_ok() {
+        let src = "fn f() { send().ok(); }";
+        assert_eq!(
+            rules_fired(src, &ctx("crates/network/src/topology.rs", "ert-network")),
+            vec![SWALLOWED_RESULT]
+        );
+        // `.ok()` feeding into something is a conversion, not a swallow.
+        let src2 = "fn f() -> Option<u32> { send().ok() }";
+        assert!(
+            rules_fired(src2, &ctx("crates/network/src/topology.rs", "ert-network")).is_empty()
+        );
+    }
+
+    #[test]
+    fn d6_ignores_named_bindings_and_tests() {
+        // A named placeholder keeps the discard visible and greppable.
+        let src = "fn f() { let _ignored = send(); }";
+        assert!(rules_fired(src, &ctx("crates/faults/src/plan.rs", "ert-faults")).is_empty());
+        let src2 = "#[cfg(test)]\nmod tests {\n#[test]\nfn t() { let _ = send(); send().ok(); }\n}";
+        assert!(rules_fired(src2, &ctx("crates/network/src/network.rs", "ert-network")).is_empty());
+    }
+
+    #[test]
+    fn d6_suppressed_with_justification() {
+        let src = "// ert-lint: allow(swallowed-result) — best-effort telemetry flush, failure is benign\n\
+                   fn f() { flush().ok(); }";
+        let out = check_file(src, &ctx("crates/faults/src/chaos.rs", "ert-faults"));
         assert!(out.violations.is_empty());
         assert_eq!(out.suppressed.len(), 1);
     }

@@ -1,6 +1,7 @@
 //! Simulation configuration (Table 2 of the paper).
 
 use ert_core::{ErtParams, Estimator};
+use ert_faults::RetryPolicy;
 use ert_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -62,6 +63,12 @@ pub struct NetworkConfig {
     /// timeouts. Off by default (the paper's protocols repair lazily;
     /// ERT's candidate sets make stabilization largely redundant).
     pub stabilization: bool,
+    /// How forwards lost to injected faults (message drops, partition
+    /// blocks — see `ert-faults`) are retried. The default grants a
+    /// single attempt (retries off), so paper runs without a fault plan
+    /// behave byte-identically to a build that has never heard of
+    /// faults.
+    pub retry: RetryPolicy,
 }
 
 impl NetworkConfig {
@@ -82,6 +89,7 @@ impl NetworkConfig {
             sample_interval: SimDuration::ZERO,
             landmark_count: 0,
             stabilization: false,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -104,15 +112,21 @@ impl NetworkConfig {
         if self.light_service == SimDuration::ZERO {
             return Err("light service time must be positive".into());
         }
+        if self.heavy_service == SimDuration::ZERO {
+            return Err("heavy service time must be positive".into());
+        }
         if self.heavy_service < self.light_service {
             return Err("heavy service must not be faster than light".into());
         }
         if !(self.latency_scale >= 0.0 && self.latency_scale.is_finite()) {
-            return Err("latency scale must be non-negative".into());
+            return Err("latency scale must be non-negative and finite".into());
         }
         if self.max_hops == 0 {
             return Err("max hops must be positive".into());
         }
+        self.retry
+            .validate()
+            .map_err(|e| format!("retry policy: {e}"))?;
         Ok(())
     }
 }
@@ -139,5 +153,65 @@ mod tests {
         let mut cfg = NetworkConfig::for_dimension(8, 1);
         cfg.heavy_service = SimDuration::from_secs_f64(0.1);
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_light_service() {
+        let mut cfg = NetworkConfig::for_dimension(8, 1);
+        cfg.light_service = SimDuration::ZERO;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("light service"), "{err}");
+    }
+
+    #[test]
+    fn rejects_zero_heavy_service() {
+        let mut cfg = NetworkConfig::for_dimension(8, 1);
+        // Zero light would trip first; make light tiny but positive.
+        cfg.light_service = SimDuration::from_micros(1);
+        cfg.heavy_service = SimDuration::ZERO;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("heavy service"), "{err}");
+    }
+
+    #[test]
+    fn rejects_nan_latency_scale() {
+        let mut cfg = NetworkConfig::for_dimension(8, 1);
+        cfg.latency_scale = f64::NAN;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("latency scale"), "{err}");
+    }
+
+    #[test]
+    fn rejects_infinite_latency_scale() {
+        let mut cfg = NetworkConfig::for_dimension(8, 1);
+        cfg.latency_scale = f64::INFINITY;
+        assert!(cfg.validate().is_err());
+        cfg.latency_scale = -0.5;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_retry_policy() {
+        let mut cfg = NetworkConfig::for_dimension(8, 1);
+        cfg.retry.max_attempts = 0;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.starts_with("retry policy:"), "{err}");
+
+        // Enabled retries with a zero base backoff are inconsistent...
+        let mut cfg = NetworkConfig::for_dimension(8, 1);
+        cfg.retry.max_attempts = 3;
+        cfg.retry.base = SimDuration::ZERO;
+        assert!(cfg.validate().is_err());
+
+        // ...as is a shrinking backoff factor.
+        let mut cfg = NetworkConfig::for_dimension(8, 1);
+        cfg.retry = RetryPolicy::standard();
+        cfg.retry.factor = 0.25;
+        assert!(cfg.validate().is_err());
+
+        // A well-formed enabled policy passes.
+        let mut cfg = NetworkConfig::for_dimension(8, 1);
+        cfg.retry = RetryPolicy::standard();
+        cfg.validate().unwrap();
     }
 }

@@ -25,6 +25,16 @@
 //! variants are constructed here ([`ProtocolSpec::ert_af`] etc.); the
 //! paper's comparison baselines live in `ert-baselines`.
 //!
+//! # Fault injection
+//!
+//! [`Network::run_with_faults`] interprets a seeded [`FaultPlan`] (from
+//! `ert-faults`, re-exported here) alongside the churn schedule:
+//! crash-stop departures, degraded hosts, message-loss episodes, and
+//! partitions. Lost forwards retry under [`NetworkConfig::retry`]
+//! (default: a single attempt, i.e. retries off) and exhausted queries
+//! are accounted as `lookups_failed`. An empty plan leaves every run
+//! byte-identical to [`Network::run`].
+//!
 //! # Invariant sanitizer
 //!
 //! Debug builds (and any build with the `sanitize` feature) assert the
@@ -47,6 +57,7 @@ pub mod state;
 pub mod topology;
 
 pub use config::NetworkConfig;
+pub use ert_faults::{ChaosPlan, FaultEvent, FaultKind, FaultPlan, RetryPolicy};
 pub use lookup::{ChurnEvent, KeyPick, Lookup, SourcePick};
 pub use metrics::RunReport;
 pub use network::Network;

@@ -17,6 +17,13 @@ pub struct Metrics {
     pub lookups_completed: u64,
     /// Lookups dropped by the hop-limit safety valve.
     pub lookups_dropped: u64,
+    /// Lookups lost to injected faults: queries on a crashed host, or
+    /// forwards whose retry budget ran out (see `ert-faults`). Always 0
+    /// without a fault plan.
+    pub lookups_failed: u64,
+    /// Forward attempts re-issued after a fault loss under the
+    /// configured retry policy.
+    pub retries: u64,
     /// Forwards that hit a departed node before discovering the stale
     /// link (Section 5.5's time-out metric).
     pub timeouts: u64,
@@ -52,6 +59,11 @@ pub struct RunReport {
     pub lookups_completed: u64,
     /// Lookups dropped at the hop limit.
     pub lookups_dropped: u64,
+    /// Lookups lost to injected faults (crashes, exhausted retry
+    /// budgets). Conservation holds per run:
+    /// `lookups_completed + lookups_dropped + lookups_failed` equals the
+    /// lookups issued. Always 0 without a fault plan.
+    pub lookups_failed: u64,
     /// 99th percentile over hosts of each host's maximum congestion
     /// (Fig. 4a / 9a).
     pub p99_max_congestion: f64,
@@ -86,6 +98,10 @@ pub struct RunReport {
     /// Mean departed-node handoffs per lookup (churn overhead common to
     /// all protocols).
     pub handoffs_per_lookup: f64,
+    /// Mean fault-loss retries per issued lookup — the recovery
+    /// overhead of the configured `RetryPolicy`. Always 0 without a
+    /// fault plan (or with retries disabled).
+    pub retries_per_lookup: f64,
     /// Mean load probes per forwarding decision.
     pub probes_per_decision: f64,
     /// Elastic link operations (adds, sheds, purges) per completed
@@ -154,11 +170,12 @@ impl fmt::Display for RunReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{}: {}/{} lookups ({} dropped), path {:.2} hops, time {:.3}s (p99 {:.3}s)",
+            "{}: {}/{} lookups ({} dropped, {} failed), path {:.2} hops, time {:.3}s (p99 {:.3}s)",
             self.protocol,
             self.lookups_completed,
             self.lookups_started,
             self.lookups_dropped,
+            self.lookups_failed,
             self.mean_path_length,
             self.lookup_time.mean,
             self.lookup_time.p99,
@@ -209,6 +226,7 @@ impl Metrics {
             lookups_started: self.lookups_started,
             lookups_completed: self.lookups_completed,
             lookups_dropped: self.lookups_dropped,
+            lookups_failed: self.lookups_failed,
             p99_max_congestion: max_congestion.percentile(0.99),
             p99_min_capacity_congestion: self.min_cap_congestion.percentile(0.99),
             p99_share: shares.percentile(0.99),
@@ -228,6 +246,11 @@ impl Metrics {
                 0.0
             } else {
                 self.handoffs as f64 / self.lookups_completed as f64
+            },
+            retries_per_lookup: if self.lookups_started == 0 {
+                0.0
+            } else {
+                self.retries as f64 / self.lookups_started as f64
             },
             probes_per_decision: if self.forward_decisions == 0 {
                 0.0
@@ -336,6 +359,25 @@ mod tests {
         assert_eq!(r.lookups_completed, 0);
         assert_eq!(r.p99_share, 0.0);
         assert_eq!(r.probes_per_decision, 0.0);
+    }
+
+    #[test]
+    fn failed_lookups_flow_into_the_report() {
+        let m = Metrics {
+            lookups_started: 10,
+            lookups_completed: 6,
+            lookups_dropped: 1,
+            lookups_failed: 3,
+            ..Metrics::default()
+        };
+        let r = m.into_report("F", &[], 1.0);
+        assert_eq!(r.lookups_failed, 3);
+        assert_eq!(r.retries_per_lookup, 0.0);
+        assert_eq!(
+            r.lookups_completed + r.lookups_dropped + r.lookups_failed,
+            r.lookups_started
+        );
+        assert!(r.to_string().contains("3 failed"), "{r}");
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! The simulation run: query lifecycle, churn, and adaptation events.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use ert_core::{
-    adaptation_action, choose_next_b, max_indegree, normalize_capacities, AdaptAction, Candidate,
-    ForwardPolicy,
+    adaptation_action, choose_next_reachable, max_indegree, normalize_capacities, AdaptAction,
+    Candidate, ForwardPolicy,
 };
+use ert_faults::{FaultEvent, FaultKind, FaultPlan};
 use ert_overlay::{Coord, CycloidId, CycloidSpace};
 use ert_sim::{Engine, SampleClock, SimDuration, SimRng, SimTime, TraceLog};
 use ert_telemetry::{Snapshot, Telemetry, TelemetryEvent};
@@ -19,6 +20,16 @@ use crate::spec::{ProtocolSpec, TablePolicy};
 use crate::state::Host;
 use crate::topology::Topology;
 
+/// Simulation events.
+///
+/// # Ordering at equal timestamps
+///
+/// The engine breaks time ties by scheduling order (FIFO), so the
+/// same-instant processing order is fixed by how `run_with_faults`
+/// enqueues things: lookups in schedule order, then churn in the
+/// canonical [`ChurnEvent::sort_key`] order, then faults in the
+/// canonical [`FaultEvent::sort_key`] order. Churn-before-faults means
+/// an equal-time join is a member before a crash draws its victim.
 #[derive(Debug)]
 enum Event {
     Inject(usize),
@@ -32,6 +43,13 @@ enum Event {
     },
     AdaptTick,
     Churn(usize),
+    /// The `i`-th event of the canonically-sorted fault schedule fires.
+    Fault(usize),
+    /// A query whose forward was lost to a fault wakes up after its
+    /// retry backoff and attempts the hop again.
+    Retry {
+        q: usize,
+    },
     /// Telemetry snapshot tick; scheduled only when
     /// [`NetworkConfig::sample_interval`] is nonzero, and side-effect
     /// free with respect to the simulation (no RNG draws, no state
@@ -60,6 +78,43 @@ struct QueryState {
     return_route: Vec<CycloidId>,
     /// Whether the query is in its response (return) phase.
     returning: bool,
+    /// Forward attempts lost to injected faults since the last
+    /// successful hop; reset on every delivered forward. When this
+    /// reaches `RetryPolicy::max_attempts` the query fails.
+    attempts: u32,
+}
+
+/// Active fault effects, kept outside the paper's host/node state so an
+/// empty [`FaultPlan`] leaves zero residue in the simulation.
+#[derive(Debug, Default)]
+struct FaultState {
+    /// Per-host service-time inflation factors, cleared by `Heal`.
+    degraded: BTreeMap<usize, f64>,
+    /// Active message-loss episode: probability and expiry time.
+    drop: Option<(f64, SimTime)>,
+    /// Active partition: class count and expiry time.
+    partition: Option<(u32, SimTime)>,
+}
+
+impl FaultState {
+    fn drop_p(&self, now: SimTime) -> Option<f64> {
+        self.drop.and_then(|(p, until)| (now < until).then_some(p))
+    }
+
+    fn partition_groups(&self, now: SimTime) -> Option<u32> {
+        self.partition
+            .and_then(|(g, until)| (now < until).then_some(g))
+    }
+
+    fn service_factor(&self, host: usize) -> f64 {
+        self.degraded.get(&host).copied().unwrap_or(1.0)
+    }
+
+    fn heal(&mut self) {
+        self.degraded.clear();
+        self.drop = None;
+        self.partition = None;
+    }
 }
 
 /// One simulation run: an overlay under a protocol, fed lookups and
@@ -92,6 +147,12 @@ pub struct Network {
     outstanding: u64,
     injections_left: u64,
     churn_schedule: Vec<ChurnEvent>,
+    fault_schedule: Vec<FaultEvent>,
+    faults: FaultState,
+    /// Fault-interpretation stream. Reseeded from the plan at the start
+    /// of a faulted run and never drawn from otherwise, so runs with an
+    /// empty plan are byte-identical to builds without faults.
+    rng_faults: SimRng,
     telemetry: Telemetry,
     sample_clock: Option<SampleClock>,
     adapt_rounds: u64,
@@ -217,6 +278,9 @@ impl Network {
             outstanding: 0,
             injections_left: 0,
             churn_schedule: Vec::new(),
+            fault_schedule: Vec::new(),
+            faults: FaultState::default(),
+            rng_faults: SimRng::seed_from(cfg.seed),
             telemetry: Telemetry::with_trace_capacity(cfg.trace_capacity),
             sample_clock: None,
             adapt_rounds: 0,
@@ -266,18 +330,61 @@ impl Network {
 
     /// Runs the schedule to completion and digests the metrics.
     ///
-    /// The run ends when every injected lookup has completed or been
-    /// dropped; churn scheduled after that point is ignored, matching
-    /// the paper's "when all lookups complete" cut-off.
+    /// The run ends when every injected lookup has completed, been
+    /// dropped, or failed; churn scheduled after that point is ignored,
+    /// matching the paper's "when all lookups complete" cut-off.
+    ///
+    /// Equivalent to [`Network::run_with_faults`] with an empty
+    /// [`FaultPlan`].
     pub fn run(&mut self, lookups: &[Lookup], churn: &[ChurnEvent]) -> RunReport {
+        self.run_with_faults(lookups, churn, &FaultPlan::default())
+    }
+
+    /// Runs the schedule under an injected fault plan (see `ert-faults`).
+    ///
+    /// The plan's events interleave with churn on the same event clock;
+    /// at equal timestamps churn applies before faults, and events of
+    /// each kind apply in their canonical sorted order (see the
+    /// [`Event`] ordering note), so permuting either schedule never
+    /// changes the run. With an empty plan this is exactly [`Network::run`]:
+    /// the fault stream is never drawn from and no fault events are
+    /// scheduled, keeping paper scenarios byte-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan fails [`FaultPlan::validate`].
+    pub fn run_with_faults(
+        &mut self,
+        lookups: &[Lookup],
+        churn: &[ChurnEvent],
+        plan: &FaultPlan,
+    ) -> RunReport {
+        if let Err(e) = plan.validate() {
+            panic!("invalid fault plan: {e}");
+        }
         self.lookups = lookups.to_vec();
-        self.churn_schedule = churn.to_vec();
         self.injections_left = lookups.len() as u64;
         for (i, l) in lookups.iter().enumerate() {
             self.engine.schedule_at(l.at, Event::Inject(i));
         }
-        for (i, c) in churn.iter().enumerate() {
+        // Equal-time churn events apply in canonical order, not slice
+        // order (at distinct timestamps the sort changes nothing).
+        let mut churn_sorted = churn.to_vec();
+        churn_sorted.sort_by_key(ChurnEvent::sort_key);
+        for (i, c) in churn_sorted.iter().enumerate() {
             self.engine.schedule_at(c.at(), Event::Churn(i));
+        }
+        self.churn_schedule = churn_sorted;
+        if !plan.is_empty() {
+            // Seed the interpretation stream from (config, plan) so the
+            // fault outcomes are a pure function of both, independent of
+            // the topology / forwarding / workload streams.
+            self.rng_faults = SimRng::seed_from(self.cfg.seed.rotate_left(17) ^ plan.seed);
+            self.fault_schedule = plan.sorted_events();
+            for i in 0..self.fault_schedule.len() {
+                self.engine
+                    .schedule_at(self.fault_schedule[i].at, Event::Fault(i));
+            }
         }
         if self.protocol.adaptation || self.protocol.item_movement || self.cfg.stabilization {
             self.engine
@@ -296,8 +403,17 @@ impl Network {
                 Event::ServiceDone { host, q } => self.on_service_done(host, q, now),
                 Event::AdaptTick => self.on_adapt_tick(now),
                 Event::Churn(i) => self.on_churn(i, now),
+                Event::Fault(i) => self.on_fault(i, now),
+                Event::Retry { q } => self.on_retry(q, now),
                 Event::Sample => self.on_sample(now),
             }
+            self.sanitizer.check_conservation(
+                self.metrics.lookups_started,
+                self.metrics.lookups_completed,
+                self.metrics.lookups_dropped,
+                self.metrics.lookups_failed,
+                self.outstanding,
+            );
             if self.injections_left == 0 && self.outstanding == 0 {
                 break;
             }
@@ -354,7 +470,12 @@ impl Network {
         self.injections_left -= 1;
         let lookup = self.lookups[i];
         let Some(source) = self.resolve_source(lookup.source) else {
-            return; // no live node to start from
+            // No live node to start from (possible under crash faults):
+            // the lookup fails immediately instead of silently vanishing,
+            // keeping issued == completed + dropped + failed.
+            self.metrics.lookups_started += 1;
+            self.metrics.lookups_failed += 1;
+            return;
         };
         let key = self.resolve_key(lookup.key);
         let q = self.queries.len();
@@ -370,6 +491,7 @@ impl Network {
             path: Vec::new(),
             return_route: Vec::new(),
             returning: false,
+            attempts: 0,
         });
         self.metrics.lookups_started += 1;
         self.outstanding += 1;
@@ -443,13 +565,19 @@ impl Network {
     }
 
     fn start_service(&mut self, host_idx: usize, q: usize, now: SimTime) {
+        let degrade = self.faults.service_factor(host_idx);
         let host = &mut self.topo.hosts[host_idx];
         host.in_service = Some(q);
-        let service = if host.is_heavy() {
+        let mut service = if host.is_heavy() {
             self.cfg.heavy_service
         } else {
             self.cfg.light_service
         };
+        if degrade > 1.0 {
+            // Degrade fault in force: the host serves `degrade`× slower.
+            service =
+                SimDuration::from_micros((service.as_micros() as f64 * degrade).round() as u64);
+        }
         host.busy_micros += service.as_micros();
         self.engine
             .schedule_at(now + service, Event::ServiceDone { host: host_idx, q });
@@ -561,6 +689,22 @@ impl Network {
             .emit(now, || TelemetryEvent::LookupDropped { q: q as u64, hops });
     }
 
+    /// Terminates query `q` as a fault casualty (crash with no handoff,
+    /// or retry budget exhausted). Distinct from [`Network::drop_query`],
+    /// which accounts the hop-limit safety valve.
+    fn fail_query(&mut self, q: usize, now: SimTime) {
+        let qs = &mut self.queries[q];
+        if qs.done {
+            return;
+        }
+        qs.done = true;
+        self.outstanding -= 1;
+        self.metrics.lookups_failed += 1;
+        let hops = self.queries[q].hops;
+        self.telemetry
+            .emit(now, || TelemetryEvent::LookupFailed { q: q as u64, hops });
+    }
+
     fn candidate_info(&self, me: CycloidId, id: CycloidId, key: CycloidId) -> Candidate<CycloidId> {
         let (load, capacity) = match self.topo.host_of_id(id) {
             Some(h) => {
@@ -617,16 +761,53 @@ impl Network {
             ) => self.topo.nodes[node].table.memory(slot),
             _ => None,
         };
-        let choice = choose_next_b(
+        // Partition faults hard-exclude candidates across the cut. With
+        // no partition active the cut is empty and `choose_next_reachable`
+        // delegates to the ordinary two-choice selection with identical
+        // RNG draws, keeping fault-free runs byte-identical.
+        let cut = self.partition_cut(node, &rc.ids, now);
+        let choice = match choose_next_reachable(
             self.protocol.forwarding,
             &cands,
+            &cut,
             memory,
             &self.queries[q].avoid,
             self.cfg.ert.gamma_l,
             self.cfg.ert.probe_width,
             &mut self.rng_forward,
-        )
-        .expect("candidates nonempty");
+        ) {
+            Some(c) => c,
+            None => {
+                // Every entry candidate sits across the partition:
+                // degrade gracefully to the successor-ring walk. If even
+                // the ring is cut, the attempt is lost and the retry
+                // policy decides whether the query waits or fails.
+                self.queries[q].ring_mode = true;
+                let ring_pick = self
+                    .topo
+                    .route_candidates(node, key, false, true, &mut self.rng_forward)
+                    .and_then(|rc2| {
+                        let ring_cut = self.partition_cut(node, &rc2.ids, now);
+                        rc2.ids
+                            .iter()
+                            .copied()
+                            .filter(|id| !ring_cut.contains(id))
+                            .min_by_key(|&x| self.topo.logical_metric(x, key))
+                    });
+                match ring_pick {
+                    Some(alt) => ert_core::ForwardChoice {
+                        next: alt,
+                        new_memory: None,
+                        newly_overloaded: Vec::new(),
+                        probes: 0,
+                    },
+                    None => {
+                        self.forward_lost(q, now);
+                        return;
+                    }
+                }
+            }
+        };
         self.metrics.forward_decisions += 1;
         self.metrics.probes += choice.probes as u64;
         for o in &choice.newly_overloaded {
@@ -693,6 +874,14 @@ impl Network {
             };
         }
 
+        // Fault gate at the moment of transmission: an active partition
+        // blocks the link, an active loss episode may eat the message.
+        // Hops are not charged for a forward that never lands.
+        if self.forward_fault_lost(q, me, next, now) {
+            return;
+        }
+
+        self.queries[q].attempts = 0;
         self.queries[q].hops += 1;
         let (from_lin, to_lin) = (self.topo.space.lin(me), self.topo.space.lin(next));
         self.telemetry.emit(now, || TelemetryEvent::LookupHop {
@@ -1009,6 +1198,157 @@ impl Network {
                 }
                 None => self.drop_query(q, now),
             }
+        }
+    }
+
+    fn on_fault(&mut self, i: usize, now: SimTime) {
+        let ev = self.fault_schedule[i];
+        let seq = i as u64;
+        let tag = ev.kind.tag();
+        self.telemetry.emit(now, || TelemetryEvent::FaultInjected {
+            seq,
+            fault: tag.to_string(),
+        });
+        match ev.kind {
+            FaultKind::Crash => self.crash_random_host(now),
+            FaultKind::Degrade { factor } => {
+                if let Some(&host) = self.rng_faults.choose(&self.alive_hosts) {
+                    self.faults.degraded.insert(host, factor);
+                }
+            }
+            FaultKind::DropMessages { p, window } => {
+                self.faults.drop = Some((p, now + window));
+            }
+            FaultKind::Partition { groups, window } => {
+                self.faults.partition = Some((groups, now + window));
+            }
+            FaultKind::Heal => self.faults.heal(),
+        }
+    }
+
+    /// Crash-stop departure: like [`Network::leave_random_host`] but
+    /// with **no successor handoff** — every query queued or in service
+    /// on the victim dies with it (accounted as failed).
+    fn crash_random_host(&mut self, now: SimTime) {
+        if self.alive_hosts.len() <= 2 {
+            return; // keep the overlay routable, as with clean leaves
+        }
+        let pos = self.rng_faults.gen_range(0..self.alive_hosts.len());
+        let host_idx = self.alive_hosts.swap_remove(pos);
+        let node_idxs = self.topo.hosts[host_idx].nodes.clone();
+        let mut removed: u32 = 0;
+        for n in node_idxs {
+            if self.topo.nodes[n].alive {
+                self.topo.remove_node(n);
+                removed += 1;
+            }
+        }
+        self.topo.hosts[host_idx].alive = false;
+        self.faults.degraded.remove(&host_idx);
+        self.telemetry.emit(now, || TelemetryEvent::NodeDeparted {
+            host: host_idx as u64,
+            nodes: removed,
+        });
+        let mut lost: Vec<usize> = self.topo.hosts[host_idx].queue.drain(..).collect();
+        if let Some(in_service) = self.topo.hosts[host_idx].in_service.take() {
+            lost.push(in_service);
+        }
+        for q in lost {
+            self.fail_query(q, now);
+        }
+    }
+
+    /// The subset of `ids` across an active partition cut from `node`'s
+    /// host; empty when no partition is in force. Departed entries pass
+    /// the filter — discovering those is the stale-link path's business.
+    fn partition_cut(&self, node: usize, ids: &[CycloidId], now: SimTime) -> BTreeSet<CycloidId> {
+        let Some(groups) = self.faults.partition_groups(now) else {
+            return BTreeSet::new();
+        };
+        let mine = self.topo.nodes[node].host as u64 % u64::from(groups);
+        ids.iter()
+            .copied()
+            .filter(|&id| match self.topo.host_of_id(id) {
+                Some(h) => h as u64 % u64::from(groups) != mine,
+                None => false,
+            })
+            .collect()
+    }
+
+    /// Whether an active partition blocks a message between the hosts
+    /// owning `from` and `to`.
+    fn partition_blocks(&self, from: CycloidId, to: CycloidId, now: SimTime) -> bool {
+        let Some(groups) = self.faults.partition_groups(now) else {
+            return false;
+        };
+        match (self.topo.host_of_id(from), self.topo.host_of_id(to)) {
+            (Some(a), Some(b)) => a as u64 % u64::from(groups) != b as u64 % u64::from(groups),
+            _ => false,
+        }
+    }
+
+    /// The fault gate at the moment of transmission: returns `true` (and
+    /// accounts the loss) when the forward `me -> next` is blocked by an
+    /// active partition or eaten by an active message-drop episode.
+    fn forward_fault_lost(
+        &mut self,
+        q: usize,
+        me: CycloidId,
+        next: CycloidId,
+        now: SimTime,
+    ) -> bool {
+        let blocked = self.partition_blocks(me, next, now);
+        let dropped = !blocked
+            && match self.faults.drop_p(now) {
+                Some(p) => self.rng_faults.gen::<f64>() < p,
+                None => false,
+            };
+        if !(blocked || dropped) {
+            return false;
+        }
+        let (from_lin, to_lin) = (self.topo.space.lin(me), self.topo.space.lin(next));
+        self.telemetry.emit(now, || TelemetryEvent::MessageLost {
+            q: q as u64,
+            from: from_lin,
+            to: to_lin,
+        });
+        self.forward_lost(q, now);
+        true
+    }
+
+    /// One forward attempt of query `q` went nowhere (partition block,
+    /// message drop, or no reachable candidate at all). The sender
+    /// notices after a timeout; the retry policy then grants another
+    /// attempt with exponential backoff, or the query fails.
+    fn forward_lost(&mut self, q: usize, now: SimTime) {
+        self.queries[q].attempts += 1;
+        let attempt = self.queries[q].attempts;
+        if attempt >= self.cfg.retry.max_attempts {
+            self.fail_query(q, now);
+            return;
+        }
+        self.metrics.retries += 1;
+        self.telemetry.emit(now, || TelemetryEvent::LookupRetry {
+            q: q as u64,
+            attempt,
+        });
+        let delay = self.cfg.timeout_penalty + self.cfg.retry.backoff(attempt);
+        self.engine.schedule_at(now + delay, Event::Retry { q });
+    }
+
+    fn on_retry(&mut self, q: usize, now: SimTime) {
+        if self.queries[q].done {
+            return;
+        }
+        let node = self.queries[q].at_node;
+        if self.topo.nodes[node].alive {
+            self.forward(q, node, now);
+        } else {
+            // The retrying node itself departed during the backoff:
+            // `deliver` reroutes to its ring successor like any other
+            // message addressed to a dead node.
+            let id = self.topo.nodes[node].id;
+            self.deliver(q, id, now);
         }
     }
 }

@@ -65,6 +65,31 @@ impl Sanitizer {
         self.checks += 1;
     }
 
+    /// Lookup conservation: at every point of a run each started lookup
+    /// is in exactly one of four states — completed, dropped at the hop
+    /// limit, failed to a fault, or still outstanding. A fault path that
+    /// loses a query without accounting for it shows up here
+    /// immediately rather than as a silently-short report.
+    pub(crate) fn check_conservation(
+        &mut self,
+        started: u64,
+        completed: u64,
+        dropped: u64,
+        failed: u64,
+        outstanding: u64,
+    ) {
+        if !Self::ACTIVE {
+            return;
+        }
+        assert!(
+            started == completed + dropped + failed + outstanding,
+            "sanitize: lookup conservation violated: started {started} != \
+             completed {completed} + dropped {dropped} + failed {failed} + \
+             outstanding {outstanding}"
+        );
+        self.checks += 1;
+    }
+
     /// FIFO service discipline on one host, checked whenever an event
     /// touches it: the service slot drains before the queue holds
     /// anything, nothing finished sits in the queue, and the load
@@ -249,6 +274,20 @@ mod tests {
         host.total_received = 1;
         let mut s = Sanitizer::new();
         s.check_host(&host, 0, |_| true);
+    }
+
+    #[test]
+    fn conservation_accepts_balanced_counts() {
+        let mut s = Sanitizer::new();
+        s.check_conservation(10, 4, 1, 2, 3);
+        assert_eq!(s.checks(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookup conservation violated")]
+    fn conservation_rejects_lost_lookups() {
+        let mut s = Sanitizer::new();
+        s.check_conservation(10, 4, 1, 2, 2); // one lookup vanished
     }
 
     #[test]

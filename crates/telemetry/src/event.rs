@@ -114,6 +114,38 @@ pub enum TelemetryEvent {
         /// Tick ordinal (1-based).
         round: u64,
     },
+    /// A scheduled fault fired (see `ert-faults`).
+    FaultInjected {
+        /// Index of the event within the (canonically ordered) plan.
+        seq: u64,
+        /// The fault's kind tag (`Crash`, `Degrade`, `DropMessages`,
+        /// `Partition`, `Heal`).
+        fault: String,
+    },
+    /// A forward attempt was lost to a fault (message drop or partition
+    /// block); the sender will retry or fail the lookup.
+    MessageLost {
+        /// Query index.
+        q: u64,
+        /// Linearized id of the sending node.
+        from: u64,
+        /// Linearized id of the unreachable target.
+        to: u64,
+    },
+    /// A lost forward is being retried after deterministic backoff.
+    LookupRetry {
+        /// Query index.
+        q: u64,
+        /// Failed attempts so far at this hop.
+        attempt: u32,
+    },
+    /// A lookup failed: lost to a crash, or its retry budget ran out.
+    LookupFailed {
+        /// Query index.
+        q: u64,
+        /// Hops taken before the failure.
+        hops: u32,
+    },
 }
 
 impl TelemetryEvent {
@@ -133,6 +165,10 @@ impl TelemetryEvent {
             TelemetryEvent::NodeDeparted { .. } => "NodeDeparted",
             TelemetryEvent::NodeRelocated { .. } => "NodeRelocated",
             TelemetryEvent::AdaptTick { .. } => "AdaptTick",
+            TelemetryEvent::FaultInjected { .. } => "FaultInjected",
+            TelemetryEvent::MessageLost { .. } => "MessageLost",
+            TelemetryEvent::LookupRetry { .. } => "LookupRetry",
+            TelemetryEvent::LookupFailed { .. } => "LookupFailed",
         }
     }
 }
@@ -178,6 +214,18 @@ impl fmt::Display for TelemetryEvent {
                 write!(f, "node {from} relocated to {to}")
             }
             TelemetryEvent::AdaptTick { round } => write!(f, "adapt tick {round}"),
+            TelemetryEvent::FaultInjected { seq, fault } => {
+                write!(f, "fault {seq} injected: {fault}")
+            }
+            TelemetryEvent::MessageLost { q, from, to } => {
+                write!(f, "q{q} lost {from} -> {to}")
+            }
+            TelemetryEvent::LookupRetry { q, attempt } => {
+                write!(f, "q{q} retry attempt={attempt}")
+            }
+            TelemetryEvent::LookupFailed { q, hops } => {
+                write!(f, "q{q} failed hops={hops}")
+            }
         }
     }
 }
@@ -225,5 +273,33 @@ mod tests {
     fn kind_matches_serialized_tag() {
         let e = TelemetryEvent::AdaptTick { round: 3 };
         assert!(serde::json::to_string(&e).starts_with(&format!("{{\"{}\"", e.kind())));
+    }
+
+    #[test]
+    fn fault_events_render_and_serialize() {
+        let e = TelemetryEvent::FaultInjected {
+            seq: 2,
+            fault: "Crash".into(),
+        };
+        assert_eq!(e.to_string(), "fault 2 injected: Crash");
+        assert_eq!(e.kind(), "FaultInjected");
+        assert_eq!(
+            serde::json::to_string(&e),
+            r#"{"FaultInjected":{"seq":2,"fault":"Crash"}}"#
+        );
+        let e = TelemetryEvent::MessageLost {
+            q: 4,
+            from: 1,
+            to: 9,
+        };
+        assert_eq!(e.to_string(), "q4 lost 1 -> 9");
+        let e = TelemetryEvent::LookupRetry { q: 4, attempt: 2 };
+        assert_eq!(e.to_string(), "q4 retry attempt=2");
+        let e = TelemetryEvent::LookupFailed { q: 4, hops: 7 };
+        assert_eq!(e.to_string(), "q4 failed hops=7");
+        assert_eq!(
+            serde::json::to_string(&e),
+            r#"{"LookupFailed":{"q":4,"hops":7}}"#
+        );
     }
 }

@@ -18,6 +18,7 @@ fn main() {
         seeds: vec![7],
         workload: ert_repro::experiments::Workload::Uniform,
         churn: None,
+        chaos: None,
     };
     println!("swarm under churn (paper-scale interarrival sweep)\n");
     println!(

@@ -20,6 +20,7 @@ fn main() {
         seeds: vec![11],
         workload: ert_repro::experiments::Workload::Uniform,
         churn: None,
+        chaos: None,
     };
     println!("{}", cross_overlay_table(&scenario));
 

@@ -25,6 +25,7 @@ fn main() {
             keys: 20,
         },
         churn: None,
+        chaos: None,
     };
     println!("flash crowd: 50 co-located requesters hammer 20 keys\n");
     println!(

@@ -7,6 +7,7 @@
 //! * [`overlay`] — Cycloid / Chord / Pastry geometry and registries;
 //! * [`core`] — the elastic-routing-table mechanism (the paper's
 //!   contribution);
+//! * [`faults`] — fault plans, retry policies, and the chaos generator;
 //! * [`network`] — the simulated DHT network and protocol specs;
 //! * [`baselines`] — Base / NS / VS comparison protocols;
 //! * [`workloads`] — capacities, lookup streams, churn schedules;
@@ -23,6 +24,7 @@
 pub use ert_baselines as baselines;
 pub use ert_core as core;
 pub use ert_experiments as experiments;
+pub use ert_faults as faults;
 pub use ert_minidht as minidht;
 pub use ert_network as network;
 pub use ert_overlay as overlay;

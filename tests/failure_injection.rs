@@ -97,6 +97,35 @@ fn in_flight_queries_survive_the_blast() {
     assert!(report.handoffs_per_lookup > 0.0);
 }
 
+/// Equal-timestamp churn is applied in the canonical
+/// [`ChurnEvent::sort_key`] order, so permuting the schedule's event
+/// list never changes a run. The mixed joins-and-leaves-at-one-instant
+/// shape below is exactly the case the tie-break exists for.
+#[test]
+fn permuting_equal_time_churn_does_not_change_the_report() {
+    let run = |churn: &[ChurnEvent]| {
+        let (mut net, mut rng) = build(192, 404, ProtocolSpec::ert_af());
+        let lookups = uniform_lookups(300, 192.0, &mut rng);
+        format!("{:?}", net.run(&lookups, churn))
+    };
+    let mid = {
+        let (_, mut rng) = build(192, 404, ProtocolSpec::ert_af());
+        uniform_lookups(300, 192.0, &mut rng)[150].at
+    };
+    let mut forward: Vec<ChurnEvent> = (0..20).map(|_| ChurnEvent::Leave { at: mid }).collect();
+    forward.extend((0..20).map(|i| ChurnEvent::Join {
+        at: mid,
+        capacity: 900.0 + 50.0 * f64::from(i),
+    }));
+    let mut reversed = forward.clone();
+    reversed.reverse();
+    let mut rotated = forward.clone();
+    rotated.rotate_left(13);
+    let baseline = run(&forward);
+    assert_eq!(baseline, run(&reversed));
+    assert_eq!(baseline, run(&rotated));
+}
+
 #[test]
 fn empty_blast_is_noop() {
     let (mut net, mut rng) = build(64, 403, ProtocolSpec::ert_af());

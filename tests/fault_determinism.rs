@@ -1,0 +1,140 @@
+//! Fault machinery must be invisible when unused: with an empty
+//! [`FaultPlan`] and the default (disabled) [`RetryPolicy`], every
+//! report this repo produced before the fault subsystem existed is
+//! reproduced value-for-value.
+//!
+//! The pinned numbers below were captured from the pre-fault-subsystem
+//! tree on the exact scenarios of `tests/telemetry_determinism.rs`
+//! (network level) and the Section 5.5 churn shape (scenario level).
+//! If one of them moves, fault handling has leaked into the fault-free
+//! path — most likely an extra RNG draw or a reordered event.
+
+use ert_experiments::{ChurnSpec, Scenario};
+use ert_network::network::uniform_lookup_burst;
+use ert_network::{FaultPlan, Network, NetworkConfig, ProtocolSpec, RunReport};
+use ert_sim::SimDuration;
+
+fn capacities(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 600.0 + 250.0 * (i % 5) as f64).collect()
+}
+
+fn network_level(spec: ProtocolSpec) -> RunReport {
+    let caps = capacities(96);
+    let lookups = uniform_lookup_burst(200, 96.0, 17);
+    let mut cfg = NetworkConfig::for_dimension(6, 17);
+    cfg.sample_interval = SimDuration::from_secs_f64(0.5);
+    let mut net = Network::new(cfg, &caps, spec).unwrap();
+    net.run(&lookups, &[])
+}
+
+fn scenario_level(spec: &ProtocolSpec) -> RunReport {
+    let mut s = Scenario::quick(7);
+    s.churn = Some(ChurnSpec {
+        join_interarrival: 0.5,
+        leave_interarrival: 0.5,
+    });
+    s.run_once(spec, 7)
+}
+
+#[test]
+fn ert_af_network_run_matches_pre_fault_subsystem_pins() {
+    let r = network_level(ProtocolSpec::ert_af());
+    assert_eq!(r.lookups_started, 200);
+    assert_eq!(r.lookups_completed, 200);
+    assert_eq!(r.lookups_dropped, 0);
+    assert_eq!(r.lookups_failed, 0);
+    assert_eq!(r.p99_max_congestion, 2.0);
+    assert_eq!(r.p99_min_capacity_congestion, 0.2);
+    assert_eq!(r.p99_share, 3.7156565656565657);
+    assert_eq!(r.heavy_encounters, 13);
+    assert_eq!(r.mean_path_length, 3.95);
+    assert_eq!(r.lookup_time.count, 200);
+    assert_eq!(r.lookup_time.mean, 2.4242925350000006);
+    assert_eq!(r.lookup_time.p01, 0.418585);
+    assert_eq!(r.lookup_time.p50, 1.841642);
+    assert_eq!(r.lookup_time.p99, 8.640736);
+    assert_eq!(r.lookup_time.max, 9.147637);
+    assert_eq!(r.timeouts_per_lookup, 0.0);
+    assert_eq!(r.handoffs_per_lookup, 0.0);
+    assert_eq!(r.retries_per_lookup, 0.0);
+    assert_eq!(r.probes_per_decision, 1.6949367088607594);
+    assert_eq!(r.maintenance_per_lookup, 5.735);
+    assert_eq!(r.sim_seconds, 10.995855);
+}
+
+#[test]
+fn base_network_run_matches_pre_fault_subsystem_pins() {
+    let r = network_level(ert_baselines::base());
+    assert_eq!(r.lookups_started, 200);
+    assert_eq!(r.lookups_completed, 200);
+    assert_eq!(r.lookups_dropped, 0);
+    assert_eq!(r.lookups_failed, 0);
+    assert_eq!(r.p99_max_congestion, 2.2);
+    assert_eq!(r.heavy_encounters, 23);
+    assert_eq!(r.mean_path_length, 3.995);
+    assert_eq!(r.lookup_time.mean, 3.0834967199999994);
+    assert_eq!(r.lookup_time.p99, 12.571771);
+    assert_eq!(r.lookup_time.max, 12.606749);
+    assert_eq!(r.maintenance_per_lookup, 1.02);
+    assert_eq!(r.sim_seconds, 14.256373);
+}
+
+#[test]
+fn churned_scenario_matches_pre_fault_subsystem_pins() {
+    let r = scenario_level(&ProtocolSpec::ert_af());
+    assert_eq!(r.lookups_started, 300);
+    assert_eq!(r.lookups_completed, 300);
+    assert_eq!(r.lookups_failed, 0);
+    assert_eq!(r.p99_max_congestion, 2.0);
+    assert_eq!(r.p99_min_capacity_congestion, 2.5);
+    assert_eq!(r.heavy_encounters, 14);
+    assert_eq!(r.mean_path_length, 4.5);
+    assert_eq!(r.lookup_time.mean, 2.4205419099999985);
+    assert_eq!(r.lookup_time.p99, 7.108447);
+    assert_eq!(r.lookup_time.max, 8.307897);
+    assert_eq!(r.maintenance_per_lookup, 9.023333333333333);
+    assert_eq!(r.sim_seconds, 9.543799);
+
+    let b = scenario_level(&ert_baselines::base());
+    assert_eq!(b.lookups_started, 300);
+    assert_eq!(b.lookups_completed, 300);
+    assert_eq!(b.p99_max_congestion, 4.0);
+    assert_eq!(b.heavy_encounters, 98);
+    assert_eq!(b.mean_path_length, 4.5633333333333335);
+    assert_eq!(b.lookup_time.mean, 5.503517193333333);
+    assert_eq!(b.lookup_time.p99, 24.220788);
+    assert_eq!(b.timeouts_per_lookup, 0.0033333333333333335);
+    assert_eq!(b.handoffs_per_lookup, 0.006666666666666667);
+    assert_eq!(b.maintenance_per_lookup, 1.4133333333333333);
+    assert_eq!(b.sim_seconds, 26.658049);
+}
+
+/// `run` and `run_with_faults(.., empty plan)` are one code path; the
+/// reports must be indistinguishable field-for-field.
+#[test]
+fn empty_plan_is_equivalent_to_plain_run() {
+    let caps = capacities(96);
+    let lookups = uniform_lookup_burst(200, 96.0, 17);
+    let cfg = NetworkConfig::for_dimension(6, 17);
+    let mut a = Network::new(cfg, &caps, ProtocolSpec::ert_af()).unwrap();
+    let ra = a.run(&lookups, &[]);
+    let mut b = Network::new(cfg, &caps, ProtocolSpec::ert_af()).unwrap();
+    let rb = b.run_with_faults(&lookups, &[], &FaultPlan::default());
+    assert_eq!(format!("{ra:?}"), format!("{rb:?}"));
+}
+
+/// Configuring a retry policy changes nothing while no faults fire:
+/// retries only trigger on injected losses, never in a clean run.
+#[test]
+fn unused_retry_policy_does_not_perturb_clean_runs() {
+    let caps = capacities(96);
+    let lookups = uniform_lookup_burst(200, 96.0, 17);
+    let mut cfg = NetworkConfig::for_dimension(6, 17);
+    let mut plain = Network::new(cfg, &caps, ProtocolSpec::ert_af()).unwrap();
+    let rp = plain.run(&lookups, &[]);
+    cfg.retry = ert_network::RetryPolicy::standard();
+    let mut armed = Network::new(cfg, &caps, ProtocolSpec::ert_af()).unwrap();
+    let ra = armed.run(&lookups, &[]);
+    assert_eq!(format!("{rp:?}"), format!("{ra:?}"));
+    assert_eq!(ra.retries_per_lookup, 0.0);
+}

@@ -272,4 +272,53 @@ proptest! {
         prop_assert_eq!(r.lookups_completed + r.lookups_dropped, 60);
         prop_assert!(r.lookups_dropped <= 3, "dropped {}", r.lookups_dropped);
     }
+
+    /// Fault-plan property: any small syntactically valid fault plan,
+    /// with retries on or off, conserves lookups exactly — and the
+    /// runtime sanitizer (armed in debug builds) audits that balance
+    /// after every event without firing.
+    #[test]
+    fn arbitrary_fault_plans_conserve_lookups(
+        seed in 0u64..10_000, retries in proptest::bool::ANY,
+        events in prop::collection::vec(
+            (0u64..8_000_000, 0u8..5, 0u64..100, 1u64..5_000_000), 0..10),
+    ) {
+        use ert_repro::faults::{FaultEvent, FaultKind, FaultPlan, RetryPolicy};
+        use ert_repro::network::{Network, NetworkConfig, ProtocolSpec};
+        use ert_repro::overlay::CycloidSpace;
+        use ert_repro::sim::{SimDuration, SimTime};
+        use ert_repro::workloads::{uniform_lookups, BoundedPareto};
+
+        let n = 48usize;
+        let mut rng = SimRng::seed_from(seed);
+        let capacities = BoundedPareto::paper_default().sample_n(n, &mut rng);
+        let mut cfg = NetworkConfig::for_dimension(CycloidSpace::dimension_for(n), seed);
+        if retries {
+            cfg.retry = RetryPolicy::standard();
+        }
+        let mut plan = FaultPlan::new(seed);
+        for (at, kind, a, b) in events {
+            let window = SimDuration::from_micros(b);
+            let kind = match kind {
+                0 => FaultKind::Crash,
+                1 => FaultKind::Degrade { factor: 1.0 + a as f64 / 10.0 },
+                2 => FaultKind::DropMessages { p: a as f64 / 101.0, window },
+                3 => FaultKind::Partition { groups: 2 + (a % 3) as u32, window },
+                _ => FaultKind::Heal,
+            };
+            plan.events.push(FaultEvent { at: SimTime::from_micros(at), kind });
+        }
+        prop_assert!(plan.validate().is_ok());
+        let mut net = Network::new(cfg, &capacities, ProtocolSpec::ert_af()).expect("valid network");
+        let lookups = uniform_lookups(60, n as f64, &mut rng);
+        let r = net.run_with_faults(&lookups, &[], &plan);
+        prop_assert_eq!(r.lookups_started, 60);
+        prop_assert_eq!(
+            r.lookups_completed + r.lookups_dropped + r.lookups_failed,
+            r.lookups_started
+        );
+        if cfg!(debug_assertions) {
+            prop_assert!(net.sanitize_checks() > 0);
+        }
+    }
 }
