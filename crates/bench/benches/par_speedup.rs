@@ -1,0 +1,71 @@
+//! Wall-clock speedup of the `ert-par` fan-out: the shared bench
+//! scenario run as an 8-seed × 2-protocol batch at 1 worker and at
+//! every available core.
+//!
+//! Timing is hand-rolled (one measured pass per worker count) rather
+//! than Criterion-sampled: the interesting number is the whole-batch
+//! wall time, and the batch is seconds long. Besides the stderr
+//! summary the bench writes `BENCH_par.json` (schema:
+//! [`ert_bench::ParBenchRecord`], guarded by the crate's
+//! `par_bench_record_schema` test) for machine consumption. The run
+//! also cross-checks the determinism contract: every worker count must
+//! produce byte-identical averaged reports.
+
+use ert_baselines::base;
+use ert_bench::{bench_scenario, ParBenchPoint, ParBenchRecord};
+use ert_network::ProtocolSpec;
+
+fn main() {
+    let mut scenario = bench_scenario();
+    scenario.seeds = (1..=8).collect();
+    let specs = [base(), ProtocolSpec::ert_af()];
+
+    // Always measure a second point, even on a single-core box: 2
+    // workers there price the pool's overhead instead of its speedup,
+    // and still exercise the byte-identical cross-check.
+    let max_workers = ert_par::default_jobs().max(2);
+    let worker_counts = vec![1, max_workers];
+
+    let mut points = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    for &workers in &worker_counts {
+        scenario.jobs = Some(workers);
+        // Wall-clock measurement is this crate's purpose; ert-bench is
+        // exempt from rule D1 (clippy.toml / ert-lint).
+        #[allow(clippy::disallowed_methods)]
+        let started = std::time::Instant::now();
+        let reports = scenario.run_all(&specs);
+        let wall_seconds = started.elapsed().as_secs_f64();
+        outputs.push(serde::json::to_string(&reports));
+        eprintln!("par_speedup: {workers:>2} worker(s) -> {wall_seconds:.3} s");
+        points.push(ParBenchPoint {
+            workers,
+            wall_seconds,
+        });
+    }
+
+    let byte_identical = outputs.windows(2).all(|w| w[0] == w[1]);
+    assert!(
+        byte_identical,
+        "worker counts disagreed — the determinism contract is broken"
+    );
+    let speedup = points[0].wall_seconds / points.last().expect("at least one point").wall_seconds;
+    eprintln!(
+        "par_speedup: {:.2}x at {} worker(s), byte-identical output",
+        speedup,
+        worker_counts.last().expect("at least one count"),
+    );
+
+    let record = ParBenchRecord {
+        n: scenario.n,
+        lookups: scenario.lookups,
+        batch_runs: scenario.seeds.len() * specs.len(),
+        points,
+        speedup,
+        byte_identical,
+    };
+    let path = "BENCH_par.json";
+    std::fs::write(path, record.to_json() + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("par_speedup: record written to {path}");
+}

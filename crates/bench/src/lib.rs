@@ -9,12 +9,52 @@
 //! * `micro_core` — microbenchmarks of the hot data structures
 //!   (elastic-table updates, forwarding decisions, registry queries);
 //! * `telemetry_overhead` — per-event-site cost of the telemetry layer,
-//!   disabled (must stay branch-cheap) and enabled.
+//!   disabled (must stay branch-cheap) and enabled;
+//! * `par_speedup` — wall time of a multi-seed batch at 1 vs. N
+//!   workers (`ert-par`), emitting a machine-readable `BENCH_par.json`
+//!   described by [`ParBenchRecord`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use ert_experiments::Scenario;
+use serde::{Deserialize, Serialize};
+
+/// One timed worker configuration of the `par_speedup` bench.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParBenchPoint {
+    /// Worker-thread count the batch ran with.
+    pub workers: usize,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_seconds: f64,
+}
+
+/// The `BENCH_par.json` document: the batch shape, every timed point,
+/// and the headline 1-vs-max-workers speedup. Timing varies by
+/// machine, so consumers must rely on the schema only (see the
+/// `par_bench_record_schema` guard test) — never on the numbers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParBenchRecord {
+    /// Network size of the benched scenario.
+    pub n: usize,
+    /// Lookups per run.
+    pub lookups: usize,
+    /// Runs in the batch (seeds × protocols).
+    pub batch_runs: usize,
+    /// One entry per timed worker count, ascending.
+    pub points: Vec<ParBenchPoint>,
+    /// `wall(1 worker) / wall(max workers)`.
+    pub speedup: f64,
+    /// Whether every worker count produced byte-identical averages.
+    pub byte_identical: bool,
+}
+
+impl ParBenchRecord {
+    /// Serializes the record to the `BENCH_par.json` payload.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string(self)
+    }
+}
 
 /// The fixed bench scenario: deterministic, small enough for Criterion
 /// iteration, large enough to exercise every code path.
@@ -28,6 +68,46 @@ pub fn bench_scenario() -> Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Schema guard for `BENCH_par.json`: every key the record
+    /// promises is present and round-trips. Deliberately no timing
+    /// assertions — wall clocks belong to the bench, not the test
+    /// suite.
+    #[test]
+    fn par_bench_record_schema() {
+        let record = ParBenchRecord {
+            n: 128,
+            lookups: 200,
+            batch_runs: 16,
+            points: vec![
+                ParBenchPoint {
+                    workers: 1,
+                    wall_seconds: 2.0,
+                },
+                ParBenchPoint {
+                    workers: 4,
+                    wall_seconds: 0.6,
+                },
+            ],
+            speedup: 2.0 / 0.6,
+            byte_identical: true,
+        };
+        let json = record.to_json();
+        for key in [
+            "\"n\":128",
+            "\"lookups\":200",
+            "\"batch_runs\":16",
+            "\"points\":[",
+            "\"workers\":1",
+            "\"workers\":4",
+            "\"wall_seconds\":",
+            "\"speedup\":",
+            "\"byte_identical\":true",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    }
 
     #[test]
     fn scenario_is_fixed() {

@@ -8,10 +8,49 @@
 //!   at join time.
 
 use ert_core::ForwardPolicy;
-use ert_network::{ProtocolSpec, RunReport, TablePolicy};
+use ert_network::{NetworkConfig, ProtocolSpec, RunReport, TablePolicy};
 
 use crate::report::{fnum, Table};
-use crate::scenario::Scenario;
+use crate::scenario::{average_reports, try_run_batch, RunCell, Scenario};
+
+/// Fans an ERT/AF parameter sweep — every `(value, seed)` cell as one
+/// flat batch on the worker pool — and returns the averaged report per
+/// value, in value order.
+fn value_sweep<V, F>(base: &Scenario, spec: &ProtocolSpec, values: &[V], apply: F) -> Vec<RunReport>
+where
+    V: Copy + Send + Sync,
+    F: Fn(V, &mut NetworkConfig) + Send + Sync,
+{
+    let apply = &apply;
+    let cells: Vec<RunCell> = values
+        .iter()
+        .flat_map(|&v| {
+            base.seeds.iter().map(move |&seed| RunCell {
+                scenario: base,
+                spec,
+                seed,
+                tweak: Box::new(move |cfg| apply(v, cfg)),
+            })
+        })
+        .collect();
+    let mut outcomes = try_run_batch(base.effective_jobs(), cells).into_iter();
+    values
+        .iter()
+        .map(|_| {
+            let runs: Vec<RunReport> = base
+                .seeds
+                .iter()
+                .map(|_| {
+                    outcomes
+                        .next()
+                        .expect("one outcome per cell")
+                        .unwrap_or_else(|e| panic!("{e}"))
+                })
+                .collect();
+            average_reports(&runs)
+        })
+        .collect()
+}
 
 fn ert_with_forwarding(name: &str, forwarding: ForwardPolicy) -> ProtocolSpec {
     ProtocolSpec {
@@ -100,18 +139,9 @@ pub fn alpha_table(base: &Scenario, alphas: &[f64]) -> Table {
             "time_s",
         ],
     );
-    for &alpha in alphas {
-        let spec = ProtocolSpec::ert_af();
-        let mut reports = Vec::new();
-        for &seed in &base.seeds {
-            let mut s = base.clone();
-            s.seeds = vec![seed];
-            // Thread alpha through the scenario by rebuilding the run
-            // with a custom config: run_once applies cfg.ert.alpha via
-            // Network::new, so adjust through an override hook.
-            reports.push(s.run_once_with(&spec, seed, |cfg| cfg.ert.alpha = alpha));
-        }
-        let r = crate::scenario::average_reports(&reports);
+    let spec = ProtocolSpec::ert_af();
+    let averaged = value_sweep(base, &spec, alphas, |alpha, cfg| cfg.ert.alpha = alpha);
+    for (&alpha, r) in alphas.iter().zip(&averaged) {
         t.row(vec![
             fnum(alpha),
             fnum(r.p99_max_congestion),
@@ -135,13 +165,9 @@ pub fn beta_table(base: &Scenario, betas: &[f64]) -> Table {
             "time_s",
         ],
     );
-    for &beta in betas {
-        let spec = ProtocolSpec::ert_af();
-        let mut reports = Vec::new();
-        for &seed in &base.seeds {
-            reports.push(base.run_once_with(&spec, seed, |cfg| cfg.ert.beta = beta));
-        }
-        let r = crate::scenario::average_reports(&reports);
+    let spec = ProtocolSpec::ert_af();
+    let averaged = value_sweep(base, &spec, betas, |beta, cfg| cfg.ert.beta = beta);
+    for (&beta, r) in betas.iter().zip(&averaged) {
         t.row(vec![
             fnum(beta),
             fnum(r.p99_max_congestion),
@@ -161,13 +187,9 @@ pub fn probe_width_table(base: &Scenario, widths: &[usize]) -> Table {
         "Ablation b — poll size of the randomized forwarding",
         &["b", "p99 cong", "heavy", "time_s", "probes/decision"],
     );
-    for &b in widths {
-        let spec = ProtocolSpec::ert_af();
-        let mut reports = Vec::new();
-        for &seed in &base.seeds {
-            reports.push(base.run_once_with(&spec, seed, |cfg| cfg.ert.probe_width = b));
-        }
-        let r = crate::scenario::average_reports(&reports);
+    let spec = ProtocolSpec::ert_af();
+    let averaged = value_sweep(base, &spec, widths, |b, cfg| cfg.ert.probe_width = b);
+    for (&b, r) in widths.iter().zip(&averaged) {
         t.row(vec![
             b.to_string(),
             fnum(r.p99_max_congestion),

@@ -1,7 +1,7 @@
 //! Ablation sweeps of the design choices: the forwarding ladder and the
 //! `α` / `β` sensitivities.
 //!
-//! Usage: `ablation [--quick] [--seeds K] [--telemetry <path.jsonl>]
+//! Usage: `ablation [--quick] [--seeds K] [--jobs N] [--telemetry <path.jsonl>]
 //! [--sample-interval <secs>] [--trace <N>]`
 
 use std::path::Path;
@@ -18,7 +18,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(if quick { 1 } else { 2 });
-    let base = if quick {
+    let mut base = if quick {
         Scenario {
             seeds: (1..=seeds as u64).collect(),
             ..Scenario::quick(8)
@@ -26,6 +26,7 @@ fn main() {
     } else {
         Scenario::paper_default(seeds)
     };
+    base.jobs = ert_experiments::cli::jobs_from_env();
     let dim_alpha = if quick { 9.0 } else { 11.0 };
     let tables = vec![
         ablation::forwarding_table(&base),

@@ -1,7 +1,7 @@
 //! Extension experiments beyond the paper's figures: Zipf popularity,
 //! drifting hot sets, and anonymity-mode data forwarding.
 //!
-//! Usage: `extensions [--quick] [--seeds K] [--telemetry <path.jsonl>]
+//! Usage: `extensions [--quick] [--seeds K] [--jobs N] [--telemetry <path.jsonl>]
 //! [--sample-interval <secs>] [--trace <N>]`
 
 use std::path::Path;
@@ -18,7 +18,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(if quick { 1 } else { 2 });
-    let base = if quick {
+    let mut base = if quick {
         Scenario {
             seeds: (1..=seeds as u64).collect(),
             ..Scenario::quick(9)
@@ -26,6 +26,7 @@ fn main() {
     } else {
         Scenario::paper_default(seeds)
     };
+    base.jobs = ert_experiments::cli::jobs_from_env();
     let (keys, epoch) = if quick { (20, 100) } else { (100, 500) };
     let tables = vec![
         extensions::zipf_table(&base, &[0.0, 0.6, 1.0, 1.4], keys),

@@ -1,7 +1,7 @@
 //! Regenerates Fig. 10 (lookup efficiency under churn) and the
 //! Section 5.5 timeout statistic.
 //!
-//! Usage: `fig10 [--quick] [--seeds K] [--telemetry <path.jsonl>]
+//! Usage: `fig10 [--quick] [--seeds K] [--jobs N] [--telemetry <path.jsonl>]
 //! [--sample-interval <secs>] [--trace <N>]`
 
 use std::path::Path;
@@ -29,6 +29,8 @@ fn main() {
     } else {
         (Scenario::paper_default(seeds), fig9::paper_interarrivals())
     };
+    let mut base = base;
+    base.jobs = ert_experiments::cli::jobs_from_env();
     let sweep = fig9::churn_sweep(&base, &ias);
     emit(&fig10::tables(&sweep), Some(Path::new("results")));
     let mut churned = base;

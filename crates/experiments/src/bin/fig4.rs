@@ -1,6 +1,6 @@
 //! Regenerates Fig. 4 (congestion control effectiveness).
 //!
-//! Usage: `fig4 [--quick] [--seeds K] [--telemetry <path.jsonl>]
+//! Usage: `fig4 [--quick] [--seeds K] [--jobs N] [--telemetry <path.jsonl>]
 //! [--sample-interval <secs>] [--trace <N>]`
 
 use std::path::Path;
@@ -10,7 +10,8 @@ use ert_experiments::{fig4, Scenario, TelemetryOpts};
 use ert_network::ProtocolSpec;
 
 fn main() {
-    let (base, points) = scale_from_args();
+    let (mut base, points) = scale_from_args();
+    base.jobs = ert_experiments::cli::jobs_from_env();
     let tables = fig4::run(&base, &points);
     emit(&tables, Some(Path::new("results")));
     TelemetryOpts::from_env().capture(&base, &ProtocolSpec::ert_af());

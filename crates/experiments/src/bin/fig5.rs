@@ -1,6 +1,6 @@
 //! Regenerates Fig. 5 (lookup efficiency).
 //!
-//! Usage: `fig5 [--quick] [--seeds K] [--telemetry <path.jsonl>]
+//! Usage: `fig5 [--quick] [--seeds K] [--jobs N] [--telemetry <path.jsonl>]
 //! [--sample-interval <secs>] [--trace <N>]`
 
 use std::path::Path;
@@ -33,6 +33,8 @@ fn main() {
             fig5::paper_sizes(),
         )
     };
+    let mut base = base;
+    base.jobs = ert_experiments::cli::jobs_from_env();
     let sweep = fig4::lookup_sweep(&base, &points);
     let tables = vec![
         fig5::table_5a(&sweep),

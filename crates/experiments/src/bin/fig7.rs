@@ -1,6 +1,6 @@
 //! Regenerates Fig. 7 (degrees and maintenance cost).
 //!
-//! Usage: `fig7 [--quick] [--seeds K] [--telemetry <path.jsonl>]
+//! Usage: `fig7 [--quick] [--seeds K] [--jobs N] [--telemetry <path.jsonl>]
 //! [--sample-interval <secs>] [--trace <N>]`
 
 use std::path::Path;
@@ -28,6 +28,8 @@ fn main() {
     } else {
         (Scenario::paper_default(seeds), fig4::paper_points())
     };
+    let mut base = base;
+    base.jobs = ert_experiments::cli::jobs_from_env();
     let sweep = fig4::lookup_sweep(&base, &points);
     emit(&fig7::tables(&sweep), Some(Path::new("results")));
     TelemetryOpts::from_env().capture(&base, &ert_network::ProtocolSpec::ert_af());

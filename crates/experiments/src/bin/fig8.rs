@@ -1,6 +1,6 @@
 //! Regenerates Fig. 8 (skewed lookups).
 //!
-//! Usage: `fig8 [--quick] [--seeds K] [--telemetry <path.jsonl>]
+//! Usage: `fig8 [--quick] [--seeds K] [--jobs N] [--telemetry <path.jsonl>]
 //! [--sample-interval <secs>] [--trace <N>]`
 
 use std::path::Path;
@@ -35,6 +35,8 @@ fn main() {
             50,
         )
     };
+    let mut base = base;
+    base.jobs = ert_experiments::cli::jobs_from_env();
     let sweep = fig8::service_sweep(&base, &services, nodes, keys);
     emit(&fig8::tables(&sweep), Some(Path::new("results")));
     // Capture under the impulse workload so the stream shows the skew.

@@ -1,6 +1,6 @@
 //! Regenerates Fig. 9 (congestion under churn).
 //!
-//! Usage: `fig9 [--quick] [--seeds K] [--telemetry <path.jsonl>]
+//! Usage: `fig9 [--quick] [--seeds K] [--jobs N] [--telemetry <path.jsonl>]
 //! [--sample-interval <secs>] [--trace <N>]`
 
 use std::path::Path;
@@ -28,6 +28,8 @@ fn main() {
     } else {
         (Scenario::paper_default(seeds), fig9::paper_interarrivals())
     };
+    let mut base = base;
+    base.jobs = ert_experiments::cli::jobs_from_env();
     let sweep = fig9::churn_sweep(&base, &ias);
     emit(&fig9::tables(&sweep), Some(Path::new("results")));
     // The representative instrumented run keeps the churn workload so

@@ -1,7 +1,7 @@
 //! Regenerates **every** figure and theorem table of the paper in one
 //! run, writing CSVs to `results/`.
 //!
-//! Usage: `figures [--quick] [--seeds K] [--telemetry <path.jsonl>]
+//! Usage: `figures [--quick] [--seeds K] [--jobs N] [--telemetry <path.jsonl>]
 //! [--sample-interval <secs>] [--trace <N>]`
 //!
 //! At paper scale (n = 2048, 3000 lookups, Table 2 defaults) expect a
@@ -32,7 +32,7 @@ fn main() {
     #[allow(clippy::disallowed_methods)]
     let started = Instant::now();
 
-    let base = if quick {
+    let mut base = if quick {
         Scenario {
             seeds: (1..=seeds as u64).collect(),
             ..Scenario::quick(7)
@@ -40,6 +40,7 @@ fn main() {
     } else {
         Scenario::paper_default(seeds)
     };
+    base.jobs = ert_experiments::cli::jobs_from_env();
 
     // Figs. 4, 5a, 7 share the lookup-count sweep.
     let points = if quick {

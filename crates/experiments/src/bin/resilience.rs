@@ -2,7 +2,7 @@
 //! survival and recovery overhead for Base vs. ERT/AF as chaos
 //! intensity rises.
 //!
-//! Usage: `resilience [--quick] [--seeds K] [--faults <intensity>]
+//! Usage: `resilience [--quick] [--seeds K] [--jobs N] [--faults <intensity>]
 //! [--telemetry <path.jsonl>] [--sample-interval <secs>] [--trace <N>]`
 //!
 //! `--faults` pins a single intensity instead of the default sweep.
@@ -35,6 +35,8 @@ fn main() {
             ..Scenario::paper_default(seeds)
         }
     };
+    let mut base = base;
+    base.jobs = cli::parse_jobs(&args);
     let intensities = match cli::parse_faults(&args) {
         Some(x) => vec![x],
         None => resilience::intensities(quick),

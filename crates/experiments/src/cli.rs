@@ -1,7 +1,10 @@
 //! Shared command-line handling for the experiment binaries.
 //!
 //! Every figure binary accepts, besides its own `--quick` / `--seeds`
-//! flags, the telemetry trio parsed here:
+//! flags, `--jobs <N>` (worker threads for the parallel fan-out; the
+//! default is every available core, and any value produces
+//! byte-identical output — see `ert-par`) and the telemetry trio
+//! parsed here:
 //!
 //! - `--telemetry <path.jsonl>` — stream structured events, periodic
 //!   snapshots, and the end-of-run report to a JSONL file;
@@ -132,6 +135,24 @@ impl TelemetryOpts {
     }
 }
 
+/// Parses the `--jobs <N>` knob shared by every binary: the worker
+/// count for the parallel fan-out (see `ert-par`). Absent, malformed,
+/// or zero values read as "use every available core"
+/// ([`Scenario::jobs`] = `None`). Any value yields byte-identical
+/// output — `--jobs 1` is the sequential reference.
+pub fn parse_jobs(args: &[String]) -> Option<usize> {
+    args.iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// [`parse_jobs`] over this process's arguments.
+pub fn jobs_from_env() -> Option<usize> {
+    parse_jobs(&std::env::args().collect::<Vec<_>>())
+}
+
 /// Parses the `--faults <intensity>` knob shared by binaries that
 /// support fault injection: a chaos intensity in `[0, 1]` fed to
 /// [`Scenario::chaos`] (see `ert-faults`). Absent, malformed, or
@@ -174,6 +195,16 @@ mod tests {
             None
         );
         assert_eq!(parse_faults(&args(&["resilience", "--faults"])), None);
+    }
+
+    #[test]
+    fn jobs_flag_parses_and_rejects_nonsense() {
+        assert_eq!(parse_jobs(&args(&["fig4"])), None);
+        assert_eq!(parse_jobs(&args(&["fig4", "--jobs", "4"])), Some(4));
+        assert_eq!(parse_jobs(&args(&["fig4", "--jobs", "1"])), Some(1));
+        assert_eq!(parse_jobs(&args(&["fig4", "--jobs", "0"])), None);
+        assert_eq!(parse_jobs(&args(&["fig4", "--jobs", "lots"])), None);
+        assert_eq!(parse_jobs(&args(&["fig4", "--jobs"])), None);
     }
 
     #[test]

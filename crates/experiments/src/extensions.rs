@@ -19,6 +19,21 @@ use ert_workloads::{shifting_hotspot_lookups, zipf_lookups, BoundedPareto};
 use crate::report::{fnum, Table};
 use crate::scenario::{average_reports, Scenario};
 
+/// Fans [`run_with_lookups`] across the scenario's seeds on the worker
+/// pool, in seed order.
+fn seed_reports(
+    base_scenario: &Scenario,
+    spec: &ProtocolSpec,
+    anonymous: bool,
+    make_lookups: impl Fn(&mut SimRng) -> Vec<Lookup> + Sync,
+) -> Vec<RunReport> {
+    ert_par::map_ordered(
+        base_scenario.effective_jobs(),
+        base_scenario.seeds.clone(),
+        |seed| run_with_lookups(base_scenario, spec, seed, anonymous, &make_lookups),
+    )
+}
+
 fn run_with_lookups(
     base_scenario: &Scenario,
     spec: &ProtocolSpec,
@@ -48,21 +63,15 @@ pub fn zipf_table(base_scenario: &Scenario, exponents: &[f64], n_keys: usize) ->
     );
     for &s_exp in exponents {
         for spec in &specs {
-            let reports: Vec<RunReport> = base_scenario
-                .seeds
-                .iter()
-                .map(|&seed| {
-                    run_with_lookups(base_scenario, spec, seed, false, |rng| {
-                        zipf_lookups(
-                            base_scenario.lookups,
-                            base_scenario.per_node_rate * base_scenario.n as f64,
-                            n_keys,
-                            s_exp,
-                            rng,
-                        )
-                    })
-                })
-                .collect();
+            let reports = seed_reports(base_scenario, spec, false, |rng| {
+                zipf_lookups(
+                    base_scenario.lookups,
+                    base_scenario.per_node_rate * base_scenario.n as f64,
+                    n_keys,
+                    s_exp,
+                    rng,
+                )
+            });
             let r = average_reports(&reports);
             t.row(vec![
                 format!("{s_exp:.1}"),
@@ -103,27 +112,21 @@ pub fn shifting_hotspot_table(
     );
     for (label, drifting) in [("static", false), ("drifting", true)] {
         for spec in &specs {
-            let reports: Vec<RunReport> = base_scenario
-                .seeds
-                .iter()
-                .map(|&seed| {
-                    run_with_lookups(base_scenario, spec, seed, false, |rng| {
-                        let rate = base_scenario.per_node_rate * base_scenario.n as f64;
-                        if drifting {
-                            shifting_hotspot_lookups(
-                                base_scenario.lookups,
-                                rate,
-                                n_keys,
-                                exponent,
-                                epoch_lookups,
-                                rng,
-                            )
-                        } else {
-                            zipf_lookups(base_scenario.lookups, rate, n_keys, exponent, rng)
-                        }
-                    })
-                })
-                .collect();
+            let reports = seed_reports(base_scenario, spec, false, |rng| {
+                let rate = base_scenario.per_node_rate * base_scenario.n as f64;
+                if drifting {
+                    shifting_hotspot_lookups(
+                        base_scenario.lookups,
+                        rate,
+                        n_keys,
+                        exponent,
+                        epoch_lookups,
+                        rng,
+                    )
+                } else {
+                    zipf_lookups(base_scenario.lookups, rate, n_keys, exponent, rng)
+                }
+            });
             let r = average_reports(&reports);
             t.row(vec![
                 label.into(),
@@ -147,19 +150,13 @@ pub fn anonymity_table(base_scenario: &Scenario) -> Table {
     );
     for (label, anon) in [("direct", false), ("anonymous", true)] {
         for spec in &specs {
-            let reports: Vec<RunReport> = base_scenario
-                .seeds
-                .iter()
-                .map(|&seed| {
-                    run_with_lookups(base_scenario, spec, seed, anon, |rng| {
-                        ert_workloads::uniform_lookups(
-                            base_scenario.lookups,
-                            base_scenario.per_node_rate * base_scenario.n as f64,
-                            rng,
-                        )
-                    })
-                })
-                .collect();
+            let reports = seed_reports(base_scenario, spec, anon, |rng| {
+                ert_workloads::uniform_lookups(
+                    base_scenario.lookups,
+                    base_scenario.per_node_rate * base_scenario.n as f64,
+                    rng,
+                )
+            });
             let r = average_reports(&reports);
             t.row(vec![
                 label.into(),
@@ -239,11 +236,7 @@ pub fn stabilization_table(base_scenario: &Scenario, paper_interarrival: f64) ->
         ("Base stabilized", base(), true),
         ("ERT/AF lazy", ProtocolSpec::ert_af(), false),
     ] {
-        let reports: Vec<RunReport> = s
-            .seeds
-            .iter()
-            .map(|&seed| s.run_once_with(&spec, seed, |cfg| cfg.stabilization = stabilize))
-            .collect();
+        let reports = s.run_seeds_with(&spec, |cfg| cfg.stabilization = stabilize);
         let r = average_reports(&reports);
         t.row(vec![
             label.into(),

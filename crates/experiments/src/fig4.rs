@@ -6,20 +6,22 @@ use ert_baselines::all_protocols;
 use ert_network::RunReport;
 
 use crate::report::{fnum, Table};
-use crate::scenario::Scenario;
+use crate::scenario::{run_sweep, Scenario};
 
 /// The lookup-count sweep shared by Figs. 4, 5a and 7: runs every
-/// protocol at each lookup count and returns `(lookups, reports)` rows.
+/// protocol at each lookup count — all `(point, protocol, seed)` cells
+/// as one flat batch on the worker pool — and returns
+/// `(lookups, reports)` rows.
 pub fn lookup_sweep(base: &Scenario, points: &[usize]) -> Vec<(usize, Vec<RunReport>)> {
-    let specs = all_protocols(base.n);
-    points
+    let variants: Vec<(Scenario, _)> = points
         .iter()
         .map(|&lookups| {
             let mut s = base.clone();
             s.lookups = lookups;
-            (lookups, s.run_all(&specs))
+            (s, all_protocols(base.n))
         })
-        .collect()
+        .collect();
+    points.iter().copied().zip(run_sweep(&variants)).collect()
 }
 
 /// The paper's sweep: 1000–5000 lookups in steps of 1000.
@@ -88,10 +90,15 @@ pub fn service_time_variant(base: &Scenario, services: &[f64]) -> Table {
         "Fig. 4 (service-time axis) — 99th percentile max congestion",
         &header_refs,
     );
-    for &svc in services {
-        let mut s = base.clone();
-        s.light_service_secs = svc;
-        let reports = s.run_all(&specs);
+    let variants: Vec<(Scenario, _)> = services
+        .iter()
+        .map(|&svc| {
+            let mut s = base.clone();
+            s.light_service_secs = svc;
+            (s, specs.clone())
+        })
+        .collect();
+    for (&svc, reports) in services.iter().zip(run_sweep(&variants)) {
         t.row(
             std::iter::once(format!("{svc:.1}"))
                 .chain(reports.iter().map(|r| fnum(r.p99_max_congestion)))

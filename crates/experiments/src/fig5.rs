@@ -6,7 +6,7 @@ use ert_baselines::all_protocols;
 use ert_network::RunReport;
 
 use crate::report::{fnum, Table};
-use crate::scenario::Scenario;
+use crate::scenario::{run_sweep, Scenario};
 
 /// Fig. 5a from the shared lookup sweep (see [`crate::fig4`]).
 pub fn table_5a(sweep: &[(usize, Vec<RunReport>)]) -> Table {
@@ -36,11 +36,15 @@ pub fn table_5b(base: &Scenario, sizes: &[usize]) -> Table {
     header.extend(specs.iter().map(|s| s.name.clone()));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut t = Table::new("Fig. 5b — lookup path length vs network size", &header_refs);
-    for &n in sizes {
-        let mut s = base.clone();
-        s.n = n;
-        let specs = all_protocols(n);
-        let reports = s.run_all(&specs);
+    let variants: Vec<(Scenario, _)> = sizes
+        .iter()
+        .map(|&n| {
+            let mut s = base.clone();
+            s.n = n;
+            (s, all_protocols(n))
+        })
+        .collect();
+    for (&n, reports) in sizes.iter().zip(run_sweep(&variants)) {
         t.row(
             std::iter::once(n.to_string())
                 .chain(reports.iter().map(|r| fnum(r.mean_path_length)))

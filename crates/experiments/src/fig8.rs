@@ -7,7 +7,7 @@ use ert_baselines::all_protocols;
 use ert_network::RunReport;
 
 use crate::report::{fnum, Table};
-use crate::scenario::{Scenario, Workload};
+use crate::scenario::{run_sweep, Scenario, Workload};
 
 /// The paper's light-service sweep (seconds), 0.5 s steps.
 pub fn paper_services() -> Vec<f64> {
@@ -27,7 +27,7 @@ pub fn service_sweep(
     impulse_keys: usize,
 ) -> Vec<(f64, Vec<RunReport>)> {
     let specs = all_protocols(base.n);
-    services
+    let variants: Vec<(Scenario, _)> = services
         .iter()
         .map(|&svc| {
             let mut s = base.clone();
@@ -36,9 +36,10 @@ pub fn service_sweep(
                 nodes: impulse_nodes,
                 keys: impulse_keys,
             };
-            (svc, s.run_all(&specs))
+            (s, specs.clone())
         })
-        .collect()
+        .collect();
+    services.iter().copied().zip(run_sweep(&variants)).collect()
 }
 
 /// Builds the three Fig. 8 panels from a sweep.

@@ -7,7 +7,7 @@ use ert_baselines::all_protocols;
 use ert_network::RunReport;
 
 use crate::report::{fnum, Table};
-use crate::scenario::{ChurnSpec, Scenario};
+use crate::scenario::{run_sweep, ChurnSpec, Scenario};
 
 /// The paper's interarrival sweep in its own time scale (lookups at one
 /// per second): 0.1–0.9 s.
@@ -36,13 +36,18 @@ pub fn churn_spec_for(base: &Scenario, paper_interarrival: f64) -> ChurnSpec {
 /// Runs every protocol at each churn level.
 pub fn churn_sweep(base: &Scenario, interarrivals: &[f64]) -> Vec<(f64, Vec<RunReport>)> {
     let specs = all_protocols(base.n);
-    interarrivals
+    let variants: Vec<(Scenario, _)> = interarrivals
         .iter()
         .map(|&ia| {
             let mut s = base.clone();
             s.churn = Some(churn_spec_for(base, ia));
-            (ia, s.run_all(&specs))
+            (s, specs.clone())
         })
+        .collect();
+    interarrivals
+        .iter()
+        .copied()
+        .zip(run_sweep(&variants))
         .collect()
 }
 

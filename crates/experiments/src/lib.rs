@@ -34,4 +34,7 @@ pub mod thm41;
 
 pub use cli::TelemetryOpts;
 pub use report::Table;
-pub use scenario::{average_reports, ChurnSpec, Scenario, Workload};
+pub use scenario::{
+    average_reports, run_sweep, run_sweep_with, try_run_batch, ChurnSpec, RunCell, RunError,
+    Scenario, Workload,
+};

@@ -14,7 +14,7 @@ use ert_baselines::base;
 use ert_network::{ProtocolSpec, RetryPolicy, RunReport};
 
 use crate::report::{fnum, Table};
-use crate::scenario::{average_reports, Scenario};
+use crate::scenario::{run_sweep_with, Scenario};
 
 /// The chaos-intensity sweep.
 pub fn intensities(quick: bool) -> Vec<f64> {
@@ -31,30 +31,20 @@ pub fn protocols() -> Vec<ProtocolSpec> {
 }
 
 /// Runs every protocol at each chaos intensity under the standard
-/// retry policy, averaging over the scenario's seeds.
+/// retry policy — one flat `(intensity, protocol, seed)` batch on the
+/// worker pool — averaging over the scenario's seeds.
 pub fn resilience_sweep(base_s: &Scenario, intensities: &[f64]) -> Vec<(f64, Vec<RunReport>)> {
     let specs = protocols();
-    intensities
+    let variants: Vec<(Scenario, _)> = intensities
         .iter()
         .map(|&x| {
             let mut s = base_s.clone();
             s.chaos = (x > 0.0).then_some(x);
-            let reports = specs
-                .iter()
-                .map(|spec| {
-                    let runs: Vec<RunReport> = s
-                        .seeds
-                        .iter()
-                        .map(|&seed| {
-                            s.run_once_with(spec, seed, |cfg| cfg.retry = RetryPolicy::standard())
-                        })
-                        .collect();
-                    average_reports(&runs)
-                })
-                .collect();
-            (x, reports)
+            (s, specs.clone())
         })
-        .collect()
+        .collect();
+    let swept = run_sweep_with(&variants, |cfg| cfg.retry = RetryPolicy::standard());
+    intensities.iter().copied().zip(swept).collect()
 }
 
 /// Builds the completion-fraction and recovery-overhead tables.

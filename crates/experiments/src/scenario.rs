@@ -1,4 +1,18 @@
 //! Scenario descriptions and multi-seed execution.
+//!
+//! # Parallel execution
+//!
+//! Every run is an isolated deterministic world keyed only by its
+//! `(seed, protocol, tweak)` triple, so multi-seed averages and
+//! protocol sweeps fan out through the [`ert_par`] worker pool: jobs
+//! execute on up to [`Scenario::jobs`] threads and results come back
+//! in canonical submission order, making parallel output byte-identical
+//! to sequential (`jobs = Some(1)`). A run that panics — e.g. a
+//! poisoned tweak rejected by [`Network::new`] — surfaces as a
+//! structured [`RunError`] naming the protocol and seed, while the
+//! remaining runs drain cleanly.
+
+use std::fmt;
 
 use ert_network::{
     ChaosPlan, ChurnEvent, FaultPlan, Lookup, Network, NetworkConfig, ProtocolSpec, RunReport,
@@ -60,6 +74,156 @@ pub struct Scenario {
     /// configured separately via [`NetworkConfig::retry`] (e.g. in a
     /// `run_once_with` tweak).
     pub chaos: Option<f64>,
+    /// Worker threads for the multi-run fan-out (`None` = all available
+    /// cores, the binaries' `--jobs` default). Any value yields
+    /// byte-identical results: runs are seed-isolated worlds and the
+    /// executor collects them in canonical submission order.
+    pub jobs: Option<usize>,
+}
+
+/// A fanned-out run that failed, named after its coordinates in the
+/// sweep so the operator can reproduce it with
+/// [`Scenario::run_once_with`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunError {
+    /// Protocol of the failed run.
+    pub protocol: String,
+    /// Seed of the failed run.
+    pub seed: u64,
+    /// The panic payload (e.g. the `Network::new` rejection message).
+    pub message: String,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "run `{}` seed {} failed: {}",
+            self.protocol, self.seed, self.message
+        )
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// One cell of a fan-out batch: a scenario × protocol × seed triple
+/// plus the per-cell configuration tweak.
+pub struct RunCell<'a> {
+    /// The scenario supplying workload, churn, and chaos schedules.
+    pub scenario: &'a Scenario,
+    /// The protocol under test.
+    pub spec: &'a ProtocolSpec,
+    /// The seed of this isolated world.
+    pub seed: u64,
+    /// Configuration override applied before [`Network::new`].
+    pub tweak: Box<dyn Fn(&mut NetworkConfig) + Send + Sync + 'a>,
+}
+
+/// Executes a batch of independent run cells on up to `workers`
+/// threads, returning per-cell outcomes **in submission order** —
+/// byte-identical to a sequential loop over the cells. A cell whose run
+/// panics yields a [`RunError`] naming its protocol and seed; the other
+/// cells' reports come back intact.
+pub fn try_run_batch(workers: usize, cells: Vec<RunCell<'_>>) -> Vec<Result<RunReport, RunError>> {
+    let meta: Vec<(String, u64)> = cells
+        .iter()
+        .map(|c| (c.spec.name.clone(), c.seed))
+        .collect();
+    let jobs: Vec<(String, _)> = cells
+        .into_iter()
+        .map(|cell| {
+            let label = format!("{} seed {}", cell.spec.name, cell.seed);
+            (label, move || {
+                let RunCell {
+                    scenario,
+                    spec,
+                    seed,
+                    tweak,
+                } = cell;
+                scenario.run_once_with(spec, seed, |cfg| tweak(cfg))
+            })
+        })
+        .collect();
+    ert_par::run_labeled(workers, jobs)
+        .into_iter()
+        .zip(meta)
+        .map(|(outcome, (protocol, seed))| {
+            outcome.map_err(|e| RunError {
+                protocol,
+                seed,
+                message: e.message,
+            })
+        })
+        .collect()
+}
+
+/// Unwraps a batch outcome, panicking with the structured error text —
+/// the behavior the pre-parallel harness had for invalid scenarios.
+fn expect_run(outcome: Result<RunReport, RunError>) -> RunReport {
+    outcome.unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Runs a whole sweep — `(scenario variant, protocols)` pairs — as one
+/// flat batch of `(variant, protocol, seed)` cells and regroups the
+/// averaged per-protocol reports per variant, preserving order.
+///
+/// Flattening matters: a sweep point whose runs finish early releases
+/// its workers to later points instead of idling at a per-point
+/// barrier.
+pub fn run_sweep(variants: &[(Scenario, Vec<ProtocolSpec>)]) -> Vec<Vec<RunReport>> {
+    run_sweep_with(variants, |_| {})
+}
+
+/// [`run_sweep`] with a shared configuration tweak applied to every
+/// cell (e.g. the resilience sweep's retry policy).
+///
+/// # Panics
+///
+/// Panics with the [`RunError`] rendering when any cell's
+/// configuration is rejected by [`Network::new`].
+pub fn run_sweep_with<F>(
+    variants: &[(Scenario, Vec<ProtocolSpec>)],
+    tweak: F,
+) -> Vec<Vec<RunReport>>
+where
+    F: Fn(&mut NetworkConfig) + Send + Sync,
+{
+    let tweak = &tweak;
+    let mut cells: Vec<RunCell> = Vec::new();
+    for (scenario, specs) in variants {
+        for spec in specs {
+            for &seed in &scenario.seeds {
+                cells.push(RunCell {
+                    scenario,
+                    spec,
+                    seed,
+                    tweak: Box::new(move |cfg| tweak(cfg)),
+                });
+            }
+        }
+    }
+    let workers = variants
+        .iter()
+        .map(|(s, _)| s.effective_jobs())
+        .max()
+        .unwrap_or(1);
+    let mut outcomes = try_run_batch(workers, cells).into_iter();
+    variants
+        .iter()
+        .map(|(scenario, specs)| {
+            specs
+                .iter()
+                .map(|_| {
+                    let runs: Vec<RunReport> = scenario
+                        .seeds
+                        .iter()
+                        .map(|_| expect_run(outcomes.next().expect("one outcome per cell")))
+                        .collect();
+                    average_reports(&runs)
+                })
+                .collect()
+        })
+        .collect()
 }
 
 impl Scenario {
@@ -75,6 +239,7 @@ impl Scenario {
             workload: Workload::Uniform,
             churn: None,
             chaos: None,
+            jobs: None,
         }
     }
 
@@ -89,7 +254,14 @@ impl Scenario {
             workload: Workload::Uniform,
             churn: None,
             chaos: None,
+            jobs: None,
         }
+    }
+
+    /// The worker count the fan-out executor will use: the explicit
+    /// [`Scenario::jobs`] when set, otherwise every available core.
+    pub fn effective_jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(ert_par::default_jobs).max(1)
     }
 
     /// Runs one protocol once with a specific seed.
@@ -194,25 +366,100 @@ impl Scenario {
         (net, lookups, churn, faults)
     }
 
-    /// Runs one protocol across every seed and averages the reports.
-    pub fn run(&self, spec: &ProtocolSpec) -> RunReport {
-        let reports: Vec<RunReport> = self.seeds.iter().map(|&s| self.run_once(spec, s)).collect();
-        average_reports(&reports)
+    /// Fans one protocol across every seed on the worker pool and
+    /// returns the per-seed outcomes **in seed-list order**, each keyed
+    /// by its seed. A run that panics (e.g. a tweak rejected by
+    /// [`Network::new`]) comes back as a [`RunError`] naming the
+    /// protocol and seed; the other seeds' reports are intact.
+    pub fn try_run_seeds_with<F>(
+        &self,
+        spec: &ProtocolSpec,
+        tweak: F,
+    ) -> Vec<(u64, Result<RunReport, RunError>)>
+    where
+        F: Fn(&mut NetworkConfig) + Send + Sync,
+    {
+        let tweak = &tweak;
+        let cells: Vec<RunCell> = self
+            .seeds
+            .iter()
+            .map(|&seed| RunCell {
+                scenario: self,
+                spec,
+                seed,
+                tweak: Box::new(move |cfg| tweak(cfg)),
+            })
+            .collect();
+        self.seeds
+            .iter()
+            .copied()
+            .zip(try_run_batch(self.effective_jobs(), cells))
+            .collect()
     }
 
-    /// Runs several protocols in parallel (one thread per protocol),
-    /// preserving order.
+    /// Per-seed reports for one protocol, fanned out on the worker
+    /// pool, in seed-list order.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`RunError`] rendering when any run fails.
+    pub fn run_seeds_with<F>(&self, spec: &ProtocolSpec, tweak: F) -> Vec<RunReport>
+    where
+        F: Fn(&mut NetworkConfig) + Send + Sync,
+    {
+        self.try_run_seeds_with(spec, tweak)
+            .into_iter()
+            .map(|(_, outcome)| expect_run(outcome))
+            .collect()
+    }
+
+    /// [`Scenario::run_seeds_with`] without a tweak.
+    pub fn run_seeds(&self, spec: &ProtocolSpec) -> Vec<RunReport> {
+        self.run_seeds_with(spec, |_| {})
+    }
+
+    /// Runs one protocol across every seed (in parallel, canonical
+    /// order) and averages the reports.
+    pub fn run(&self, spec: &ProtocolSpec) -> RunReport {
+        average_reports(&self.run_seeds(spec))
+    }
+
+    /// Like [`Scenario::run`], but a failed run surfaces as a
+    /// [`RunError`] instead of a panic.
+    pub fn try_run(&self, spec: &ProtocolSpec) -> Result<RunReport, RunError> {
+        let mut reports = Vec::with_capacity(self.seeds.len());
+        for (_, outcome) in self.try_run_seeds_with(spec, |_| {}) {
+            reports.push(outcome?);
+        }
+        Ok(average_reports(&reports))
+    }
+
+    /// Runs several protocols as one flat `(protocol, seed)` batch on
+    /// the worker pool, preserving protocol order.
     pub fn run_all(&self, specs: &[ProtocolSpec]) -> Vec<RunReport> {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = specs
-                .iter()
-                .map(|spec| scope.spawn(move || self.run(spec)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("run panicked"))
-                .collect()
-        })
+        self.run_matrix_with(specs, |_| {})
+    }
+
+    /// [`Scenario::run_all`] with a shared configuration tweak applied
+    /// to every run.
+    pub fn run_matrix_with<F>(&self, specs: &[ProtocolSpec], tweak: F) -> Vec<RunReport>
+    where
+        F: Fn(&mut NetworkConfig) + Send + Sync,
+    {
+        let variants = [(self.clone(), specs.to_vec())];
+        run_sweep_with(&variants, tweak)
+            .pop()
+            .expect("one report set per variant")
+    }
+
+    /// Runs two protocols side by side (one flat batch) and returns
+    /// their averaged reports as a pair — the shape every "Base vs.
+    /// ERT/AF" comparison table wants.
+    pub fn run_pair(&self, a: &ProtocolSpec, b: &ProtocolSpec) -> (RunReport, RunReport) {
+        let mut reports = self.run_all(&[a.clone(), b.clone()]);
+        let second = reports.pop().expect("two reports");
+        let first = reports.pop().expect("two reports");
+        (first, second)
     }
 }
 
@@ -305,6 +552,54 @@ mod tests {
         let out = s.run_all(&specs);
         assert_eq!(out[0].protocol, "Base");
         assert_eq!(out[1].protocol, "ERT/AF");
+    }
+
+    #[test]
+    fn run_pair_matches_run_all() {
+        let mut s = Scenario::quick(6);
+        s.lookups = 150;
+        let (a, b) = s.run_pair(&base(), &ert_network::ProtocolSpec::ert_af());
+        assert_eq!(a.protocol, "Base");
+        assert_eq!(b.protocol, "ERT/AF");
+        let all = s.run_all(&[base(), ert_network::ProtocolSpec::ert_af()]);
+        assert_eq!(a.lookups_completed, all[0].lookups_completed);
+        assert_eq!(b.lookups_completed, all[1].lookups_completed);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_average() {
+        let mut s = Scenario::quick(1);
+        s.n = 96;
+        s.lookups = 120;
+        s.seeds = vec![1, 2, 3];
+        s.jobs = Some(1);
+        let sequential = s.run(&base());
+        s.jobs = Some(4);
+        let parallel = s.run(&base());
+        assert_eq!(
+            serde::json::to_string(&sequential),
+            serde::json::to_string(&parallel)
+        );
+    }
+
+    #[test]
+    fn poisoned_run_surfaces_a_structured_error() {
+        let mut s = Scenario::quick(1);
+        s.n = 64;
+        s.lookups = 60;
+        s.seeds = vec![1, 2, 3];
+        let outcomes = s.try_run_seeds_with(&base(), |cfg| {
+            if cfg.seed == 2 {
+                cfg.max_hops = 0; // rejected by Network::new
+            }
+        });
+        assert!(outcomes[0].1.is_ok());
+        assert!(outcomes[2].1.is_ok());
+        let (seed, err) = (&outcomes[1].0, outcomes[1].1.as_ref().unwrap_err());
+        assert_eq!(*seed, 2);
+        assert_eq!(err.seed, 2);
+        assert_eq!(err.protocol, "Base");
+        assert!(err.message.contains("max hops"), "message: {}", err.message);
     }
 
     #[test]

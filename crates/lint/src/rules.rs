@@ -1,4 +1,4 @@
-//! The D1–D6 rule catalog and the engine that applies it to one file.
+//! The D1–D7 rule catalog and the engine that applies it to one file.
 //!
 //! Every rule is purely token-based (see [`crate::lexer`]); scope is
 //! decided from the [`FileContext`] the workspace walker supplies.
@@ -20,6 +20,8 @@ pub const PANIC_PATH: &str = "panic-path";
 pub const FLOAT_EQ: &str = "float-eq";
 /// Rule D6: silently discarded `Result`s in fault-handling code.
 pub const SWALLOWED_RESULT: &str = "swallowed-result";
+/// Rule D7: raw `std::thread` spawning outside the `ert-par` pool.
+pub const RAW_THREAD: &str = "raw-thread";
 /// Meta-rule: a malformed `ert-lint:` suppression comment.
 pub const SUPPRESSION: &str = "suppression";
 
@@ -31,6 +33,7 @@ pub const CATALOG: &[(&str, &str)] = &[
     ("D4", PANIC_PATH),
     ("D5", FLOAT_EQ),
     ("D6", SWALLOWED_RESULT),
+    ("D7", RAW_THREAD),
 ];
 
 /// Crates where hash-ordered iteration breaks run reproducibility
@@ -142,6 +145,11 @@ fn run_rules(tokens: &[Token], ctx: &FileContext) -> Vec<Violation> {
     let d4 = D4_FILES.contains(&ctx.rel_path.as_str());
     let d6 =
         D6_FILES.contains(&ctx.rel_path.as_str()) || D6_CRATES.contains(&ctx.crate_name.as_str());
+    // All fan-out goes through the ert-par pool so results keep their
+    // canonical order; the pool itself, benches, and leaf binaries may
+    // spawn. Deliberately no test exemption: a test that spawns raw
+    // threads can still scramble shared-sink ordering.
+    let d7 = ctx.crate_name != "ert-par" && ctx.crate_name != "ert-bench" && !ctx.is_binary;
 
     let ident = |i: usize| match tokens.get(i).map(|t| &t.kind) {
         Some(TokenKind::Ident(s)) => Some(s.as_str()),
@@ -235,6 +243,21 @@ fn run_rules(tokens: &[Token], ctx: &FileContext) -> Vec<Violation> {
                     "`let _ =` discards a result in fault-handling code; handle the \
                      outcome or bind it to a named `_reason` with a comment"
                         .into(),
+                );
+            }
+            Some(m @ ("spawn" | "scope"))
+                if d7
+                    && punct(i.wrapping_sub(1)) == Some("::")
+                    && ident(i.wrapping_sub(2)) == Some("thread") =>
+            {
+                push(
+                    RAW_THREAD,
+                    line,
+                    format!(
+                        "raw `thread::{m}` outside `ert-par`; fan out through the \
+                         deterministic pool (`ert_par::run_labeled`) so results keep \
+                         canonical order"
+                    ),
                 );
             }
             Some("ok")
@@ -660,6 +683,47 @@ mod tests {
     fn d6_suppressed_with_justification() {
         let src = "// ert-lint: allow(swallowed-result) — best-effort telemetry flush, failure is benign\n\
                    fn f() { flush().ok(); }";
+        let out = check_file(src, &ctx("crates/faults/src/chaos.rs", "ert-faults"));
+        assert!(out.violations.is_empty());
+        assert_eq!(out.suppressed.len(), 1);
+    }
+
+    // ---- D7 raw-thread ----
+
+    #[test]
+    fn d7_fires_on_spawn_and_scope_in_library_code() {
+        let c = ctx("crates/network/src/network.rs", "ert-network");
+        assert!(rules_fired("fn f() { std::thread::spawn(|| {}); }", &c).contains(&RAW_THREAD));
+        assert!(rules_fired("fn f() { thread::scope(|s| {}); }", &c).contains(&RAW_THREAD));
+    }
+
+    #[test]
+    fn d7_exempts_the_pool_benches_and_binaries() {
+        let src = "fn f() { std::thread::scope(|s| {}); }";
+        assert!(rules_fired(src, &ctx("crates/par/src/lib.rs", "ert-par")).is_empty());
+        assert!(rules_fired(src, &ctx("crates/bench/src/lib.rs", "ert-bench")).is_empty());
+        let mut bin = ctx("crates/experiments/src/bin/fig4.rs", "ert-experiments");
+        bin.is_binary = true;
+        assert!(rules_fired(src, &bin).is_empty());
+    }
+
+    #[test]
+    fn d7_has_no_test_exemption_and_ignores_other_scopes() {
+        // Unlike D4/D6, a `#[cfg(test)]` block does not waive D7.
+        let src = "#[cfg(test)]\nmod tests {\n#[test]\nfn t() { std::thread::spawn(|| {}); }\n}";
+        assert_eq!(
+            rules_fired(src, &ctx("crates/sim/src/engine.rs", "ert-sim")),
+            vec![RAW_THREAD]
+        );
+        // `scope`/`spawn` not qualified by `thread::` are other APIs.
+        let src2 = "fn f(s: &Scope) { s.spawn(|| {}); tracing::scope(); }";
+        assert!(rules_fired(src2, &ctx("crates/sim/src/engine.rs", "ert-sim")).is_empty());
+    }
+
+    #[test]
+    fn d7_suppressed_with_justification() {
+        let src = "// ert-lint: allow(raw-thread) — watchdog thread, no sim results cross it\n\
+                   fn f() { std::thread::spawn(|| {}); }";
         let out = check_file(src, &ctx("crates/faults/src/chaos.rs", "ert-faults"));
         assert!(out.violations.is_empty());
         assert_eq!(out.suppressed.len(), 1);

@@ -246,6 +246,16 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_is_send_for_the_parallel_fan_out() {
+        // Instrumented runs execute on ert-par worker threads; the
+        // pipeline (and thus every boxed sink, via `EventSink: Send`)
+        // must cross thread boundaries.
+        fn assert_send<T: Send>() {}
+        assert_send::<Telemetry>();
+        assert_send::<Box<dyn EventSink>>();
+    }
+
+    #[test]
     fn disabled_runs_no_closures() {
         let mut tel = Telemetry::disabled();
         tel.emit(SimTime::ZERO, || panic!("closure must not run"));

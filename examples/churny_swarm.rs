@@ -19,6 +19,7 @@ fn main() {
         workload: ert_repro::experiments::Workload::Uniform,
         churn: None,
         chaos: None,
+        jobs: None,
     };
     println!("swarm under churn (paper-scale interarrival sweep)\n");
     println!(

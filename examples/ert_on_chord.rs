@@ -21,6 +21,7 @@ fn main() {
         workload: ert_repro::experiments::Workload::Uniform,
         churn: None,
         chaos: None,
+        jobs: None,
     };
     println!("{}", cross_overlay_table(&scenario));
 

@@ -26,6 +26,7 @@ fn main() {
         },
         churn: None,
         chaos: None,
+        jobs: None,
     };
     println!("flash crowd: 50 co-located requesters hammer 20 keys\n");
     println!(

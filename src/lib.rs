@@ -8,6 +8,8 @@
 //! * [`core`] — the elastic-routing-table mechanism (the paper's
 //!   contribution);
 //! * [`faults`] — fault plans, retry policies, and the chaos generator;
+//! * [`par`] — the deterministic worker pool behind every sweep's
+//!   fan-out (canonical-order collection, panic containment);
 //! * [`network`] — the simulated DHT network and protocol specs;
 //! * [`baselines`] — Base / NS / VS comparison protocols;
 //! * [`workloads`] — capacities, lookup streams, churn schedules;
@@ -28,6 +30,7 @@ pub use ert_faults as faults;
 pub use ert_minidht as minidht;
 pub use ert_network as network;
 pub use ert_overlay as overlay;
+pub use ert_par as par;
 pub use ert_sim as sim;
 pub use ert_supermarket as supermarket;
 pub use ert_workloads as workloads;

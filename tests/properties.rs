@@ -322,3 +322,43 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Executor property: a fanned-out per-seed report is a pure
+    /// function of its seed — invariant under the worker count (1..=8)
+    /// and under any rotation of the seed list. Reports are compared
+    /// through their full JSON serialization, keyed by seed.
+    #[test]
+    fn fan_out_invariant_under_workers_and_seed_order(
+        seed in 0u64..1_000, workers in 1usize..9, rot in 0usize..4) {
+        use std::collections::BTreeMap;
+
+        use ert_repro::baselines::base;
+        use ert_repro::experiments::Scenario;
+
+        let mut s = Scenario::quick(seed);
+        s.n = 48;
+        s.lookups = 40;
+        s.seeds = vec![seed, seed + 1, seed + 2, seed + 3];
+        s.jobs = Some(1);
+        let reference: BTreeMap<u64, String> = s
+            .seeds
+            .iter()
+            .copied()
+            .zip(s.run_seeds(&base()).iter().map(serde::json::to_string))
+            .collect();
+
+        s.seeds.rotate_left(rot);
+        s.jobs = Some(workers);
+        let fanned = s.run_seeds(&base());
+        for (seed, report) in s.seeds.iter().zip(&fanned) {
+            prop_assert_eq!(
+                &serde::json::to_string(report),
+                &reference[seed],
+                "seed {} diverged at {} workers, rotation {}", seed, workers, rot
+            );
+        }
+    }
+}
