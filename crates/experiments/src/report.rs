@@ -94,14 +94,11 @@ impl Table {
         out
     }
 
-    /// Writes the CSV under `dir`, deriving the file name from the
-    /// title (`Fig. 4a — ...` → `fig_4a.csv`).
-    ///
-    /// # Errors
-    ///
-    /// Propagates filesystem errors.
-    pub fn write_csv(&self, dir: &Path) -> io::Result<std::path::PathBuf> {
-        fs::create_dir_all(dir)?;
+    /// The CSV file stem derived from the title
+    /// (`Fig. 4a — ...` → `fig_4a`) — the key under which
+    /// [`Table::write_csv`] files the panel and under which the
+    /// conformance catalogue (`ert-testkit`) looks it up.
+    pub fn csv_stem(&self) -> String {
         let stem: String = self
             .title
             .chars()
@@ -111,9 +108,42 @@ impl Table {
             .to_lowercase()
             .replace([' ', '.'], "_")
             .replace("__", "_");
-        let path = dir.join(format!("{}.csv", stem.trim_matches('_')));
+        stem.trim_matches('_').to_owned()
+    }
+
+    /// Writes the CSV under `dir`, deriving the file name from the
+    /// title (`Fig. 4a — ...` → `fig_4a.csv`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<std::path::PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.csv_stem()));
         fs::write(&path, self.to_csv())?;
         Ok(path)
+    }
+
+    /// Index of a named column, if present.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.header.iter().position(|h| h == name)
+    }
+
+    /// A named column as raw strings (one per row), if present.
+    pub fn column(&self, name: &str) -> Option<Vec<&str>> {
+        let idx = self.column_index(name)?;
+        Some(self.rows.iter().map(|r| r[idx].as_str()).collect())
+    }
+
+    /// A named column parsed as `f64`s — the figure series as data
+    /// instead of CSV text. `None` when the column is missing or any
+    /// cell fails to parse.
+    pub fn numeric_column(&self, name: &str) -> Option<Vec<f64>> {
+        let idx = self.column_index(name)?;
+        self.rows
+            .iter()
+            .map(|r| r[idx].parse::<f64>().ok())
+            .collect()
     }
 }
 
@@ -239,6 +269,20 @@ mod tests {
         t.row(vec!["3".into(), "4".into()]);
         let csv = t.to_csv();
         assert_eq!(csv, "k,v\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn column_accessors_expose_series_as_data() {
+        let mut t = Table::new("Fig. 4a — congestion", &["lookups", "Base", "note"]);
+        t.row(vec!["100".into(), "0.8".into(), "x".into()]);
+        t.row(vec!["200".into(), "2.0".into(), "y".into()]);
+        assert_eq!(t.column_index("Base"), Some(1));
+        assert_eq!(t.numeric_column("lookups"), Some(vec![100.0, 200.0]));
+        assert_eq!(t.numeric_column("Base"), Some(vec![0.8, 2.0]));
+        assert_eq!(t.numeric_column("note"), None);
+        assert_eq!(t.numeric_column("absent"), None);
+        assert_eq!(t.column("note"), Some(vec!["x", "y"]));
+        assert_eq!(t.csv_stem(), "fig_4a");
     }
 
     #[test]

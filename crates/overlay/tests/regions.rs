@@ -1,0 +1,180 @@
+//! Exhaustive region-geometry checks on small rings: Chord loose-finger
+//! entry regions and Pastry prefix-row regions, each against its
+//! reverse. Small enough spaces (2^6 IDs) that every (node, probe,
+//! slot) triple is enumerated — no sampling, no seeds.
+
+use ert_overlay::{ring, ChordSpace, PastrySpace};
+
+#[test]
+fn chord_finger_and_reverse_regions_are_exact_duals_exhaustively() {
+    let space = ChordSpace::new(6);
+    let size = space.ring_size();
+    for node in 0..size {
+        for m in 0..6u8 {
+            for probe in 0..size {
+                let fwd = space.finger_region(probe, m).contains(node);
+                let rev = space.reverse_finger_region(node, m).contains(probe);
+                assert_eq!(
+                    fwd, rev,
+                    "duality broken: node {node}, probe {probe}, m {m}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chord_finger_regions_are_the_loose_windows_of_the_paper() {
+    // The (m+1)-th finger region is [node + 2^m, node + 2^m + w_m)
+    // with w_0 = 1 and w_m = 2^(m−1): entry regions loose enough that
+    // Algorithm 2 has real freedom above the first two fingers.
+    let space = ChordSpace::new(6);
+    let size = space.ring_size();
+    for node in 0..size {
+        for m in 0..6u8 {
+            let w = if m == 0 { 1 } else { 1u64 << (m - 1) };
+            let region = space.finger_region(node, m);
+            for id in 0..size {
+                let d = ring::forward_distance(node, id, size);
+                let inside = d >= (1 << m) && d < (1 << m) + w;
+                assert_eq!(
+                    region.contains(id),
+                    inside,
+                    "node {node}, m {m}, id {id}: window mismatch (d={d})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chord_best_finger_points_into_the_distance_msb() {
+    let space = ChordSpace::new(6);
+    let size = space.ring_size();
+    for cur in 0..size {
+        assert_eq!(space.best_finger(cur, cur), None);
+        for key in 0..size {
+            if key == cur {
+                continue;
+            }
+            let m = space.best_finger(cur, key).expect("distinct ids");
+            let d = ring::forward_distance(cur, key, size);
+            assert!(d >= (1 << m), "finger overshoots: d={d}, m={m}");
+            assert!(d < (1 << (m + 1)), "finger undershoots: d={d}, m={m}");
+        }
+    }
+}
+
+#[test]
+fn pastry_row_and_reverse_regions_are_exact_duals_exhaustively() {
+    let space = PastrySpace::new(3, 2);
+    let size = space.ring_size();
+    for node in 0..size {
+        for probe in 0..size {
+            if probe == node {
+                continue;
+            }
+            for row in 0..3u8 {
+                let col = space.digit(node, row);
+                let fwd = space
+                    .row_region(probe, row, col)
+                    .is_some_and(|(lo, hi)| (lo..=hi).contains(&node));
+                let rev = space
+                    .reverse_row_regions(node, row)
+                    .iter()
+                    .any(|&(lo, hi)| (lo..=hi).contains(&probe));
+                assert_eq!(
+                    fwd, rev,
+                    "duality broken: node {node}, probe {probe}, row {row}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pastry_row_region_is_none_exactly_on_the_own_digit() {
+    let space = PastrySpace::new(3, 2);
+    for node in 0..space.ring_size() {
+        for row in 0..3u8 {
+            let own = space.digit(node, row);
+            for col in 0..space.base() {
+                let region = space.row_region(node, row, col);
+                assert_eq!(
+                    region.is_none(),
+                    col == own,
+                    "node {node}, row {row}, col {col}"
+                );
+                if let Some((lo, hi)) = region {
+                    // Every ID in the span shares the first `row`
+                    // digits with node and has digit `col` at `row`.
+                    assert!(lo <= hi && hi < space.ring_size());
+                    for id in lo..=hi {
+                        for r in 0..row {
+                            assert_eq!(space.digit(id, r), space.digit(node, r));
+                        }
+                        assert_eq!(space.digit(id, row), col);
+                    }
+                    // Width is exactly one digit-suffix block.
+                    let suffix = (3 - 1 - row) as u32 * 2;
+                    assert_eq!(hi - lo + 1, 1u64 << suffix);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pastry_reverse_row_regions_cover_base_minus_one_disjoint_spans() {
+    let space = PastrySpace::new(3, 2);
+    for node in 0..space.ring_size() {
+        for row in 0..3u8 {
+            let spans = space.reverse_row_regions(node, row);
+            assert_eq!(spans.len() as u64, space.base() - 1);
+            // Spans are disjoint and exclude node itself.
+            for (i, &(lo, hi)) in spans.iter().enumerate() {
+                assert!(lo <= hi);
+                assert!(
+                    !(lo..=hi).contains(&node),
+                    "node {node} inside its own reverse span"
+                );
+                for &(lo2, hi2) in &spans[i + 1..] {
+                    assert!(
+                        hi < lo2 || hi2 < lo,
+                        "overlapping spans for node {node}, row {row}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pastry_route_cell_matches_prefix_arithmetic() {
+    let space = PastrySpace::new(3, 2);
+    for cur in 0..space.ring_size() {
+        assert_eq!(space.route_cell(cur, cur), None);
+        for key in 0..space.ring_size() {
+            if key == cur {
+                continue;
+            }
+            let (row, col) = space.route_cell(cur, key).expect("distinct ids");
+            assert_eq!(row, space.shared_prefix_len(cur, key));
+            assert_eq!(col, space.digit(key, row));
+            // The routed-to cell's span contains the key.
+            let (lo, hi) = space
+                .row_region(cur, row, col)
+                .expect("route never targets the own digit");
+            assert!((lo..=hi).contains(&key));
+        }
+    }
+}
+
+#[test]
+fn pastry_digits_roundtrip_exhaustively() {
+    let space = PastrySpace::new(3, 2);
+    for id in 0..space.ring_size() {
+        let digits: Vec<u64> = (0..3u8).map(|r| space.digit(id, r)).collect();
+        assert_eq!(space.id_from_digits(&digits), id);
+    }
+}

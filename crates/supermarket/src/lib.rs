@@ -35,7 +35,7 @@ mod ode;
 mod sim;
 mod threshold;
 
-pub use ode::OdeModel;
+pub use ode::{IntegrationMethod, OdeModel};
 pub use sim::{ChoicePolicy, SimOutcome, SupermarketSim};
 pub use threshold::ThresholdModel;
 

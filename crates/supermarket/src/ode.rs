@@ -2,6 +2,18 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Which time stepper [`OdeModel::integrate_with`] uses. RK4 is the
+/// default everywhere; forward Euler exists as an independent
+/// discretization so conformance tests can cross-check the two (a
+/// stepper bug is very unlikely to reproduce in both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IntegrationMethod {
+    /// First-order forward Euler.
+    Euler,
+    /// Classical fourth-order Runge–Kutta.
+    Rk4,
+}
+
 /// The mean-field ODE system of the `b`-choice supermarket model on a
 /// truncated state `s_0..=s_max`:
 ///
@@ -68,6 +80,19 @@ impl OdeModel {
         }
     }
 
+    /// One forward-Euler step of size `dt`, with the same clamping and
+    /// `s_0` pinning as the RK4 stepper.
+    fn euler_step(&self, s: &mut [f64], dt: f64) {
+        let n = s.len();
+        let mut k = vec![0.0; n];
+        self.derivative(s, &mut k);
+        for i in 0..n {
+            s[i] += dt * k[i];
+            s[i] = s[i].clamp(0.0, 1.0);
+        }
+        s[0] = 1.0;
+    }
+
     /// One RK4 step of size `dt`.
     fn step(&self, s: &mut [f64], dt: f64) {
         let n = s.len();
@@ -112,7 +137,23 @@ impl OdeModel {
     ///
     /// Panics if the state's length is not `max_queue + 1` or the time
     /// parameters are not positive.
-    pub fn integrate(&self, mut s: Vec<f64>, horizon: f64, dt: f64) -> Vec<f64> {
+    pub fn integrate(&self, s: Vec<f64>, horizon: f64, dt: f64) -> Vec<f64> {
+        self.integrate_with(IntegrationMethod::Rk4, s, horizon, dt)
+    }
+
+    /// Integrates from an arbitrary state with an explicit stepper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's length is not `max_queue + 1` or the time
+    /// parameters are not positive.
+    pub fn integrate_with(
+        &self,
+        method: IntegrationMethod,
+        mut s: Vec<f64>,
+        horizon: f64,
+        dt: f64,
+    ) -> Vec<f64> {
         assert_eq!(s.len(), self.max_queue + 1, "state length mismatch");
         assert!(
             horizon > 0.0 && dt > 0.0,
@@ -120,7 +161,10 @@ impl OdeModel {
         );
         let steps = (horizon / dt).ceil() as usize;
         for _ in 0..steps {
-            self.step(&mut s, dt);
+            match method {
+                IntegrationMethod::Euler => self.euler_step(&mut s, dt),
+                IntegrationMethod::Rk4 => self.step(&mut s, dt),
+            }
         }
         s
     }
@@ -181,6 +225,21 @@ mod tests {
             s.windows(2).all(|w| w[1] <= w[0] + 1e-9),
             "tails must be monotone"
         );
+    }
+
+    #[test]
+    fn euler_agrees_with_rk4_on_smooth_trajectories() {
+        let model = OdeModel::new(0.85, 2, 30);
+        let rk4 = model.integrate_with(IntegrationMethod::Rk4, model.empty_state(), 60.0, 1e-3);
+        let euler = model.integrate_with(IntegrationMethod::Euler, model.empty_state(), 60.0, 1e-3);
+        for i in 0..10 {
+            assert!(
+                (rk4[i] - euler[i]).abs() < 1e-3,
+                "i={i}: rk4 {} vs euler {}",
+                rk4[i],
+                euler[i]
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Property tests for the supermarket ODE system: the two integrators
+//! agree on smooth trajectories, and Lemma A.1's fixed point is
+//! stationary under integration — for randomly drawn `(λ, b)`, not
+//! just the parameters the figures use.
+
+use ert_supermarket::{fixed_point, IntegrationMethod, OdeModel};
+use proptest::prelude::*;
+
+/// Truncation depth at which the fixed-point tail has underflowed far
+/// enough that the cut boundary cannot fake a drift: for `b = 1` the
+/// tail decays only geometrically (`λ^i`), so it needs room; for
+/// `b ≥ 2` it collapses doubly exponentially.
+fn deep_enough(b: u32) -> usize {
+    if b == 1 {
+        400
+    } else {
+        40
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Euler and RK4 track each other within `O(dt)` on the empty-start
+    /// trajectory for every choice count the paper plots.
+    #[test]
+    fn euler_and_rk4_agree(lambda in 0.3f64..0.95, b in 1u32..5) {
+        let model = OdeModel::new(lambda, b, 40);
+        let euler = model.integrate_with(
+            IntegrationMethod::Euler,
+            model.empty_state(),
+            30.0,
+            2e-3,
+        );
+        let rk4 = model.integrate_with(
+            IntegrationMethod::Rk4,
+            model.empty_state(),
+            30.0,
+            2e-3,
+        );
+        for (i, (e, r)) in euler.iter().zip(&rk4).enumerate() {
+            assert!(
+                (e - r).abs() < 5e-3,
+                "λ={lambda}, b={b}: s_{i} diverged (euler {e}, rk4 {r})"
+            );
+        }
+    }
+
+    /// Lemma A.1: `s_i = λ^((bⁱ − 1)/(b − 1))` is a fixed point of the
+    /// ODE system — integrating from it moves nothing.
+    #[test]
+    fn fixed_point_is_stationary(lambda in 0.3f64..0.95, b in 1u32..5) {
+        let depth = deep_enough(b);
+        let model = OdeModel::new(lambda, b, depth);
+        let start = fixed_point(lambda, b, depth);
+        let end = model.integrate(start.clone(), 10.0, 2e-3);
+        for (i, (s, e)) in start.iter().zip(&end).enumerate() {
+            assert!(
+                (s - e).abs() < 1e-6,
+                "λ={lambda}, b={b}: fixed point drifted at s_{i} ({s} → {e})"
+            );
+        }
+    }
+
+    /// Tail monotonicity survives integration: from the empty start,
+    /// `s` stays a non-increasing sequence in `[0, 1]` with `s_0 = 1`.
+    #[test]
+    fn trajectory_stays_a_valid_tail_distribution(
+        lambda in 0.3f64..0.95,
+        b in 1u32..5,
+        horizon in 5.0f64..40.0,
+    ) {
+        let model = OdeModel::new(lambda, b, 40);
+        let s = model.integrate_from_empty(horizon, 2e-3);
+        assert!((s[0] - 1.0).abs() < 1e-12, "s_0 must stay pinned at 1");
+        for w in s.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "λ={lambda}, b={b}: tail not monotone ({} < {})",
+                w[0],
+                w[1]
+            );
+        }
+        for &v in &s {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

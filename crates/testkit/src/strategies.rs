@@ -1,0 +1,315 @@
+//! Pillar 3: the shared scenario-strategy library.
+//!
+//! Every integration property test used to carry its own copy of the
+//! "build a small network" and "build a fault plan" recipes; this
+//! module is the single audited home for them. Two kinds of exports:
+//!
+//! * **proptest strategies** ([`small_world`], [`fault_events`],
+//!   [`churn_specs`], [`workloads`]) — draw randomized-but-bounded
+//!   scenario ingredients for `proptest!` properties;
+//! * **deterministic builders** ([`SmallWorld::build`],
+//!   [`fault_plan`], [`ramp_capacities`], [`pinned_network_config`],
+//!   [`churned_quick_scenario`]) — the exact recipes behind the pinned
+//!   determinism tests, kept here so pins and properties share one
+//!   definition.
+//!
+//! The deterministic builders reproduce the historical draw order
+//! exactly (seed → capacities → lookups from the *same* RNG): the
+//! byte-for-byte pins in `tests/fault_determinism.rs` are computed
+//! through these functions.
+
+use std::ops::Range;
+
+use ert_experiments::{ChurnSpec, Scenario, Workload};
+use ert_network::network::uniform_lookup_burst;
+use ert_network::{FaultEvent, FaultKind, FaultPlan, Lookup, NetworkConfig};
+use ert_overlay::CycloidSpace;
+use ert_sim::{SimDuration, SimRng, SimTime};
+use ert_workloads::{uniform_lookups, BoundedPareto};
+use proptest::strategy::Strategy;
+use proptest::test_runner::TestRng;
+
+/// A small Cycloid network's ingredients: capacities from the paper's
+/// bounded-Pareto distribution, a dimension-fitted config, and the RNG
+/// positioned to draw the workload next — the draw order every
+/// integration property has always used.
+#[derive(Debug, Clone)]
+pub struct SmallWorld {
+    /// Host count.
+    pub n: usize,
+    /// The seed everything above was derived from.
+    pub seed: u64,
+    /// Per-host capacities (bounded Pareto, paper parameters).
+    pub capacities: Vec<f64>,
+    /// Config for the smallest Cycloid dimension holding `n` hosts.
+    pub cfg: NetworkConfig,
+    rng: SimRng,
+}
+
+impl SmallWorld {
+    /// Deterministic constructor: seed the RNG, draw capacities, fit
+    /// the config. Lookups drawn afterwards via [`SmallWorld::lookups`]
+    /// continue the same RNG stream.
+    #[must_use]
+    pub fn build(n: usize, seed: u64) -> SmallWorld {
+        let mut rng = SimRng::seed_from(seed);
+        let capacities = BoundedPareto::paper_default().sample_n(n, &mut rng);
+        let cfg = NetworkConfig::for_dimension(CycloidSpace::dimension_for(n), seed);
+        SmallWorld {
+            n,
+            seed,
+            capacities,
+            cfg,
+            rng,
+        }
+    }
+
+    /// A Poisson lookup stream at one lookup per node per second,
+    /// drawn from the world's RNG stream.
+    pub fn lookups(&mut self, count: usize) -> Vec<Lookup> {
+        uniform_lookups(count, self.n as f64, &mut self.rng)
+    }
+
+    /// The world's RNG, for draws beyond the stock ingredients.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+}
+
+/// Strategy producing [`SmallWorld`]s over a size and seed range.
+#[derive(Debug, Clone)]
+pub struct SmallWorldStrategy {
+    /// Host-count range to draw from.
+    pub n: Range<usize>,
+    /// Seed range to draw from.
+    pub seeds: Range<u64>,
+}
+
+impl Strategy for SmallWorldStrategy {
+    type Value = SmallWorld;
+    fn sample(&self, rng: &mut TestRng) -> SmallWorld {
+        let n = self.n.clone().sample(rng);
+        let seed = self.seeds.clone().sample(rng);
+        SmallWorld::build(n, seed)
+    }
+}
+
+/// Small networks with `n` hosts drawn from `n_range` and seeds from
+/// the stock `0..10_000` space.
+#[must_use]
+pub fn small_world(n_range: Range<usize>) -> SmallWorldStrategy {
+    SmallWorldStrategy {
+        n: n_range,
+        seeds: 0..10_000,
+    }
+}
+
+/// The tuple strategy one fault event is drawn from.
+pub type FaultEventStrategy = (Range<u64>, Range<u8>, Range<u64>, Range<u64>);
+
+/// Raw fault-event tuples `(at_us, kind_tag, a, b)` as drawn by the
+/// fault-plan property: up to ten events over an 8-second horizon.
+/// Decode with [`fault_kind`] / assemble with [`fault_plan`].
+#[must_use]
+pub fn fault_events() -> proptest::collection::VecStrategy<FaultEventStrategy> {
+    proptest::collection::vec((0u64..8_000_000, 0u8..5, 0u64..100, 1u64..5_000_000), 0..10)
+}
+
+/// Decodes a drawn `(kind_tag, a, b)` triple into a [`FaultKind`] —
+/// the canonical mapping every fault property uses (tag 0 crash,
+/// 1 degrade, 2 drop, 3 partition, else heal; `a` scales the
+/// magnitude, `b` is the window in microseconds).
+#[must_use]
+pub fn fault_kind(kind_tag: u8, a: u64, b: u64) -> FaultKind {
+    let window = SimDuration::from_micros(b);
+    match kind_tag {
+        0 => FaultKind::Crash,
+        1 => FaultKind::Degrade {
+            factor: 1.0 + a as f64 / 10.0,
+        },
+        2 => FaultKind::DropMessages {
+            p: a as f64 / 101.0,
+            window,
+        },
+        3 => FaultKind::Partition {
+            groups: 2 + (a % 3) as u32,
+            window,
+        },
+        _ => FaultKind::Heal,
+    }
+}
+
+/// Assembles a [`FaultPlan`] from drawn event tuples.
+#[must_use]
+pub fn fault_plan(seed: u64, events: &[(u64, u8, u64, u64)]) -> FaultPlan {
+    let mut plan = FaultPlan::new(seed);
+    for &(at, kind_tag, a, b) in events {
+        plan.events.push(FaultEvent {
+            at: SimTime::from_micros(at),
+            kind: fault_kind(kind_tag, a, b),
+        });
+    }
+    plan
+}
+
+/// Churn intensities from mild (20 s interarrivals) to the paper's
+/// Section 5.5 stress level (0.5 s).
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnSpecStrategy;
+
+impl Strategy for ChurnSpecStrategy {
+    type Value = ChurnSpec;
+    fn sample(&self, rng: &mut TestRng) -> ChurnSpec {
+        ChurnSpec {
+            join_interarrival: (0.5f64..20.0).sample(rng),
+            leave_interarrival: (0.5f64..20.0).sample(rng),
+        }
+    }
+}
+
+/// Strategy over [`ChurnSpec`] intensities.
+#[must_use]
+pub fn churn_specs() -> ChurnSpecStrategy {
+    ChurnSpecStrategy
+}
+
+/// Workload shapes: uniform or a bounded Section 5.4-style impulse.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadStrategy;
+
+impl Strategy for WorkloadStrategy {
+    type Value = Workload;
+    fn sample(&self, rng: &mut TestRng) -> Workload {
+        if (0u8..2).sample(rng) == 0 {
+            Workload::Uniform
+        } else {
+            Workload::Impulse {
+                nodes: (4usize..32).sample(rng),
+                keys: (2usize..16).sample(rng),
+            }
+        }
+    }
+}
+
+/// Strategy over [`Workload`] shapes.
+#[must_use]
+pub fn workloads() -> WorkloadStrategy {
+    WorkloadStrategy
+}
+
+/// The deterministic capacity ramp the fault pins run on:
+/// `600 + 250·(i mod 5)`.
+#[must_use]
+pub fn ramp_capacities(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 600.0 + 250.0 * (i % 5) as f64).collect()
+}
+
+/// The pinned network harness config (dimension 6, seed 17) shared by
+/// the fault- and telemetry-determinism suites.
+#[must_use]
+pub fn pinned_network_config() -> NetworkConfig {
+    NetworkConfig::for_dimension(6, 17)
+}
+
+/// The pinned 200-lookup burst over 96 hosts (seed 17) those suites
+/// replay.
+#[must_use]
+pub fn pinned_burst() -> Vec<Lookup> {
+    uniform_lookup_burst(200, 96.0, 17)
+}
+
+/// The Section 5.5-shaped churned quick scenario behind the
+/// scenario-level pins: `Scenario::quick(7)` with 0.5 s join/leave
+/// interarrivals.
+#[must_use]
+pub fn churned_quick_scenario() -> Scenario {
+    let mut s = Scenario::quick(7);
+    s.churn = Some(ChurnSpec {
+        join_interarrival: 0.5,
+        leave_interarrival: 0.5,
+    });
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_world_draw_order_matches_historical_recipe() {
+        // The historical inline recipe: one RNG, capacities first,
+        // lookups continue the stream.
+        let mut rng = SimRng::seed_from(42);
+        let caps = BoundedPareto::paper_default().sample_n(48, &mut rng);
+        let expected = uniform_lookups(60, 48.0, &mut rng);
+
+        let mut world = SmallWorld::build(48, 42);
+        assert_eq!(world.capacities, caps);
+        let lookups = world.lookups(60);
+        assert_eq!(lookups.len(), 60);
+        for (a, b) in lookups.iter().zip(&expected) {
+            assert_eq!(a.at, b.at);
+        }
+        assert_eq!(world.cfg.seed, 42);
+    }
+
+    #[test]
+    fn fault_kind_mapping_is_total_and_canonical() {
+        assert!(matches!(fault_kind(0, 7, 9), FaultKind::Crash));
+        match fault_kind(1, 7, 9) {
+            FaultKind::Degrade { factor } => assert!((factor - 1.7).abs() < 1e-12),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match fault_kind(2, 50, 9) {
+            FaultKind::DropMessages { p, .. } => assert!(p < 0.5),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match fault_kind(3, 4, 9) {
+            FaultKind::Partition { groups, .. } => assert_eq!(groups, 3),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        assert!(matches!(fault_kind(4, 0, 1), FaultKind::Heal));
+        assert!(matches!(fault_kind(200, 0, 1), FaultKind::Heal));
+    }
+
+    #[test]
+    fn drawn_fault_plans_validate() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..50 {
+            let events = fault_events().sample(&mut rng);
+            let plan = fault_plan(11, &events);
+            assert!(plan.validate().is_ok(), "invalid plan from {events:?}");
+        }
+    }
+
+    #[test]
+    fn ramp_and_pinned_builders_are_stable() {
+        let caps = ramp_capacities(7);
+        assert_eq!(caps[0], 600.0);
+        assert_eq!(caps[4], 1600.0);
+        assert_eq!(caps[5], 600.0);
+        assert_eq!(pinned_network_config().seed, 17);
+        assert_eq!(pinned_burst().len(), 200);
+        let s = churned_quick_scenario();
+        assert_eq!(s.n, 192);
+        assert!(s.churn.is_some());
+    }
+
+    #[test]
+    fn strategies_stay_in_bounds() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..20 {
+            let w = small_world(24usize..96).sample(&mut rng);
+            assert!((24..96).contains(&w.n));
+            assert_eq!(w.capacities.len(), w.n);
+            let c = churn_specs().sample(&mut rng);
+            assert!(c.join_interarrival >= 0.5 && c.leave_interarrival < 20.0);
+            match workloads().sample(&mut rng) {
+                Workload::Uniform => {}
+                Workload::Impulse { nodes, keys } => {
+                    assert!(nodes < 32 && keys < 16);
+                }
+            }
+        }
+    }
+}

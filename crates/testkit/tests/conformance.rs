@@ -1,0 +1,185 @@
+//! The cross-layer conformance suite: golden-master shape regression
+//! against committed results, fresh quick-mode regeneration, and the
+//! differential oracles. CI runs this as the `conformance` step
+//! (release mode — the fresh sweeps are real simulations).
+
+use ert_testkit::diff::{self};
+use ert_testkit::envelopes;
+use ert_testkit::golden::{self, GoldenReport};
+use ert_testkit::specs;
+
+/// Every committed `results/*.csv` a spec names must parse, pass the
+/// tier gate it was calibrated for, and satisfy its checks. The
+/// committed files mix scales (figure sweeps are quick-scale, the
+/// service axis and Fig. 7 are paper-scale), so both tiers of the
+/// catalogue exercise here.
+#[test]
+fn committed_results_satisfy_catalogue() {
+    let report = golden::check_committed(&specs::catalogue(), &golden::results_dir());
+    assert!(
+        report.missing.is_empty(),
+        "catalogue names uncommitted tables: {:?}",
+        report.missing
+    );
+    assert!(
+        report.violations.is_empty(),
+        "committed results violate the catalogue:\n{}",
+        report.summary()
+    );
+    assert!(
+        report.evaluated.len() >= 10,
+        "suspiciously few specs evaluated ({}) — did the tier gates rot?\n{}",
+        report.evaluated.len(),
+        report.summary()
+    );
+}
+
+/// A fresh quick-scale run of the figure harness must satisfy every
+/// quick-tier spec: the shape claims hold on regenerated data, not
+/// just on the committed snapshot.
+#[test]
+fn fresh_quick_run_satisfies_catalogue() {
+    let tables = golden::quick_tables();
+    let report = golden::check_tables(&specs::catalogue(), &tables);
+    assert!(
+        report.violations.is_empty(),
+        "fresh quick sweep violates the catalogue:\n{}",
+        report.summary()
+    );
+    assert!(
+        report.evaluated.len() >= 10,
+        "suspiciously few specs evaluated ({}) on the fresh sweep\n{}",
+        report.evaluated.len(),
+        report.summary()
+    );
+}
+
+/// The machinery must be falsifiable: a deliberately inverted claim
+/// ("NS beats Base") fails against both the committed results and a
+/// fresh run.
+#[test]
+fn inverted_spec_demonstrably_fails() {
+    let inverted = vec![specs::inverted_example()];
+
+    let committed = golden::check_committed(&inverted, &golden::results_dir());
+    assert_eq!(committed.evaluated.len(), 1);
+    assert!(
+        !committed.violations.is_empty(),
+        "inverted spec passed against committed results — the oracle is vacuous"
+    );
+
+    let fresh = golden::check_tables(&inverted, &golden::quick_tables());
+    assert!(
+        !fresh.violations.is_empty(),
+        "inverted spec passed against a fresh run — the oracle is vacuous"
+    );
+}
+
+/// Theorem-table goldens and figure goldens share one [`GoldenReport`]
+/// path; spot-check the bookkeeping split.
+#[test]
+fn golden_report_accounts_for_every_spec() {
+    let catalogue = specs::catalogue();
+    let report: GoldenReport = golden::check_committed(&catalogue, &golden::results_dir());
+    assert_eq!(
+        report.evaluated.len() + report.skipped.len() + report.missing.len(),
+        catalogue.len(),
+        "specs leaked from the report:\n{}",
+        report.summary()
+    );
+}
+
+/// Supermarket closed form vs discrete simulation on matched
+/// parameters, b ∈ {1, 2, 4}, three seeds each. Tolerances: the
+/// simulation is finite (n = 300) and horizon-bounded (1500 service
+/// times), which biases it low by a few percent — most at b = 1 where
+/// the M/M/1 tail relaxes slowest, least at b = 4 where queues barely
+/// form.
+#[test]
+fn ode_vs_simulation_differential() {
+    let seeds = [11, 12, 13];
+    let cases = [(0.7, 1, 0.05), (0.9, 2, 0.07), (0.9, 4, 0.07)];
+    for (lambda, b, tol) in cases {
+        let d = diff::model_vs_sim(lambda, b, 300, 1500.0, &seeds, tol);
+        assert!(d.ok(), "{d}");
+    }
+}
+
+/// Lemma A.1's fixed point against the integrated ODE, and the two
+/// integrators against each other, at every b the paper plots.
+#[test]
+fn fixed_point_and_stepper_differentials() {
+    for b in [1u32, 2, 3, 4] {
+        let lambda = if b == 1 { 0.7 } else { 0.9 };
+        let horizon = if b == 1 { 400.0 } else { 150.0 };
+        let fp = diff::fixed_point_vs_ode(lambda, b, horizon, 5e-3);
+        assert!(fp.ok(), "{fp}");
+        let steppers = diff::euler_vs_rk4(lambda, b, 60.0, 1e-3, 1e-3);
+        assert!(steppers.ok(), "{steppers}");
+    }
+}
+
+/// The full network's forwarding path against the supermarket model:
+/// two-choice forwarding must improve on random-walk forwarding, and
+/// must not exceed the idealized model's predicted gap (topology
+/// constraints can only dilute the advantage). Coarse band by design —
+/// the network is not a clean supermarket system.
+#[test]
+fn network_forwarding_vs_model_differential() {
+    let mut scenario = ert_experiments::Scenario::quick(7);
+    scenario.n = 96;
+    scenario.lookups = 200;
+    let d = diff::forwarding_vs_model(&scenario, 7, 0.9);
+    assert!(
+        d.consistent(0.1, 2.0),
+        "forwarding differential out of band: measured {:.3}x vs model {:.3}x (rw {:.3}, 2c {:.3})",
+        d.measured_ratio,
+        d.model_ratio,
+        d.random_walk_mean,
+        d.two_choice_mean
+    );
+}
+
+/// MiniDht's Chord platform vs pure ChordRegistry greedy routing on
+/// identical member sets, three seeds: owners agree exactly, nothing
+/// drops at benign load, and mean path lengths sit within 15%.
+#[test]
+fn minidht_vs_registry_chord_differential() {
+    for seed in [1u64, 2, 3] {
+        let d = diff::minidht_vs_registry(10, 128, 300, 200, seed);
+        assert_eq!(
+            d.owner_mismatches, 0,
+            "seed {seed}: {} of {} owners disagreed",
+            d.owner_mismatches, d.keys_checked
+        );
+        assert_eq!(d.dropped, 0, "seed {seed}: platform dropped lookups");
+        assert!(
+            d.path_rel_err() <= 0.15,
+            "seed {seed}: platform mean path {:.3} vs classic reference {:.3} (rel err {:.3})",
+            d.platform_mean_path,
+            d.registry_mean_path,
+            d.path_rel_err()
+        );
+        assert!(
+            d.greedy_mean_path <= d.registry_mean_path + 1e-9,
+            "seed {seed}: optimal-finger greedy ({:.3}) must not exceed classic ({:.3})",
+            d.greedy_mean_path,
+            d.registry_mean_path
+        );
+    }
+}
+
+/// Multi-seed theorem envelopes (satellite a rides through the same
+/// wrappers from `tests/theorem_bounds.rs`; this exercises them at the
+/// testkit level).
+#[test]
+fn theorem_envelopes_hold_across_seeds() {
+    let t31 = envelopes::theorem31_envelope(128, &[1.0, 1.5], &[51, 52, 53]);
+    assert!(t31.all_ok(), "{}", t31.summary());
+
+    let t33 = envelopes::theorem33_envelope(128, 250, &[51, 52, 53]);
+    assert!(t33.all_ok(), "{}", t33.summary());
+
+    let t41 = envelopes::theorem41_envelope(250, 0.95, 2000.0, 3.0, &[305, 306, 307]);
+    assert!(t41.all_ok(), "{}", t41.summary());
+}

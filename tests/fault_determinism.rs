@@ -9,31 +9,21 @@
 //! If one of them moves, fault handling has leaked into the fault-free
 //! path — most likely an extra RNG draw or a reordered event.
 
-use ert_experiments::{ChurnSpec, Scenario};
-use ert_network::network::uniform_lookup_burst;
-use ert_network::{FaultPlan, Network, NetworkConfig, ProtocolSpec, RunReport};
+use ert_network::{FaultPlan, Network, ProtocolSpec, RunReport};
 use ert_sim::SimDuration;
-
-fn capacities(n: usize) -> Vec<f64> {
-    (0..n).map(|i| 600.0 + 250.0 * (i % 5) as f64).collect()
-}
+use ert_testkit::strategies;
 
 fn network_level(spec: ProtocolSpec) -> RunReport {
-    let caps = capacities(96);
-    let lookups = uniform_lookup_burst(200, 96.0, 17);
-    let mut cfg = NetworkConfig::for_dimension(6, 17);
+    let caps = strategies::ramp_capacities(96);
+    let lookups = strategies::pinned_burst();
+    let mut cfg = strategies::pinned_network_config();
     cfg.sample_interval = SimDuration::from_secs_f64(0.5);
     let mut net = Network::new(cfg, &caps, spec).unwrap();
     net.run(&lookups, &[])
 }
 
 fn scenario_level(spec: &ProtocolSpec) -> RunReport {
-    let mut s = Scenario::quick(7);
-    s.churn = Some(ChurnSpec {
-        join_interarrival: 0.5,
-        leave_interarrival: 0.5,
-    });
-    s.run_once(spec, 7)
+    strategies::churned_quick_scenario().run_once(spec, 7)
 }
 
 #[test]
@@ -113,9 +103,9 @@ fn churned_scenario_matches_pre_fault_subsystem_pins() {
 /// reports must be indistinguishable field-for-field.
 #[test]
 fn empty_plan_is_equivalent_to_plain_run() {
-    let caps = capacities(96);
-    let lookups = uniform_lookup_burst(200, 96.0, 17);
-    let cfg = NetworkConfig::for_dimension(6, 17);
+    let caps = strategies::ramp_capacities(96);
+    let lookups = strategies::pinned_burst();
+    let cfg = strategies::pinned_network_config();
     let mut a = Network::new(cfg, &caps, ProtocolSpec::ert_af()).unwrap();
     let ra = a.run(&lookups, &[]);
     let mut b = Network::new(cfg, &caps, ProtocolSpec::ert_af()).unwrap();
@@ -127,9 +117,9 @@ fn empty_plan_is_equivalent_to_plain_run() {
 /// retries only trigger on injected losses, never in a clean run.
 #[test]
 fn unused_retry_policy_does_not_perturb_clean_runs() {
-    let caps = capacities(96);
-    let lookups = uniform_lookup_burst(200, 96.0, 17);
-    let mut cfg = NetworkConfig::for_dimension(6, 17);
+    let caps = strategies::ramp_capacities(96);
+    let lookups = strategies::pinned_burst();
+    let mut cfg = strategies::pinned_network_config();
     let mut plain = Network::new(cfg, &caps, ProtocolSpec::ert_af()).unwrap();
     let rp = plain.run(&lookups, &[]);
     cfg.retry = ert_network::RetryPolicy::standard();

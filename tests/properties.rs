@@ -11,6 +11,7 @@ use ert_repro::core::{
 use ert_repro::overlay::{ring, ChordSpace, CycloidRegistry, CycloidSpace, PastrySpace, RingRange};
 use ert_repro::sim::stats::Samples;
 use ert_repro::sim::SimRng;
+use ert_testkit::strategies;
 
 proptest! {
     /// Cubical/cyclic regions and their reverses are exact duals at any
@@ -247,24 +248,22 @@ proptest! {
 
     /// Whole-network smoke property: any tiny network under any of the
     /// six protocols completes its lookups (no livelock, no lost
-    /// queries), with or without a churn burst.
+    /// queries), with or without a churn burst. The network recipe is
+    /// the shared `testkit::strategies::small_world` — the same draw
+    /// order the fault property and the determinism pins use.
     #[test]
-    fn tiny_networks_always_complete(seed in 0u64..10_000, proto in 0usize..6,
-                                     n in 24usize..96, churny in proptest::bool::ANY) {
+    fn tiny_networks_always_complete(world in strategies::small_world(24usize..96),
+                                     proto in 0usize..6, churny in proptest::bool::ANY) {
         use ert_repro::baselines::all_protocols;
-        use ert_repro::network::{ChurnEvent, Network, NetworkConfig};
-        use ert_repro::overlay::CycloidSpace;
-        use ert_repro::workloads::{uniform_lookups, BoundedPareto};
+        use ert_repro::network::{ChurnEvent, Network};
 
-        let mut rng = SimRng::seed_from(seed);
-        let capacities = BoundedPareto::paper_default().sample_n(n, &mut rng);
-        let cfg = NetworkConfig::for_dimension(CycloidSpace::dimension_for(n), seed);
-        let spec = all_protocols(n).swap_remove(proto);
-        let mut net = Network::new(cfg, &capacities, spec).expect("valid network");
-        let lookups = uniform_lookups(60, n as f64, &mut rng);
+        let mut world = world;
+        let spec = all_protocols(world.n).swap_remove(proto);
+        let mut net = Network::new(world.cfg, &world.capacities, spec).expect("valid network");
+        let lookups = world.lookups(60);
         let churn: Vec<ChurnEvent> = if churny {
             let mid = lookups[30].at;
-            (0..n / 6).map(|_| ChurnEvent::Leave { at: mid }).collect()
+            (0..world.n / 6).map(|_| ChurnEvent::Leave { at: mid }).collect()
         } else {
             Vec::new()
         };
@@ -276,41 +275,27 @@ proptest! {
     /// Fault-plan property: any small syntactically valid fault plan,
     /// with retries on or off, conserves lookups exactly — and the
     /// runtime sanitizer (armed in debug builds) audits that balance
-    /// after every event without firing.
+    /// after every event without firing. Event tuples come from the
+    /// shared `testkit::strategies::fault_events` strategy and decode
+    /// through the canonical `fault_plan` assembler.
     #[test]
     fn arbitrary_fault_plans_conserve_lookups(
-        seed in 0u64..10_000, retries in proptest::bool::ANY,
-        events in prop::collection::vec(
-            (0u64..8_000_000, 0u8..5, 0u64..100, 1u64..5_000_000), 0..10),
+        world in strategies::small_world(48usize..49),
+        retries in proptest::bool::ANY,
+        events in strategies::fault_events(),
     ) {
-        use ert_repro::faults::{FaultEvent, FaultKind, FaultPlan, RetryPolicy};
-        use ert_repro::network::{Network, NetworkConfig, ProtocolSpec};
-        use ert_repro::overlay::CycloidSpace;
-        use ert_repro::sim::{SimDuration, SimTime};
-        use ert_repro::workloads::{uniform_lookups, BoundedPareto};
+        use ert_repro::faults::RetryPolicy;
+        use ert_repro::network::{Network, ProtocolSpec};
 
-        let n = 48usize;
-        let mut rng = SimRng::seed_from(seed);
-        let capacities = BoundedPareto::paper_default().sample_n(n, &mut rng);
-        let mut cfg = NetworkConfig::for_dimension(CycloidSpace::dimension_for(n), seed);
+        let mut world = world;
         if retries {
-            cfg.retry = RetryPolicy::standard();
+            world.cfg.retry = RetryPolicy::standard();
         }
-        let mut plan = FaultPlan::new(seed);
-        for (at, kind, a, b) in events {
-            let window = SimDuration::from_micros(b);
-            let kind = match kind {
-                0 => FaultKind::Crash,
-                1 => FaultKind::Degrade { factor: 1.0 + a as f64 / 10.0 },
-                2 => FaultKind::DropMessages { p: a as f64 / 101.0, window },
-                3 => FaultKind::Partition { groups: 2 + (a % 3) as u32, window },
-                _ => FaultKind::Heal,
-            };
-            plan.events.push(FaultEvent { at: SimTime::from_micros(at), kind });
-        }
+        let plan = strategies::fault_plan(world.seed, &events);
         prop_assert!(plan.validate().is_ok());
-        let mut net = Network::new(cfg, &capacities, ProtocolSpec::ert_af()).expect("valid network");
-        let lookups = uniform_lookups(60, n as f64, &mut rng);
+        let mut net = Network::new(world.cfg, &world.capacities, ProtocolSpec::ert_af())
+            .expect("valid network");
+        let lookups = world.lookups(60);
         let r = net.run_with_faults(&lookups, &[], &plan);
         prop_assert_eq!(r.lookups_started, 60);
         prop_assert_eq!(
