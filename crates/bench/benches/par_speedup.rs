@@ -9,7 +9,8 @@
 //! [`ert_bench::ParBenchRecord`], guarded by the crate's
 //! `par_bench_record_schema` test) for machine consumption. The run
 //! also cross-checks the determinism contract: every worker count must
-//! produce byte-identical averaged reports.
+//! produce byte-identical averaged reports. `--out <path>` overrides
+//! the record's target path.
 
 use ert_baselines::base;
 use ert_bench::{bench_scenario, ParBenchPoint, ParBenchRecord};
@@ -64,8 +65,14 @@ fn main() {
         speedup,
         byte_identical,
     };
-    let path = "BENCH_par.json";
-    std::fs::write(path, record.to_json() + "\n")
+    let args: Vec<String> = std::env::args().collect();
+    let path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_par.json".to_string());
+    std::fs::write(&path, record.to_json() + "\n")
         .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     eprintln!("par_speedup: record written to {path}");
 }

@@ -27,6 +27,7 @@ fn main() {
         Scenario::paper_default(seeds)
     };
     base.jobs = ert_experiments::cli::jobs_from_env();
+    base.stream_stats = ert_experiments::cli::stream_stats_from_env();
     let dim_alpha = if quick { 9.0 } else { 11.0 };
     let tables = vec![
         ablation::forwarding_table(&base),

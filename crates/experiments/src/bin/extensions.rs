@@ -27,6 +27,7 @@ fn main() {
         Scenario::paper_default(seeds)
     };
     base.jobs = ert_experiments::cli::jobs_from_env();
+    base.stream_stats = ert_experiments::cli::stream_stats_from_env();
     let (keys, epoch) = if quick { (20, 100) } else { (100, 500) };
     let tables = vec![
         extensions::zipf_table(&base, &[0.0, 0.6, 1.0, 1.4], keys),

@@ -12,6 +12,7 @@ use ert_network::ProtocolSpec;
 fn main() {
     let (mut base, points) = scale_from_args();
     base.jobs = ert_experiments::cli::jobs_from_env();
+    base.stream_stats = ert_experiments::cli::stream_stats_from_env();
     let tables = fig4::run(&base, &points);
     emit(&tables, Some(Path::new("results")));
     TelemetryOpts::from_env().capture(&base, &ProtocolSpec::ert_af());

@@ -35,6 +35,7 @@ fn main() {
     };
     let mut base = base;
     base.jobs = ert_experiments::cli::jobs_from_env();
+    base.stream_stats = ert_experiments::cli::stream_stats_from_env();
     let sweep = fig4::lookup_sweep(&base, &points);
     let tables = vec![
         fig5::table_5a(&sweep),

@@ -30,6 +30,7 @@ fn main() {
     };
     let mut base = base;
     base.jobs = ert_experiments::cli::jobs_from_env();
+    base.stream_stats = ert_experiments::cli::stream_stats_from_env();
     let sweep = fig4::lookup_sweep(&base, &points);
     emit(&fig7::tables(&sweep), Some(Path::new("results")));
     TelemetryOpts::from_env().capture(&base, &ert_network::ProtocolSpec::ert_af());

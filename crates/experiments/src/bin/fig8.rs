@@ -37,6 +37,7 @@ fn main() {
     };
     let mut base = base;
     base.jobs = ert_experiments::cli::jobs_from_env();
+    base.stream_stats = ert_experiments::cli::stream_stats_from_env();
     let sweep = fig8::service_sweep(&base, &services, nodes, keys);
     emit(&fig8::tables(&sweep), Some(Path::new("results")));
     // Capture under the impulse workload so the stream shows the skew.

@@ -30,6 +30,7 @@ fn main() {
     };
     let mut base = base;
     base.jobs = ert_experiments::cli::jobs_from_env();
+    base.stream_stats = ert_experiments::cli::stream_stats_from_env();
     let sweep = fig9::churn_sweep(&base, &ias);
     emit(&fig9::tables(&sweep), Some(Path::new("results")));
     // The representative instrumented run keeps the churn workload so

@@ -41,6 +41,7 @@ fn main() {
         Scenario::paper_default(seeds)
     };
     base.jobs = ert_experiments::cli::jobs_from_env();
+    base.stream_stats = ert_experiments::cli::stream_stats_from_env();
 
     // Figs. 4, 5a, 7 share the lookup-count sweep.
     let points = if quick {

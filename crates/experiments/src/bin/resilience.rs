@@ -37,6 +37,7 @@ fn main() {
     };
     let mut base = base;
     base.jobs = cli::parse_jobs(&args);
+    base.stream_stats = cli::parse_stream_stats(&args);
     let intensities = match cli::parse_faults(&args) {
         Some(x) => vec![x],
         None => resilience::intensities(quick),

@@ -171,6 +171,22 @@ pub fn faults_from_env() -> Option<f64> {
     parse_faults(&std::env::args().collect::<Vec<_>>())
 }
 
+/// Parses the `--stream-stats` switch shared by every binary: when
+/// present, per-query metric collectors run as O(1)-memory P² sketches
+/// instead of exact sample vectors (see
+/// [`Scenario::stream_stats`]). Count, mean, and max stay exact;
+/// interior percentiles become estimates inside the tolerance band
+/// `ert-testkit` pins. Same-seed streaming runs are byte-identical to
+/// each other at any `--jobs` value.
+pub fn parse_stream_stats(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--stream-stats")
+}
+
+/// [`parse_stream_stats`] over this process's arguments.
+pub fn stream_stats_from_env() -> bool {
+    parse_stream_stats(&std::env::args().collect::<Vec<_>>())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +221,19 @@ mod tests {
         assert_eq!(parse_jobs(&args(&["fig4", "--jobs", "0"])), None);
         assert_eq!(parse_jobs(&args(&["fig4", "--jobs", "lots"])), None);
         assert_eq!(parse_jobs(&args(&["fig4", "--jobs"])), None);
+    }
+
+    #[test]
+    fn stream_stats_flag_is_a_plain_switch() {
+        assert!(!parse_stream_stats(&args(&["fig4"])));
+        assert!(parse_stream_stats(&args(&["fig4", "--stream-stats"])));
+        assert!(parse_stream_stats(&args(&[
+            "fig4",
+            "--quick",
+            "--stream-stats",
+            "--jobs",
+            "4"
+        ])));
     }
 
     #[test]

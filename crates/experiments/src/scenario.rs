@@ -79,6 +79,12 @@ pub struct Scenario {
     /// byte-identical results: runs are seed-isolated worlds and the
     /// executor collects them in canonical submission order.
     pub jobs: Option<usize>,
+    /// Streaming-statistics mode (`--stream-stats`): per-query metric
+    /// collectors become O(1)-memory P² sketches (see
+    /// [`NetworkConfig::stream_stats`]). Count, mean, and max stay
+    /// exact; interior percentiles are estimates within the tolerance
+    /// band `ert-testkit` pins. Off by default.
+    pub stream_stats: bool,
 }
 
 /// A fanned-out run that failed, named after its coordinates in the
@@ -240,6 +246,7 @@ impl Scenario {
             churn: None,
             chaos: None,
             jobs: None,
+            stream_stats: false,
         }
     }
 
@@ -255,6 +262,7 @@ impl Scenario {
             churn: None,
             chaos: None,
             jobs: None,
+            stream_stats: false,
         }
     }
 
@@ -331,6 +339,7 @@ impl Scenario {
         let dim = CycloidSpace::dimension_for(self.n);
         let mut cfg = NetworkConfig::for_dimension(dim, seed)
             .with_light_service_secs(self.light_service_secs);
+        cfg.stream_stats = self.stream_stats;
         tweak(&mut cfg);
         let rate = self.per_node_rate * self.n as f64;
         let mut wl_rng = rng.fork("lookups");

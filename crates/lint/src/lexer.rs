@@ -1,5 +1,5 @@
 //! A small hand-rolled Rust lexer: just enough token structure for the
-//! D1–D7 rules, with line numbers and comment capture for suppressions.
+//! D1–D8 rules, with line numbers and comment capture for suppressions.
 //!
 //! The lexer deliberately does not aim for full fidelity with rustc's
 //! grammar. It needs three properties: (1) identifiers and punctuation

@@ -4,7 +4,7 @@
 //! reproducible if every simulation run is a pure function of its seed
 //! and never tears down mid-run. This crate enforces that property
 //! mechanically with a small hand-rolled Rust lexer (no dependencies)
-//! and a six-rule catalog:
+//! and an eight-rule catalog:
 //!
 //! | rule | name | what it bans | where |
 //! |------|------|--------------|-------|
@@ -14,6 +14,8 @@
 //! | D4 | `panic-path` | `.unwrap()`, `.expect()`, `panic!` family | `core::forward`, `core::adapt`, `sim::engine`, `network::lookup` (tests exempt) |
 //! | D5 | `float-eq` | `==`/`!=` against float literals or load/capacity pairs | everywhere |
 //! | D6 | `swallowed-result` | `let _ =` and trailing `.ok();` discards | `network::network`, `network::topology`, all of `ert-faults` (tests exempt) |
+//! | D7 | `raw-thread` | `thread::spawn` / `thread::scope` | everywhere except `ert-par`, `ert-bench`, and binaries (no test exemption) |
+//! | D8 | `unbounded-collector` | `Samples` / `Vec<f64>` accumulation | `sim::engine`, `network::network` hot loops (tests exempt) |
 //!
 //! A violation can be waived inline with
 //! `// ert-lint: allow(<rule>) — <justification>` on the same or the

@@ -1,4 +1,4 @@
-//! The D1–D7 rule catalog and the engine that applies it to one file.
+//! The D1–D8 rule catalog and the engine that applies it to one file.
 //!
 //! Every rule is purely token-based (see [`crate::lexer`]); scope is
 //! decided from the [`FileContext`] the workspace walker supplies.
@@ -22,6 +22,9 @@ pub const FLOAT_EQ: &str = "float-eq";
 pub const SWALLOWED_RESULT: &str = "swallowed-result";
 /// Rule D7: raw `std::thread` spawning outside the `ert-par` pool.
 pub const RAW_THREAD: &str = "raw-thread";
+/// Rule D8: unbounded sample accumulation (`Samples`/`Vec<f64>`) in
+/// streaming-capable hot loops.
+pub const UNBOUNDED_COLLECTOR: &str = "unbounded-collector";
 /// Meta-rule: a malformed `ert-lint:` suppression comment.
 pub const SUPPRESSION: &str = "suppression";
 
@@ -34,6 +37,7 @@ pub const CATALOG: &[(&str, &str)] = &[
     ("D5", FLOAT_EQ),
     ("D6", SWALLOWED_RESULT),
     ("D7", RAW_THREAD),
+    ("D8", UNBOUNDED_COLLECTOR),
 ];
 
 /// Crates where hash-ordered iteration breaks run reproducibility
@@ -59,6 +63,14 @@ const D6_FILES: &[&str] = &[
 
 /// D6 also covers the whole fault-injection crate.
 const D6_CRATES: &[&str] = &["ert-faults"];
+
+/// Hot-loop modules where per-event sample accumulation grows without
+/// bound over a run (rule D8): the sim engine and the network event
+/// handlers. A `--stream-stats` run must hold O(1) memory per metric,
+/// so these files collect through a [`Digest`](../../obs/src/digest.rs)
+/// (`Collector`/`StreamSummary`); uses that are bounded by construction
+/// carry a justified suppression naming the bound.
+const D8_FILES: &[&str] = &["crates/sim/src/engine.rs", "crates/network/src/network.rs"];
 
 /// Where a source file sits in the workspace; decides rule scope.
 #[derive(Debug, Clone)]
@@ -150,6 +162,7 @@ fn run_rules(tokens: &[Token], ctx: &FileContext) -> Vec<Violation> {
     // spawn. Deliberately no test exemption: a test that spawns raw
     // threads can still scramble shared-sink ordering.
     let d7 = ctx.crate_name != "ert-par" && ctx.crate_name != "ert-bench" && !ctx.is_binary;
+    let d8 = D8_FILES.contains(&ctx.rel_path.as_str());
 
     let ident = |i: usize| match tokens.get(i).map(|t| &t.kind) {
         Some(TokenKind::Ident(s)) => Some(s.as_str()),
@@ -258,6 +271,31 @@ fn run_rules(tokens: &[Token], ctx: &FileContext) -> Vec<Violation> {
                          deterministic pool (`ert_par::run_labeled`) so results keep \
                          canonical order"
                     ),
+                );
+            }
+            Some("Samples") if d8 && !in_test(i) => {
+                push(
+                    UNBOUNDED_COLLECTOR,
+                    line,
+                    "`Samples` accumulates every observation in a hot loop; collect \
+                     through a `Digest` (`Collector`/`StreamSummary`) or justify the \
+                     bound with `ert-lint: allow(unbounded-collector)`"
+                        .into(),
+                );
+            }
+            Some("Vec")
+                if d8
+                    && !in_test(i)
+                    && punct(i + 1) == Some("<")
+                    && ident(i + 2) == Some("f64")
+                    && punct(i + 3) == Some(">") =>
+            {
+                push(
+                    UNBOUNDED_COLLECTOR,
+                    line,
+                    "`Vec<f64>` push-accumulation in a hot loop grows with run length; \
+                     use an O(1) `Digest` sketch or justify the bound"
+                        .into(),
                 );
             }
             Some("ok")
@@ -727,6 +765,48 @@ mod tests {
         let out = check_file(src, &ctx("crates/faults/src/chaos.rs", "ert-faults"));
         assert!(out.violations.is_empty());
         assert_eq!(out.suppressed.len(), 1);
+    }
+
+    // ---- D8 unbounded-collector ----
+
+    #[test]
+    fn d8_fires_in_hot_loop_files_only() {
+        let src = "fn f() { let mut s = Samples::new(); }";
+        assert_eq!(
+            rules_fired(src, &ctx("crates/sim/src/engine.rs", "ert-sim")),
+            vec![UNBOUNDED_COLLECTOR]
+        );
+        let src2 = "struct S { lat: Vec<f64> }";
+        assert_eq!(
+            rules_fired(src2, &ctx("crates/network/src/network.rs", "ert-network")),
+            vec![UNBOUNDED_COLLECTOR]
+        );
+        // Out of scope: aggregation/reporting code may hold full
+        // sample sets — `Samples` itself lives in ert-sim's stats.
+        assert!(rules_fired(src, &ctx("crates/sim/src/stats.rs", "ert-sim")).is_empty());
+        assert!(rules_fired(src2, &ctx("crates/network/src/metrics.rs", "ert-network")).is_empty());
+    }
+
+    #[test]
+    fn d8_ignores_tests_and_other_element_types() {
+        let src = "#[cfg(test)]\nmod tests {\n#[test]\n\
+                   fn t() { let s = Samples::new(); let v: Vec<f64> = vec![]; }\n}";
+        assert!(rules_fired(src, &ctx("crates/sim/src/engine.rs", "ert-sim")).is_empty());
+        // Integer vectors are bounded by what they index, not by run
+        // length in observations; D8 only names the sample buffers.
+        let src2 = "fn f() { let v: Vec<u64> = Vec::new(); }";
+        assert!(rules_fired(src2, &ctx("crates/network/src/network.rs", "ert-network")).is_empty());
+    }
+
+    #[test]
+    fn d8_suppressed_with_bound_note() {
+        let src =
+            "// ert-lint: allow(unbounded-collector) — fresh per tick, bounded by host count\n\
+             fn f() { let mut c = Samples::new(); }";
+        let out = check_file(src, &ctx("crates/network/src/network.rs", "ert-network"));
+        assert!(out.violations.is_empty());
+        assert_eq!(out.suppressed.len(), 1);
+        assert!(out.suppressed[0].justification.contains("bounded"));
     }
 
     // ---- suppression hygiene ----

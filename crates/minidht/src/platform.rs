@@ -357,7 +357,7 @@ impl<G: Geometry> MiniDht<G> {
     }
 
     fn report(&mut self) -> MiniReport {
-        let mut max_g: Samples = self.nodes.iter().map(|n| n.max_congestion).collect();
+        let max_g: Samples = self.nodes.iter().map(|n| n.max_congestion).collect();
         let total_load: f64 = self.nodes.iter().map(|n| n.total_received as f64).sum();
         let total_cap: f64 = self.nodes.iter().map(|n| n.raw_capacity).sum();
         let mut shares = Samples::new();

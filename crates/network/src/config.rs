@@ -69,6 +69,13 @@ pub struct NetworkConfig {
     /// behave byte-identically to a build that has never heard of
     /// faults.
     pub retry: RetryPolicy,
+    /// Streaming statistics mode: when on, the per-query metric
+    /// collectors (lookup times, path lengths, min-capacity congestion)
+    /// are O(1)-memory P² sketches instead of exact sample vectors —
+    /// count/mean/max stay exact, interior percentiles become estimates
+    /// within the tolerance band `ert-testkit` pins. Off by default:
+    /// paper runs keep exact percentiles and byte-identical reports.
+    pub stream_stats: bool,
 }
 
 impl NetworkConfig {
@@ -90,6 +97,7 @@ impl NetworkConfig {
             landmark_count: 0,
             stabilization: false,
             retry: RetryPolicy::default(),
+            stream_stats: false,
         }
     }
 

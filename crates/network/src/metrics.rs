@@ -3,12 +3,18 @@
 
 use std::fmt;
 
-use ert_sim::stats::{Samples, Summary};
+use ert_sim::stats::{Collector, Samples, Summary};
 use serde::{Deserialize, Serialize};
 
 use crate::state::Host;
 
 /// Raw counters accumulated while the simulation runs.
+///
+/// The per-query series (`lookup_times`, `path_lengths`,
+/// `min_cap_congestion`) are [`Collector`]s: exact by default,
+/// O(1)-memory streaming sketches when the run was built with
+/// `stream_stats` (see [`Metrics::for_mode`]). Everything else is
+/// bounded by the host count or is a plain counter.
 #[derive(Debug, Default, Clone)]
 pub struct Metrics {
     /// Lookups injected.
@@ -38,11 +44,11 @@ pub struct Metrics {
     /// Forwarding decisions taken.
     pub forward_decisions: u64,
     /// Per-lookup end-to-end times in seconds (Fig. 5c).
-    pub lookup_times: Samples,
+    pub lookup_times: Collector,
     /// Per-lookup hop counts (Fig. 5b).
-    pub path_lengths: Samples,
+    pub path_lengths: Collector,
     /// Congestion samples of the minimum-capacity host (Fig. 4b).
-    pub min_cap_congestion: Samples,
+    pub min_cap_congestion: Collector,
     /// Elastic link operations (adds, sheds, purges) over the run —
     /// the Section 5.3 maintenance cost.
     pub maintenance_ops: u64,
@@ -193,12 +199,28 @@ impl fmt::Display for RunReport {
 }
 
 impl Metrics {
+    /// Metrics whose per-query collectors stream (O(1) memory) when
+    /// `stream_stats` is set, or retain exact samples otherwise.
+    pub fn for_mode(stream_stats: bool) -> Metrics {
+        Metrics {
+            lookup_times: Collector::for_mode(stream_stats),
+            path_lengths: Collector::for_mode(stream_stats),
+            min_cap_congestion: Collector::for_mode(stream_stats),
+            ..Metrics::default()
+        }
+    }
+
     /// Digests the counters plus final host state into a report.
     ///
     /// `hosts` must include departed hosts: the paper's churn metrics
     /// are "collected from all node\[s\] including ... the nodes departed".
-    pub fn into_report(mut self, protocol: &str, hosts: &[Host], sim_seconds: f64) -> RunReport {
-        let mut max_congestion: Samples = hosts.iter().map(|h| h.max_congestion).collect();
+    ///
+    /// The per-host digests below deliberately stay exact [`Samples`]:
+    /// they hold one value per host, bounded by the network size rather
+    /// than the query count, so streaming them would trade accuracy for
+    /// nothing.
+    pub fn into_report(self, protocol: &str, hosts: &[Host], sim_seconds: f64) -> RunReport {
+        let max_congestion: Samples = hosts.iter().map(|h| h.max_congestion).collect();
         let mut shares = Samples::new();
         let total_load: f64 = hosts.iter().map(|h| h.total_received as f64).sum();
         let total_cap: f64 = hosts.iter().map(|h| h.raw_capacity).sum();
@@ -208,10 +230,10 @@ impl Metrics {
                 shares.push(s);
             }
         }
-        let mut in_deg: Samples = hosts.iter().map(|h| h.max_indegree_seen as f64).collect();
-        let mut out_deg: Samples = hosts.iter().map(|h| h.max_outdegree_seen as f64).collect();
+        let in_deg: Samples = hosts.iter().map(|h| h.max_indegree_seen as f64).collect();
+        let out_deg: Samples = hosts.iter().map(|h| h.max_outdegree_seen as f64).collect();
         let horizon_micros = (sim_seconds * 1e6).max(1.0);
-        let mut utilization: Samples = hosts
+        let utilization: Samples = hosts
             .iter()
             .map(|h| (h.busy_micros as f64 / horizon_micros).min(1.0))
             .collect();
@@ -404,5 +426,33 @@ mod tests {
         };
         let r = m.into_report("P", &[], 1.0);
         assert_eq!(r.probes_per_decision, 2.0);
+    }
+
+    #[test]
+    fn stream_mode_metrics_report_exact_counts_and_means() {
+        let hosts = vec![host(100.0, 10, 0.5), host(100.0, 30, 2.0)];
+        let mut exact = Metrics::for_mode(false);
+        let mut stream = Metrics::for_mode(true);
+        assert!(!exact.lookup_times.is_streaming());
+        assert!(stream.lookup_times.is_streaming());
+        for m in [&mut exact, &mut stream] {
+            m.lookups_started = 40;
+            m.lookups_completed = 40;
+            for i in 0..40 {
+                m.lookup_times.push(0.5 + 0.01 * i as f64);
+                m.path_lengths.push((3 + i % 4) as f64);
+                m.min_cap_congestion.push(0.2 * (i % 7) as f64);
+            }
+        }
+        let re = exact.into_report("E", &hosts, 12.5);
+        let rs = stream.into_report("S", &hosts, 12.5);
+        // Count/mean/max are exact in both modes; per-host digests are
+        // always exact, so they match bit for bit.
+        assert_eq!(re.lookup_time.count, rs.lookup_time.count);
+        assert_eq!(re.lookup_time.mean, rs.lookup_time.mean);
+        assert_eq!(re.lookup_time.max, rs.lookup_time.max);
+        assert_eq!(re.mean_path_length, rs.mean_path_length);
+        assert_eq!(re.p99_max_congestion, rs.p99_max_congestion);
+        assert_eq!(re.p99_share, rs.p99_share);
     }
 }

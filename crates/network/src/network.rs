@@ -82,6 +82,15 @@ struct QueryState {
     /// successful hop; reset on every delivered forward. When this
     /// reaches `RetryPolicy::max_attempts` the query fails.
     attempts: u32,
+    /// When the query entered the queue of the node currently (or most
+    /// recently) holding it. Written unconditionally on every delivery —
+    /// a plain store, no control flow or RNG — so instrumented and
+    /// uninstrumented runs stay byte-identical; read only when a span
+    /// sink asks for [`TelemetryEvent::HopSpan`] events.
+    enqueued_at: SimTime,
+    /// When the current host began serving the query (same
+    /// byte-identity caveat as `enqueued_at`).
+    service_started_at: SimTime,
 }
 
 /// Active fault effects, kept outside the paper's host/node state so an
@@ -268,7 +277,7 @@ impl Network {
             engine: Engine::new(),
             queries: Vec::new(),
             lookups: Vec::new(),
-            metrics: Metrics::default(),
+            metrics: Metrics::for_mode(cfg.stream_stats),
             rng_topology,
             rng_forward,
             rng_workload,
@@ -326,6 +335,17 @@ impl Network {
     /// leaving a disabled one behind.
     pub fn take_telemetry(&mut self) -> Telemetry {
         std::mem::take(&mut self.telemetry)
+    }
+
+    /// Total engine events processed so far. `ert-bench` divides this
+    /// by wall time for the committed hot-loop throughput trajectory.
+    pub fn events_processed(&self) -> u64 {
+        self.engine.events_processed()
+    }
+
+    /// Completed indegree-adaptation rounds so far.
+    pub fn adapt_rounds(&self) -> u64 {
+        self.adapt_rounds
     }
 
     /// Runs the schedule to completion and digests the metrics.
@@ -492,6 +512,8 @@ impl Network {
             return_route: Vec::new(),
             returning: false,
             attempts: 0,
+            enqueued_at: now,
+            service_started_at: now,
         });
         self.metrics.lookups_started += 1;
         self.outstanding += 1;
@@ -532,6 +554,7 @@ impl Network {
             Some(node) => {
                 let host_idx = self.topo.nodes[node].host;
                 self.queries[q].at_node = node;
+                self.queries[q].enqueued_at = now;
                 if !self.queries[q].returning {
                     if self.cfg.anonymous_responses {
                         self.queries[q].path.push(to);
@@ -565,6 +588,7 @@ impl Network {
     }
 
     fn start_service(&mut self, host_idx: usize, q: usize, now: SimTime) {
+        self.queries[q].service_started_at = now;
         let degrade = self.faults.service_factor(host_idx);
         let host = &mut self.topo.hosts[host_idx];
         host.in_service = Some(q);
@@ -589,6 +613,31 @@ impl Network {
             if !host.alive || host.in_service != Some(q) {
                 return; // stale event: the host departed and requeued q
             }
+        }
+        // One causal span per completed service: covers the hop's
+        // queueing (enqueued → service start) and service (start → now)
+        // phases. Re-deliveries after handoffs or retries reuse the hop
+        // index and appear as sibling spans under the same parent. All
+        // inputs are plain reads, so the lazy closure costs one branch
+        // when no sink is attached.
+        {
+            let qs = &self.queries[q];
+            let (qid, hop) = (q as u64, qs.hops);
+            let node_lin = self.topo.space.lin(self.topo.nodes[qs.at_node].id);
+            let (enq, svc) = (
+                qs.enqueued_at.as_micros(),
+                qs.service_started_at.as_micros(),
+            );
+            self.telemetry.emit(now, || TelemetryEvent::HopSpan {
+                q: qid,
+                hop,
+                node: node_lin,
+                span: ert_obs::span::span_id(qid, hop),
+                parent: ert_obs::span::parent_id(qid, hop),
+                enqueued: enq,
+                service_start: svc,
+                service_end: now.as_micros(),
+            });
         }
         self.topo.hosts[host_idx].in_service = None;
         if let Some(next) = self.topo.hosts[host_idx].queue.pop_front() {
@@ -1058,6 +1107,7 @@ impl Network {
     /// simulation or draws randomness, so a sampled run produces the
     /// same [`RunReport`] as an unsampled one.
     fn on_sample(&mut self, now: SimTime) {
+        // ert-lint: allow(unbounded-collector) — fresh per tick, bounded by alive-host count
         let mut congestion = ert_sim::stats::Samples::new();
         let mut utilization_sum = 0.0;
         let (mut queue_total, mut queue_max) = (0u64, 0u64);

@@ -3,16 +3,28 @@
 //! The paper reports almost everything as a *99th percentile across
 //! nodes* (congestion, share) or as *average / 1st / 99th percentiles*
 //! (lookup time, degrees). [`Samples`] collects raw observations and
-//! answers those queries; [`OnlineStats`] tracks moments without storing
-//! samples; [`Histogram`] counts integer-valued observations (used for
-//! the Fig. 6 indegree census).
+//! answers those queries; [`Collector`] switches between `Samples` and
+//! the O(1)-memory [`StreamSummary`] sketch (the `--stream-stats`
+//! backend); [`OnlineStats`] tracks moments without storing samples;
+//! [`Histogram`] counts integer-valued observations (used for the
+//! Fig. 6 indegree census).
+//!
+//! The shared query interface is [`ert_obs::Digest`], which `Samples`,
+//! `Histogram`, [`StreamSummary`], and [`Summary`] all implement;
+//! [`Summary`] itself lives in `ert-obs` and is re-exported here.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+pub use ert_obs::{Digest, Record, StreamSummary, Summary};
+
 /// A collector of `f64` observations supporting percentile queries.
+///
+/// Percentile queries are non-mutating: the first query after a push
+/// sorts a cached copy of the observations (O(n log n)); subsequent
+/// queries are O(1) lookups until the next push invalidates the cache.
 ///
 /// ```
 /// use ert_sim::stats::Samples;
@@ -27,17 +39,18 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Samples {
     values: Vec<f64>,
+    /// Sorted copy of `values`, built lazily by the first percentile
+    /// query and cleared on push. A cache length equal to `values.len()`
+    /// means fresh: pushes clear it, so the lengths only agree right
+    /// after a rebuild.
     #[serde(skip)]
-    sorted: bool,
+    sorted: RefCell<Vec<f64>>,
 }
 
 impl Samples {
     /// Creates an empty collector.
     pub fn new() -> Self {
-        Samples {
-            values: Vec::new(),
-            sorted: true,
-        }
+        Samples::default()
     }
 
     /// Adds one observation.
@@ -49,7 +62,7 @@ impl Samples {
     pub fn push(&mut self, value: f64) {
         assert!(!value.is_nan(), "NaN observation");
         self.values.push(value);
-        self.sorted = false;
+        self.sorted.get_mut().clear();
     }
 
     /// Number of observations.
@@ -81,27 +94,29 @@ impl Samples {
     }
 
     /// The `p`-quantile (`0.0 ..= 1.0`) using the nearest-rank method, or
-    /// 0.0 when empty.
+    /// 0.0 when empty. Non-mutating; O(1) after the first query since
+    /// the last push.
     ///
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 1]`.
-    pub fn percentile(&mut self, p: f64) -> f64 {
+    pub fn percentile(&self, p: f64) -> f64 {
         assert!((0.0..=1.0).contains(&p), "quantile out of range: {p}");
         if self.values.is_empty() {
             return 0.0;
         }
-        if !self.sorted {
-            self.values
-                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-            self.sorted = true;
+        let mut cache = self.sorted.borrow_mut();
+        if cache.len() != self.values.len() {
+            cache.clear();
+            cache.extend_from_slice(&self.values);
+            cache.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         }
         let rank = ((p * self.values.len() as f64).ceil() as usize).max(1);
-        self.values[rank - 1]
+        cache[rank - 1]
     }
 
     /// Mean / 1st / 50th / 99th percentile digest.
-    pub fn summary(&mut self) -> Summary {
+    pub fn summary(&self) -> Summary {
         Summary {
             count: self.len(),
             mean: self.mean(),
@@ -112,9 +127,162 @@ impl Samples {
         }
     }
 
-    /// Iterates over the raw observations (unspecified order).
+    /// Iterates over the raw observations in push order.
     pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
         self.values.iter().copied()
+    }
+}
+
+impl Digest for Samples {
+    fn count(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    fn mean(&self) -> f64 {
+        Samples::mean(self)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.percentile(p)
+    }
+
+    fn max(&self) -> f64 {
+        Samples::max(self)
+    }
+
+    fn summarize(&self) -> Summary {
+        self.summary()
+    }
+}
+
+impl Record for Samples {
+    fn observe(&mut self, value: f64) {
+        self.push(value);
+    }
+}
+
+/// A metric collector that is either exact ([`Samples`], retains every
+/// observation) or streaming ([`StreamSummary`], O(1) memory per
+/// metric) — the switch behind the `--stream-stats` CLI flag.
+///
+/// Both arms answer the same queries through [`Digest`]; in exact mode
+/// the answers are bit-identical to the pre-`Collector` code, which is
+/// what keeps the pinned reports in `tests/parallel_determinism.rs`
+/// byte-stable.
+///
+/// ```
+/// use ert_sim::stats::Collector;
+/// let mut c = Collector::for_mode(true); // streaming
+/// for v in 1..=1000 {
+///     c.push(v as f64);
+/// }
+/// assert_eq!(c.len(), 1000);
+/// assert_eq!(c.mean(), 500.5);
+/// ```
+// The sketch variant is ~440 bytes inline vs the exact arm's ~56, but
+// a `Collector` lives in two long-lived metric slots per network — not
+// in per-item arrays — and the sketch's whole point is a fixed
+// heap-free footprint; boxing it would buy nothing and put a pointer
+// chase on every hot-loop observe.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum Collector {
+    /// Retains every observation; exact nearest-rank percentiles.
+    Exact(Samples),
+    /// Fixed-size P² sketch; approximate p01/p50/p99, exact
+    /// count/mean/max.
+    Stream(StreamSummary),
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Collector::Exact(Samples::new())
+    }
+}
+
+impl Collector {
+    /// An exact collector (the default).
+    pub fn exact() -> Collector {
+        Collector::default()
+    }
+
+    /// A streaming collector.
+    pub fn stream() -> Collector {
+        Collector::Stream(StreamSummary::new())
+    }
+
+    /// Streaming when `stream_stats` is set, exact otherwise.
+    pub fn for_mode(stream_stats: bool) -> Collector {
+        if stream_stats {
+            Collector::stream()
+        } else {
+            Collector::exact()
+        }
+    }
+
+    /// Whether this collector streams (O(1) memory).
+    pub fn is_streaming(&self) -> bool {
+        matches!(self, Collector::Stream(_))
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn push(&mut self, value: f64) {
+        match self {
+            Collector::Exact(s) => s.push(value),
+            Collector::Stream(s) => s.observe(value),
+        }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        match self {
+            Collector::Exact(s) => s.len(),
+            Collector::Stream(s) => s.len(),
+        }
+    }
+
+    /// Whether no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Arithmetic mean, or 0.0 when empty (exact in both modes).
+    pub fn mean(&self) -> f64 {
+        self.digest().mean()
+    }
+
+    /// Largest observation clamped to ≥ 0.0 (exact in both modes).
+    pub fn max(&self) -> f64 {
+        self.digest().max()
+    }
+
+    /// The `p`-quantile: exact nearest-rank in [`Collector::Exact`]
+    /// mode, sketch estimate in [`Collector::Stream`] mode.
+    pub fn percentile(&self, p: f64) -> f64 {
+        self.digest().quantile(p)
+    }
+
+    /// Mean / percentiles / max digest.
+    pub fn summary(&self) -> Summary {
+        self.digest().summarize()
+    }
+
+    /// The query interface common to both arms.
+    pub fn digest(&self) -> &dyn Digest {
+        match self {
+            Collector::Exact(s) => s,
+            Collector::Stream(s) => s,
+        }
+    }
+}
+
+impl Record for Collector {
+    fn observe(&mut self, value: f64) {
+        self.push(value);
     }
 }
 
@@ -133,34 +301,6 @@ impl Extend<f64> for Samples {
         for v in iter {
             self.push(v);
         }
-    }
-}
-
-/// A digest of a [`Samples`] collection: the statistics the paper's
-/// figures plot.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
-pub struct Summary {
-    /// Number of observations.
-    pub count: usize,
-    /// Arithmetic mean.
-    pub mean: f64,
-    /// 1st percentile.
-    pub p01: f64,
-    /// Median.
-    pub p50: f64,
-    /// 99th percentile.
-    pub p99: f64,
-    /// Maximum.
-    pub max: f64,
-}
-
-impl fmt::Display for Summary {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "mean={:.4} p01={:.4} p50={:.4} p99={:.4} max={:.4} (n={})",
-            self.mean, self.p01, self.p50, self.p99, self.max, self.count
-        )
     }
 }
 
@@ -391,13 +531,74 @@ impl Histogram {
     }
 }
 
+impl Digest for Histogram {
+    fn count(&self) -> u64 {
+        self.total
+    }
+
+    fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .buckets
+            .iter()
+            .map(|(&v, &c)| v as f64 * c as f64)
+            .sum();
+        sum / self.total as f64
+    }
+
+    /// Nearest-rank quantile over the bucketed counts.
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile out of range: {p}");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((p * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (&value, &count) in &self.buckets {
+            seen += count;
+            if seen >= rank {
+                return value as f64;
+            }
+        }
+        // Unreachable: counts sum to `total` ≥ rank.
+        *self.buckets.keys().next_back().expect("nonempty") as f64
+    }
+
+    fn max(&self) -> f64 {
+        match self.buckets.keys().next_back() {
+            Some(&v) => v as f64,
+            None => 0.0,
+        }
+    }
+}
+
+impl Record for Histogram {
+    /// Records an integer-valued observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or not integral — the histogram
+    /// buckets exact integer observations (degree censuses), and a
+    /// silent round would hide a caller bug.
+    fn observe(&mut self, value: f64) {
+        assert!(
+            // ert-lint: allow(float-eq) — fract() is exactly 0.0 for integral values
+            value >= 0.0 && value.fract() == 0.0,
+            "histogram observation must be a non-negative integer: {value}"
+        );
+        self.record(value as u64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn percentiles_nearest_rank() {
-        let mut s: Samples = (1..=10).map(|v| v as f64).collect();
+        let s: Samples = (1..=10).map(|v| v as f64).collect();
         assert_eq!(s.percentile(0.0), 1.0);
         assert_eq!(s.percentile(0.1), 1.0);
         assert_eq!(s.percentile(0.11), 2.0);
@@ -406,7 +607,7 @@ mod tests {
 
     #[test]
     fn empty_samples_are_zero() {
-        let mut s = Samples::new();
+        let s = Samples::new();
         assert_eq!(s.percentile(0.99), 0.0);
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.max(), 0.0);
@@ -417,7 +618,7 @@ mod tests {
 
     #[test]
     fn summary_fields_consistent() {
-        let mut s: Samples = (1..=100).map(|v| v as f64).collect();
+        let s: Samples = (1..=100).map(|v| v as f64).collect();
         let d = s.summary();
         assert_eq!(d.count, 100);
         assert_eq!(d.p01, 1.0);
@@ -433,6 +634,73 @@ mod tests {
         assert_eq!(s.percentile(0.5), 5.0);
         s.push(1.0);
         assert_eq!(s.percentile(0.5), 1.0);
+    }
+
+    #[test]
+    fn percentile_queries_do_not_reorder_observations() {
+        // Queries sort a *cache*, never the raw values: push order is
+        // observable through `iter` and must survive a percentile call.
+        let mut s = Samples::new();
+        for v in [3.0, 1.0, 2.0] {
+            s.push(v);
+        }
+        assert_eq!(s.percentile(0.5), 2.0);
+        assert_eq!(s.percentile(0.5), 2.0); // cached path
+        let order: Vec<f64> = s.iter().collect();
+        assert_eq!(order, vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn collector_modes_agree_on_exact_fields() {
+        let mut exact = Collector::exact();
+        let mut stream = Collector::stream();
+        assert!(!exact.is_streaming());
+        assert!(stream.is_streaming());
+        for v in (1..=500).map(|v| (v % 37) as f64) {
+            exact.push(v);
+            stream.push(v);
+        }
+        assert_eq!(exact.len(), stream.len());
+        assert_eq!(exact.mean(), stream.mean());
+        assert_eq!(exact.max(), stream.max());
+        let (se, ss) = (exact.summary(), stream.summary());
+        assert_eq!(se.count, ss.count);
+        assert_eq!(se.mean, ss.mean);
+        assert_eq!(se.max, ss.max);
+        // Interior quantiles approximate: within a loose band here (the
+        // testkit differential oracle pins the tight band).
+        assert!((se.p50 - ss.p50).abs() <= 4.0, "{} vs {}", se.p50, ss.p50);
+    }
+
+    #[test]
+    fn collector_default_is_exact_and_for_mode_switches() {
+        assert!(!Collector::default().is_streaming());
+        assert!(Collector::for_mode(true).is_streaming());
+        assert!(!Collector::for_mode(false).is_streaming());
+    }
+
+    #[test]
+    fn histogram_digest_matches_exact_queries() {
+        let mut h = Histogram::new();
+        let mut s = Samples::new();
+        for v in [5u64, 5, 5, 14, 14, 22] {
+            h.record(v);
+            s.push(v as f64);
+        }
+        assert_eq!(Digest::count(&h), 6);
+        assert_eq!(Digest::mean(&h), s.mean());
+        assert_eq!(Digest::max(&h), 22.0);
+        for p in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(p), s.percentile(p), "p={p}");
+        }
+        h.observe(7.0);
+        assert_eq!(h.count(7), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative integer")]
+    fn histogram_rejects_fractional_observations() {
+        Histogram::new().observe(1.5);
     }
 
     #[test]

@@ -146,6 +146,33 @@ pub enum TelemetryEvent {
         /// Hops taken before the failure.
         hops: u32,
     },
+    /// One causal span in a lookup's trace tree: a single completed
+    /// service at one node, covering the hop's queueing
+    /// (`enqueued → service_start`) and service
+    /// (`service_start → service_end`) phases. Span identifiers follow
+    /// the deterministic `ert-obs` scheme: `span = (q << 16) | (hop+1)`
+    /// and `parent` is the previous hop's span (or the lookup root
+    /// `q << 16` at hop 0), so trees reconstruct offline from the
+    /// event stream alone. Re-deliveries of the same hop index (after
+    /// handoffs or retries) emit sibling spans under the same parent.
+    HopSpan {
+        /// Query index.
+        q: u64,
+        /// Hop index at the time of service (0 = source node).
+        hop: u32,
+        /// Linearized id of the serving node.
+        node: u64,
+        /// Deterministic span id (`ert_obs::span::span_id(q, hop)`).
+        span: u64,
+        /// Parent span id (`ert_obs::span::parent_id(q, hop)`).
+        parent: u64,
+        /// Sim time (µs) the query entered this node's queue.
+        enqueued: u64,
+        /// Sim time (µs) service began.
+        service_start: u64,
+        /// Sim time (µs) service completed.
+        service_end: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -169,6 +196,7 @@ impl TelemetryEvent {
             TelemetryEvent::MessageLost { .. } => "MessageLost",
             TelemetryEvent::LookupRetry { .. } => "LookupRetry",
             TelemetryEvent::LookupFailed { .. } => "LookupFailed",
+            TelemetryEvent::HopSpan { .. } => "HopSpan",
         }
     }
 }
@@ -225,6 +253,19 @@ impl fmt::Display for TelemetryEvent {
             }
             TelemetryEvent::LookupFailed { q, hops } => {
                 write!(f, "q{q} failed hops={hops}")
+            }
+            TelemetryEvent::HopSpan {
+                q,
+                hop,
+                node,
+                enqueued,
+                service_end,
+                ..
+            } => {
+                write!(
+                    f,
+                    "q{q} span hop={hop} node={node} {enqueued}..{service_end}"
+                )
             }
         }
     }
@@ -300,6 +341,26 @@ mod tests {
         assert_eq!(
             serde::json::to_string(&e),
             r#"{"LookupFailed":{"q":4,"hops":7}}"#
+        );
+    }
+
+    #[test]
+    fn hop_span_renders_and_serializes() {
+        let e = TelemetryEvent::HopSpan {
+            q: 3,
+            hop: 1,
+            node: 12,
+            span: (3 << 16) | 2,
+            parent: (3 << 16) | 1,
+            enqueued: 100,
+            service_start: 150,
+            service_end: 350,
+        };
+        assert_eq!(e.kind(), "HopSpan");
+        assert_eq!(e.to_string(), "q3 span hop=1 node=12 100..350");
+        assert_eq!(
+            serde::json::to_string(&e),
+            r#"{"HopSpan":{"q":3,"hop":1,"node":12,"span":196610,"parent":196609,"enqueued":100,"service_start":150,"service_end":350}}"#
         );
     }
 }

@@ -122,6 +122,57 @@ impl EventSink for RingSink {
     }
 }
 
+/// Captures only the records a lookup-trace tree is built from:
+/// [`HopSpan`](crate::TelemetryEvent::HopSpan) spans plus the
+/// `LookupStart` / `LookupComplete` lifecycle events that delimit each
+/// tree. Everything else (link events, snapshots, reports) is dropped,
+/// so a span stream of a large run stays proportional to hops served
+/// rather than to total telemetry volume. The captured lines are valid
+/// JSONL input for `ert-obs`'s `trace-analyze`.
+pub struct SpanSink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+/// The event tags a [`SpanSink`] retains, matched against the
+/// serialized line (events are externally tagged, so the tag is the
+/// first key of the `"event"` object).
+const SPAN_TAGS: [&str; 3] = [
+    "\"event\":{\"HopSpan\"",
+    "\"event\":{\"LookupStart\"",
+    "\"event\":{\"LookupComplete\"",
+];
+
+impl SpanSink {
+    /// An empty span sink.
+    pub fn new() -> SpanSink {
+        SpanSink {
+            lines: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// A handle that stays readable after the sink is boxed away.
+    pub fn handle(&self) -> Arc<Mutex<Vec<String>>> {
+        Arc::clone(&self.lines)
+    }
+}
+
+impl Default for SpanSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventSink for SpanSink {
+    fn record(&mut self, line: &str) {
+        if SPAN_TAGS.iter().any(|tag| line.contains(tag)) {
+            self.lines
+                .lock()
+                .expect("no poisoned telemetry lock")
+                .push(line.to_string());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +206,27 @@ mod tests {
         let handle = sink.handle();
         sink.record("a");
         assert!(handle.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn span_sink_keeps_only_trace_records() {
+        let mut sink = SpanSink::new();
+        let handle = sink.handle();
+        let kept = [
+            r#"{"kind":"event","at":0,"seq":0,"event":{"LookupStart":{"q":0,"source":1,"key":2}}}"#,
+            r#"{"kind":"event","at":5,"seq":1,"event":{"HopSpan":{"q":0,"hop":0,"node":1,"span":1,"parent":0,"enqueued":0,"service_start":0,"service_end":5}}}"#,
+            r#"{"kind":"event","at":9,"seq":3,"event":{"LookupComplete":{"q":0,"hops":1,"heavy":0}}}"#,
+        ];
+        let dropped = [
+            r#"{"kind":"event","at":7,"seq":2,"event":{"LookupHop":{"q":0,"from":1,"to":2}}}"#,
+            r#"{"kind":"snapshot","snapshot":{"at":8}}"#,
+            r#"{"kind":"report","report":42}"#,
+        ];
+        for line in kept.iter().chain(dropped.iter()) {
+            sink.record(line);
+        }
+        let got = handle.lock().unwrap().clone();
+        assert_eq!(got, kept.map(String::from).to_vec());
     }
 
     #[test]

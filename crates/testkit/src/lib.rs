@@ -1,6 +1,6 @@
 //! Conformance oracles for the ERT reproduction.
 //!
-//! Three pillars, one crate:
+//! Five pillars, one crate:
 //!
 //! 1. **Golden-master shape regression** ([`shape`], [`specs`],
 //!    [`golden`]) — every ✅ claim of EXPERIMENTS.md encoded as a
@@ -17,7 +17,18 @@
 //!    cross-checked against the pure `ChordRegistry` geometry on
 //!    identical member sets; plus multi-seed Theorem 3.1–4.1 envelope
 //!    runners.
-//! 3. **A shared strategy library** ([`strategies`]) — the audited
+//! 3. **The streaming-statistics differential** ([`streamdiff`]) —
+//!    `--stream-stats` runs (P² sketch collectors) confronted with
+//!    their exact twins across seeds, workload shapes, and protocols:
+//!    exact fields bit-identical, sketched percentiles inside the
+//!    EXPERIMENTS.md tolerance bands, plus a 10^6-observation
+//!    convergence differential.
+//! 4. **The committed bench guard** ([`bench`]) — `BENCH_core.json` /
+//!    `BENCH_par.json` at the workspace root validated for schema,
+//!    internal rate coherence, and machine-independent plausibility
+//!    bands (never absolute numbers); `ERT_BENCH_FRESH_CORE` points
+//!    the same checker at a freshly regenerated record in CI.
+//! 5. **A shared strategy library** ([`strategies`]) — the audited
 //!    scenario space every property test draws from (proptest
 //!    strategies plus the deterministic builders the pinned
 //!    determinism tests share), replacing per-file copies.
@@ -28,11 +39,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod diff;
 pub mod envelopes;
 pub mod golden;
 pub mod shape;
 pub mod specs;
 pub mod strategies;
+pub mod streamdiff;
 
 pub use shape::{Axis, Layout, SeriesSet, ShapeCheck, ShapeSpec, Tier, Violation};

@@ -20,6 +20,7 @@ fn main() {
         churn: None,
         chaos: None,
         jobs: None,
+        stream_stats: false,
     };
     println!("swarm under churn (paper-scale interarrival sweep)\n");
     println!(

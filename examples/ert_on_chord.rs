@@ -22,6 +22,7 @@ fn main() {
         churn: None,
         chaos: None,
         jobs: None,
+        stream_stats: false,
     };
     println!("{}", cross_overlay_table(&scenario));
 

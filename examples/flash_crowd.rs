@@ -27,6 +27,7 @@ fn main() {
         churn: None,
         chaos: None,
         jobs: None,
+        stream_stats: false,
     };
     println!("flash crowd: 50 co-located requesters hammer 20 keys\n");
     println!(

@@ -142,7 +142,7 @@ proptest! {
     /// Percentiles are monotone in p and bracketed by min/max.
     #[test]
     fn percentiles_are_monotone(values in prop::collection::vec(-1e6f64..1e6, 1..200)) {
-        let mut s: Samples = values.iter().copied().collect();
+        let s: Samples = values.iter().copied().collect();
         let p10 = s.percentile(0.10);
         let p50 = s.percentile(0.50);
         let p99 = s.percentile(0.99);

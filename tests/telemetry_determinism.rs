@@ -12,7 +12,7 @@
 
 use ert_network::{Network, NetworkConfig, ProtocolSpec};
 use ert_sim::SimDuration;
-use ert_telemetry::{MemorySink, Telemetry};
+use ert_telemetry::{MemorySink, SpanSink, Telemetry};
 
 fn capacities(n: usize) -> Vec<f64> {
     (0..n).map(|i| 600.0 + 250.0 * (i % 5) as f64).collect()
@@ -88,6 +88,53 @@ fn stream_has_events_snapshots_and_monotone_timestamps() {
         .filter_map(|l| l.split("\"at\":").nth(1)?.split(',').next()?.parse().ok())
         .collect();
     assert!(event_ats.windows(2).all(|w| w[0] <= w[1]));
+}
+
+/// Runs the fixed scenario in `--stream-stats` mode with a [`SpanSink`]
+/// attached and returns the retained trace lines plus the report.
+fn traced_stream_run() -> (Vec<String>, ert_network::RunReport) {
+    let caps = capacities(96);
+    let lookups = ert_network::network::uniform_lookup_burst(200, 96.0, 17);
+    let mut cfg = fixed_config();
+    cfg.stream_stats = true;
+    let mut net = Network::new(cfg, &caps, ProtocolSpec::ert_af()).unwrap();
+    let sink = SpanSink::new();
+    let lines = sink.handle();
+    let mut tel = Telemetry::disabled();
+    tel.add_sink(Box::new(sink));
+    net.set_telemetry(tel);
+    let report = net.run(&lookups, &[]);
+    let lines = lines.lock().unwrap().clone();
+    (lines, report)
+}
+
+/// Streaming collectors don't break replay: the same `--stream-stats`
+/// scenario traced twice yields byte-for-byte the same span stream and
+/// the same report — and the stream actually carries [`HopSpan`]
+/// records for the causal per-hop breakdown, with the non-trace event
+/// kinds filtered out by the sink.
+#[test]
+fn stream_stats_trace_is_byte_identical_and_carries_hop_spans() {
+    let (a, ra) = traced_stream_run();
+    let (b, rb) = traced_stream_run();
+    assert!(!a.is_empty());
+    assert_eq!(a.len(), b.len(), "trace lengths diverged");
+    for (i, (la, lb)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(la, lb, "trace line {i} diverged");
+    }
+    assert_eq!(serde::json::to_string(&ra), serde::json::to_string(&rb));
+    assert!(
+        a.iter().any(|l| l.contains("\"event\":{\"HopSpan\"")),
+        "no HopSpan records in the trace"
+    );
+    for l in &a {
+        assert!(
+            ["HopSpan", "LookupStart", "LookupComplete"]
+                .iter()
+                .any(|k| l.contains(&format!("\"event\":{{\"{k}\""))),
+            "non-trace record retained by SpanSink: {l}"
+        );
+    }
 }
 
 #[test]
