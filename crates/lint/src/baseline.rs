@@ -1,0 +1,426 @@
+//! The committed-findings baseline: load, diff, and write.
+//!
+//! A baseline is a JSON file listing accepted findings as
+//! `(rule, file, line)` triples. `--baseline <path>` partitions the
+//! current run into *new* findings (fail the build), *baselined* ones
+//! (reported but tolerated), and *stale* baseline entries (recorded
+//! findings that no longer occur — the baseline must be regenerated so
+//! it cannot mask future regressions at those sites). Matching is
+//! multiset-style: two identical findings need two baseline entries.
+//!
+//! The parser below is a deliberately tiny JSON reader — enough for the
+//! baseline's own shape — so the crate stays dependency-free at
+//! runtime.
+
+use std::fmt::Write as _;
+
+use crate::rules::Violation;
+
+/// One accepted finding in the baseline file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Rule name (`wall-clock`, `transitive-panic`, ...).
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    /// Accepted findings, in file order.
+    pub entries: Vec<Entry>,
+}
+
+/// The outcome of diffing a run against a baseline.
+#[derive(Debug, Default)]
+pub struct Diff {
+    /// Findings with no baseline entry: these fail the build.
+    pub new: Vec<Violation>,
+    /// Findings matched by a baseline entry: reported, tolerated.
+    pub baselined: Vec<Violation>,
+    /// Baseline entries that matched nothing: the baseline is stale.
+    pub stale: Vec<Entry>,
+}
+
+impl Baseline {
+    /// Parses the baseline JSON. Errors name the first malformed spot.
+    pub fn parse(src: &str) -> Result<Baseline, String> {
+        let mut p = Parser {
+            bytes: src.as_bytes(),
+            i: 0,
+        };
+        let root = p.value()?;
+        p.skip_ws();
+        if p.i < p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.i));
+        }
+        let Value::Obj(fields) = root else {
+            return Err("baseline root must be an object".into());
+        };
+        let version = fields
+            .iter()
+            .find(|(k, _)| k == "version")
+            .ok_or("baseline missing `version`")?;
+        match version.1 {
+            Value::Num(1.0) => {}
+            _ => return Err("unsupported baseline `version` (expected 1)".into()),
+        }
+        let entries_val = fields
+            .iter()
+            .find(|(k, _)| k == "entries")
+            .ok_or("baseline missing `entries`")?;
+        let Value::Arr(items) = &entries_val.1 else {
+            return Err("baseline `entries` must be an array".into());
+        };
+        let mut entries = Vec::new();
+        for (idx, item) in items.iter().enumerate() {
+            let Value::Obj(e) = item else {
+                return Err(format!("entries[{idx}] must be an object"));
+            };
+            let get_str = |key: &str| -> Result<String, String> {
+                match e.iter().find(|(k, _)| k == key) {
+                    Some((_, Value::Str(s))) => Ok(s.clone()),
+                    _ => Err(format!("entries[{idx}] missing string `{key}`")),
+                }
+            };
+            let line = match e.iter().find(|(k, _)| k == "line") {
+                // ert-lint: allow(float-eq) — fract()==0.0 is the exact integrality test
+                Some((_, Value::Num(n))) if *n >= 1.0 && n.fract() == 0.0 => *n as u32,
+                _ => return Err(format!("entries[{idx}] missing positive integer `line`")),
+            };
+            entries.push(Entry {
+                rule: get_str("rule")?,
+                file: get_str("file")?,
+                line,
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Serializes findings as a fresh baseline (`--write-baseline`).
+    /// Input order is preserved — callers pass the sorted report.
+    pub fn render(violations: &[Violation]) -> String {
+        let mut s = String::from("{\n  \"version\": 1,\n  \"entries\": [");
+        for (i, v) in violations.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                s,
+                "{sep}\n    {{ \"rule\": {}, \"file\": {}, \"line\": {} }}",
+                json_str(v.rule),
+                json_str(&v.file),
+                v.line
+            );
+        }
+        if violations.is_empty() {
+            s.push_str("]\n}\n");
+        } else {
+            s.push_str("\n  ]\n}\n");
+        }
+        s
+    }
+
+    /// Partitions `violations` against this baseline (multiset match on
+    /// `(rule, file, line)`).
+    pub fn diff(&self, violations: &[Violation]) -> Diff {
+        let mut unused: Vec<bool> = vec![true; self.entries.len()];
+        let mut out = Diff::default();
+        for v in violations {
+            let slot = self.entries.iter().enumerate().position(|(i, e)| {
+                unused[i] && e.rule == v.rule && e.file == v.file && e.line == v.line
+            });
+            match slot {
+                Some(i) => {
+                    unused[i] = false;
+                    out.baselined.push(v.clone());
+                }
+                None => out.new.push(v.clone()),
+            }
+        }
+        out.stale = self
+            .entries
+            .iter()
+            .zip(&unused)
+            .filter(|(_, &u)| u)
+            .map(|(e, _)| e.clone())
+            .collect();
+        out
+    }
+}
+
+/// JSON string escape (shared with the SARIF writer).
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The minimal JSON value tree the baseline needs. Booleans and nulls
+/// are parsed (so foreign-but-valid JSON is tolerated) but carry no
+/// payload — nothing in the baseline shape reads them.
+enum Value {
+    Null,
+    Bool,
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.i)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.i += 1;
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.bytes.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool),
+            Some(b'f') => self.literal("false", Value::Bool),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            _ => Err(format!("unexpected byte at {}", self.i)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.i;
+        while self
+            .bytes
+            .get(self.i)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.i += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.i) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.bytes.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.i + 1..self.i + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                            self.i += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.i)),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Copy the whole UTF-8 scalar, not just this byte.
+                    let rest = &self.bytes[self.i..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8")?;
+                    let ch = s.chars().next().unwrap_or('\u{FFFD}');
+                    out.push(ch);
+                    self.i += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.i += 1; // [
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.i += 1; // {
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.bytes.get(self.i) != Some(&b'"') {
+                return Err(format!("expected object key at byte {}", self.i));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.bytes.get(self.i) != Some(&b':') {
+                return Err(format!("expected `:` at byte {}", self.i));
+            }
+            self.i += 1;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.bytes.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.i)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &'static str, file: &str, line: u32) -> Violation {
+        Violation {
+            rule,
+            file: file.into(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let vs = [
+            v("wall-clock", "crates/a/src/lib.rs", 3),
+            v("shared-state", "crates/b/src/x.rs", 14),
+        ];
+        let json = Baseline::render(&vs);
+        let parsed = Baseline::parse(&json).expect("round trip");
+        assert_eq!(parsed.entries.len(), 2);
+        assert_eq!(parsed.entries[0].rule, "wall-clock");
+        assert_eq!(parsed.entries[1].line, 14);
+    }
+
+    #[test]
+    fn empty_baseline_round_trips() {
+        let json = Baseline::render(&[]);
+        let parsed = Baseline::parse(&json).expect("empty");
+        assert!(parsed.entries.is_empty());
+    }
+
+    #[test]
+    fn diff_partitions_new_baselined_and_stale() {
+        let base = Baseline::parse(
+            r#"{ "version": 1, "entries": [
+                { "rule": "wall-clock", "file": "a.rs", "line": 3 },
+                { "rule": "float-eq", "file": "gone.rs", "line": 9 }
+            ] }"#,
+        )
+        .unwrap();
+        let now = [v("wall-clock", "a.rs", 3), v("ambient-rng", "b.rs", 1)];
+        let d = base.diff(&now);
+        assert_eq!(d.baselined.len(), 1);
+        assert_eq!(d.new.len(), 1);
+        assert_eq!(d.new[0].rule, "ambient-rng");
+        assert_eq!(d.stale.len(), 1);
+        assert_eq!(d.stale[0].file, "gone.rs");
+    }
+
+    #[test]
+    fn matching_is_multiset_not_set() {
+        // One entry cannot absolve two identical findings.
+        let base = Baseline::parse(
+            r#"{ "version": 1, "entries": [
+                { "rule": "float-eq", "file": "a.rs", "line": 5 }
+            ] }"#,
+        )
+        .unwrap();
+        let now = [v("float-eq", "a.rs", 5), v("float-eq", "a.rs", 5)];
+        let d = base.diff(&now);
+        assert_eq!(d.baselined.len(), 1);
+        assert_eq!(d.new.len(), 1);
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected_with_context() {
+        for bad in [
+            "[]",
+            "{ \"entries\": [] }",
+            "{ \"version\": 2, \"entries\": [] }",
+            "{ \"version\": 1, \"entries\": [ { \"rule\": \"x\" } ] }",
+            "{ \"version\": 1, \"entries\": [] } trailing",
+        ] {
+            assert!(Baseline::parse(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_survive_the_round_trip() {
+        let vs = [v("wall-clock", "crates/a/src/we\"ird\\path.rs", 1)];
+        let parsed = Baseline::parse(&Baseline::render(&vs)).unwrap();
+        assert_eq!(parsed.entries[0].file, "crates/a/src/we\"ird\\path.rs");
+    }
+}

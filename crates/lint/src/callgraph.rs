@@ -1,0 +1,453 @@
+//! A conservative workspace call graph, and the D9 `transitive-panic`
+//! rule built on top of it.
+//!
+//! For every function body the builder records (a) call edges into the
+//! [`SymbolTable`] and (b) direct panic sites (`.unwrap()`, `.expect()`,
+//! `panic!`-family macros — the same markers as D4). Edges are resolved
+//! conservatively: a method call goes to every workspace method with
+//! that name, a bare call to every same-named free function, a
+//! qualified call to every function its qualifier could plausibly name.
+//! Test functions are excluded from the graph entirely, on both ends.
+//!
+//! D9 then walks the graph from the hot-path roots (every non-test
+//! function defined in the D4 files: `core::forward`, `core::adapt`,
+//! `sim::engine`, `network::lookup`) and flags each panic site in a
+//! reachable function. Direct panics *inside* the root files stay D4's
+//! job; D9 reports only what D4 cannot see — panics below a call.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Lexed, TokenKind};
+use crate::rules::{Violation, D4_FILES, TRANSITIVE_PANIC};
+use crate::symbols::SymbolTable;
+
+/// A direct panic site inside a function body.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// 1-based source line.
+    pub line: u32,
+    /// What fires there (`unwrap`, `expect`, `panic!`, ...).
+    pub what: String,
+}
+
+/// Call edges and panic sites, indexed like [`SymbolTable::fns`].
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `callees[f]` = functions `f` may call (conservatively).
+    pub callees: Vec<Vec<usize>>,
+    /// `panics[f]` = direct panic sites in `f`'s body.
+    pub panics: Vec<Vec<PanicSite>>,
+}
+
+/// Names that look like calls but never are (macro fragments the lexer
+/// happens to emit as `ident (`-shaped sequences, and control keywords).
+const NON_CALLS: &[&str] = &[
+    "if", "match", "while", "for", "loop", "return", "fn", "let", "move", "in", "as", "where",
+    "unsafe", "else", "break", "continue",
+];
+
+/// Builds the call graph. `lexed[i]` must be the token stream of the
+/// file `SymbolTable` indexed as `file_idx == i`.
+pub fn build_graph(table: &SymbolTable, lexed: &[&Lexed]) -> CallGraph {
+    let mut graph = CallGraph {
+        callees: vec![Vec::new(); table.fns.len()],
+        panics: vec![Vec::new(); table.fns.len()],
+    };
+    for (fi, f) in table.fns.iter().enumerate() {
+        if f.item.is_test {
+            continue;
+        }
+        let Some((start, end)) = f.item.body else {
+            continue;
+        };
+        let tokens = &lexed[f.file_idx].tokens;
+        let ident = |i: usize| match tokens.get(i).map(|t| &t.kind) {
+            Some(TokenKind::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        };
+        let punct = |i: usize| match tokens.get(i).map(|t| &t.kind) {
+            Some(TokenKind::Punct(p)) => Some(*p),
+            _ => None,
+        };
+        let current_self = f.item.self_type.as_deref();
+
+        let mut j = start;
+        while j < end.min(tokens.len()) {
+            let Some(name) = ident(j) else {
+                j += 1;
+                continue;
+            };
+            // Macro invocation `name!(...)`: a panic marker or inert.
+            if punct(j + 1) == Some("!") {
+                if matches!(name, "panic" | "unreachable" | "todo" | "unimplemented") {
+                    graph.panics[fi].push(PanicSite {
+                        line: tokens[j].line,
+                        what: format!("{name}!"),
+                    });
+                }
+                j += 2;
+                continue;
+            }
+            // Optional turbofish between the name and the argument list.
+            let mut k = j + 1;
+            if punct(k) == Some("::") && punct(k + 1) == Some("<") {
+                let mut angle = 1i32;
+                k += 2;
+                while k < tokens.len() && angle > 0 {
+                    match punct(k) {
+                        Some("<") => angle += 1,
+                        Some(">") => angle -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+            if punct(k) != Some("(") || NON_CALLS.contains(&name) {
+                j += 1;
+                continue;
+            }
+            let prev = punct(j.wrapping_sub(1));
+            if matches!(name, "unwrap" | "expect") && matches!(prev, Some(".") | Some("::")) {
+                graph.panics[fi].push(PanicSite {
+                    line: tokens[j].line,
+                    what: format!(".{name}()"),
+                });
+                j = k;
+                continue;
+            }
+            let targets = if prev == Some(".") {
+                table.resolve_method(name)
+            } else if prev == Some("::") {
+                match ident(j.wrapping_sub(2)) {
+                    Some(qual) => table.resolve_qualified(qual, name, current_self),
+                    None => Vec::new(), // `<T as Trait>::f` and friends.
+                }
+            } else if ident(j.wrapping_sub(1)) == Some("fn") {
+                Vec::new() // A nested definition, not a call.
+            } else {
+                table.resolve_free(name)
+            };
+            for t in targets {
+                if !table.fns[t].item.is_test && !graph.callees[fi].contains(&t) {
+                    graph.callees[fi].push(t);
+                }
+            }
+            j = k;
+        }
+    }
+    graph
+}
+
+impl CallGraph {
+    /// Breadth-first reachability from `roots`; the map's value is the
+    /// BFS parent (`None` for roots), which [`chain`] unwinds into a
+    /// shortest call path for diagnostics.
+    pub fn reachable(&self, roots: &[usize]) -> BTreeMap<usize, Option<usize>> {
+        let mut seen: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+        let mut queue: Vec<usize> = Vec::new();
+        for &r in roots {
+            if seen.insert(r, None).is_none() {
+                queue.push(r);
+            }
+        }
+        let mut head = 0usize;
+        while head < queue.len() {
+            let cur = queue[head];
+            head += 1;
+            for &next in &self.callees[cur] {
+                if let std::collections::btree_map::Entry::Vacant(e) = seen.entry(next) {
+                    e.insert(Some(cur));
+                    queue.push(next);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Renders the shortest root→function call chain the BFS recorded, e.g.
+/// `core::forward::choose_next → sim::rng::choose`.
+pub fn chain(
+    parents: &BTreeMap<usize, Option<usize>>,
+    mut idx: usize,
+    table: &SymbolTable,
+) -> String {
+    let mut names = vec![table.fns[idx].item.qual()];
+    while let Some(Some(p)) = parents.get(&idx) {
+        names.push(table.fns[*p].item.qual());
+        idx = *p;
+    }
+    names.reverse();
+    names.join(" → ")
+}
+
+/// Runs D9: every panic site in a non-test function reachable from the
+/// hot-path roots, excluding sites inside the root files themselves
+/// (those are direct D4 territory). Violations are attributed to the
+/// panic site so the usual same-line suppressions apply.
+pub fn transitive_panic_violations(table: &SymbolTable, graph: &CallGraph) -> Vec<Violation> {
+    let roots: Vec<usize> = table
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !f.item.is_test && D4_FILES.contains(&f.file.as_str()))
+        .map(|(i, _)| i)
+        .collect();
+    let reachable = graph.reachable(&roots);
+    let mut out = Vec::new();
+    let mut seen_sites: Vec<(String, u32)> = Vec::new();
+    for &fi in reachable.keys() {
+        let f = &table.fns[fi];
+        if D4_FILES.contains(&f.file.as_str()) {
+            continue;
+        }
+        for site in &graph.panics[fi] {
+            let key = (f.file.clone(), site.line);
+            if seen_sites.contains(&key) {
+                continue;
+            }
+            seen_sites.push(key);
+            out.push(Violation {
+                rule: TRANSITIVE_PANIC,
+                file: f.file.clone(),
+                line: site.line,
+                message: format!(
+                    "`{}` hits `{}` and is reachable from a hot path: {}; propagate an \
+                     error instead, or justify with `ert-lint: allow(transitive-panic)`",
+                    f.item.qual(),
+                    site.what,
+                    chain(&reachable, fi, table),
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::{parse_items, ParsedFile};
+    use crate::rules::FileContext;
+
+    struct Fixture {
+        parsed: Vec<(ParsedFile, FileContext)>,
+        lexed: Vec<Lexed>,
+    }
+
+    impl Fixture {
+        fn new(files: &[(&str, &str, &str)]) -> Fixture {
+            let mut parsed = Vec::new();
+            let mut lexed = Vec::new();
+            for (src, rel, krate) in files {
+                let ctx = FileContext {
+                    rel_path: (*rel).into(),
+                    crate_name: (*krate).into(),
+                    is_binary: false,
+                };
+                let lx = lex(src);
+                parsed.push((parse_items(&lx, &ctx), ctx));
+                lexed.push(lx);
+            }
+            Fixture { parsed, lexed }
+        }
+
+        fn analyze(&self) -> (SymbolTable, CallGraph) {
+            let refs: Vec<(&ParsedFile, &FileContext)> =
+                self.parsed.iter().map(|(p, c)| (p, c)).collect();
+            let table = SymbolTable::build(&refs);
+            let lexed: Vec<&Lexed> = self.lexed.iter().collect();
+            let graph = build_graph(&table, &lexed);
+            (table, graph)
+        }
+    }
+
+    fn idx(table: &SymbolTable, qual: &str) -> usize {
+        table
+            .fns
+            .iter()
+            .position(|f| f.item.qual() == qual)
+            .unwrap_or_else(|| panic!("no fn {qual}"))
+    }
+
+    #[test]
+    fn direct_calls_make_edges_and_panics_are_sited() {
+        let fx = Fixture::new(&[(
+            "fn a(x: Option<u32>) -> u32 { b(x) }\n\
+             fn b(x: Option<u32>) -> u32 { x.unwrap() }",
+            "crates/x/src/lib.rs",
+            "ert-x",
+        )]);
+        let (table, graph) = fx.analyze();
+        let a = idx(&table, "x::a");
+        let b = idx(&table, "x::b");
+        assert_eq!(graph.callees[a], vec![b]);
+        assert_eq!(graph.panics[b].len(), 1);
+        assert_eq!(graph.panics[b][0].line, 2);
+        assert!(graph.panics[a].is_empty());
+    }
+
+    #[test]
+    fn cross_module_bare_calls_resolve_conservatively() {
+        let fx = Fixture::new(&[
+            (
+                "pub fn caller() { shared_helper(); }",
+                "crates/a/src/entry.rs",
+                "ert-a",
+            ),
+            ("pub fn shared_helper() {}", "crates/b/src/util.rs", "ert-b"),
+            (
+                "pub fn shared_helper() { panic!(\"boom\") }",
+                "crates/c/src/other.rs",
+                "ert-c",
+            ),
+        ]);
+        let (table, graph) = fx.analyze();
+        let caller = idx(&table, "a::entry::caller");
+        // Both same-named helpers get an edge: imports are invisible to
+        // the token layer, so resolution must over-approximate.
+        assert_eq!(graph.callees[caller].len(), 2);
+    }
+
+    #[test]
+    fn trait_method_calls_resolve_to_every_impl() {
+        let fx = Fixture::new(&[(
+            "trait Step { fn advance(&self); }\n\
+             struct Safe; struct Risky;\n\
+             impl Step for Safe { fn advance(&self) {} }\n\
+             impl Step for Risky { fn advance(&self) { panic!(\"no\") } }\n\
+             fn drive(s: &dyn Step) { s.advance(); }",
+            "crates/x/src/lib.rs",
+            "ert-x",
+        )]);
+        let (table, graph) = fx.analyze();
+        let drive = idx(&table, "x::drive");
+        // Dynamic dispatch: the call must reach BOTH impls (and the
+        // bodyless trait declaration contributes no edge target worth
+        // distinguishing — it has no body, hence no panics).
+        let method_targets: Vec<&str> = graph.callees[drive]
+            .iter()
+            .map(|&t| table.fns[t].item.qual())
+            .collect::<Vec<String>>()
+            .iter()
+            .map(|s| {
+                if s.contains("Risky") {
+                    "risky"
+                } else {
+                    "other"
+                }
+            })
+            .collect();
+        assert!(method_targets.contains(&"risky"));
+        assert!(graph.callees[drive].len() >= 2);
+    }
+
+    #[test]
+    fn qualified_calls_do_not_leak_to_unrelated_types() {
+        let fx = Fixture::new(&[(
+            "struct Q;\nimpl Q { fn pop(&mut self) { panic!(\"x\") } }\n\
+             fn safe() { let mut v = vec![1]; Vec::pop(&mut v); }",
+            "crates/x/src/lib.rs",
+            "ert-x",
+        )]);
+        let (table, graph) = fx.analyze();
+        let safe = idx(&table, "x::safe");
+        assert!(
+            graph.callees[safe].is_empty(),
+            "`Vec::pop` is external; it must not resolve to `Q::pop`"
+        );
+    }
+
+    #[test]
+    fn test_functions_are_outside_the_graph() {
+        let fx = Fixture::new(&[(
+            "fn lib_entry() { helper(); }\nfn helper() {}\n\
+             #[cfg(test)]\nmod tests {\n    fn helper() { panic!(\"t\") }\n    #[test]\n    fn t() { helper(); }\n}",
+            "crates/x/src/lib.rs",
+            "ert-x",
+        )]);
+        let (table, graph) = fx.analyze();
+        let entry = idx(&table, "x::lib_entry");
+        // The test-module helper must not become a callee.
+        for &t in &graph.callees[entry] {
+            assert!(!table.fns[t].item.is_test);
+        }
+        assert_eq!(graph.callees[entry].len(), 1);
+    }
+
+    #[test]
+    fn transitive_panic_walks_two_levels_from_a_root_file() {
+        let fx = Fixture::new(&[
+            (
+                "pub fn lookup_step(x: Option<u32>) -> u32 { stage_one(x) }",
+                "crates/network/src/lookup.rs",
+                "ert-network",
+            ),
+            (
+                "pub fn stage_one(x: Option<u32>) -> u32 { stage_two(x) }\n\
+                 pub fn stage_two(x: Option<u32>) -> u32 { x.unwrap() }",
+                "crates/network/src/helper.rs",
+                "ert-network",
+            ),
+        ]);
+        let (table, graph) = fx.analyze();
+        let vs = transitive_panic_violations(&table, &graph);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, TRANSITIVE_PANIC);
+        assert_eq!(vs[0].file, "crates/network/src/helper.rs");
+        assert_eq!(vs[0].line, 2);
+        assert!(
+            vs[0].message.contains("network::lookup::lookup_step"),
+            "chain should start at the root: {}",
+            vs[0].message
+        );
+        assert!(vs[0].message.contains("stage_two"));
+    }
+
+    #[test]
+    fn panics_not_reachable_from_roots_stay_quiet() {
+        let fx = Fixture::new(&[
+            (
+                "pub fn lookup_step() -> u32 { 1 }",
+                "crates/network/src/lookup.rs",
+                "ert-network",
+            ),
+            (
+                "pub fn island(x: Option<u32>) -> u32 { x.unwrap() }",
+                "crates/network/src/helper.rs",
+                "ert-network",
+            ),
+        ]);
+        let (table, graph) = fx.analyze();
+        assert!(transitive_panic_violations(&table, &graph).is_empty());
+    }
+
+    #[test]
+    fn direct_root_file_panics_are_left_to_d4() {
+        let fx = Fixture::new(&[(
+            "pub fn lookup_step(x: Option<u32>) -> u32 { x.unwrap() }",
+            "crates/network/src/lookup.rs",
+            "ert-network",
+        )]);
+        let (table, graph) = fx.analyze();
+        assert!(
+            transitive_panic_violations(&table, &graph).is_empty(),
+            "in-file panics are D4's finding, not D9's"
+        );
+    }
+
+    #[test]
+    fn chain_renders_shortest_path() {
+        let fx = Fixture::new(&[(
+            "fn a() { b(); }\nfn b() { c(); }\nfn c() {}",
+            "crates/x/src/lib.rs",
+            "ert-x",
+        )]);
+        let (table, graph) = fx.analyze();
+        let a = idx(&table, "x::a");
+        let c = idx(&table, "x::c");
+        let parents = graph.reachable(&[a]);
+        assert_eq!(chain(&parents, c, &table), "x::a → x::b → x::c");
+    }
+}

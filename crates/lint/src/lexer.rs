@@ -122,6 +122,23 @@ pub fn lex(src: &str) -> Lexed {
                 i = skip_string(bytes, i, &mut line);
                 push!(TokenKind::Literal);
             }
+            // Raw identifier `r#type`: an escape hatch for keywords used
+            // as names, NOT a raw string. Distinguished from `r#"..."`
+            // (raw string) by what follows the `#`. The `r#` prefix is
+            // stripped so `r#fn` and a plain `fn` ident compare equal —
+            // which is what the item parser wants.
+            'r' if bytes.get(i + 1) == Some(&b'#')
+                && bytes
+                    .get(i + 2)
+                    .is_some_and(|&b| b == b'_' || (b as char).is_alphabetic()) =>
+            {
+                let start = i + 2;
+                i = start;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                push!(TokenKind::Ident(src[start..i].to_string()));
+            }
             'r' | 'b' if starts_raw_or_byte_string(bytes, i) => {
                 let at = line;
                 i = skip_raw_or_byte_string(bytes, i, &mut line);
@@ -475,6 +492,78 @@ mod tests {
         assert_eq!(lexed.comments.len(), 1);
         assert_eq!(lexed.comments[0].line, 1);
         assert!(lexed.comments[0].text.contains("ert-lint"));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_idents() {
+        // `r#type` once matched the raw-string prefix heuristic and
+        // emitted a bogus Literal token, desyncing the item parser.
+        let lexed = lex("struct r#type; fn r#fn(r#loop: u32) {}");
+        let ids = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect::<Vec<_>>();
+        assert_eq!(ids, vec!["struct", "type", "fn", "fn", "loop", "u32"]);
+        assert!(!lexed.tokens.iter().any(|t| t.kind == TokenKind::Literal));
+        // ...while `r#"..."#` stays a raw string, contents hidden.
+        let raw = lex(r###"let s = r#"thread_rng"#;"###);
+        assert!(raw.tokens.iter().any(|t| t.kind == TokenKind::Literal));
+        assert!(!raw
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident("thread_rng".into())));
+    }
+
+    #[test]
+    fn byte_string_literals_hide_contents_and_keep_sync() {
+        // Plain, escaped-quote, and raw byte strings must each come out
+        // as one Literal with the following tokens intact.
+        for src in [
+            "let a = b\"thread_rng\"; let after = 1;",
+            "let a = b\"say \\\"hi\\\"\"; let after = 1;",
+            "let a = br#\"HashMap\"#; let after = 1;",
+            "let a = b'\\''; let after = 1;",
+        ] {
+            let lexed = lex(src);
+            let ids: Vec<&str> = lexed
+                .tokens
+                .iter()
+                .filter_map(|t| match &t.kind {
+                    TokenKind::Ident(s) => Some(s.as_str()),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(ids, vec!["let", "a", "let", "after"], "src: {src}");
+            assert!(
+                lexed.tokens.iter().any(|t| t.kind == TokenKind::Literal),
+                "src: {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn lifetime_heavy_generics_do_not_eat_char_literals() {
+        // A signature mixing lifetimes with real char literals in the
+        // default-expression position must keep both classifications.
+        let src =
+            "fn f<'a, 'b: 'a>(x: &'a str, c: char) -> &'b str { if c == 'x' { x } else { x } }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let literals = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(lifetimes, 5, "'a, 'b, 'a bound, &'a, &'b");
+        assert_eq!(literals, 1, "only 'x' is a char literal");
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! The paper's provable bounds (Theorems 3.1–3.3, 4.1) are only
 //! reproducible if every simulation run is a pure function of its seed
 //! and never tears down mid-run. This crate enforces that property
-//! mechanically with a small hand-rolled Rust lexer (no dependencies)
-//! and an eight-rule catalog:
+//! mechanically — no dependencies — with a hand-rolled Rust lexer, a
+//! lightweight item parser, a workspace symbol table, and a
+//! conservative call graph feeding an eleven-rule catalog:
 //!
 //! | rule | name | what it bans | where |
 //! |------|------|--------------|-------|
@@ -16,24 +17,35 @@
 //! | D6 | `swallowed-result` | `let _ =` and trailing `.ok();` discards | `network::network`, `network::topology`, all of `ert-faults` (tests exempt) |
 //! | D7 | `raw-thread` | `thread::spawn` / `thread::scope` | everywhere except `ert-par`, `ert-bench`, and binaries (no test exemption) |
 //! | D8 | `unbounded-collector` | `Samples` / `Vec<f64>` accumulation | `sim::engine`, `network::network` hot loops (tests exempt) |
+//! | D9 | `transitive-panic` | panics *reachable through the call graph* from the D4 hot-path roots | whole workspace (tests exempt) |
+//! | D10 | `shared-state` | `static mut`, locks, atomics, interior mutability | `ert-sim`, `ert-network`, `ert-core` (tests exempt) |
+//! | D11 | `stale-allow` | an `allow` comment that waives nothing | everywhere (not itself waivable) |
 //!
 //! A violation can be waived inline with
 //! `// ert-lint: allow(<rule>) — <justification>` on the same or the
 //! preceding line; the justification is mandatory and malformed
-//! suppressions are themselves violations.
+//! suppressions are themselves violations. D11 keeps that ledger
+//! honest: a waiver that stops matching a finding becomes a finding.
 //!
-//! Run it as `cargo run -p ert-lint --` (nonzero exit on violations)
-//! or `cargo run -p ert-lint -- --json` for the machine-readable
-//! report. The runtime counterpart — the `sanitize` feature of
-//! `ert-network` — asserts the theorem bounds dynamically while this
-//! crate keeps nondeterminism out statically.
+//! Run it as `cargo run -p ert-lint --` (nonzero exit on violations),
+//! `-- --json` for the machine-readable report, `-- --sarif out.sarif`
+//! for SARIF 2.1.0, or `-- --baseline lint-baseline.json` to diff
+//! against the committed baseline (exit 1 = new findings, exit 3 =
+//! stale baseline entries). The runtime counterpart — the `sanitize`
+//! feature of `ert-network` — asserts the theorem bounds dynamically
+//! while this crate keeps nondeterminism out statically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
+pub mod sarif;
+pub mod symbols;
 pub mod workspace;
 
 use std::fs;
@@ -43,17 +55,55 @@ pub use report::Report;
 pub use rules::{check_file, FileContext, Suppressed, Violation};
 pub use workspace::{find_workspace_root, workspace_files};
 
-/// Lints every workspace source file under `root` and returns the
+use parse::{parse_items, ParsedFile};
+use rules::{analyze_file, resolve_file, FileAnalysis};
+use symbols::SymbolTable;
+
+/// Lints every workspace source file under `root` — the file-local
+/// rules plus the cross-file call-graph pass — and returns the
 /// aggregated, sorted report. Unreadable files are skipped (the walk
 /// already filtered to regular `.rs` files).
 pub fn lint_workspace(root: &Path) -> Report {
-    let mut report = Report::default();
+    // Pass 1: lex + file-local rules, holding resolution open.
+    let mut analyses: Vec<FileAnalysis> = Vec::new();
     for file in workspace_files(root) {
         let Ok(src) = fs::read_to_string(&file.path) else {
             continue;
         };
+        analyses.push(analyze_file(&src, &file.ctx));
+    }
+
+    // Pass 2: parse items, build the symbol table and call graph, and
+    // compute the D9 transitive-panic findings.
+    let parsed: Vec<ParsedFile> = analyses
+        .iter()
+        .map(|a| parse_items(&a.lexed, &a.ctx))
+        .collect();
+    let table = {
+        let refs: Vec<(&ParsedFile, &FileContext)> = parsed
+            .iter()
+            .zip(analyses.iter())
+            .map(|(p, a)| (p, &a.ctx))
+            .collect();
+        SymbolTable::build(&refs)
+    };
+    let graph = {
+        let lexeds: Vec<&lexer::Lexed> = analyses.iter().map(|a| &a.lexed).collect();
+        callgraph::build_graph(&table, &lexeds)
+    };
+    let d9 = callgraph::transitive_panic_violations(&table, &graph);
+
+    // Pass 3: resolve waivers per file with the cross-file findings in
+    // hand, so D9 can be suppressed in place and D11 sees true usage.
+    let mut report = Report::default();
+    for analysis in analyses {
         report.files_scanned += 1;
-        let mut outcome = check_file(&src, &file.ctx);
+        let extra: Vec<Violation> = d9
+            .iter()
+            .filter(|v| v.file == analysis.ctx.rel_path)
+            .cloned()
+            .collect();
+        let mut outcome = resolve_file(analysis, &extra, true);
         report.violations.append(&mut outcome.violations);
         report.suppressed.append(&mut outcome.suppressed);
     }

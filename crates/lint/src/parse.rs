@@ -1,0 +1,489 @@
+//! Item-level parsing on top of the lexer: function, impl, and module
+//! extraction with workspace-relative module paths.
+//!
+//! The lexer guarantees token classification and line numbers; this
+//! layer adds just enough item structure for cross-file analysis — which
+//! functions exist, what module path and `impl` type each belongs to,
+//! where its body's token span sits, and whether it is test code. It is
+//! deliberately NOT a full Rust parser: unrecognized constructs are
+//! skipped, and the consumers ([`crate::symbols`], [`crate::callgraph`])
+//! are designed so that a missed item can only make the analysis *less*
+//! complete, never wrong about what it does report.
+
+use crate::lexer::{Lexed, Token, TokenKind};
+use crate::rules::FileContext;
+
+/// One `fn` item (free function, inherent method, or trait method).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's bare name (`choose_next`).
+    pub name: String,
+    /// Module path from the crate root (`core::forward`), derived from
+    /// the file location plus any inline `mod` blocks.
+    pub module: String,
+    /// The `impl` target type when this is a method (`Samples`), with
+    /// generics stripped to the last path segment.
+    pub self_type: Option<String>,
+    /// The trait being implemented, for `impl Trait for Type` methods.
+    pub trait_name: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index span `[start, end)` of the body including its braces,
+    /// or `None` for bodyless trait declarations.
+    pub body: Option<(usize, usize)>,
+    /// True for functions inside `#[cfg(test)]`/`#[test]` spans or in
+    /// integration-test files — excluded from the call graph entirely.
+    pub is_test: bool,
+}
+
+impl FnItem {
+    /// Fully qualified display name: `module::Type::name` for methods,
+    /// `module::name` for free functions.
+    pub fn qual(&self) -> String {
+        match &self.self_type {
+            Some(t) => format!("{}::{}::{}", self.module, t, self.name),
+            None => format!("{}::{}", self.module, self.name),
+        }
+    }
+}
+
+/// The parse result for one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Every `fn` item found, in source order.
+    pub fns: Vec<FnItem>,
+}
+
+/// Derives the module path of a file from its workspace-relative
+/// location: `crates/core/src/forward.rs` → `core::forward`,
+/// `crates/sim/src/lib.rs` → `sim`, `tests/chaos.rs` → `repro::tests::chaos`.
+/// The `ert-` crate-name prefix is stripped so paths read like the
+/// `use ert_core::...` statements with the boilerplate removed.
+pub fn module_path(ctx: &FileContext) -> String {
+    let krate = ctx
+        .crate_name
+        .strip_prefix("ert-")
+        .unwrap_or(&ctx.crate_name);
+    let mut segs: Vec<String> = vec![krate.to_string()];
+    let parts: Vec<&str> = ctx.rel_path.split('/').collect();
+    let mark = parts
+        .iter()
+        .position(|p| matches!(*p, "src" | "tests" | "benches" | "examples"));
+    if let Some(m) = mark {
+        if parts[m] != "src" {
+            segs.push(parts[m].to_string());
+        }
+        for p in &parts[m + 1..] {
+            let stem = p.strip_suffix(".rs").unwrap_or(p);
+            if matches!(stem, "lib" | "main" | "mod") {
+                continue;
+            }
+            segs.push(stem.to_string());
+        }
+    }
+    segs.join("::")
+}
+
+/// Scopes the parser tracks while walking the token stream.
+enum Scope {
+    /// An inline `mod name { ... }` block entered at `depth`.
+    Mod { name: String, depth: u32 },
+    /// An `impl` block entered at `depth`.
+    Impl {
+        self_type: String,
+        trait_name: Option<String>,
+        depth: u32,
+    },
+}
+
+impl Scope {
+    fn depth(&self) -> u32 {
+        match self {
+            Scope::Mod { depth, .. } | Scope::Impl { depth, .. } => *depth,
+        }
+    }
+}
+
+/// Extracts every `fn` item from a lexed file.
+pub fn parse_items(lexed: &Lexed, ctx: &FileContext) -> ParsedFile {
+    let tokens = &lexed.tokens;
+    let test_spans = test_item_spans(tokens);
+    let in_test = |idx: usize| test_spans.iter().any(|&(a, b)| idx >= a && idx <= b);
+    // Integration tests, benches, and examples are leaf targets; their
+    // functions never sit on a hot path and may panic freely.
+    let file_is_test = {
+        let p = &ctx.rel_path;
+        p.starts_with("tests/")
+            || p.contains("/tests/")
+            || p.contains("/benches/")
+            || p.contains("/examples/")
+    };
+    let base = module_path(ctx);
+
+    let mut out = ParsedFile::default();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut depth: u32 = 0;
+    let ident = |i: usize| match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    let punct = |i: usize| match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Punct(p)) => Some(*p),
+        _ => None,
+    };
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::Punct("{") => {
+                depth += 1;
+                i += 1;
+            }
+            TokenKind::Punct("}") => {
+                depth = depth.saturating_sub(1);
+                while scopes.last().is_some_and(|s| s.depth() >= depth) {
+                    scopes.pop();
+                }
+                i += 1;
+            }
+            TokenKind::Ident(w) if w == "mod" => {
+                if let (Some(name), Some("{")) = (ident(i + 1), punct(i + 2)) {
+                    scopes.push(Scope::Mod {
+                        name: name.to_string(),
+                        depth,
+                    });
+                    depth += 1;
+                    i += 3;
+                } else {
+                    i += 1; // `mod name;` — out-of-line, nothing to scope.
+                }
+            }
+            TokenKind::Ident(w) if w == "impl" => {
+                // Header: `impl<G> TraitPath for TypePath where ... {`.
+                // Collect path idents at angle-depth 0, split on `for`,
+                // stop at `where`; the self type is the last segment.
+                let mut j = i + 1;
+                let mut angle = 0i32;
+                let mut before_for: Vec<String> = Vec::new();
+                let mut after_for: Vec<String> = Vec::new();
+                let mut saw_for = false;
+                while j < tokens.len() {
+                    match &tokens[j].kind {
+                        TokenKind::Punct("<") => angle += 1,
+                        TokenKind::Punct(">") => angle -= 1,
+                        TokenKind::Punct("{") if angle <= 0 => break,
+                        TokenKind::Punct(";") if angle <= 0 => break,
+                        TokenKind::Ident(s) if angle <= 0 => {
+                            if s == "where" {
+                                // Everything after is bounds, not the type.
+                                while j < tokens.len()
+                                    && punct(j) != Some("{")
+                                    && punct(j) != Some(";")
+                                {
+                                    j += 1;
+                                }
+                                break;
+                            } else if s == "for" {
+                                saw_for = true;
+                            } else if saw_for {
+                                after_for.push(s.clone());
+                            } else {
+                                before_for.push(s.clone());
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if punct(j) == Some("{") {
+                    let (self_type, trait_name) = if saw_for {
+                        (after_for.last().cloned(), before_for.last().cloned())
+                    } else {
+                        (before_for.last().cloned(), None)
+                    };
+                    if let Some(self_type) = self_type {
+                        scopes.push(Scope::Impl {
+                            self_type,
+                            trait_name,
+                            depth,
+                        });
+                        depth += 1;
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                i = j;
+            }
+            TokenKind::Ident(w) if w == "fn" => {
+                let Some(name) = ident(i + 1) else {
+                    i += 1; // `fn(..)` pointer type, not an item.
+                    continue;
+                };
+                let line = tokens[i].line;
+                // Scan the signature for the body `{` or a terminating
+                // `;` (trait declaration). `;` only terminates at zero
+                // paren/bracket depth — `[u8; 4]` in an argument type
+                // must not read as end-of-item.
+                let mut j = i + 2;
+                let mut paren = 0i32;
+                let mut bracket = 0i32;
+                let mut body: Option<(usize, usize)> = None;
+                while j < tokens.len() {
+                    match punct(j) {
+                        Some("(") => paren += 1,
+                        Some(")") => paren -= 1,
+                        Some("[") => bracket += 1,
+                        Some("]") => bracket -= 1,
+                        Some(";") if paren == 0 && bracket == 0 => break,
+                        Some("{") if paren == 0 && bracket == 0 => {
+                            let start = j;
+                            let mut d = 1i32;
+                            let mut k = j + 1;
+                            while k < tokens.len() && d > 0 {
+                                match punct(k) {
+                                    Some("{") => d += 1,
+                                    Some("}") => d -= 1,
+                                    _ => {}
+                                }
+                                k += 1;
+                            }
+                            body = Some((start, k));
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let mut module_segs = vec![base.clone()];
+                let mut self_type = None;
+                let mut trait_name = None;
+                for s in &scopes {
+                    match s {
+                        Scope::Mod { name, .. } => module_segs.push(name.clone()),
+                        Scope::Impl {
+                            self_type: t,
+                            trait_name: tr,
+                            ..
+                        } => {
+                            self_type = Some(t.clone());
+                            trait_name = tr.clone();
+                        }
+                    }
+                }
+                out.fns.push(FnItem {
+                    name: name.to_string(),
+                    module: module_segs.join("::"),
+                    self_type,
+                    trait_name,
+                    line,
+                    body,
+                    is_test: file_is_test || in_test(i),
+                });
+                // Do NOT skip the body: nested items inside it must be
+                // found too, and the `{`/`}` arms keep depth honest.
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Token-index spans (inclusive) of items annotated `#[test]` or
+/// `#[cfg(test)]` — typically the trailing `mod tests { .. }` block.
+/// Rules with a test exemption (D4/D6/D8) and the call-graph builder
+/// ignore tokens inside these spans.
+pub(crate) fn test_item_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let punct = |i: usize| match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Punct(p)) => Some(*p),
+        _ => None,
+    };
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if punct(i) == Some("#") && punct(i + 1) == Some("[") {
+            let start = i;
+            // Collect the attribute's identifiers up to the closing `]`.
+            let mut j = i + 2;
+            let mut depth = 1i32;
+            let mut idents: Vec<&str> = Vec::new();
+            while j < tokens.len() && depth > 0 {
+                match &tokens[j].kind {
+                    TokenKind::Punct("[") => depth += 1,
+                    TokenKind::Punct("]") => depth -= 1,
+                    TokenKind::Ident(s) => idents.push(s.as_str()),
+                    _ => {}
+                }
+                j += 1;
+            }
+            let is_test_attr = idents.first().is_some_and(|&f| f == "test")
+                || (idents.first() == Some(&"cfg") && idents.contains(&"test"));
+            if is_test_attr {
+                // Skip any stacked attributes, then span the item: up to
+                // a top-level `;`, or through a matched `{ .. }` body.
+                while punct(j) == Some("#") && punct(j + 1) == Some("[") {
+                    let mut d = 1i32;
+                    j += 2;
+                    while j < tokens.len() && d > 0 {
+                        match punct(j) {
+                            Some("[") => d += 1,
+                            Some("]") => d -= 1,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+                while j < tokens.len() {
+                    match punct(j) {
+                        Some(";") => break,
+                        Some("{") => {
+                            let mut d = 1i32;
+                            j += 1;
+                            while j < tokens.len() && d > 0 {
+                                match punct(j) {
+                                    Some("{") => d += 1,
+                                    Some("}") => d -= 1,
+                                    _ => {}
+                                }
+                                j += 1;
+                            }
+                            j -= 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                spans.push((start, j.min(tokens.len().saturating_sub(1))));
+                i = j + 1;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ctx(rel: &str, krate: &str) -> FileContext {
+        FileContext {
+            rel_path: rel.into(),
+            crate_name: krate.into(),
+            is_binary: false,
+        }
+    }
+
+    fn parse(src: &str, c: &FileContext) -> ParsedFile {
+        parse_items(&lex(src), c)
+    }
+
+    #[test]
+    fn module_paths_from_file_locations() {
+        assert_eq!(
+            module_path(&ctx("crates/core/src/forward.rs", "ert-core")),
+            "core::forward"
+        );
+        assert_eq!(module_path(&ctx("crates/sim/src/lib.rs", "ert-sim")), "sim");
+        assert_eq!(
+            module_path(&ctx("tests/chaos.rs", "ert-repro")),
+            "repro::tests::chaos"
+        );
+        assert_eq!(
+            module_path(&ctx("crates/x/src/bin/tool.rs", "ert-x")),
+            "x::bin::tool"
+        );
+    }
+
+    #[test]
+    fn free_functions_and_nested_mods() {
+        let src = "fn top() {}\nmod inner {\n    pub fn deep(x: u32) -> u32 { x }\n}\n";
+        let p = parse(src, &ctx("crates/core/src/forward.rs", "ert-core"));
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].qual(), "core::forward::top");
+        assert_eq!(p.fns[1].qual(), "core::forward::inner::deep");
+        assert!(p.fns.iter().all(|f| f.body.is_some()));
+        assert!(p.fns.iter().all(|f| !f.is_test));
+    }
+
+    #[test]
+    fn inherent_and_trait_impl_methods() {
+        let src = "struct S;\n\
+                   impl S {\n    fn make() -> S { S }\n}\n\
+                   impl std::fmt::Display for S {\n    fn fmt(&self) -> bool { true }\n}\n\
+                   impl<T: Clone> Runner for Pool<T> where T: Send {\n    fn run(&self) {}\n}\n";
+        let p = parse(src, &ctx("crates/x/src/lib.rs", "ert-x"));
+        let names: Vec<(String, Option<String>, Option<String>)> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.self_type.clone(), f.trait_name.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("make".into(), Some("S".into()), None),
+                ("fmt".into(), Some("S".into()), Some("Display".into())),
+                ("run".into(), Some("Pool".into()), Some("Runner".into())),
+            ]
+        );
+        assert_eq!(p.fns[0].qual(), "x::S::make");
+    }
+
+    #[test]
+    fn impl_scope_ends_at_its_closing_brace() {
+        let src = "impl S { fn a(&self) {} }\nfn free() {}\n";
+        let p = parse(src, &ctx("crates/x/src/lib.rs", "ert-x"));
+        assert_eq!(p.fns[0].self_type.as_deref(), Some("S"));
+        assert_eq!(p.fns[1].self_type, None, "free fn must leave impl scope");
+    }
+
+    #[test]
+    fn trait_declarations_have_no_body() {
+        let src = "trait T {\n    fn sig(&self, xs: [u8; 4]);\n    fn with_default(&self) -> u32 { 1 }\n}\n";
+        let p = parse(src, &ctx("crates/x/src/lib.rs", "ert-x"));
+        assert_eq!(p.fns.len(), 2);
+        assert!(p.fns[0].body.is_none(), "`[u8; 4]` must not end the item");
+        assert!(p.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn test_functions_are_marked() {
+        let src = "fn lib_code() {}\n\
+                   #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { lib_code(); }\n}\n";
+        let p = parse(src, &ctx("crates/x/src/lib.rs", "ert-x"));
+        assert!(!p.fns[0].is_test);
+        assert!(p.fns[1].is_test);
+        // Everything in an integration-test file is test code.
+        let p2 = parse("fn helper() {}", &ctx("tests/chaos.rs", "ert-repro"));
+        assert!(p2.fns[0].is_test);
+    }
+
+    #[test]
+    fn nested_fns_inside_bodies_are_found() {
+        let src = "fn outer() {\n    fn inner() -> u32 { 7 }\n    inner();\n}\n";
+        let p = parse(src, &ctx("crates/x/src/lib.rs", "ert-x"));
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "fn real(cb: fn(u32) -> u32) -> u32 { cb(1) }";
+        let p = parse(src, &ctx("crates/x/src/lib.rs", "ert-x"));
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "real");
+    }
+
+    #[test]
+    fn body_spans_cover_the_braces() {
+        let lexed = lex("fn f() { g(); }");
+        let p = parse_items(&lexed, &ctx("crates/x/src/lib.rs", "ert-x"));
+        let (a, b) = p.fns[0].body.expect("body");
+        assert_eq!(lexed.tokens[a].kind, TokenKind::Punct("{"));
+        assert_eq!(lexed.tokens[b - 1].kind, TokenKind::Punct("}"));
+    }
+}

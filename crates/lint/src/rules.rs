@@ -1,12 +1,18 @@
-//! The D1–D8 rule catalog and the engine that applies it to one file.
+//! The D1–D11 rule catalog and the engine that applies it to one file.
 //!
-//! Every rule is purely token-based (see [`crate::lexer`]); scope is
-//! decided from the [`FileContext`] the workspace walker supplies.
+//! D1–D8 and D10 are purely token-based (see [`crate::lexer`]); scope
+//! is decided from the [`FileContext`] the workspace walker supplies.
+//! D9 (`transitive-panic`) is computed in [`crate::callgraph`] and
+//! injected into [`resolve_file`] as extra findings; D11
+//! (`stale-allow`) is decided here, after waiver matching.
 //! Suppressions are inline comments of the form
 //! `// ert-lint: allow(<rule>) — <justification>` and cover the line
 //! they sit on plus the following line; the justification is mandatory.
 
-use crate::lexer::{lex, LineComment, Token, TokenKind};
+use std::collections::BTreeSet;
+
+use crate::lexer::{lex, Lexed, LineComment, Token, TokenKind};
+use crate::parse::test_item_spans;
 
 /// Rule D1: wall-clock reads outside `ert-bench`/binaries.
 pub const WALL_CLOCK: &str = "wall-clock";
@@ -25,6 +31,19 @@ pub const RAW_THREAD: &str = "raw-thread";
 /// Rule D8: unbounded sample accumulation (`Samples`/`Vec<f64>`) in
 /// streaming-capable hot loops.
 pub const UNBOUNDED_COLLECTOR: &str = "unbounded-collector";
+/// Rule D9: a panic reachable from a hot-path root through the call
+/// graph. Detection lives in [`crate::callgraph`]; this module owns the
+/// name and the waiver plumbing.
+pub const TRANSITIVE_PANIC: &str = "transitive-panic";
+/// Rule D10: shared mutable state (`static mut`, locks, atomics,
+/// interior mutability) in the crates the shared-nothing sharded core
+/// will split. The sharded refactor is only safe if these crates hold
+/// no cross-shard state today.
+pub const SHARED_STATE: &str = "shared-state";
+/// Rule D11: an `ert-lint: allow` that waives nothing. A stale waiver
+/// is a hole in the ledger — the next real violation on that line would
+/// be silently absorbed.
+pub const STALE_ALLOW: &str = "stale-allow";
 /// Meta-rule: a malformed `ert-lint:` suppression comment.
 pub const SUPPRESSION: &str = "suppression";
 
@@ -38,15 +57,23 @@ pub const CATALOG: &[(&str, &str)] = &[
     ("D6", SWALLOWED_RESULT),
     ("D7", RAW_THREAD),
     ("D8", UNBOUNDED_COLLECTOR),
+    ("D9", TRANSITIVE_PANIC),
+    ("D10", SHARED_STATE),
 ];
+
+/// Rules that report but can never be waived: the suppression machinery
+/// must not be able to silence itself. Listed here (with codes) so the
+/// SARIF writer can describe them alongside [`CATALOG`].
+pub const META_CATALOG: &[(&str, &str)] = &[("D11", STALE_ALLOW), ("S1", SUPPRESSION)];
 
 /// Crates where hash-ordered iteration breaks run reproducibility
 /// (rule D3): anything on the seed → trace path.
 const D3_CRATES: &[&str] = &["ert-sim", "ert-network", "ert-core", "ert-overlay"];
 
 /// Hot-path modules where a panic would tear down the whole simulated
-/// network mid-run (rule D4).
-const D4_FILES: &[&str] = &[
+/// network mid-run (rule D4). These same files are the roots of the D9
+/// reachability walk.
+pub(crate) const D4_FILES: &[&str] = &[
     "crates/core/src/forward.rs",
     "crates/core/src/adapt.rs",
     "crates/sim/src/engine.rs",
@@ -71,6 +98,27 @@ const D6_CRATES: &[&str] = &["ert-faults"];
 /// (`Collector`/`StreamSummary`); uses that are bounded by construction
 /// carry a justified suppression naming the bound.
 const D8_FILES: &[&str] = &["crates/sim/src/engine.rs", "crates/network/src/network.rs"];
+
+/// Crates the shared-nothing sharded core (ROADMAP item 1) will split
+/// into per-shard instances (rule D10). Any shared mutable state here
+/// is a blocker for that refactor, so it must be absent or carry a
+/// justification that names its single-threaded invariant.
+const D10_CRATES: &[&str] = &["ert-sim", "ert-network", "ert-core"];
+
+/// Type names whose appearance in a D10 crate means cross-thread or
+/// interior-mutable shared state.
+const D10_TYPES: &[&str] = &[
+    "Mutex",
+    "RwLock",
+    "OnceLock",
+    "OnceCell",
+    "LazyLock",
+    "Condvar",
+    "Barrier",
+    "RefCell",
+    "Cell",
+    "UnsafeCell",
+];
 
 /// Where a source file sits in the workspace; decides rule scope.
 #[derive(Debug, Clone)]
@@ -122,29 +170,111 @@ struct Allow {
     justification: String,
 }
 
-/// Lints `src` as the file described by `ctx`.
-pub fn check_file(src: &str, ctx: &FileContext) -> FileOutcome {
-    let lexed = lex(src);
-    let mut out = FileOutcome::default();
-    let (allows, mut malformed) = parse_allows(&lexed.comments, ctx);
-    out.violations.append(&mut malformed);
+/// A file lexed and rule-checked, with suppression matching still
+/// pending. The workspace pass parks every file in this state, computes
+/// the cross-file D9 findings from the pooled token streams, and only
+/// then lets [`resolve_file`] decide what stands, what is waived, and
+/// which waivers are stale.
+pub struct FileAnalysis {
+    /// The file's location/scope context.
+    pub ctx: FileContext,
+    /// The token stream — reused by the item parser and the call-graph
+    /// builder so every file is lexed exactly once per run.
+    pub lexed: Lexed,
+    raw: Vec<Violation>,
+    malformed: Vec<Violation>,
+    allows: Vec<Allow>,
+}
 
+/// Rules a single-file pass cannot evaluate: their waivers are only
+/// checked for staleness (D11) when the workspace pass supplies the
+/// cross-file findings.
+const WORKSPACE_RULES: &[&str] = &[TRANSITIVE_PANIC];
+
+/// Lexes `src` and runs every file-local rule, deferring waiver
+/// resolution to [`resolve_file`].
+pub fn analyze_file(src: &str, ctx: &FileContext) -> FileAnalysis {
+    let lexed = lex(src);
+    let (allows, malformed) = parse_allows(&lexed.comments, ctx);
     let raw = run_rules(&lexed.tokens, ctx);
-    for v in raw {
+    FileAnalysis {
+        ctx: ctx.clone(),
+        lexed,
+        raw,
+        malformed,
+        allows,
+    }
+}
+
+/// Matches violations (file-local plus the `extra` cross-file ones)
+/// against the file's suppressions and flags stale waivers (D11).
+///
+/// `workspace_pass` says whether `extra` reflects a full workspace
+/// analysis: only then can an `allow(transitive-panic)` that waived
+/// nothing be called stale.
+pub fn resolve_file(
+    analysis: FileAnalysis,
+    extra: &[Violation],
+    workspace_pass: bool,
+) -> FileOutcome {
+    let FileAnalysis {
+        ctx,
+        raw,
+        malformed,
+        allows,
+        ..
+    } = analysis;
+    let mut out = FileOutcome {
+        violations: malformed,
+        ..FileOutcome::default()
+    };
+    // Which rule names each allow actually waived, for D11.
+    let mut waived: Vec<BTreeSet<&'static str>> = vec![BTreeSet::new(); allows.len()];
+    let mut all = raw;
+    all.extend(extra.iter().cloned());
+    for v in all {
         // A suppression covers its own line and the next one, so it can
         // trail the offending expression or sit on the line above it.
-        let waiver = allows.iter().find(|a| {
+        let waiver = allows.iter().position(|a| {
             (a.line == v.line || a.line + 1 == v.line) && a.rules.iter().any(|r| r == v.rule)
         });
         match waiver {
-            Some(a) => out.suppressed.push(Suppressed {
-                violation: v,
-                justification: a.justification.clone(),
-            }),
+            Some(ai) => {
+                waived[ai].insert(v.rule);
+                out.suppressed.push(Suppressed {
+                    violation: v,
+                    justification: allows[ai].justification.clone(),
+                });
+            }
             None => out.violations.push(v),
         }
     }
+    // D11: every rule an allow names must have earned its keep.
+    for (ai, a) in allows.iter().enumerate() {
+        for r in &a.rules {
+            if !workspace_pass && WORKSPACE_RULES.contains(&r.as_str()) {
+                continue;
+            }
+            if !waived[ai].contains(r.as_str()) {
+                out.violations.push(Violation {
+                    rule: STALE_ALLOW,
+                    file: ctx.rel_path.clone(),
+                    line: a.line,
+                    message: format!(
+                        "`allow({r})` waives nothing; the violation it masked is gone — \
+                         delete the suppression (a stale waiver would silently absorb the \
+                         next real `{r}` finding on this line)"
+                    ),
+                });
+            }
+        }
+    }
     out
+}
+
+/// Lints `src` as the file described by `ctx`, single-file mode.
+pub fn check_file(src: &str, ctx: &FileContext) -> FileOutcome {
+    resolve_file(analyze_file(src, ctx), &[], false)
 }
 
 fn run_rules(tokens: &[Token], ctx: &FileContext) -> Vec<Violation> {
@@ -163,6 +293,7 @@ fn run_rules(tokens: &[Token], ctx: &FileContext) -> Vec<Violation> {
     // threads can still scramble shared-sink ordering.
     let d7 = ctx.crate_name != "ert-par" && ctx.crate_name != "ert-bench" && !ctx.is_binary;
     let d8 = D8_FILES.contains(&ctx.rel_path.as_str());
+    let d10 = D10_CRATES.contains(&ctx.crate_name.as_str());
 
     let ident = |i: usize| match tokens.get(i).map(|t| &t.kind) {
         Some(TokenKind::Ident(s)) => Some(s.as_str()),
@@ -314,6 +445,50 @@ fn run_rules(tokens: &[Token], ctx: &FileContext) -> Vec<Violation> {
                         .into(),
                 );
             }
+            Some(t) if d10 && !in_test(i) && D10_TYPES.contains(&t) => {
+                push(
+                    SHARED_STATE,
+                    line,
+                    format!(
+                        "`{t}` is shared/interior-mutable state in `{}`; the shared-nothing \
+                         sharded core requires these crates to hold none — restructure, or \
+                         justify with `ert-lint: allow(shared-state)` naming the \
+                         single-threaded invariant",
+                        ctx.crate_name
+                    ),
+                );
+            }
+            Some(t)
+                if d10 && !in_test(i) && t.starts_with("Atomic") && t.len() > "Atomic".len() =>
+            {
+                push(
+                    SHARED_STATE,
+                    line,
+                    format!(
+                        "atomic `{t}` in `{}`; cross-thread state is a blocker for the \
+                         shared-nothing sharded core",
+                        ctx.crate_name
+                    ),
+                );
+            }
+            Some("static") if d10 && !in_test(i) && ident(i + 1) == Some("mut") => {
+                push(
+                    SHARED_STATE,
+                    line,
+                    "`static mut` is process-global mutable state; thread it through \
+                     explicit parameters instead"
+                        .into(),
+                );
+            }
+            Some("thread_local") if d10 && !in_test(i) && punct(i + 1) == Some("!") => {
+                push(
+                    SHARED_STATE,
+                    line,
+                    "`thread_local!` hides per-thread state from the shard boundary; \
+                     pass state explicitly"
+                        .into(),
+                );
+            }
             _ => {}
         }
 
@@ -339,81 +514,6 @@ fn run_rules(tokens: &[Token], ctx: &FileContext) -> Vec<Violation> {
         }
     }
     vs
-}
-
-/// Token-index spans (inclusive) of items annotated `#[test]` or
-/// `#[cfg(test)]` — typically the trailing `mod tests { .. }` block.
-/// D4 ignores these: tests may unwrap freely.
-fn test_item_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
-    let mut spans = Vec::new();
-    let punct = |i: usize| match tokens.get(i).map(|t| &t.kind) {
-        Some(TokenKind::Punct(p)) => Some(*p),
-        _ => None,
-    };
-    let mut i = 0usize;
-    while i < tokens.len() {
-        if punct(i) == Some("#") && punct(i + 1) == Some("[") {
-            let start = i;
-            // Collect the attribute's identifiers up to the closing `]`.
-            let mut j = i + 2;
-            let mut depth = 1i32;
-            let mut idents: Vec<&str> = Vec::new();
-            while j < tokens.len() && depth > 0 {
-                match &tokens[j].kind {
-                    TokenKind::Punct("[") => depth += 1,
-                    TokenKind::Punct("]") => depth -= 1,
-                    TokenKind::Ident(s) => idents.push(s.as_str()),
-                    _ => {}
-                }
-                j += 1;
-            }
-            let is_test_attr = idents.first().is_some_and(|&f| f == "test")
-                || (idents.first() == Some(&"cfg") && idents.contains(&"test"));
-            if is_test_attr {
-                // Skip any stacked attributes, then span the item: up to
-                // a top-level `;`, or through a matched `{ .. }` body.
-                while punct(j) == Some("#") && punct(j + 1) == Some("[") {
-                    let mut d = 1i32;
-                    j += 2;
-                    while j < tokens.len() && d > 0 {
-                        match punct(j) {
-                            Some("[") => d += 1,
-                            Some("]") => d -= 1,
-                            _ => {}
-                        }
-                        j += 1;
-                    }
-                }
-                while j < tokens.len() {
-                    match punct(j) {
-                        Some(";") => break,
-                        Some("{") => {
-                            let mut d = 1i32;
-                            j += 1;
-                            while j < tokens.len() && d > 0 {
-                                match punct(j) {
-                                    Some("{") => d += 1,
-                                    Some("}") => d -= 1,
-                                    _ => {}
-                                }
-                                j += 1;
-                            }
-                            j -= 1;
-                            break;
-                        }
-                        _ => j += 1,
-                    }
-                }
-                spans.push((start, j.min(tokens.len().saturating_sub(1))));
-                i = j + 1;
-                continue;
-            }
-            i = j;
-            continue;
-        }
-        i += 1;
-    }
-    spans
 }
 
 /// Parses `ert-lint: allow(...)` comments; malformed ones (unknown
@@ -832,7 +932,9 @@ mod tests {
     fn suppression_only_reaches_adjacent_line() {
         let src = "// ert-lint: allow(ambient-rng) — shim\n\nlet r = thread_rng();\n";
         let fired = rules_fired(src, &ctx("crates/x/src/lib.rs", "ert-x"));
-        assert_eq!(fired, vec![AMBIENT_RNG]); // Two lines away: not covered.
+        // Two lines away: not covered — the violation stands, and the
+        // waiver that reached nothing is itself stale (D11).
+        assert_eq!(fired, vec![AMBIENT_RNG, STALE_ALLOW]);
     }
 
     #[test]
@@ -854,5 +956,122 @@ mod tests {
         let out = check_file(src, &ctx("crates/x/src/lib.rs", "ert-x"));
         assert!(out.violations.is_empty());
         assert_eq!(out.suppressed.len(), 2);
+    }
+
+    // ---- D10 shared-state ----
+
+    #[test]
+    fn d10_fires_on_locks_and_interior_mutability_in_scoped_crates() {
+        for src in [
+            "use std::sync::Mutex;",
+            "struct S { inner: RwLock<u32> }",
+            "static INIT: OnceLock<u32> = OnceLock::new();",
+            "use std::cell::RefCell;",
+            "fn f(c: &Cell<u32>) {}",
+        ] {
+            for k in ["ert-sim", "ert-network", "ert-core"] {
+                assert!(
+                    rules_fired(src, &ctx("crates/k/src/lib.rs", k)).contains(&SHARED_STATE),
+                    "{src} should fire in {k}"
+                );
+            }
+        }
+        // Out of scope: the telemetry sink and the ert-par pool share
+        // state on purpose.
+        assert!(rules_fired(
+            "use std::sync::Mutex;",
+            &ctx("crates/telemetry/src/sink.rs", "ert-telemetry")
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn d10_fires_on_static_mut_atomics_and_thread_local() {
+        let c = ctx("crates/sim/src/engine.rs", "ert-sim");
+        assert!(rules_fired("static mut COUNTER: u64 = 0;", &c).contains(&SHARED_STATE));
+        assert!(rules_fired("use std::sync::atomic::AtomicUsize;", &c).contains(&SHARED_STATE));
+        assert!(rules_fired("thread_local! { static TLS: u32 = 0; }", &c).contains(&SHARED_STATE));
+        // Immutable statics and non-atomic idents stay quiet.
+        assert!(rules_fired("static LIMIT: u64 = 8;", &c).is_empty());
+        assert!(rules_fired("fn atomic_step() {}", &c).is_empty());
+    }
+
+    #[test]
+    fn d10_exempts_tests_and_takes_suppressions() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::sync::Mutex;\n}";
+        assert!(rules_fired(src, &ctx("crates/sim/src/x.rs", "ert-sim")).is_empty());
+        let src2 = "// ert-lint: allow(shared-state) — single-threaded by construction\n\
+                    use std::cell::RefCell;";
+        let out = check_file(src2, &ctx("crates/sim/src/stats.rs", "ert-sim"));
+        assert!(out.violations.is_empty());
+        assert_eq!(out.suppressed.len(), 1);
+    }
+
+    // ---- D11 stale-allow ----
+
+    #[test]
+    fn d11_flags_an_allow_that_waives_nothing() {
+        let src = "// ert-lint: allow(wall-clock) — leftover from a removed Instant\nfn f() {}";
+        let out = check_file(src, &ctx("crates/x/src/lib.rs", "ert-x"));
+        assert_eq!(out.violations.len(), 1);
+        assert_eq!(out.violations[0].rule, STALE_ALLOW);
+        assert_eq!(out.violations[0].line, 1);
+    }
+
+    #[test]
+    fn d11_staleness_is_per_rule_within_one_comment() {
+        let src = "// ert-lint: allow(ambient-rng, wall-clock) — only one still real\n\
+                   fn f() { thread_rng(); }";
+        let out = check_file(src, &ctx("crates/x/src/lib.rs", "ert-x"));
+        assert_eq!(
+            out.violations.iter().map(|v| v.rule).collect::<Vec<_>>(),
+            vec![STALE_ALLOW],
+            "the wall-clock half is stale"
+        );
+        assert_eq!(out.suppressed.len(), 1, "the ambient-rng half still waives");
+    }
+
+    #[test]
+    fn d11_defers_transitive_panic_allows_to_the_workspace_pass() {
+        // A file-local pass cannot see the call graph, so it must not
+        // call a transitive-panic waiver stale...
+        let src = "// ert-lint: allow(transitive-panic) — len checked by caller\nfn f() {}";
+        let out = check_file(src, &ctx("crates/x/src/lib.rs", "ert-x"));
+        assert!(out.violations.is_empty());
+        // ...but the workspace pass, given no matching finding, does.
+        let analysis = analyze_file(src, &ctx("crates/x/src/lib.rs", "ert-x"));
+        let out2 = resolve_file(analysis, &[], true);
+        assert_eq!(
+            out2.violations.iter().map(|v| v.rule).collect::<Vec<_>>(),
+            vec![STALE_ALLOW]
+        );
+    }
+
+    #[test]
+    fn d11_itself_cannot_be_waived() {
+        // `allow(stale-allow)` names a meta-rule outside the catalog:
+        // the ledger-keeper cannot be silenced.
+        let src = "// ert-lint: allow(stale-allow) — nice try\nfn f() {}";
+        let fired = rules_fired(src, &ctx("crates/x/src/lib.rs", "ert-x"));
+        assert_eq!(fired, vec![SUPPRESSION]);
+    }
+
+    #[test]
+    fn workspace_extras_are_waivable_and_counted_for_staleness() {
+        let src = "fn helper(x: Option<u32>) -> u32 {\n\
+                   // ert-lint: allow(transitive-panic) — caller guarantees Some\n\
+                   x.unwrap()\n\
+                   }";
+        let c = ctx("crates/x/src/helper.rs", "ert-x");
+        let extra = vec![Violation {
+            rule: TRANSITIVE_PANIC,
+            file: c.rel_path.clone(),
+            line: 3,
+            message: "reachable panic".into(),
+        }];
+        let out = resolve_file(analyze_file(src, &c), &extra, true);
+        assert!(out.violations.is_empty(), "waiver covers the injected D9");
+        assert_eq!(out.suppressed.len(), 1);
+        assert_eq!(out.suppressed[0].violation.rule, TRANSITIVE_PANIC);
     }
 }

@@ -1,0 +1,218 @@
+//! The workspace symbol table: every function the parser found, indexed
+//! for the conservative call resolution the call graph needs.
+//!
+//! Resolution is deliberately *over*-approximate — when a call site is
+//! ambiguous, every plausible target gets an edge. A transitive-panic
+//! path can therefore be a false positive (waived with a justified
+//! suppression) but never silently missed by a resolution gap the table
+//! could have covered.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::parse::{FnItem, ParsedFile};
+use crate::rules::FileContext;
+
+/// One function with its location in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// The parsed item.
+    pub item: FnItem,
+    /// Workspace-relative path of the defining file.
+    pub file: String,
+    /// Cargo package the file belongs to.
+    pub crate_name: String,
+    /// Index of the file in the slice handed to [`SymbolTable::build`]
+    /// — the call-graph builder uses it to find the body tokens.
+    pub file_idx: usize,
+}
+
+/// All functions in the workspace, indexed by bare name.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Every function, in file-then-source order.
+    pub fns: Vec<FnInfo>,
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// Every qualifier that could refer to something in the workspace:
+    /// `impl` type names and module path segments. A qualified call
+    /// whose qualifier is not in this set is external (`std::`, `Vec`)
+    /// and produces no edge.
+    known_quals: BTreeSet<String>,
+}
+
+impl SymbolTable {
+    /// Builds the table from parsed files; `files[i]` must correspond to
+    /// the same index the call-graph builder uses for token access.
+    pub fn build(files: &[(&ParsedFile, &FileContext)]) -> SymbolTable {
+        let mut table = SymbolTable::default();
+        for (file_idx, (parsed, ctx)) in files.iter().enumerate() {
+            for item in &parsed.fns {
+                let idx = table.fns.len();
+                table
+                    .by_name
+                    .entry(item.name.clone())
+                    .or_default()
+                    .push(idx);
+                if let Some(t) = &item.self_type {
+                    table.known_quals.insert(t.clone());
+                }
+                for seg in item.module.split("::") {
+                    table.known_quals.insert(seg.to_string());
+                }
+                table.fns.push(FnInfo {
+                    item: item.clone(),
+                    file: ctx.rel_path.clone(),
+                    crate_name: ctx.crate_name.clone(),
+                    file_idx,
+                });
+            }
+        }
+        table
+    }
+
+    /// All functions with the given bare name.
+    pub fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Resolves a method call `.name(...)`: conservatively, every
+    /// workspace method with that name, whatever its receiver type —
+    /// trait dispatch and generic receivers make anything narrower
+    /// unsound for a token-level analysis.
+    pub fn resolve_method(&self, name: &str) -> Vec<usize> {
+        self.named(name)
+            .iter()
+            .copied()
+            .filter(|&i| self.fns[i].item.self_type.is_some())
+            .collect()
+    }
+
+    /// Resolves a bare call `name(...)`: every workspace *free* function
+    /// with that name, in any module — a `use` could have imported any
+    /// of them, so cross-module resolution stays conservative.
+    pub fn resolve_free(&self, name: &str) -> Vec<usize> {
+        self.named(name)
+            .iter()
+            .copied()
+            .filter(|&i| self.fns[i].item.self_type.is_none())
+            .collect()
+    }
+
+    /// Resolves a qualified call `Qual::name(...)`.
+    ///
+    /// `Self::name` resolves within `current_self`'s methods. Otherwise
+    /// the qualifier must match a known `impl` type, a module segment,
+    /// or a crate name (`ert_core` ≡ `core`); unknown qualifiers are
+    /// external paths and produce no edge. A known qualifier resolves to
+    /// every function whose type or module plausibly matches — same-name
+    /// types in different modules all get edges.
+    pub fn resolve_qualified(
+        &self,
+        qual: &str,
+        name: &str,
+        current_self: Option<&str>,
+    ) -> Vec<usize> {
+        let qual = if qual == "Self" {
+            match current_self {
+                Some(t) => t,
+                None => return Vec::new(),
+            }
+        } else {
+            qual
+        };
+        // `ert_core::f` and `core::f` both name the `ert-core` crate.
+        let crate_form = qual.replace('_', "-");
+        let short = crate_form.strip_prefix("ert-").unwrap_or(&crate_form);
+        if !self.known_quals.contains(qual) && !self.known_quals.contains(short) {
+            return Vec::new();
+        }
+        self.named(name)
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let f = &self.fns[i];
+                f.item.self_type.as_deref() == Some(qual)
+                    || f.item.module.split("::").any(|s| s == qual || s == short)
+                    || f.crate_name == crate_form
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse_items;
+
+    fn file(src: &str, rel: &str, krate: &str) -> (ParsedFile, FileContext) {
+        let ctx = FileContext {
+            rel_path: rel.into(),
+            crate_name: krate.into(),
+            is_binary: false,
+        };
+        (parse_items(&lex(src), &ctx), ctx)
+    }
+
+    fn table(files: &[(ParsedFile, FileContext)]) -> SymbolTable {
+        let refs: Vec<(&ParsedFile, &FileContext)> = files.iter().map(|(p, c)| (p, c)).collect();
+        SymbolTable::build(&refs)
+    }
+
+    #[test]
+    fn bare_calls_resolve_across_modules() {
+        let files = [
+            file("pub fn helper() {}", "crates/a/src/util.rs", "ert-a"),
+            file("pub fn helper() {}", "crates/b/src/other.rs", "ert-b"),
+        ];
+        let t = table(&files);
+        // Conservative: a bare `helper()` could be either import.
+        assert_eq!(t.resolve_free("helper").len(), 2);
+        assert!(t.resolve_method("helper").is_empty());
+    }
+
+    #[test]
+    fn methods_resolve_by_name_only() {
+        let files = [file(
+            "struct A; struct B;\n\
+             impl A { fn go(&self) {} }\n\
+             impl B { fn go(&self) {} }\n\
+             fn go() {}",
+            "crates/a/src/lib.rs",
+            "ert-a",
+        )];
+        let t = table(&files);
+        assert_eq!(t.resolve_method("go").len(), 2, "both receivers");
+        assert_eq!(t.resolve_free("go").len(), 1, "only the free fn");
+    }
+
+    #[test]
+    fn qualified_calls_filter_by_type_module_or_crate() {
+        let files = [
+            file(
+                "pub struct Queue;\nimpl Queue { pub fn pop(&mut self) {} }",
+                "crates/sim/src/event.rs",
+                "ert-sim",
+            ),
+            file("pub fn pop() {}", "crates/core/src/stack.rs", "ert-core"),
+        ];
+        let t = table(&files);
+        assert_eq!(t.resolve_qualified("Queue", "pop", None).len(), 1);
+        assert_eq!(t.resolve_qualified("stack", "pop", None).len(), 1);
+        assert_eq!(t.resolve_qualified("ert_core", "pop", None).len(), 1);
+        // `Vec::pop` — external qualifier, no edge even though the name
+        // exists in the workspace.
+        assert!(t.resolve_qualified("Vec", "pop", None).is_empty());
+    }
+
+    #[test]
+    fn self_resolves_within_current_impl() {
+        let files = [file(
+            "struct S;\nimpl S { fn a(&self) {} fn b(&self) {} }",
+            "crates/a/src/lib.rs",
+            "ert-a",
+        )];
+        let t = table(&files);
+        assert_eq!(t.resolve_qualified("Self", "b", Some("S")).len(), 1);
+        assert!(t.resolve_qualified("Self", "b", None).is_empty());
+    }
+}

@@ -13,6 +13,7 @@
 //! `Histogram`, [`StreamSummary`], and [`Summary`] all implement;
 //! [`Summary`] itself lives in `ert-obs` and is re-exported here.
 
+// ert-lint: allow(shared-state) — Samples sort cache: single-threaded by construction, goes away with the sharded core
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 
@@ -44,6 +45,7 @@ pub struct Samples {
     /// means fresh: pushes clear it, so the lengths only agree right
     /// after a rebuild.
     #[serde(skip)]
+    // ert-lint: allow(shared-state) — single-threaded by construction (never crosses a thread boundary); goes away with the sharded core
     sorted: RefCell<Vec<f64>>,
 }
 
