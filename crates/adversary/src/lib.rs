@@ -1,0 +1,41 @@
+//! Adversarial & byzantine scenarios for the ERT reproduction.
+//!
+//! The paper's congestion guarantees are *conditional*: Theorems 3.1
+//! and 3.2 bound indegree (and therefore congestion) only when nodes
+//! report their capacity honestly within the estimation-error factor
+//! γ_c, and Theorem 3.3's outdegree bound assumes nodes adapt indegree
+//! faithfully. `ert-faults` attacks the *environment* (crashes, loss,
+//! partitions); this crate attacks the *assumptions*, with four actor
+//! classes:
+//!
+//! * **capacity liars** ([`AdversaryKind::CapacityLiar`]) — misreport
+//!   ĉ by a configurable multiplicative error, stressing γ_c;
+//! * **Sybil swarms** ([`AdversaryKind::SybilSwarm`]) — coordinated
+//!   identities packed into one ring region, concentrating indegree on
+//!   the victims there;
+//! * **query-flood hotspots** ([`AdversaryKind::QueryFlood`]) — flash
+//!   crowds on a single key layered onto the base workload;
+//! * **routing defectors** ([`AdversaryKind::RoutingDefector`]) —
+//!   nodes that invert Algorithm 4's two-choice rule and forward to
+//!   the *most*-loaded reachable candidate.
+//!
+//! Everything is a pure function of its seed: [`AdversaryPlan`] is a
+//! seeded, serializable schedule with the same canonical sort-key
+//! ordering discipline as `ert_faults::FaultPlan` (permuting a plan's
+//! event list never changes a run), [`AdversaryScript`] expands
+//! parametrized attack shapes for the experiment sweeps, and
+//! [`AdversaryCampaign`] samples randomized-but-reproducible mixed
+//! campaigns for the byzantine harness. Interpretation lives in
+//! `ert-network` beside the fault interpreter; an empty plan leaves a
+//! run byte-identical to one that never heard of adversaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod plan;
+mod script;
+
+pub use campaign::AdversaryCampaign;
+pub use plan::{AdversaryEvent, AdversaryKind, AdversaryPlan, MAX_FLOOD_WINDOW_MICROS};
+pub use script::AdversaryScript;

@@ -119,6 +119,18 @@ pub fn choose_next<Id: Copy + Ord + std::fmt::Debug>(
 /// policy (Section 4.1 analyzes general `b ≥ 2`; Mitzenmacher's result
 /// says the `b = 2` step is the big one — the `b` ablation checks it).
 ///
+/// # Ties at equal load
+///
+/// Every selection below is a `min_by`, and `min_by` keeps the
+/// *earliest* of equally-minimal elements. The poll set is assembled
+/// memory-first, then fresh draws in draw order, so a tie at equal
+/// load (or equal congestion in the all-heavy branch, or equal
+/// distances under topology-aware selection) resolves to the
+/// earliest-polled candidate — the remembered node when memory is in
+/// use and tied, otherwise the first RNG draw. No extra randomness is
+/// consumed to break ties, which keeps the choice a pure function of
+/// the inputs and the RNG stream position.
+///
 /// # Panics
 ///
 /// Panics if any candidate has non-positive capacity or
@@ -459,6 +471,73 @@ mod tests {
         for _ in 0..50 {
             let c = choose_next(policy, &[a, b], None, &BTreeSet::new(), 1.0, &mut rng).unwrap();
             assert_eq!(c.next, 2, "lower load should win when not topology-aware");
+        }
+    }
+
+    #[test]
+    fn equal_load_tie_prefers_the_remembered_candidate() {
+        // Ties resolve to the earliest-polled candidate, and the poll
+        // set is assembled memory-first: a remembered node at exactly
+        // equal load keeps the query (no randomness is burned on the
+        // tie), regardless of the RNG stream.
+        let policy = ForwardPolicy::TwoChoice {
+            topology_aware: false,
+            use_memory: true,
+        };
+        let a = cand(1, 3.0, 5, 0.9);
+        let b = cand(2, 3.0, 1, 0.1);
+        for seed in 0..20 {
+            let mut rng = SimRng::seed_from(seed);
+            for _ in 0..10 {
+                let c =
+                    choose_next(policy, &[a, b], Some(2), &BTreeSet::new(), 1.0, &mut rng).unwrap();
+                assert_eq!(c.next, 2, "remembered candidate must win load ties");
+            }
+        }
+    }
+
+    #[test]
+    fn equal_load_tie_without_memory_goes_to_the_first_draw() {
+        // Without memory the earliest-polled candidate is the first
+        // fresh RNG draw — predictable from the stream position, and
+        // not biased toward either candidate across seeds.
+        let policy = ForwardPolicy::TwoChoice {
+            topology_aware: false,
+            use_memory: false,
+        };
+        let a = cand(1, 3.0, 5, 0.9);
+        let b = cand(2, 3.0, 1, 0.1);
+        let mut winners = BTreeSet::new();
+        for seed in 0..40 {
+            let mut live = SimRng::seed_from(seed);
+            let mut replay = SimRng::seed_from(seed);
+            let refs: Vec<&Candidate<u32>> = vec![&a, &b];
+            let predicted = replay.choose(&refs).copied().unwrap().id;
+            let c = choose_next(policy, &[a, b], None, &BTreeSet::new(), 1.0, &mut live).unwrap();
+            assert_eq!(c.next, predicted, "tie must go to the first draw");
+            winners.insert(c.next);
+        }
+        assert_eq!(winners.len(), 2, "both candidates should win some seeds");
+    }
+
+    #[test]
+    fn equal_congestion_all_heavy_tie_is_earliest_polled() {
+        // The all-heavy branch selects by congestion with the same
+        // earliest-polled tie rule, so a remembered heavy node tied on
+        // congestion takes the forward.
+        let policy = ForwardPolicy::TwoChoice {
+            topology_aware: false,
+            use_memory: true,
+        };
+        let a = cand(1, 50.0, 5, 0.9);
+        let b = cand(2, 50.0, 1, 0.1);
+        for seed in 0..20 {
+            let mut rng = SimRng::seed_from(seed);
+            let c = choose_next(policy, &[a, b], Some(2), &BTreeSet::new(), 1.0, &mut rng).unwrap();
+            assert_eq!(c.next, 2);
+            let mut reported = c.newly_overloaded.clone();
+            reported.sort_unstable();
+            assert_eq!(reported, vec![1, 2]);
         }
     }
 

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod adversarial;
 pub mod bounds;
 pub mod chord;
 pub mod cli;

@@ -15,7 +15,8 @@
 use std::fmt;
 
 use ert_network::{
-    ChaosPlan, ChurnEvent, FaultPlan, Lookup, Network, NetworkConfig, ProtocolSpec, RunReport,
+    AdversaryPlan, AdversaryScript, ChaosPlan, ChurnEvent, FaultPlan, Lookup, Network,
+    NetworkConfig, ProtocolSpec, RunReport,
 };
 use ert_overlay::CycloidSpace;
 use ert_sim::stats::Summary;
@@ -74,6 +75,13 @@ pub struct Scenario {
     /// configured separately via [`NetworkConfig::retry`] (e.g. in a
     /// `run_once_with` tweak).
     pub chaos: Option<f64>,
+    /// Adversarial attack script, if any: each run expands the script
+    /// into an [`AdversaryPlan`] over the lookup horizon (capacity
+    /// liars, Sybil swarms, query floods, routing defectors — see
+    /// `ert-adversary`) and interprets it beside the fault plan.
+    /// `None` runs adversary-free and byte-identical to a build without
+    /// adversary support.
+    pub adversary: Option<AdversaryScript>,
     /// Worker threads for the multi-run fan-out (`None` = all available
     /// cores, the binaries' `--jobs` default). Any value yields
     /// byte-identical results: runs are seed-isolated worlds and the
@@ -245,6 +253,7 @@ impl Scenario {
             workload: Workload::Uniform,
             churn: None,
             chaos: None,
+            adversary: None,
             jobs: None,
             stream_stats: false,
         }
@@ -261,6 +270,7 @@ impl Scenario {
             workload: Workload::Uniform,
             churn: None,
             chaos: None,
+            adversary: None,
             jobs: None,
             stream_stats: false,
         }
@@ -296,8 +306,8 @@ impl Scenario {
         seed: u64,
         tweak: impl FnOnce(&mut NetworkConfig),
     ) -> RunReport {
-        let (mut net, lookups, churn, faults) = self.build(spec, seed, tweak);
-        net.run_with_faults(&lookups, &churn, &faults)
+        let (mut net, lookups, churn, faults, adversary) = self.build(spec, seed, tweak);
+        net.run_with_plans(&lookups, &churn, &faults, &adversary)
     }
 
     /// Like [`Scenario::run_once_with`], but with a telemetry pipeline
@@ -317,9 +327,9 @@ impl Scenario {
         tweak: impl FnOnce(&mut NetworkConfig),
         telemetry: Telemetry,
     ) -> (RunReport, Telemetry) {
-        let (mut net, lookups, churn, faults) = self.build(spec, seed, tweak);
+        let (mut net, lookups, churn, faults, adversary) = self.build(spec, seed, tweak);
         net.set_telemetry(telemetry);
-        let report = net.run_with_faults(&lookups, &churn, &faults);
+        let report = net.run_with_plans(&lookups, &churn, &faults, &adversary);
         let mut telemetry = net.take_telemetry();
         telemetry.record_report(&report);
         telemetry.flush();
@@ -332,7 +342,13 @@ impl Scenario {
         spec: &ProtocolSpec,
         seed: u64,
         tweak: impl FnOnce(&mut NetworkConfig),
-    ) -> (Network, Vec<Lookup>, Vec<ChurnEvent>, FaultPlan) {
+    ) -> (
+        Network,
+        Vec<Lookup>,
+        Vec<ChurnEvent>,
+        FaultPlan,
+        AdversaryPlan,
+    ) {
         let mut rng = SimRng::seed_from(seed.wrapping_mul(0x9e37_79b9));
         let capacities =
             BoundedPareto::paper_default().sample_n(self.n, &mut rng.fork("capacities"));
@@ -371,8 +387,15 @@ impl Scenario {
             ),
             None => FaultPlan::default(),
         };
+        // The adversary plan folds the run seed with its own constant
+        // (distinct from the chaos fold) so fault and adversary
+        // schedules built from the same run seed stay decorrelated.
+        let adversary = match self.adversary {
+            Some(script) => script.plan(seed.wrapping_mul(0x2545_f491_4f6c_dd1d), horizon),
+            None => AdversaryPlan::default(),
+        };
         let net = Network::new(cfg, &capacities, spec.clone()).expect("valid scenario");
-        (net, lookups, churn, faults)
+        (net, lookups, churn, faults, adversary)
     }
 
     /// Fans one protocol across every seed on the worker pool and

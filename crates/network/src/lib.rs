@@ -35,6 +35,19 @@
 //! are accounted as `lookups_failed`. An empty plan leaves every run
 //! byte-identical to [`Network::run`].
 //!
+//! # Adversarial interpretation
+//!
+//! [`Network::run_with_plans`] additionally interprets a seeded
+//! [`AdversaryPlan`] (from `ert-adversary`, re-exported here): capacity
+//! liars that misreport ĉ and so violate the γ_c assumption behind
+//! Theorems 3.1/3.2, Sybil swarms concentrating identities on a ring
+//! region, query-flood flash crowds layered onto the base workload, and
+//! routing defectors that invert Algorithm 4's two-choice rule. The
+//! sanitizer's theorem envelopes are relaxed *only* for the specific
+//! theorems whose assumptions the plan deliberately violates (see
+//! [`Network::envelope_relaxations`]). An empty plan leaves every run
+//! byte-identical to [`Network::run_with_faults`].
+//!
 //! # Invariant sanitizer
 //!
 //! Debug builds (and any build with the `sanitize` feature) assert the
@@ -57,8 +70,12 @@ pub mod state;
 pub mod topology;
 
 pub use config::NetworkConfig;
+pub use ert_adversary::{
+    AdversaryCampaign, AdversaryEvent, AdversaryKind, AdversaryPlan, AdversaryScript,
+};
 pub use ert_faults::{ChaosPlan, FaultEvent, FaultKind, FaultPlan, RetryPolicy};
 pub use lookup::{ChurnEvent, KeyPick, Lookup, SourcePick};
 pub use metrics::RunReport;
 pub use network::Network;
+pub use sanitize::EnvelopeRelaxations;
 pub use spec::{CycloidSlot, ProtocolSpec, TablePolicy, VirtualServerConfig};

@@ -2,6 +2,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use ert_adversary::{AdversaryKind, AdversaryPlan};
 use ert_core::{
     adaptation_action, choose_next_reachable, max_indegree, normalize_capacities, AdaptAction,
     Candidate, ForwardPolicy,
@@ -15,7 +16,7 @@ use rand::Rng;
 use crate::config::NetworkConfig;
 use crate::lookup::{ChurnEvent, KeyPick, Lookup, SourcePick};
 use crate::metrics::{Metrics, RunReport};
-use crate::sanitize::Sanitizer;
+use crate::sanitize::{EnvelopeRelaxations, Sanitizer};
 use crate::spec::{ProtocolSpec, TablePolicy};
 use crate::state::Host;
 use crate::topology::Topology;
@@ -25,11 +26,14 @@ use crate::topology::Topology;
 /// # Ordering at equal timestamps
 ///
 /// The engine breaks time ties by scheduling order (FIFO), so the
-/// same-instant processing order is fixed by how `run_with_faults`
+/// same-instant processing order is fixed by how `run_with_plans`
 /// enqueues things: lookups in schedule order, then churn in the
 /// canonical [`ChurnEvent::sort_key`] order, then faults in the
-/// canonical [`FaultEvent::sort_key`] order. Churn-before-faults means
-/// an equal-time join is a member before a crash draws its victim.
+/// canonical [`FaultEvent::sort_key`] order, then adversary events in
+/// the canonical [`ert_adversary::AdversaryEvent::sort_key`] order.
+/// Churn-before-faults means an equal-time join is a member before a
+/// crash draws its victim; faults-before-adversary means an equal-time
+/// heal never undoes a fresh attack.
 #[derive(Debug)]
 enum Event {
     Inject(usize),
@@ -45,6 +49,9 @@ enum Event {
     Churn(usize),
     /// The `i`-th event of the canonically-sorted fault schedule fires.
     Fault(usize),
+    /// The `i`-th event of the canonically-sorted adversary schedule
+    /// fires.
+    Adversary(usize),
     /// A query whose forward was lost to a fault wakes up after its
     /// retry backoff and attempts the hop again.
     Retry {
@@ -105,6 +112,17 @@ struct FaultState {
     partition: Option<(u32, SimTime)>,
 }
 
+/// Active adversarial effects, kept outside the paper's host/node state
+/// so an empty [`AdversaryPlan`] leaves zero residue in the simulation.
+#[derive(Debug, Default)]
+struct AdversaryState {
+    /// Hosts currently inverting Algorithm 4's two-choice rule.
+    defectors: BTreeSet<usize>,
+    /// Capacity liars: host index → the honest `(est_capacity,
+    /// capacity_eval)` pair that `Restore` reinstates.
+    liars: BTreeMap<usize, (f64, u32)>,
+}
+
 impl FaultState {
     fn drop_p(&self, now: SimTime) -> Option<f64> {
         self.drop.and_then(|(p, until)| (now < until).then_some(p))
@@ -162,6 +180,15 @@ pub struct Network {
     /// of a faulted run and never drawn from otherwise, so runs with an
     /// empty plan are byte-identical to builds without faults.
     rng_faults: SimRng,
+    adversary_schedule: Vec<ert_adversary::AdversaryEvent>,
+    adversaries: AdversaryState,
+    /// Adversary-interpretation stream, with the same discipline as
+    /// `rng_faults`: reseeded only when the plan is nonempty, never
+    /// drawn from otherwise.
+    rng_adversary: SimRng,
+    /// Theorem envelopes the sanitizer skips because the run's adversary
+    /// plan deliberately violates their assumptions.
+    relax: EnvelopeRelaxations,
     telemetry: Telemetry,
     sample_clock: Option<SampleClock>,
     adapt_rounds: u64,
@@ -290,6 +317,10 @@ impl Network {
             fault_schedule: Vec::new(),
             faults: FaultState::default(),
             rng_faults: SimRng::seed_from(cfg.seed),
+            adversary_schedule: Vec::new(),
+            adversaries: AdversaryState::default(),
+            rng_adversary: SimRng::seed_from(cfg.seed),
+            relax: EnvelopeRelaxations::NONE,
             telemetry: Telemetry::with_trace_capacity(cfg.trace_capacity),
             sample_clock: None,
             adapt_rounds: 0,
@@ -308,6 +339,14 @@ impl Network {
     /// this to prove the sanitizer actually covered the run.
     pub fn sanitize_checks(&self) -> u64 {
         self.sanitizer.checks()
+    }
+
+    /// Which theorem envelopes the sanitizer skipped for this run, each
+    /// tagged with the violated assumption. [`EnvelopeRelaxations::NONE`]
+    /// unless [`Network::run_with_plans`] was given a plan that attacks
+    /// a degree bound (see [`EnvelopeRelaxations::from_plan`]).
+    pub fn envelope_relaxations(&self) -> EnvelopeRelaxations {
+        self.relax
     }
 
     /// The retained event trace (empty unless
@@ -379,8 +418,35 @@ impl Network {
         churn: &[ChurnEvent],
         plan: &FaultPlan,
     ) -> RunReport {
+        self.run_with_plans(lookups, churn, plan, &AdversaryPlan::default())
+    }
+
+    /// Runs the schedule under a fault plan *and* an adversary plan
+    /// (see `ert-adversary`).
+    ///
+    /// Adversary events share the event clock with everything else; at
+    /// equal timestamps they apply after churn and faults, in their
+    /// canonical sorted order (see the [`Event`] ordering note), so
+    /// permuting any schedule never changes the run. With an empty
+    /// adversary plan this is exactly [`Network::run_with_faults`]: the
+    /// adversary stream is never drawn from, no adversary events are
+    /// scheduled, and every theorem envelope stays armed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either plan fails its `validate`.
+    pub fn run_with_plans(
+        &mut self,
+        lookups: &[Lookup],
+        churn: &[ChurnEvent],
+        plan: &FaultPlan,
+        adversary: &AdversaryPlan,
+    ) -> RunReport {
         if let Err(e) = plan.validate() {
             panic!("invalid fault plan: {e}");
+        }
+        if let Err(e) = adversary.validate() {
+            panic!("invalid adversary plan: {e}");
         }
         self.lookups = lookups.to_vec();
         self.injections_left = lookups.len() as u64;
@@ -406,6 +472,18 @@ impl Network {
                     .schedule_at(self.fault_schedule[i].at, Event::Fault(i));
             }
         }
+        if !adversary.is_empty() {
+            // Same discipline as the fault stream, with a distinct
+            // rotation constant so fault and adversary outcomes built
+            // from the same seeds stay decorrelated.
+            self.rng_adversary = SimRng::seed_from(self.cfg.seed.rotate_left(29) ^ adversary.seed);
+            self.relax = EnvelopeRelaxations::from_plan(adversary);
+            self.adversary_schedule = adversary.sorted_events();
+            for i in 0..self.adversary_schedule.len() {
+                self.engine
+                    .schedule_at(self.adversary_schedule[i].at, Event::Adversary(i));
+            }
+        }
         if self.protocol.adaptation || self.protocol.item_movement || self.cfg.stabilization {
             self.engine
                 .schedule_in(self.cfg.ert.adaptation_period, Event::AdaptTick);
@@ -424,6 +502,7 @@ impl Network {
                 Event::AdaptTick => self.on_adapt_tick(now),
                 Event::Churn(i) => self.on_churn(i, now),
                 Event::Fault(i) => self.on_fault(i, now),
+                Event::Adversary(i) => self.on_adversary(i, now),
                 Event::Retry { q } => self.on_retry(q, now),
                 Event::Sample => self.on_sample(now),
             }
@@ -439,7 +518,7 @@ impl Network {
             }
         }
         self.sanitizer
-            .sweep(&self.topo, self.cfg.estimator.gamma_c());
+            .sweep(&self.topo, self.cfg.estimator.gamma_c(), self.relax);
         self.telemetry.flush();
         let mut metrics = std::mem::take(&mut self.metrics);
         metrics.maintenance_ops = self.topo.link_ops;
@@ -815,16 +894,57 @@ impl Network {
         // delegates to the ordinary two-choice selection with identical
         // RNG draws, keeping fault-free runs byte-identical.
         let cut = self.partition_cut(node, &rc.ids, now);
-        let choice = match choose_next_reachable(
-            self.protocol.forwarding,
-            &cands,
-            &cut,
-            memory,
-            &self.queries[q].avoid,
-            self.cfg.ert.gamma_l,
-            self.cfg.ert.probe_width,
-            &mut self.rng_forward,
-        ) {
+        let defecting = self
+            .adversaries
+            .defectors
+            .contains(&self.topo.nodes[node].host);
+        let picked = if defecting {
+            // Routing defection: invert Algorithm 4 and forward to the
+            // *most*-loaded reachable candidate, ignoring the avoid
+            // list. The pick is deterministic (ties break toward the
+            // higher ring position) and draws nothing from the
+            // forwarding stream; probes are charged for every reachable
+            // candidate the defector "inspected" to find the worst.
+            let reachable: Vec<&Candidate<CycloidId>> =
+                cands.iter().filter(|c| !cut.contains(&c.id)).collect();
+            let probes = reachable.len();
+            reachable
+                .into_iter()
+                .max_by(|a, b| {
+                    a.load
+                        .total_cmp(&b.load)
+                        .then_with(|| self.topo.space.lin(a.id).cmp(&self.topo.space.lin(b.id)))
+                })
+                .map(|c| ert_core::ForwardChoice {
+                    next: c.id,
+                    new_memory: None,
+                    newly_overloaded: Vec::new(),
+                    probes,
+                })
+        } else {
+            choose_next_reachable(
+                self.protocol.forwarding,
+                &cands,
+                &cut,
+                memory,
+                &self.queries[q].avoid,
+                self.cfg.ert.gamma_l,
+                self.cfg.ert.probe_width,
+                &mut self.rng_forward,
+            )
+        };
+        if defecting {
+            if let Some(c) = &picked {
+                let (from_lin, to_lin) = (self.topo.space.lin(me), self.topo.space.lin(c.next));
+                self.telemetry
+                    .emit(now, || TelemetryEvent::DefectedForward {
+                        q: q as u64,
+                        from: from_lin,
+                        to: to_lin,
+                    });
+            }
+        }
+        let choice = match picked {
             Some(c) => c,
             None => {
                 // Every entry candidate sits across the partition:
@@ -1005,7 +1125,7 @@ impl Network {
             }
         }
         self.sanitizer
-            .sweep(&self.topo, self.cfg.estimator.gamma_c());
+            .sweep(&self.topo, self.cfg.estimator.gamma_c(), self.relax);
         for h in &mut self.topo.hosts {
             h.period_load = 0;
         }
@@ -1274,6 +1394,162 @@ impl Network {
             }
             FaultKind::Heal => self.faults.heal(),
         }
+    }
+
+    fn on_adversary(&mut self, i: usize, now: SimTime) {
+        let ev = self.adversary_schedule[i];
+        let seq = i as u64;
+        let tag = ev.kind.tag();
+        self.telemetry
+            .emit(now, || TelemetryEvent::AdversaryActivated {
+                seq,
+                actor: tag.to_string(),
+            });
+        match ev.kind {
+            AdversaryKind::Restore => self.restore_honest(),
+            AdversaryKind::CapacityLiar { fraction, error } => {
+                self.activate_liars(fraction, error, now)
+            }
+            AdversaryKind::SybilSwarm { count, region } => self.join_sybils(count, region, now),
+            AdversaryKind::QueryFlood {
+                key,
+                queries,
+                window,
+            } => self.inject_flood(key, queries, window, now),
+            AdversaryKind::RoutingDefector { fraction } => self.activate_defectors(fraction),
+        }
+    }
+
+    /// Turns a sampled fraction of live hosts into capacity liars:
+    /// their reported estimate ĉ — and the capacity evaluation every
+    /// routing and adaptation decision reads — is multiplied by
+    /// `error`, violating the γ_c envelope of Theorems 3.1/3.2. Only
+    /// the *advertised* side moves: [`Host::capacity_true`] keeps the
+    /// honest threshold, so a liar attracts two-choice traffic by
+    /// advertising slack congestion while its queue physically
+    /// saturates at the honest capacity. The honest pair is stashed for
+    /// [`AdversaryKind::Restore`]; lying twice compounds the error but
+    /// restores to the original truth.
+    fn activate_liars(&mut self, fraction: f64, error: f64, now: SimTime) {
+        let n = self.alive_hosts.len();
+        if n == 0 {
+            return;
+        }
+        let k = ((fraction * n as f64).ceil() as usize).clamp(1, n);
+        let alpha = self.topo.params.alpha;
+        for p in self.rng_adversary.sample_indices(n, k) {
+            let h = self.alive_hosts[p];
+            {
+                let host = &mut self.topo.hosts[h];
+                self.adversaries
+                    .liars
+                    .entry(h)
+                    .or_insert((host.est_capacity, host.capacity_eval));
+                let lied = host.est_capacity * error;
+                host.est_capacity = lied;
+                host.capacity_eval = max_indegree(alpha, lied).max(1);
+            }
+            self.telemetry
+                .emit(now, || TelemetryEvent::CapacityMisreport {
+                    host: h as u64,
+                    factor: error,
+                });
+        }
+    }
+
+    /// Turns a sampled fraction of live hosts into routing defectors
+    /// (see the defection branch in [`Network::forward`]).
+    fn activate_defectors(&mut self, fraction: f64) {
+        let n = self.alive_hosts.len();
+        if n == 0 {
+            return;
+        }
+        let k = ((fraction * n as f64).ceil() as usize).clamp(1, n);
+        for p in self.rng_adversary.sample_indices(n, k) {
+            self.adversaries.defectors.insert(self.alive_hosts[p]);
+        }
+    }
+
+    /// Joins `count` coordinated identities packed onto consecutive
+    /// vacant slots scanning forward from `region`, concentrating
+    /// indegree (and ring responsibility) on the victims there. Each
+    /// Sybil reports the unit capacity *honestly* — the attack is
+    /// identity concentration, not misreport — so only Theorem 3.2's
+    /// independence assumption is violated.
+    fn join_sybils(&mut self, count: u32, region: f64, now: SimTime) {
+        let ring = self.topo.space.ring_size();
+        let alpha = self.topo.params.alpha;
+        let mut lin = (region.rem_euclid(1.0) * ring as f64) as u64 % ring;
+        let mut tries: u64 = 0;
+        for _ in 0..count {
+            while self.topo.registry.contains(self.topo.space.from_lin(lin)) {
+                lin = (lin + 1) % ring;
+                tries += 1;
+                if tries > ring {
+                    return; // the ID space is full
+                }
+            }
+            let id = self.topo.space.from_lin(lin);
+            let nc = 1.0;
+            let est = self
+                .cfg
+                .estimator
+                .estimate_capacity(nc, &mut self.rng_adversary);
+            let capacity_eval = max_indegree(alpha, est);
+            let coord = Coord::random(&mut self.rng_adversary);
+            let host =
+                self.topo
+                    .add_host(Host::new(self.capacity_unit, nc, est, capacity_eval, coord));
+            let d_max = node_d_max(&self.protocol, &self.topo.hosts[host], alpha);
+            let node = self.topo.add_node(id, host, d_max);
+            self.topo.build_node_table(node, &mut self.rng_adversary);
+            self.alive_hosts.push(host);
+            let node_lin = self.topo.space.lin(id);
+            self.telemetry
+                .emit(now, || TelemetryEvent::NodeJoined { node: node_lin });
+        }
+    }
+
+    /// Layers a flash crowd onto the base workload: `queries` lookups
+    /// for the single flooded key, spread evenly over `window`. Sources
+    /// stay random (drawn from the workload stream at inject time, like
+    /// any other lookup); the key resolves through the deterministic
+    /// ring-fraction path, so the flood adds no extra workload draws.
+    fn inject_flood(&mut self, key: f64, queries: u32, window: SimDuration, now: SimTime) {
+        let key_lin = (key.rem_euclid(1.0) * self.topo.space.ring_size() as f64) as u64
+            % self.topo.space.ring_size();
+        self.telemetry.emit(now, || TelemetryEvent::FloodBurst {
+            key: key_lin,
+            count: queries,
+        });
+        for j in 0..queries {
+            let offset = SimDuration::from_micros(
+                (u128::from(window.as_micros()) * u128::from(j) / u128::from(queries)) as u64,
+            );
+            let at = now + offset;
+            let idx = self.lookups.len();
+            self.lookups.push(Lookup {
+                at,
+                source: SourcePick::Random,
+                key: KeyPick::RingFraction(key),
+            });
+            self.injections_left += 1;
+            self.engine.schedule_at(at, Event::Inject(idx));
+        }
+    }
+
+    /// Reverts every reversible adversary effect: liars report their
+    /// honest capacities again and defectors resume Algorithm 4.
+    /// Sybils stay (identity joins are as irreversible as churn joins)
+    /// and already-injected flood lookups run their course.
+    fn restore_honest(&mut self) {
+        let liars = std::mem::take(&mut self.adversaries.liars);
+        for (h, (est, eval)) in liars {
+            let host = &mut self.topo.hosts[h];
+            host.est_capacity = est;
+            host.capacity_eval = eval;
+        }
+        self.adversaries.defectors.clear();
     }
 
     /// Crash-stop departure: like [`Network::leave_random_host`] but

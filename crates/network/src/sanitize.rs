@@ -18,12 +18,91 @@
 //! touched); the degree sweep is O(nodes) and runs only on adaptation
 //! ticks and at the end of the run.
 
+use ert_adversary::{AdversaryKind, AdversaryPlan};
 use ert_core::bounds::{theorem31_initial_indegree_bounds, theorem33_outdegree_bound};
 use ert_sim::SimTime;
 
 use crate::spec::TablePolicy;
 use crate::state::Host;
 use crate::topology::Topology;
+
+/// Which theorem envelopes the degree sweep must *not* assert for one
+/// run, because the run's [`AdversaryPlan`] deliberately violates the
+/// assumption the theorem rests on. Each relaxed envelope carries a tag
+/// naming the violated assumption, so a relaxation is never silent: the
+/// tag is what reports and the byzantine harness surface.
+///
+/// Derivation is deliberately narrow — defectors and query floods
+/// attack routing and workload, not the degree structure, so they relax
+/// nothing and every envelope stays armed under them:
+///
+/// * **capacity liars** break the γ_c honest-estimate premise. That
+///   invalidates Theorem 3.1 directly (capacity_eval vs. *true*
+///   capacity), and transitively 3.2 and 3.3 whose caps are derived
+///   from capacity evaluations liars can deflate under live links.
+/// * **Sybil swarms** break the independent-identity premise behind the
+///   indegree concentration argument, so Theorem 3.2's cap is off for
+///   victims; per-host 3.1 and the 3.3 outdegree ceiling still hold
+///   (Sybils report their own capacity honestly).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnvelopeRelaxations {
+    /// Violated-assumption tag relaxing the Theorem 3.1 envelope.
+    pub thm31: Option<&'static str>,
+    /// Violated-assumption tag relaxing the Theorem 3.2 cap.
+    pub thm32: Option<&'static str>,
+    /// Violated-assumption tag relaxing the Theorem 3.3 ceiling.
+    pub thm33: Option<&'static str>,
+}
+
+/// Tag for envelopes invalidated by capacity misreports.
+const GAMMA_C_VIOLATED: &str = "CapacityLiar: ĉ misreported beyond γ_c";
+/// Tag for the indegree cap invalidated by identity concentration.
+const SYBIL_CONCENTRATION: &str = "SybilSwarm: coordinated identities concentrate indegree";
+
+impl EnvelopeRelaxations {
+    /// No relaxation: every envelope armed (the fault-only default).
+    pub const NONE: EnvelopeRelaxations = EnvelopeRelaxations {
+        thm31: None,
+        thm32: None,
+        thm33: None,
+    };
+
+    /// Derives the relaxations a plan warrants. An empty plan — and any
+    /// plan of only defectors, floods, and restores — relaxes nothing.
+    pub fn from_plan(plan: &AdversaryPlan) -> EnvelopeRelaxations {
+        let mut relax = EnvelopeRelaxations::NONE;
+        if plan.any_kind(|k| matches!(k, AdversaryKind::CapacityLiar { .. })) {
+            relax.thm31 = Some(GAMMA_C_VIOLATED);
+            relax.thm32 = Some(GAMMA_C_VIOLATED);
+            relax.thm33 = Some(GAMMA_C_VIOLATED);
+        }
+        if plan.any_kind(|k| matches!(k, AdversaryKind::SybilSwarm { .. })) {
+            relax.thm32.get_or_insert(SYBIL_CONCENTRATION);
+        }
+        relax
+    }
+
+    /// True when every envelope is still armed.
+    pub fn is_none(&self) -> bool {
+        *self == EnvelopeRelaxations::NONE
+    }
+
+    /// The `(theorem, violated-assumption)` pairs in force, for report
+    /// surfaces.
+    pub fn tags(&self) -> Vec<(&'static str, &'static str)> {
+        let mut out = Vec::new();
+        if let Some(t) = self.thm31 {
+            out.push(("Theorem 3.1", t));
+        }
+        if let Some(t) = self.thm32 {
+            out.push(("Theorem 3.2", t));
+        }
+        if let Some(t) = self.thm33 {
+            out.push(("Theorem 3.3", t));
+        }
+        out
+    }
+}
 
 /// Runtime invariant checker owned by a [`crate::Network`].
 #[derive(Debug)]
@@ -142,8 +221,10 @@ impl Sanitizer {
     /// The O(nodes) degree sweep: Theorem 3.1 capacity-evaluation
     /// envelopes per host, the Theorem 3.2-enforcing elastic indegree
     /// cap per node, and the Theorem 3.3 outdegree ceiling. `gamma_c`
-    /// is the capacity estimation error factor in force.
-    pub(crate) fn sweep(&mut self, topo: &Topology, gamma_c: f64) {
+    /// is the capacity estimation error factor in force; `relax` names
+    /// the envelopes the run's adversary plan has invalidated (each
+    /// skip is deliberate and tagged, never a blanket disarm).
+    pub(crate) fn sweep(&mut self, topo: &Topology, gamma_c: f64, relax: EnvelopeRelaxations) {
         if !Self::ACTIVE {
             return;
         }
@@ -155,24 +236,26 @@ impl Sanitizer {
         // table construction.
         let slack = 2 * params.leaf_window as u64 + topo.space.dim() as u64 + 8;
 
-        for (i, host) in topo.hosts.iter().enumerate() {
-            if !host.alive {
-                continue;
+        if relax.thm31.is_none() {
+            for (i, host) in topo.hosts.iter().enumerate() {
+                if !host.alive {
+                    continue;
+                }
+                // Theorem 3.1: capacity_eval = ⌊0.5 + α·ĉ⌋ with ĉ within a
+                // factor γ_c of the true normalized capacity must land in
+                // [αc/γ_c − O(1), αcγ_c + O(1)] (the clamp to ≥ 1 only ever
+                // raises it toward the lower bound).
+                let (lo, hi) =
+                    theorem31_initial_indegree_bounds(params.alpha, host.norm_capacity, gamma_c);
+                let ce = host.capacity_eval as f64;
+                assert!(
+                    ce >= lo && ce <= hi,
+                    "sanitize: host {i} capacity_eval {ce} outside Theorem 3.1 envelope \
+                     [{lo:.2}, {hi:.2}] (α={}, c={}, γ_c={gamma_c})",
+                    params.alpha,
+                    host.norm_capacity
+                );
             }
-            // Theorem 3.1: capacity_eval = ⌊0.5 + α·ĉ⌋ with ĉ within a
-            // factor γ_c of the true normalized capacity must land in
-            // [αc/γ_c − O(1), αcγ_c + O(1)] (the clamp to ≥ 1 only ever
-            // raises it toward the lower bound).
-            let (lo, hi) =
-                theorem31_initial_indegree_bounds(params.alpha, host.norm_capacity, gamma_c);
-            let ce = host.capacity_eval as f64;
-            assert!(
-                ce >= lo && ce <= hi,
-                "sanitize: host {i} capacity_eval {ce} outside Theorem 3.1 envelope \
-                 [{lo:.2}, {hi:.2}] (α={}, c={}, γ_c={gamma_c})",
-                params.alpha,
-                host.norm_capacity
-            );
         }
 
         if topo.table_policy != TablePolicy::Elastic {
@@ -204,20 +287,24 @@ impl Sanitizer {
             // cap in `on_adapt_tick` is 8·max(capacity_eval, 8); links
             // outside the elastic budget are covered by `slack`.
             let host = &topo.hosts[node.host];
-            let in_cap = 8 * u64::from(host.capacity_eval.max(8)) + slack;
-            let ind = node.table.indegree() as u64;
-            assert!(
-                ind <= in_cap,
-                "sanitize: node {i} indegree {ind} exceeds adapted Theorem 3.2 cap {in_cap} \
-                 (capacity_eval {})",
-                host.capacity_eval
-            );
-            let outd = node.table.outdegree() as u64;
-            assert!(
-                outd <= out_bound,
-                "sanitize: node {i} outdegree {outd} exceeds Theorem 3.3 bound {out_bound} \
-                 (c_max {c_max})"
-            );
+            if relax.thm32.is_none() {
+                let in_cap = 8 * u64::from(host.capacity_eval.max(8)) + slack;
+                let ind = node.table.indegree() as u64;
+                assert!(
+                    ind <= in_cap,
+                    "sanitize: node {i} indegree {ind} exceeds adapted Theorem 3.2 cap {in_cap} \
+                     (capacity_eval {})",
+                    host.capacity_eval
+                );
+            }
+            if relax.thm33.is_none() {
+                let outd = node.table.outdegree() as u64;
+                assert!(
+                    outd <= out_bound,
+                    "sanitize: node {i} outdegree {outd} exceeds Theorem 3.3 bound {out_bound} \
+                     (c_max {c_max})"
+                );
+            }
         }
         self.checks += 1;
     }
@@ -288,6 +375,57 @@ mod tests {
     fn conservation_rejects_lost_lookups() {
         let mut s = Sanitizer::new();
         s.check_conservation(10, 4, 1, 2, 2); // one lookup vanished
+    }
+
+    #[test]
+    fn relaxations_derive_only_from_degree_violating_actors() {
+        use ert_sim::SimTime;
+
+        let mut plan = AdversaryPlan::new(1);
+        assert!(EnvelopeRelaxations::from_plan(&plan).is_none());
+
+        plan.events.push(ert_adversary::AdversaryEvent {
+            at: SimTime::ZERO,
+            kind: AdversaryKind::RoutingDefector { fraction: 0.2 },
+        });
+        plan.events.push(ert_adversary::AdversaryEvent {
+            at: SimTime::ZERO,
+            kind: AdversaryKind::QueryFlood {
+                key: 0.5,
+                queries: 100,
+                window: ert_sim::SimDuration::from_secs_f64(1.0),
+            },
+        });
+        // Defectors and floods attack routing/workload, not degrees.
+        assert!(EnvelopeRelaxations::from_plan(&plan).is_none());
+
+        plan.events.push(ert_adversary::AdversaryEvent {
+            at: SimTime::ZERO,
+            kind: AdversaryKind::SybilSwarm {
+                count: 8,
+                region: 0.3,
+            },
+        });
+        let relax = EnvelopeRelaxations::from_plan(&plan);
+        assert!(relax.thm31.is_none() && relax.thm33.is_none());
+        assert!(relax.thm32.unwrap().contains("SybilSwarm"));
+        assert_eq!(relax.tags().len(), 1);
+
+        plan.events.push(ert_adversary::AdversaryEvent {
+            at: SimTime::ZERO,
+            kind: AdversaryKind::CapacityLiar {
+                fraction: 0.2,
+                error: 4.0,
+            },
+        });
+        let relax = EnvelopeRelaxations::from_plan(&plan);
+        assert!(!relax.is_none());
+        // γ_c violation invalidates all three; the Sybil tag on 3.2 is
+        // not displaced because the liar tag was inserted first.
+        assert!(relax.thm31.unwrap().contains("γ_c"));
+        assert!(relax.thm32.unwrap().contains("γ_c"));
+        assert!(relax.thm33.unwrap().contains("γ_c"));
+        assert_eq!(relax.tags().len(), 3);
     }
 
     #[test]

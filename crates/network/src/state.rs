@@ -19,8 +19,17 @@ pub struct Host {
     pub norm_capacity: f64,
     /// The node's own (possibly erroneous) estimate of `norm_capacity`.
     pub est_capacity: f64,
-    /// Queries the host can hold at a time: `⌊0.5 + α·ĉ⌋` (Section 5).
+    /// Queries the host claims it can hold at a time: `⌊0.5 + α·ĉ⌋`
+    /// (Section 5). This is the *advertised* value — it feeds candidate
+    /// congestion comparisons, indegree caps, and adaptation decisions,
+    /// and capacity liars (see `ert-adversary`) inflate it together
+    /// with `est_capacity`.
     pub capacity_eval: u32,
+    /// The honest queue-pressure threshold that service speed and the
+    /// congestion metrics are measured against. Coincides with
+    /// `capacity_eval` except on an active capacity liar, whose
+    /// advertisement diverges from the physics.
+    pub capacity_true: u32,
     /// Position in the synthetic physical network.
     pub coord: Coord,
     /// Measured distances to the landmark set, when the landmarking
@@ -62,6 +71,7 @@ impl Host {
             norm_capacity,
             est_capacity,
             capacity_eval: capacity_eval.max(1),
+            capacity_true: capacity_eval.max(1),
             coord,
             landmark_vec: None,
             queue: VecDeque::new(),
@@ -83,14 +93,17 @@ impl Host {
         self.queue.len() + usize::from(self.in_service.is_some())
     }
 
-    /// Whether the host is overloaded: load exceeds what it can hold.
+    /// Whether the host is overloaded: load exceeds what it can
+    /// *actually* hold — a liar's inflated advertisement does not make
+    /// its queue drain any faster.
     pub fn is_heavy(&self) -> bool {
-        self.load() > self.capacity_eval as usize
+        self.load() > self.capacity_true as usize
     }
 
-    /// Instantaneous congestion ratio `l/c`.
+    /// Instantaneous congestion ratio `l/c` against the honest
+    /// capacity.
     pub fn congestion(&self) -> f64 {
-        self.load() as f64 / self.capacity_eval as f64
+        self.load() as f64 / self.capacity_true as f64
     }
 
     /// Records the current congestion into the running maximum.

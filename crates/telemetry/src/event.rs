@@ -146,6 +146,38 @@ pub enum TelemetryEvent {
         /// Hops taken before the failure.
         hops: u32,
     },
+    /// A scheduled adversary activation fired (see `ert-adversary`).
+    AdversaryActivated {
+        /// Index of the event within the (canonically ordered) plan.
+        seq: u64,
+        /// The actor-class tag (`CapacityLiar`, `SybilSwarm`,
+        /// `QueryFlood`, `RoutingDefector`, `Restore`).
+        actor: String,
+    },
+    /// A host began misreporting its capacity estimate.
+    CapacityMisreport {
+        /// Host index of the liar.
+        host: u64,
+        /// Multiplicative factor applied to the honest estimate.
+        factor: f64,
+    },
+    /// A defecting node inverted the two-choice rule and forwarded to
+    /// the most-loaded reachable candidate.
+    DefectedForward {
+        /// Query index.
+        q: u64,
+        /// Linearized id of the defecting node.
+        from: u64,
+        /// Linearized id of the (deliberately bad) next hop.
+        to: u64,
+    },
+    /// A query-flood flash crowd was injected onto one key.
+    FloodBurst {
+        /// Linearized target key under flood.
+        key: u64,
+        /// Number of flood lookups injected.
+        count: u32,
+    },
     /// One causal span in a lookup's trace tree: a single completed
     /// service at one node, covering the hop's queueing
     /// (`enqueued → service_start`) and service
@@ -196,6 +228,10 @@ impl TelemetryEvent {
             TelemetryEvent::MessageLost { .. } => "MessageLost",
             TelemetryEvent::LookupRetry { .. } => "LookupRetry",
             TelemetryEvent::LookupFailed { .. } => "LookupFailed",
+            TelemetryEvent::AdversaryActivated { .. } => "AdversaryActivated",
+            TelemetryEvent::CapacityMisreport { .. } => "CapacityMisreport",
+            TelemetryEvent::DefectedForward { .. } => "DefectedForward",
+            TelemetryEvent::FloodBurst { .. } => "FloodBurst",
             TelemetryEvent::HopSpan { .. } => "HopSpan",
         }
     }
@@ -253,6 +289,18 @@ impl fmt::Display for TelemetryEvent {
             }
             TelemetryEvent::LookupFailed { q, hops } => {
                 write!(f, "q{q} failed hops={hops}")
+            }
+            TelemetryEvent::AdversaryActivated { seq, actor } => {
+                write!(f, "adversary {seq} activated: {actor}")
+            }
+            TelemetryEvent::CapacityMisreport { host, factor } => {
+                write!(f, "host {host} misreports capacity x{factor}")
+            }
+            TelemetryEvent::DefectedForward { q, from, to } => {
+                write!(f, "q{q} defected {from} -> {to}")
+            }
+            TelemetryEvent::FloodBurst { key, count } => {
+                write!(f, "flood burst key {key} x{count}")
             }
             TelemetryEvent::HopSpan {
                 q,
@@ -342,6 +390,42 @@ mod tests {
             serde::json::to_string(&e),
             r#"{"LookupFailed":{"q":4,"hops":7}}"#
         );
+    }
+
+    #[test]
+    fn adversary_events_render_and_serialize() {
+        let e = TelemetryEvent::AdversaryActivated {
+            seq: 1,
+            actor: "CapacityLiar".into(),
+        };
+        assert_eq!(e.to_string(), "adversary 1 activated: CapacityLiar");
+        assert_eq!(e.kind(), "AdversaryActivated");
+        assert_eq!(
+            serde::json::to_string(&e),
+            r#"{"AdversaryActivated":{"seq":1,"actor":"CapacityLiar"}}"#
+        );
+        let e = TelemetryEvent::CapacityMisreport {
+            host: 12,
+            factor: 4.0,
+        };
+        assert_eq!(e.to_string(), "host 12 misreports capacity x4");
+        assert_eq!(e.kind(), "CapacityMisreport");
+        let e = TelemetryEvent::DefectedForward {
+            q: 9,
+            from: 3,
+            to: 5,
+        };
+        assert_eq!(e.to_string(), "q9 defected 3 -> 5");
+        assert_eq!(
+            serde::json::to_string(&e),
+            r#"{"DefectedForward":{"q":9,"from":3,"to":5}}"#
+        );
+        let e = TelemetryEvent::FloodBurst {
+            key: 77,
+            count: 500,
+        };
+        assert_eq!(e.to_string(), "flood burst key 77 x500");
+        assert_eq!(e.kind(), "FloodBurst");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use std::path::{Path, PathBuf};
 
-use ert_experiments::{fig4, fig5, fig7, Scenario, Table};
+use ert_experiments::{adversarial, fig4, fig5, fig7, Scenario, Table};
 
 use crate::shape::{SeriesSet, ShapeSpec, Violation};
 
@@ -139,6 +139,19 @@ pub fn quick_tables() -> Vec<Table> {
     tables.push(fig5::table_5c(&base));
     tables.extend(fig7::tables(&sweep));
     tables
+}
+
+/// Runs the adversarial panels at quick scale — the same recipe as
+/// `adversarial --quick` (single seed, n = 192, seed 17) — so the
+/// quick-tier `adv_*` specs judge freshly regenerated attack data,
+/// not just the committed full-scale snapshot. Deterministic.
+#[must_use]
+pub fn adversarial_quick_tables() -> Vec<Table> {
+    let base = Scenario {
+        seeds: vec![1],
+        ..Scenario::quick(17)
+    };
+    adversarial::tables(&base, true)
 }
 
 #[cfg(test)]

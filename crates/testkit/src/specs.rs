@@ -59,6 +59,7 @@ pub fn catalogue() -> Vec<ShapeSpec> {
     fig5(&mut specs);
     fig7(&mut specs);
     theorems(&mut specs);
+    adversarial(&mut specs);
     specs
 }
 
@@ -444,6 +445,141 @@ fn theorems(specs: &mut Vec<ShapeSpec>) {
             RatioBand { num: "ODE s_i(t→∞)", den: "fixed point s_i", at: At(4.0), lo: 0.999, hi: 1.001 },
             NonIncreasing { series: "fixed point s_i", slack: 0.0 },
             NonIncreasing { series: "ODE s_i(t→∞)", slack: 0.0 },
+        ],
+    ));
+}
+
+// Adversarial panels (`ert-adversary`, EXPERIMENTS.md "Adversarial
+// sweeps"). The liar/defector/sybil sweeps use different axis maxima
+// per tier (quick errors top out at 4, paper at 8; fractions 0.2 vs
+// 0.3; swarm sizes 16 vs 32), which is what the gates key on. The
+// flood phase table is a row layout whose axis is stat position at
+// both scales, so its claims must hold tier-free.
+const QUICK_LIAR_ERRORS: Option<(f64, f64)> = Some((0.0, 5.0));
+const PAPER_LIAR_ERRORS: Option<(f64, f64)> = Some((6.0, f64::INFINITY));
+const QUICK_DEFECTORS: Option<(f64, f64)> = Some((0.0, 0.25));
+const PAPER_DEFECTORS: Option<(f64, f64)> = Some((0.28, f64::INFINITY));
+const QUICK_SYBILS: Option<(f64, f64)> = Some((0.0, 20.0));
+const PAPER_SYBILS: Option<(f64, f64)> = Some((24.0, f64::INFINITY));
+
+fn adversarial(specs: &mut Vec<ShapeSpec>) {
+    specs.push(spec(
+        "advliar.quick.immune-and-contained",
+        "capacity liars at quick scale: Base never consults advertised capacity so its congestion is flat; ERT/AF stays below Base at every error; nothing is lost",
+        "adv_liars",
+        Layout::Wide,
+        Tier::Quick,
+        QUICK_LIAR_ERRORS,
+        vec![
+            Flat { series: "Base p99 congestion", tol: 0.02 },
+            Flat { series: "ERT/AF p99 congestion", tol: 0.05 },
+            Less { a: "ERT/AF p99 congestion", b: "Base p99 congestion", at: All, slack: 0.0 },
+            Flat { series: "Base completed", tol: 1e-6 },
+            Flat { series: "ERT/AF completed", tol: 1e-6 },
+        ],
+    ));
+    specs.push(spec(
+        "advliar.paper.widening-attack",
+        "capacity liars at paper scale: the congestion-aware protocol is the attack surface — ERT/AF's p99 congestion climbs monotonically with the misreport error and its band against immune Base widens ≥15%, yet stays below Base and loses nothing (γ_c stress, Thms 3.1/3.2)",
+        "adv_liars",
+        Layout::Wide,
+        Tier::Paper,
+        PAPER_LIAR_ERRORS,
+        vec![
+            Flat { series: "Base p99 congestion", tol: 0.02 },
+            NonDecreasing { series: "ERT/AF p99 congestion", slack: 0.02 },
+            Widening { num: "ERT/AF p99 congestion", den: "Base p99 congestion", factor: 1.15 },
+            Less { a: "ERT/AF p99 congestion", b: "Base p99 congestion", at: All, slack: 0.0 },
+            Flat { series: "Base completed", tol: 1e-6 },
+            Flat { series: "ERT/AF completed", tol: 1e-6 },
+        ],
+    ));
+    specs.push(spec(
+        "advdefect.quick.ert-pays",
+        "routing defectors at quick scale: ERT/AF's p99 lookup time rises with the defector fraction (defection inverts exactly the rule it relies on) while Base barely moves; both keep completing everything and ERT/AF stays faster",
+        "adv_defectors",
+        Layout::Wide,
+        Tier::Quick,
+        QUICK_DEFECTORS,
+        vec![
+            NonDecreasing { series: "ERT/AF p99 lookup time", slack: 0.02 },
+            Flat { series: "Base p99 lookup time", tol: 0.15 },
+            Less { a: "ERT/AF p99 lookup time", b: "Base p99 lookup time", at: All, slack: 0.0 },
+            Flat { series: "Base completed", tol: 1e-6 },
+            Flat { series: "ERT/AF completed", tol: 1e-6 },
+        ],
+    ));
+    specs.push(spec(
+        "advdefect.paper.crossover",
+        "routing defectors at paper scale: ERT/AF's latency penalty grows monotonically and ≥2× faster than Base's, crossing over — honest two-choice beats Base at fraction 0, but at 30% defectors ERT/AF is slower than Base; completion never drops",
+        "adv_defectors",
+        Layout::Wide,
+        Tier::Paper,
+        PAPER_DEFECTORS,
+        vec![
+            NonDecreasing { series: "ERT/AF p99 lookup time", slack: 0.02 },
+            NonDecreasing { series: "Base p99 lookup time", slack: 0.05 },
+            Widening { num: "ERT/AF p99 lookup time", den: "Base p99 lookup time", factor: 2.0 },
+            Less { a: "ERT/AF p99 lookup time", b: "Base p99 lookup time", at: Axis::First, slack: 0.0 },
+            Less { a: "Base p99 lookup time", b: "ERT/AF p99 lookup time", at: Last, slack: 0.0 },
+            Flat { series: "Base completed", tol: 1e-6 },
+            Flat { series: "ERT/AF completed", tol: 1e-6 },
+        ],
+    ));
+    for (id, tier, gate, base_tol) in [
+        (
+            "advsybil.quick.concentration",
+            Tier::Quick,
+            QUICK_SYBILS,
+            0.02,
+        ),
+        (
+            "advsybil.paper.concentration",
+            Tier::Paper,
+            PAPER_SYBILS,
+            0.1,
+        ),
+    ] {
+        specs.push(spec(
+            id,
+            "Sybil swarms concentrate indegree on the elastic protocol: ERT/AF's max indegree grows with the swarm size while Base's static tables barely move; the swarm alone breaks no lookups",
+            "adv_sybils",
+            Layout::Wide,
+            tier,
+            gate,
+            vec![
+                NonDecreasing { series: "ERT/AF max indegree", slack: 0.02 },
+                Flat { series: "Base max indegree", tol: base_tol },
+                Less { a: "Base max indegree", b: "ERT/AF max indegree", at: All, slack: 0.0 },
+                Flat { series: "Base completed", tol: 1e-6 },
+                Flat { series: "ERT/AF completed", tol: 1e-6 },
+            ],
+        ));
+    }
+    specs.push(spec(
+        "advflood.any.band",
+        "flash-crowd flood: the hotspot spike blows far past the documented ×2 band for both protocols (it is a real attack), but by end of run both have drained back inside the band",
+        "adv_flood",
+        Layout::Rows,
+        Tier::Any,
+        None,
+        vec![
+            Less { a: "band (documented)", b: "Base", at: Named("spike"), slack: 0.0 },
+            Less { a: "band (documented)", b: "ERT/AF", at: Named("spike"), slack: 0.0 },
+            Less { a: "Base", b: "band (documented)", at: Named("recovery"), slack: 0.0 },
+            Less { a: "ERT/AF", b: "band (documented)", at: Named("recovery"), slack: 0.0 },
+        ],
+    ));
+    specs.push(spec(
+        "advflood.any.containment",
+        "flash-crowd flood: ERT/AF contains the hotspot — its peak queue depth stays below Base's (two-choice forwarding spreads the crest that Base funnels into one host)",
+        "adv_flood",
+        Layout::Rows,
+        Tier::Any,
+        None,
+        vec![
+            Less { a: "ERT/AF", b: "Base", at: Named("peak"), slack: 0.0 },
+            RatioBand { num: "ERT/AF", den: "Base", at: Named("peak"), lo: 0.0, hi: 0.95 },
         ],
     ));
 }

@@ -22,7 +22,10 @@ use std::ops::Range;
 
 use ert_experiments::{ChurnSpec, Scenario, Workload};
 use ert_network::network::uniform_lookup_burst;
-use ert_network::{FaultEvent, FaultKind, FaultPlan, Lookup, NetworkConfig};
+use ert_network::{
+    AdversaryEvent, AdversaryKind, AdversaryPlan, FaultEvent, FaultKind, FaultPlan, Lookup,
+    NetworkConfig,
+};
 use ert_overlay::CycloidSpace;
 use ert_sim::{SimDuration, SimRng, SimTime};
 use ert_workloads::{uniform_lookups, BoundedPareto};
@@ -152,6 +155,79 @@ pub fn fault_plan(seed: u64, events: &[(u64, u8, u64, u64)]) -> FaultPlan {
     plan
 }
 
+/// Raw adversary-event tuples `(at_us, kind_tag, a, b)` — the same
+/// drawing shape as [`fault_events`], so mixed fault+adversary
+/// properties can share one generator loop. Decode with
+/// [`adversary_kind`] / assemble with [`adversary_plan`].
+#[must_use]
+pub fn adversary_events() -> proptest::collection::VecStrategy<FaultEventStrategy> {
+    proptest::collection::vec((0u64..8_000_000, 0u8..5, 0u64..100, 1u64..5_000_000), 0..10)
+}
+
+/// Decodes a drawn `(kind_tag, a, b)` triple into a valid
+/// [`AdversaryKind`] — the canonical mapping for adversary properties
+/// (tag 0 restore, 1 capacity liar, 2 Sybil swarm, 3 query flood, else
+/// routing defector; `a` scales fractions/counts, `b` scales
+/// errors/regions/windows). Every decoded kind passes
+/// [`AdversaryKind::validate`] by construction.
+#[must_use]
+pub fn adversary_kind(kind_tag: u8, a: u64, b: u64) -> AdversaryKind {
+    match kind_tag {
+        0 => AdversaryKind::Restore,
+        1 => AdversaryKind::CapacityLiar {
+            fraction: (a + 1) as f64 / 101.0,
+            error: 0.25 + b as f64 / 1.0e6,
+        },
+        2 => AdversaryKind::SybilSwarm {
+            count: 1 + (a % 16) as u32,
+            region: b as f64 / 5.0e6,
+        },
+        3 => AdversaryKind::QueryFlood {
+            key: a as f64 / 101.0,
+            queries: 1 + (a % 50) as u32,
+            window: SimDuration::from_micros(b),
+        },
+        _ => AdversaryKind::RoutingDefector {
+            fraction: (a + 1) as f64 / 101.0,
+        },
+    }
+}
+
+/// Assembles an [`AdversaryPlan`] from drawn event tuples.
+#[must_use]
+pub fn adversary_plan(seed: u64, events: &[(u64, u8, u64, u64)]) -> AdversaryPlan {
+    let mut plan = AdversaryPlan::new(seed);
+    for &(at, kind_tag, a, b) in events {
+        plan.events.push(AdversaryEvent {
+            at: SimTime::from_micros(at),
+            kind: adversary_kind(kind_tag, a, b),
+        });
+    }
+    plan
+}
+
+/// Strategy producing whole validated [`AdversaryPlan`]s: a seed from
+/// the stock `0..10_000` space plus up to ten decoded events over the
+/// 8-second horizon.
+#[derive(Debug, Clone, Copy)]
+pub struct AdversaryPlanStrategy;
+
+impl Strategy for AdversaryPlanStrategy {
+    type Value = AdversaryPlan;
+    fn sample(&self, rng: &mut TestRng) -> AdversaryPlan {
+        let seed = (0u64..10_000).sample(rng);
+        let events = adversary_events().sample(rng);
+        adversary_plan(seed, &events)
+    }
+}
+
+/// Strategy over seeded [`AdversaryPlan`]s (see
+/// [`AdversaryPlanStrategy`]).
+#[must_use]
+pub fn adversary_plans() -> AdversaryPlanStrategy {
+    AdversaryPlanStrategy
+}
+
 /// Churn intensities from mild (20 s interarrivals) to the paper's
 /// Section 5.5 stress level (0.5 s).
 #[derive(Debug, Clone, Copy)]
@@ -279,6 +355,59 @@ mod tests {
             let events = fault_events().sample(&mut rng);
             let plan = fault_plan(11, &events);
             assert!(plan.validate().is_ok(), "invalid plan from {events:?}");
+        }
+    }
+
+    #[test]
+    fn adversary_kind_mapping_is_total_and_valid() {
+        assert!(matches!(adversary_kind(0, 7, 9), AdversaryKind::Restore));
+        match adversary_kind(1, 99, 4_999_999) {
+            AdversaryKind::CapacityLiar { fraction, error } => {
+                assert!(fraction > 0.0 && fraction <= 1.0);
+                assert!(error > 0.0 && error.is_finite());
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match adversary_kind(2, 20, 4_999_999) {
+            AdversaryKind::SybilSwarm { count, region } => {
+                assert!(count >= 1);
+                assert!((0.0..1.0).contains(&region));
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match adversary_kind(3, 100, 1) {
+            AdversaryKind::QueryFlood { key, queries, .. } => {
+                assert!((0.0..1.0).contains(&key));
+                assert!(queries >= 1);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        assert!(matches!(
+            adversary_kind(4, 0, 1),
+            AdversaryKind::RoutingDefector { .. }
+        ));
+        assert!(matches!(
+            adversary_kind(200, 0, 1),
+            AdversaryKind::RoutingDefector { .. }
+        ));
+        // Every corner of the drawn parameter space decodes valid.
+        for tag in 0u8..=5 {
+            for a in [0u64, 1, 50, 99] {
+                for b in [1u64, 2_500_000, 4_999_999] {
+                    adversary_kind(tag, a, b).validate().unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drawn_adversary_plans_validate() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..50 {
+            let plan = adversary_plans().sample(&mut rng);
+            assert!(plan.validate().is_ok(), "invalid plan: {plan:?}");
+            assert!(plan.seed < 10_000);
+            assert!(plan.events.len() < 10);
         }
     }
 

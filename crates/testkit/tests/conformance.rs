@@ -54,6 +54,41 @@ fn fresh_quick_run_satisfies_catalogue() {
     );
 }
 
+/// A fresh quick-scale adversarial sweep (the `adversarial --quick`
+/// recipe) must satisfy every quick-tier `adv_*` spec: the attack
+/// shapes — liar immunity/containment, the defector latency penalty,
+/// Sybil indegree concentration, flood spike-and-drain — hold on
+/// regenerated data, not just on the committed full-scale snapshot.
+#[test]
+fn fresh_quick_adversarial_run_satisfies_catalogue() {
+    let adv: Vec<_> = specs::catalogue()
+        .into_iter()
+        .filter(|s| s.table.starts_with("adv_"))
+        .collect();
+    assert!(
+        adv.len() >= 4,
+        "adversarial catalogue shrank: {}",
+        adv.len()
+    );
+    let report = golden::check_tables(&adv, &golden::adversarial_quick_tables());
+    assert!(
+        report.violations.is_empty(),
+        "fresh quick adversarial sweep violates the catalogue:\n{}",
+        report.summary()
+    );
+    assert!(
+        report.missing.is_empty(),
+        "adversarial specs name tables the sweep does not emit: {:?}",
+        report.missing
+    );
+    assert!(
+        report.evaluated.len() >= 4,
+        "suspiciously few adversarial specs evaluated ({})\n{}",
+        report.evaluated.len(),
+        report.summary()
+    );
+}
+
 /// The machinery must be falsifiable: a deliberately inverted claim
 /// ("NS beats Base") fails against both the committed results and a
 /// fresh run.

@@ -21,6 +21,7 @@ fn main() {
         workload: ert_repro::experiments::Workload::Uniform,
         churn: None,
         chaos: None,
+        adversary: None,
         jobs: None,
         stream_stats: false,
     };

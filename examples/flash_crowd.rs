@@ -26,6 +26,7 @@ fn main() {
         },
         churn: None,
         chaos: None,
+        adversary: None,
         jobs: None,
         stream_stats: false,
     };

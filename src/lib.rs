@@ -8,6 +8,8 @@
 //! * [`core`] — the elastic-routing-table mechanism (the paper's
 //!   contribution);
 //! * [`faults`] — fault plans, retry policies, and the chaos generator;
+//! * [`adversary`] — byzantine actor plans: capacity liars, Sybil
+//!   swarms, query floods, routing defectors;
 //! * [`par`] — the deterministic worker pool behind every sweep's
 //!   fan-out (canonical-order collection, panic containment);
 //! * [`network`] — the simulated DHT network and protocol specs;
@@ -23,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use ert_adversary as adversary;
 pub use ert_baselines as baselines;
 pub use ert_core as core;
 pub use ert_experiments as experiments;

@@ -126,6 +126,94 @@ fn permuting_equal_time_churn_does_not_change_the_report() {
     assert_eq!(baseline, run(&rotated));
 }
 
+/// The same order-invariance holds across *all three* schedules at
+/// once: churn, fault events, and adversary events piled onto one
+/// instant apply in their canonical `sort_key` orders (churn, then
+/// faults, then adversaries; each kind tie-broken by taxonomy rank and
+/// parameter bits), so permuting any of the three event lists never
+/// changes the run.
+#[test]
+fn permuting_mixed_fault_and_adversary_plans_is_order_invariant() {
+    use ert_repro::adversary::{AdversaryEvent, AdversaryKind, AdversaryPlan};
+    use ert_repro::faults::{FaultEvent, FaultKind, FaultPlan};
+    use ert_repro::sim::SimDuration;
+
+    let run = |fault_events: &[FaultEvent], adv_events: &[AdversaryEvent]| {
+        let (mut net, mut rng) = build(192, 405, ProtocolSpec::ert_af());
+        let lookups = uniform_lookups(300, 192.0, &mut rng);
+        let mut faults = FaultPlan::new(9);
+        faults.events = fault_events.to_vec();
+        let mut adversary = AdversaryPlan::new(5);
+        adversary.events = adv_events.to_vec();
+        format!(
+            "{:?}",
+            net.run_with_plans(&lookups, &[], &faults, &adversary)
+        )
+    };
+
+    let mid = {
+        let (_, mut rng) = build(192, 405, ProtocolSpec::ert_af());
+        uniform_lookups(300, 192.0, &mut rng)[150].at
+    };
+    let faults = vec![
+        FaultEvent {
+            at: mid,
+            kind: FaultKind::Crash,
+        },
+        FaultEvent {
+            at: mid,
+            kind: FaultKind::Degrade { factor: 2.0 },
+        },
+        FaultEvent {
+            at: mid,
+            kind: FaultKind::DropMessages {
+                p: 0.1,
+                window: SimDuration::from_secs_f64(0.5),
+            },
+        },
+    ];
+    let adversaries = vec![
+        AdversaryEvent {
+            at: mid,
+            kind: AdversaryKind::RoutingDefector { fraction: 0.15 },
+        },
+        AdversaryEvent {
+            at: mid,
+            kind: AdversaryKind::CapacityLiar {
+                fraction: 0.2,
+                error: 4.0,
+            },
+        },
+        AdversaryEvent {
+            at: mid,
+            kind: AdversaryKind::SybilSwarm {
+                count: 6,
+                region: 0.4,
+            },
+        },
+        AdversaryEvent {
+            at: mid,
+            kind: AdversaryKind::QueryFlood {
+                key: 0.37,
+                queries: 60,
+                window: SimDuration::from_secs_f64(0.4),
+            },
+        },
+    ];
+
+    let baseline = run(&faults, &adversaries);
+    let mut rf = faults.clone();
+    rf.reverse();
+    let mut ra = adversaries.clone();
+    ra.reverse();
+    assert_eq!(baseline, run(&rf, &adversaries), "fault permutation leaked");
+    assert_eq!(baseline, run(&faults, &ra), "adversary permutation leaked");
+    assert_eq!(baseline, run(&rf, &ra), "joint permutation leaked");
+    let mut rot = adversaries.clone();
+    rot.rotate_left(2);
+    assert_eq!(baseline, run(&faults, &rot), "adversary rotation leaked");
+}
+
 #[test]
 fn empty_blast_is_noop() {
     let (mut net, mut rng) = build(64, 403, ProtocolSpec::ert_af());

@@ -137,6 +137,125 @@ fn stream_stats_trace_is_byte_identical_and_carries_hop_spans() {
     }
 }
 
+/// The pinned mixed adversary schedule (liars + defectors + a Sybil
+/// swarm + a flood at 0.5 s) used by the adversarial observer-
+/// neutrality pin below.
+fn mixed_adversary_plan() -> ert_network::AdversaryPlan {
+    use ert_network::{AdversaryEvent, AdversaryKind};
+    let at = ert_sim::SimTime::from_micros(500_000);
+    let mut plan = ert_network::AdversaryPlan::new(23);
+    plan.events = vec![
+        AdversaryEvent {
+            at,
+            kind: AdversaryKind::CapacityLiar {
+                fraction: 0.2,
+                error: 4.0,
+            },
+        },
+        AdversaryEvent {
+            at,
+            kind: AdversaryKind::RoutingDefector { fraction: 0.2 },
+        },
+        AdversaryEvent {
+            at,
+            kind: AdversaryKind::SybilSwarm {
+                count: 6,
+                region: 0.37,
+            },
+        },
+        AdversaryEvent {
+            at,
+            kind: AdversaryKind::QueryFlood {
+                key: 0.37,
+                queries: 80,
+                window: SimDuration::from_secs_f64(0.5),
+            },
+        },
+    ];
+    plan
+}
+
+/// Observer neutrality extends to attacked runs: instrumenting a run
+/// whose plan mixes all four adversary classes reproduces the
+/// uninstrumented report value-for-value, and the stream actually
+/// carries every adversary event kind.
+#[test]
+fn adversarial_telemetry_does_not_perturb_the_report() {
+    let caps = capacities(96);
+    let lookups = ert_network::network::uniform_lookup_burst(200, 96.0, 17);
+    let plan = mixed_adversary_plan();
+    let no_faults = ert_network::FaultPlan::default();
+
+    // Fully uninstrumented: default config, no sinks, no sampler.
+    let cfg = NetworkConfig::for_dimension(6, 17);
+    let mut plain = Network::new(cfg, &caps, ProtocolSpec::ert_af()).unwrap();
+    let rp = plain.run_with_plans(&lookups, &[], &no_faults, &plan);
+
+    // Instrumented: memory sink plus the 0.5 s snapshot sampler.
+    let mut net = Network::new(fixed_config(), &caps, ProtocolSpec::ert_af()).unwrap();
+    let sink = MemorySink::new();
+    let lines = sink.handle();
+    let mut tel = Telemetry::disabled();
+    tel.add_sink(Box::new(sink));
+    net.set_telemetry(tel);
+    let rt = net.run_with_plans(&lookups, &[], &no_faults, &plan);
+    let lines = lines.lock().unwrap().clone();
+
+    assert_eq!(rp.lookups_completed, rt.lookups_completed);
+    assert_eq!(rp.lookups_dropped, rt.lookups_dropped);
+    assert_eq!(rp.lookup_time.mean, rt.lookup_time.mean);
+    assert_eq!(rp.lookup_time.p99, rt.lookup_time.p99);
+    assert_eq!(rp.p99_max_congestion, rt.p99_max_congestion);
+    assert_eq!(rp.mean_path_length, rt.mean_path_length);
+    assert_eq!(rp.heavy_encounters, rt.heavy_encounters);
+    assert_eq!(rp.sim_seconds, rt.sim_seconds);
+
+    for kind in [
+        "AdversaryActivated",
+        "CapacityMisreport",
+        "DefectedForward",
+        "FloodBurst",
+    ] {
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains(&format!("\"event\":{{\"{kind}\""))),
+            "no {kind} event in the instrumented stream"
+        );
+    }
+}
+
+/// Instrumented adversarial replay is byte-identical too.
+#[test]
+fn adversarial_event_stream_is_byte_identical_across_runs() {
+    let run = || {
+        let caps = capacities(96);
+        let lookups = ert_network::network::uniform_lookup_burst(200, 96.0, 17);
+        let mut net = Network::new(fixed_config(), &caps, ProtocolSpec::ert_af()).unwrap();
+        let sink = MemorySink::new();
+        let lines = sink.handle();
+        let mut tel = Telemetry::disabled();
+        tel.add_sink(Box::new(sink));
+        net.set_telemetry(tel);
+        let report = net.run_with_plans(
+            &lookups,
+            &[],
+            &ert_network::FaultPlan::default(),
+            &mixed_adversary_plan(),
+        );
+        let lines = lines.lock().unwrap().clone();
+        (lines, report)
+    };
+    let (a, ra) = run();
+    let (b, rb) = run();
+    assert!(!a.is_empty());
+    assert_eq!(a.len(), b.len(), "stream lengths diverged");
+    for (i, (la, lb)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(la, lb, "line {i} diverged");
+    }
+    assert_eq!(serde::json::to_string(&ra), serde::json::to_string(&rb));
+}
+
 #[test]
 fn telemetry_does_not_perturb_the_report() {
     let caps = capacities(96);
