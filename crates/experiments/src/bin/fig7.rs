@@ -1,6 +1,6 @@
 //! Regenerates Fig. 7 (degrees and maintenance cost).
 //!
-//! Usage: `fig7 [--quick] [--seeds K] [--jobs N] [--telemetry <path.jsonl>]
+//! Usage: `fig7 [--quick] [--seeds K] [--jobs N] [--shards S] [--telemetry <path.jsonl>]
 //! [--sample-interval <secs>] [--trace <N>]`
 
 use std::path::Path;
@@ -30,6 +30,7 @@ fn main() {
     };
     let mut base = base;
     base.jobs = ert_experiments::cli::jobs_from_env();
+    base.shards = ert_experiments::cli::shards_from_env();
     base.stream_stats = ert_experiments::cli::stream_stats_from_env();
     let sweep = fig4::lookup_sweep(&base, &points);
     emit(&fig7::tables(&sweep), Some(Path::new("results")));

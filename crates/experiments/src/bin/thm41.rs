@@ -1,7 +1,7 @@
 //! Validates Theorem 4.1 (exponential improvement of b-way forwarding)
 //! and Lemma A.1 (the fixed point) against the supermarket model.
 //!
-//! Usage: `thm41 [--quick] [--jobs N]`
+//! Usage: `thm41 [--quick] [--jobs N] [--shards S]`
 
 use std::path::Path;
 
@@ -12,6 +12,10 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let jobs = ert_experiments::cli::parse_jobs(&args).unwrap_or_else(ert_par::default_jobs);
+    // Accepted for CLI uniformity with the sweep binaries; this binary
+    // runs no event loop, so there is nothing for the shard count to
+    // partition and any value leaves the output untouched.
+    let _ = ert_experiments::cli::parse_shards(&args);
     let (lambdas, n, horizon) = if quick {
         (thm41::quick_lambdas(), 200, 800.0)
     } else {

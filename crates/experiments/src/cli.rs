@@ -153,6 +153,26 @@ pub fn jobs_from_env() -> Option<usize> {
     parse_jobs(&std::env::args().collect::<Vec<_>>())
 }
 
+/// Parses the `--shards <S>` knob shared by every binary: the shard
+/// count for the shared-nothing sharded event core (see
+/// `ert_sim::ShardedEngine`). Absent, malformed, or zero values read
+/// as "legacy single event loop" ([`Scenario::shards`] = `0`). Any
+/// value yields byte-identical output — `--shards 1` runs the sharded
+/// core degenerately and still matches the legacy path byte for byte
+/// (pinned by `tests/shard_determinism.rs`).
+pub fn parse_shards(args: &[String]) -> usize {
+    args.iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0)
+}
+
+/// [`parse_shards`] over this process's arguments.
+pub fn shards_from_env() -> usize {
+    parse_shards(&std::env::args().collect::<Vec<_>>())
+}
+
 /// Parses the `--faults <intensity>` knob shared by binaries that
 /// support fault injection: a chaos intensity in `[0, 1]` fed to
 /// [`Scenario::chaos`] (see `ert-faults`). Absent, malformed, or
@@ -221,6 +241,16 @@ mod tests {
         assert_eq!(parse_jobs(&args(&["fig4", "--jobs", "0"])), None);
         assert_eq!(parse_jobs(&args(&["fig4", "--jobs", "lots"])), None);
         assert_eq!(parse_jobs(&args(&["fig4", "--jobs"])), None);
+    }
+
+    #[test]
+    fn shards_flag_parses_and_defaults_to_legacy() {
+        assert_eq!(parse_shards(&args(&["fig4"])), 0);
+        assert_eq!(parse_shards(&args(&["fig4", "--shards", "4"])), 4);
+        assert_eq!(parse_shards(&args(&["fig4", "--shards", "1"])), 1);
+        assert_eq!(parse_shards(&args(&["fig4", "--shards", "0"])), 0);
+        assert_eq!(parse_shards(&args(&["fig4", "--shards", "many"])), 0);
+        assert_eq!(parse_shards(&args(&["fig4", "--shards"])), 0);
     }
 
     #[test]

@@ -160,6 +160,55 @@ fn d10_mutex_in_a_sim_module_fails_the_gate() {
     );
 }
 
+/// The sharded-core regression shape: someone "fixes" cross-shard
+/// communication by wrapping the mailboxes in a `Mutex` instead of
+/// keeping the shard reactors shared-nothing. D10 must catch exactly
+/// this plant in any shard-bound crate, while the same types stay
+/// exempt inside `#[cfg(test)]` modules.
+#[test]
+fn d10_catches_a_planted_cross_shard_mutex() {
+    let fx = Fixture::new("d10-cross-shard");
+    fx.krate(
+        "network",
+        "ert-network",
+        &[(
+            "src/shard_bridge.rs",
+            "pub struct ShardBridge {\n\
+                 // cross-shard mailbox \"protected\" by a lock: the exact\n\
+                 // shared-state regression the shared-nothing core forbids\n\
+                 cross_shard: std::sync::Mutex<Vec<(usize, u64)>>,\n\
+             }\n\
+             impl ShardBridge {\n\
+                 pub fn send(&self, to: usize, ev: u64) {\n\
+                     self.cross_shard.lock().unwrap().push((to, ev));\n\
+                 }\n\
+             }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 use std::cell::RefCell;\n\
+                 #[test]\n\
+                 fn scratch() { let c = RefCell::new(1u32); assert_eq!(*c.borrow(), 1); }\n\
+             }\n",
+        )],
+    );
+    let (code, stdout, _) = fx.lint(&["--json"]);
+    assert_ne!(code, 0, "a cross-shard Mutex must fail the gate: {stdout}");
+    assert!(
+        stdout.contains("\"rule\": \"shared-state\""),
+        "report: {stdout}"
+    );
+    assert!(
+        stdout.contains("Mutex"),
+        "diagnostic must name the planted type: {stdout}"
+    );
+    // Exactly one finding: the test-module RefCell stays exempt.
+    assert_eq!(
+        stdout.matches("\"rule\": \"shared-state\"").count(),
+        1,
+        "the #[cfg(test)] RefCell must not be flagged: {stdout}"
+    );
+}
+
 // ---- D11: stale allows ----
 
 #[test]

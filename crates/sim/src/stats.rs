@@ -13,8 +13,6 @@
 //! `Histogram`, [`StreamSummary`], and [`Summary`] all implement;
 //! [`Summary`] itself lives in `ert-obs` and is re-exported here.
 
-// ert-lint: allow(shared-state) — Samples sort cache: single-threaded by construction, goes away with the sharded core
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
@@ -23,9 +21,13 @@ pub use ert_obs::{Digest, Record, StreamSummary, Summary};
 
 /// A collector of `f64` observations supporting percentile queries.
 ///
-/// Percentile queries are non-mutating: the first query after a push
-/// sorts a cached copy of the observations (O(n log n)); subsequent
-/// queries are O(1) lookups until the next push invalidates the cache.
+/// Percentile queries are non-mutating and stateless: each query sorts
+/// a scratch copy of the observations (O(n log n)). Callers needing
+/// several quantiles at once should use [`Samples::summary`], which
+/// sorts once and reads every rank from the same scratch copy. Plain
+/// data with no interior mutability — `Samples` values live inside
+/// per-shard state in the sharded core, so the type must stay free of
+/// shared-state cells (lint discipline D10).
 ///
 /// ```
 /// use ert_sim::stats::Samples;
@@ -40,13 +42,6 @@ pub use ert_obs::{Digest, Record, StreamSummary, Summary};
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Samples {
     values: Vec<f64>,
-    /// Sorted copy of `values`, built lazily by the first percentile
-    /// query and cleared on push. A cache length equal to `values.len()`
-    /// means fresh: pushes clear it, so the lengths only agree right
-    /// after a rebuild.
-    #[serde(skip)]
-    // ert-lint: allow(shared-state) — single-threaded by construction (never crosses a thread boundary); goes away with the sharded core
-    sorted: RefCell<Vec<f64>>,
 }
 
 impl Samples {
@@ -64,7 +59,6 @@ impl Samples {
     pub fn push(&mut self, value: f64) {
         assert!(!value.is_nan(), "NaN observation");
         self.values.push(value);
-        self.sorted.get_mut().clear();
     }
 
     /// Number of observations.
@@ -95,9 +89,22 @@ impl Samples {
             .max(0.0)
     }
 
-    /// The `p`-quantile (`0.0 ..= 1.0`) using the nearest-rank method, or
-    /// 0.0 when empty. Non-mutating; O(1) after the first query since
-    /// the last push.
+    /// The observations sorted ascending (push order untouched).
+    fn sorted_copy(&self) -> Vec<f64> {
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sorted
+    }
+
+    /// Nearest-rank index for quantile `p` over `len` observations.
+    fn rank(p: f64, len: usize) -> usize {
+        ((p * len as f64).ceil() as usize).max(1) - 1
+    }
+
+    /// The `p`-quantile (`0.0 ..= 1.0`) using the nearest-rank method,
+    /// or 0.0 when empty. Non-mutating; sorts a scratch copy, so each
+    /// query is O(n log n) — batch quantile reads through
+    /// [`Samples::summary`] when more than one is needed.
     ///
     /// # Panics
     ///
@@ -107,24 +114,30 @@ impl Samples {
         if self.values.is_empty() {
             return 0.0;
         }
-        let mut cache = self.sorted.borrow_mut();
-        if cache.len() != self.values.len() {
-            cache.clear();
-            cache.extend_from_slice(&self.values);
-            cache.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-        }
-        let rank = ((p * self.values.len() as f64).ceil() as usize).max(1);
-        cache[rank - 1]
+        self.sorted_copy()[Self::rank(p, self.values.len())]
     }
 
-    /// Mean / 1st / 50th / 99th percentile digest.
+    /// Mean / 1st / 50th / 99th percentile digest. Sorts once and
+    /// reads every rank from the same scratch copy.
     pub fn summary(&self) -> Summary {
+        if self.values.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                p01: 0.0,
+                p50: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
+        }
+        let sorted = self.sorted_copy();
+        let len = sorted.len();
         Summary {
-            count: self.len(),
+            count: len,
             mean: self.mean(),
-            p01: self.percentile(0.01),
-            p50: self.percentile(0.50),
-            p99: self.percentile(0.99),
+            p01: sorted[Self::rank(0.01, len)],
+            p50: sorted[Self::rank(0.50, len)],
+            p99: sorted[Self::rank(0.99, len)],
             max: self.max(),
         }
     }
@@ -640,16 +653,37 @@ mod tests {
 
     #[test]
     fn percentile_queries_do_not_reorder_observations() {
-        // Queries sort a *cache*, never the raw values: push order is
-        // observable through `iter` and must survive a percentile call.
+        // Queries sort a *scratch copy*, never the raw values: push
+        // order is observable through `iter` and must survive a
+        // percentile call.
         let mut s = Samples::new();
         for v in [3.0, 1.0, 2.0] {
             s.push(v);
         }
         assert_eq!(s.percentile(0.5), 2.0);
-        assert_eq!(s.percentile(0.5), 2.0); // cached path
+        assert_eq!(s.percentile(0.5), 2.0); // repeat query, same answer
         let order: Vec<f64> = s.iter().collect();
         assert_eq!(order, vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn summary_matches_individual_percentile_queries() {
+        // `summary` sorts once and reads three ranks; the answers must
+        // equal the one-at-a-time queries exactly.
+        let mut s = Samples::new();
+        let mut x = 11u64;
+        for _ in 0..257 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s.push((x % 1000) as f64 / 7.0);
+        }
+        let d = s.summary();
+        assert_eq!(d.p01, s.percentile(0.01));
+        assert_eq!(d.p50, s.percentile(0.50));
+        assert_eq!(d.p99, s.percentile(0.99));
+        assert_eq!(d.mean, s.mean());
+        assert_eq!(d.max, s.max());
     }
 
     #[test]

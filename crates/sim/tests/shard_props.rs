@@ -1,0 +1,101 @@
+//! Property tests for the shared-nothing sharded event core: the
+//! key→shard partition is total and balanced, and the cross-shard
+//! merge order is invariant under every drain permutation the bounded
+//! mailboxes can produce.
+
+use proptest::prelude::*;
+
+use ert_sim::{Engine, ShardMap, ShardedEngine, SimTime};
+
+fn t(micros: u64) -> SimTime {
+    SimTime::from_micros(micros)
+}
+
+proptest! {
+    /// `shard_of` is total: every ring position — and every stale
+    /// position past the ring — maps to a valid shard, for any shard
+    /// count and any ring size (Cycloid rings are not powers of two).
+    #[test]
+    fn shard_of_is_total(shards in 1usize..64, ring in 1u64..1_000_000, lin in 0u64..2_000_000) {
+        let m = ShardMap::new(shards);
+        prop_assert!(m.shard_of(lin, ring) < shards);
+    }
+
+    /// The non-power-of-two remap covers all `2^k` prefix buckets:
+    /// every bucket has a valid owner, owners are monotone over the
+    /// bucket index (shards own *consecutive* bucket runs), every
+    /// shard owns at least one bucket, and no shard owns more than
+    /// twice the buckets of any other — the max/min shard-population
+    /// ratio bound for uniform keys.
+    #[test]
+    fn remap_covers_all_buckets_with_bounded_ratio(shards in 1usize..512) {
+        let m = ShardMap::new(shards);
+        prop_assert!(m.buckets() >= shards);
+        prop_assert!(m.buckets() < 2 * shards.max(1));
+        let mut owned = vec![0usize; shards];
+        let mut last = 0usize;
+        for b in 0..m.buckets() {
+            let s = m.shard_of_bucket(b);
+            prop_assert!(s < shards, "bucket {b} maps to ghost shard {s}");
+            prop_assert!(s >= last, "remap not monotone at bucket {b}");
+            last = s;
+            owned[s] += 1;
+        }
+        let max = *owned.iter().max().unwrap();
+        let min = *owned.iter().min().unwrap();
+        prop_assert!(min >= 1, "some shard owns no bucket: {owned:?}");
+        prop_assert!(max <= 2 * min, "population ratio above 2: {owned:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The merge order is invariant under queue-drain permutation: an
+    /// arbitrary schedule with heavy timestamp ties, an arbitrary
+    /// routing of each event to a shard, an arbitrary mailbox capacity
+    /// (deciding *when* overflow flushes move messages), and arbitrary
+    /// extra barrier drains interleaved between pops all produce the
+    /// exact pop sequence of the single-queue engine.
+    #[test]
+    fn merge_order_invariant_under_drain_permutation(
+        shards in 1usize..9,
+        capacity in 1usize..17,
+        schedule in prop::collection::vec((0u64..23, 0u64..u64::MAX, proptest::bool::ANY), 1..300),
+        drain_mask in 0u64..u64::MAX,
+    ) {
+        let mut eng: Engine<usize> = Engine::new();
+        let mut sh: ShardedEngine<usize> = ShardedEngine::with_mailbox_capacity(shards, capacity);
+        for (i, &(time, route, _)) in schedule.iter().enumerate() {
+            eng.schedule_at(t(time), i);
+            sh.schedule_at(t(time), (route % shards as u64) as usize, i);
+        }
+        let mut pops = 0u32;
+        loop {
+            if drain_mask >> (pops % 64) & 1 == 1 {
+                sh.drain_cross_shard(); // extra barrier at an arbitrary point
+            }
+            let a = eng.pop();
+            let b = sh.pop();
+            prop_assert_eq!(a, b, "diverged after {} pops", pops);
+            pops += 1;
+            let Some((now, ev)) = a else { break };
+            // Mid-run schedules from the popped handler: exercises the
+            // current-shard fast path against the mailbox path.
+            if let Some(&(dt, route, cross)) = schedule.get(ev.wrapping_mul(7) % schedule.len()) {
+                if ev % 3 == 0 && pops < 400 {
+                    let target = if cross {
+                        (route % shards as u64) as usize
+                    } else {
+                        sh.current_shard()
+                    };
+                    eng.schedule_at(now + ert_sim::SimDuration::from_micros(dt), 10_000 + ev);
+                    sh.schedule_at(now + ert_sim::SimDuration::from_micros(dt), target, 10_000 + ev);
+                }
+            }
+        }
+        prop_assert_eq!(eng.events_processed(), sh.events_processed());
+        prop_assert_eq!(eng.now(), sh.now());
+        prop_assert_eq!(sh.pending(), 0);
+    }
+}

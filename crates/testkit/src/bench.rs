@@ -16,10 +16,16 @@
 //!   that catches corrupted or zeroed regenerations on any real
 //!   machine.
 //!
-//! CI regenerates the quick-shape core record every PR and validates
-//! it with the same checker (see the `ERT_BENCH_FRESH_CORE` gated
-//! test), so a regression that breaks the bench pipeline fails before
-//! a stale trajectory is committed.
+//! `BENCH_core.json` holds one record per line — the same scenario
+//! timed on the one-reactor core (`shards = 1`) and on a multi-shard
+//! split — and [`check_core_trajectory`] additionally pins that the
+//! simulation counters agree across the lines: the bench-level face of
+//! the shard-count invariance contract.
+//!
+//! CI regenerates the quick-shape core trajectory every PR and
+//! validates it with the same checker (see the `ERT_BENCH_FRESH_CORE`
+//! gated test), so a regression that breaks the bench pipeline fails
+//! before a stale trajectory is committed.
 
 use std::path::PathBuf;
 
@@ -107,6 +113,7 @@ pub fn check_core_record(text: &str) -> Vec<String> {
     if field(scenario, "quick", &mut errs).is_some_and(|v| v.as_bool().is_none()) {
         errs.push("key `quick` is not a bool".into());
     }
+    count(&root, "shards", &mut errs);
     if field(&root, "protocol", &mut errs).is_some_and(|v| v.as_str().is_none()) {
         errs.push("key `protocol` is not a string".into());
     }
@@ -167,6 +174,68 @@ pub fn check_core_record(text: &str) -> Vec<String> {
     }
     if let Some(rate) = adapts_rate {
         check_rate("adapt_rounds_per_second", rate, adapts, wall, &mut errs);
+    }
+    errs
+}
+
+/// Validates a full `BENCH_core.json` trajectory: one record per
+/// non-empty line, each individually valid per [`check_core_record`],
+/// covering both the one-reactor core (`shards <= 1`) and a
+/// multi-shard split, with identical scenarios and identical
+/// simulation counters across lines (only wall time and the rates
+/// derived from it may differ between shard counts). Returns every
+/// violation found (empty = valid).
+pub fn check_core_trajectory(text: &str) -> Vec<String> {
+    let mut errs = Vec::new();
+    let lines: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect();
+    if lines.len() < 2 {
+        errs.push(format!(
+            "need >= 2 records (single-shard and multi-shard), got {}",
+            lines.len()
+        ));
+    }
+    let mut single = false;
+    let mut multi = false;
+    // (scenario JSON, events, completed, hops, adapts) of the first record.
+    let mut reference: Option<(Option<Json>, u64, u64, u64, u64)> = None;
+    for (i, line) in lines.iter().enumerate() {
+        for e in check_core_record(line) {
+            errs.push(format!("record {i}: {e}"));
+        }
+        let Ok(root) = Json::parse(line) else {
+            continue;
+        };
+        match root.get("shards").and_then(Json::as_u64) {
+            Some(s) if s <= 1 => single = true,
+            Some(_) => multi = true,
+            None => {}
+        }
+        let scenario = root.get("scenario").cloned();
+        let counter = |key: &str| root.get(key).and_then(Json::as_u64).unwrap_or(0);
+        let sig = (
+            scenario,
+            counter("events_processed"),
+            counter("lookups_completed"),
+            counter("hops_forwarded"),
+            counter("adapt_rounds"),
+        );
+        match &reference {
+            None => reference = Some(sig),
+            Some(r) if *r != sig => errs.push(format!(
+                "record {i}: scenario or simulation counters diverge from record 0                  — the shard-count invariance contract is broken"
+            )),
+            Some(_) => {}
+        }
+    }
+    if !lines.is_empty() && !single {
+        errs.push("no record with shards <= 1 (single-reactor baseline missing)".into());
+    }
+    if !lines.is_empty() && !multi {
+        errs.push("no record with shards > 1 (sharded measurement missing)".into());
     }
     errs
 }
@@ -238,10 +307,11 @@ mod tests {
     }
 
     /// The committed core trajectory parses and satisfies every schema
-    /// and tolerance-band invariant.
+    /// and tolerance-band invariant, covers both shard regimes, and
+    /// keeps its simulation counters identical across shard counts.
     #[test]
-    fn committed_core_record_is_valid() {
-        let errs = check_core_record(&read("BENCH_core.json"));
+    fn committed_core_trajectory_is_valid() {
+        let errs = check_core_trajectory(&read("BENCH_core.json"));
         assert!(errs.is_empty(), "BENCH_core.json violations: {errs:#?}");
     }
 
@@ -252,7 +322,7 @@ mod tests {
         assert!(errs.is_empty(), "BENCH_par.json violations: {errs:#?}");
     }
 
-    /// CI hook: after regenerating a fresh quick-shape record, set
+    /// CI hook: after regenerating a fresh quick-shape trajectory, set
     /// `ERT_BENCH_FRESH_CORE=<path>` and this test validates it with
     /// the same checker as the committed file. Skips silently when the
     /// variable is unset (local `cargo test`).
@@ -263,7 +333,7 @@ mod tests {
         };
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("ERT_BENCH_FRESH_CORE={path} unreadable: {e}"));
-        let errs = check_core_record(&text);
+        let errs = check_core_trajectory(&text);
         assert!(errs.is_empty(), "{path} violations: {errs:#?}");
     }
 
@@ -273,12 +343,16 @@ mod tests {
         assert!(!check_core_record("{}").is_empty());
         // A coherent record altered to lie about its rate.
         let good = r#"{"scenario":{"n":128,"lookups":200,"seed":97,"quick":true},
-            "protocol":"ERT/AF","wall_seconds":0.5,
+            "shards":1,"protocol":"ERT/AF","wall_seconds":0.5,
             "events_processed":4000,"events_per_second":8000.0,
             "lookups_completed":200,"lookups_per_second":400.0,
             "hops_forwarded":900,"forwards_per_second":1800.0,
             "adapt_rounds":30,"adapt_rounds_per_second":60.0}"#;
         assert_eq!(check_core_record(good), Vec::<String>::new());
+        let shardless = good.replace("\"shards\":1,", "");
+        assert!(check_core_record(&shardless)
+            .iter()
+            .any(|e| e.contains("shards")));
         let lying = good.replace(
             "\"events_per_second\":8000.0",
             "\"events_per_second\":9000.0",
@@ -290,6 +364,61 @@ mod tests {
         assert!(check_core_record(&zeroed)
             .iter()
             .any(|e| e.contains("adapt_rounds")));
+    }
+
+    /// Single-line flattening of the `good` record with a chosen shard
+    /// count and wall time (rates rescaled to stay coherent).
+    fn trajectory_line(shards: usize, wall: f64) -> String {
+        let scale = 0.5 / wall;
+        format!(
+            r#"{{"scenario":{{"n":128,"lookups":200,"seed":97,"quick":true}},
+            "shards":{shards},"protocol":"ERT/AF","wall_seconds":{wall},
+            "events_processed":4000,"events_per_second":{},
+            "lookups_completed":200,"lookups_per_second":{},
+            "hops_forwarded":900,"forwards_per_second":{},
+            "adapt_rounds":30,"adapt_rounds_per_second":{}}}"#,
+            8000.0 * scale,
+            400.0 * scale,
+            1800.0 * scale,
+            60.0 * scale,
+        )
+        .replace('\n', " ")
+    }
+
+    #[test]
+    fn trajectory_checker_accepts_both_regimes_and_rejects_divergence() {
+        let good = format!(
+            "{}\n{}\n",
+            trajectory_line(1, 0.5),
+            trajectory_line(8, 0.625)
+        );
+        assert_eq!(check_core_trajectory(&good), Vec::<String>::new());
+
+        // A lone record is not a trajectory.
+        let lone = format!("{}\n", trajectory_line(1, 0.5));
+        assert!(check_core_trajectory(&lone)
+            .iter()
+            .any(|e| e.contains(">= 2 records")));
+
+        // Two single-shard records: the multi-shard measurement is missing.
+        let single_only = format!(
+            "{}\n{}\n",
+            trajectory_line(1, 0.5),
+            trajectory_line(1, 0.625)
+        );
+        assert!(check_core_trajectory(&single_only)
+            .iter()
+            .any(|e| e.contains("shards > 1")));
+
+        // Diverging counters across shard counts break the invariance
+        // contract even when each record is self-coherent.
+        let skewed = trajectory_line(8, 0.625)
+            .replace("\"events_processed\":4000", "\"events_processed\":4100")
+            .replace("\"events_per_second\":6400", "\"events_per_second\":6560");
+        let diverged = format!("{}\n{}\n", trajectory_line(1, 0.5), skewed);
+        assert!(check_core_trajectory(&diverged)
+            .iter()
+            .any(|e| e.contains("invariance")));
     }
 
     #[test]
