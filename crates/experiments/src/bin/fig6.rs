@@ -1,6 +1,10 @@
 //! Regenerates Fig. 6 (the plain-Cycloid indegree census).
 //!
 //! Usage: `fig6 [--quick] [--jobs N] [--shards S]`
+//!
+//! `--shards` is accepted for sweep-script uniformity but ignored (and
+//! says so on stderr): this binary runs no event loop, so there is
+//! nothing to shard and output is identical with or without it.
 
 use std::path::Path;
 
@@ -14,7 +18,7 @@ fn main() {
     // Accepted for CLI uniformity with the sweep binaries; this binary
     // runs no event loop, so there is nothing for the shard count to
     // partition and any value leaves the output untouched.
-    let _ = ert_experiments::cli::parse_shards(&args);
+    ert_experiments::cli::warn_shards_ignored("fig6", &args);
     let dims: Vec<u8> = if quick {
         vec![4, 5, 6]
     } else {

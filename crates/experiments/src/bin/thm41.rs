@@ -2,6 +2,10 @@
 //! and Lemma A.1 (the fixed point) against the supermarket model.
 //!
 //! Usage: `thm41 [--quick] [--jobs N] [--shards S]`
+//!
+//! `--shards` is accepted for sweep-script uniformity but ignored (and
+//! says so on stderr): this binary runs no event loop, so there is
+//! nothing to shard and output is identical with or without it.
 
 use std::path::Path;
 
@@ -15,7 +19,7 @@ fn main() {
     // Accepted for CLI uniformity with the sweep binaries; this binary
     // runs no event loop, so there is nothing for the shard count to
     // partition and any value leaves the output untouched.
-    let _ = ert_experiments::cli::parse_shards(&args);
+    ert_experiments::cli::warn_shards_ignored("thm41", &args);
     let (lambdas, n, horizon) = if quick {
         (thm41::quick_lambdas(), 200, 800.0)
     } else {

@@ -13,7 +13,11 @@
 //!   exponential backoff, off by default so paper runs stay
 //!   byte-identical;
 //! * [`ChaosPlan`] — a generator of randomized-but-reproducible fault
-//!   schedules for the workspace chaos harness.
+//!   schedules for the workspace chaos harness;
+//! * [`LinkFaults`] — a link-level interpreter of the same plans for
+//!   wire transports (`ert-node`'s in-memory switch): per-delivery
+//!   drop/partition verdicts that consume zero randomness while no
+//!   episode is active.
 //!
 //! Everything here is a pure function of its seed: no wall clock, no
 //! ambient randomness, no platform-dependent ordering. Equal-timestamp
@@ -27,7 +31,9 @@
 mod chaos;
 mod plan;
 mod retry;
+mod wire;
 
 pub use chaos::ChaosPlan;
 pub use plan::{FaultEvent, FaultKind, FaultPlan};
 pub use retry::RetryPolicy;
+pub use wire::{Delivery, LinkFaults};

@@ -78,6 +78,10 @@ pub(crate) const D4_FILES: &[&str] = &[
     "crates/core/src/adapt.rs",
     "crates/sim/src/engine.rs",
     "crates/network/src/lookup.rs",
+    // The wire codec parses untrusted bytes: a panic here is a remote
+    // crash vector, so it gets the same panic-path walk as the sim
+    // hot paths.
+    "crates/node/src/codec.rs",
 ];
 
 /// Fault-handling code where a silently discarded outcome hides a

@@ -45,9 +45,35 @@ impl ChordGeometry {
         }
     }
 
+    /// Builds a ring from an explicit member list (deduplicated by the
+    /// registry). This is how live wire nodes replicate the simulator's
+    /// geometry from a membership view.
+    pub fn from_members(bits: u8, members: &[u64]) -> Self {
+        let space = ChordSpace::new(bits);
+        let mut registry = ChordRegistry::new(space);
+        for &id in members {
+            registry.insert(id % space.ring_size());
+        }
+        ChordGeometry {
+            space,
+            registry,
+            succ_list: 4,
+        }
+    }
+
     /// The underlying ID space.
     pub fn space(&self) -> ChordSpace {
         self.space
+    }
+
+    /// The ring successor strictly after `id` (wrapping), if any.
+    pub fn successor(&self, id: u64) -> Option<u64> {
+        self.registry.successor(id)
+    }
+
+    /// The successor window used for the sentinel slot.
+    pub fn succ_window(&self, id: u64) -> Vec<u64> {
+        self.registry.succ_window(id, self.succ_list)
     }
 }
 

@@ -40,4 +40,7 @@ mod platform;
 pub use chord::ChordGeometry;
 pub use geometry::{Geometry, HopCandidates};
 pub use pastry::PastryGeometry;
-pub use platform::{MiniDht, MiniDhtConfig, MiniProtocol, MiniReport};
+pub use platform::{
+    AdaptTrace, CompletionTrace, HopTrace, MiniDht, MiniDhtConfig, MiniProtocol, MiniReport,
+    RouteTrace,
+};

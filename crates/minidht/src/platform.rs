@@ -79,6 +79,61 @@ pub struct MiniReport {
     pub heavy_encounters: u64,
 }
 
+/// One forwarding decision: query `query` was sent from node `from` to
+/// node `to`. Recorded at the moment the hop is committed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HopTrace {
+    /// Query index in injection order.
+    pub query: u64,
+    /// Ring id of the forwarding node.
+    pub from: u64,
+    /// Ring id of the chosen next hop.
+    pub to: u64,
+}
+
+/// Terminal record of a completed lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompletionTrace {
+    /// Query index in injection order.
+    pub query: u64,
+    /// Hops taken end to end.
+    pub hops: u32,
+    /// Completion time in integer microseconds of simulated time.
+    pub at_micros: u64,
+}
+
+/// One node's indegree-adaptation outcome in one adaptation round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdaptTrace {
+    /// Adaptation round counter (0-based).
+    pub round: u32,
+    /// Ring id of the adapting node.
+    pub node: u64,
+    /// Signed indegree delta requested: `-shed` (post-clamp) for Shed,
+    /// the raw grow amount for Grow, `0` for Keep.
+    pub delta: i64,
+    /// The node's `d_max` after applying the action.
+    pub d_max: u32,
+}
+
+/// Complete decision trace of one run: every source draw, every per-hop
+/// routing decision, every completion/drop, and the full
+/// indegree-adaptation sequence. All fields are integers so equality is
+/// exact — this is what the wire differential oracle compares.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteTrace {
+    /// Ring id of the source node of each query, in injection order.
+    pub sources: Vec<u64>,
+    /// Every forwarding decision, in commit order.
+    pub hops: Vec<HopTrace>,
+    /// Every completion, in completion order.
+    pub completions: Vec<CompletionTrace>,
+    /// Query indices dropped (hop limit or no owner), in drop order.
+    pub drops: Vec<u64>,
+    /// Indegree-adaptation outcomes, in round then node-index order.
+    pub adapts: Vec<AdaptTrace>,
+}
+
 #[derive(Debug)]
 struct MiniNode {
     id: u64,
@@ -141,6 +196,9 @@ pub struct MiniDht<G: Geometry> {
     path_lengths: Samples,
     heavy_encounters: u64,
     dropped: u64,
+    trace: Option<RouteTrace>,
+    adapt_round: u32,
+    decide_rngs: Option<Vec<SimRng>>,
 }
 
 /// The [`Directory`] view `ert-core`'s algorithms need.
@@ -257,6 +315,9 @@ impl<G: Geometry> MiniDht<G> {
             path_lengths: Samples::new(),
             heavy_encounters: 0,
             dropped: 0,
+            trace: None,
+            adapt_round: 0,
+            decide_rngs: None,
         };
         let order = net.rng.sample_indices(net.nodes.len(), net.nodes.len());
         for i in order {
@@ -328,14 +389,103 @@ impl<G: Geometry> MiniDht<G> {
         }
     }
 
-    /// Runs `count` uniform Poisson lookups at `rate_per_sec` aggregate.
-    pub fn run_poisson(&mut self, count: usize, rate_per_sec: f64) -> MiniReport {
+    /// Switches on decision tracing: the next run records every source
+    /// draw, routing hop, completion/drop, and adaptation action into a
+    /// [`RouteTrace`] retrievable with [`MiniDht::take_trace`].
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(RouteTrace::default());
+    }
+
+    /// Takes the trace recorded since [`MiniDht::enable_trace`].
+    pub fn take_trace(&mut self) -> Option<RouteTrace> {
+        self.trace.take()
+    }
+
+    /// Switches forwarding decisions from the shared platform RNG to
+    /// per-node streams (`seed ^ id`, forked as `"decide"`). Live wire
+    /// nodes hold exactly these streams, so with this enabled the
+    /// simulator's routing choices are bit-reproducible by a cluster of
+    /// independent nodes. Off by default: the legacy shared-stream
+    /// behavior stays byte-identical for every existing caller.
+    pub fn use_node_decision_rngs(&mut self) {
+        let seed = self.cfg.seed;
+        self.decide_rngs = Some(
+            self.nodes
+                .iter()
+                .map(|n| SimRng::seed_from(seed ^ n.id).fork("decide"))
+                .collect(),
+        );
+    }
+
+    /// Canonical per-node routing-table fingerprints (sorted by node
+    /// index): outlinks per occupied slot, memory entries, backward
+    /// fingers, and the adaptive bound. Two platforms with equal
+    /// fingerprints hold identical routing state.
+    pub fn table_fingerprints(&self) -> Vec<String> {
+        self.nodes
+            .iter()
+            .map(|n| {
+                let out: Vec<String> = n
+                    .table
+                    .occupied_slots()
+                    .map(|s| {
+                        let ids: Vec<String> =
+                            n.table.outlinks(s).iter().map(u64::to_string).collect();
+                        format!("{s}:{}", ids.join(","))
+                    })
+                    .collect();
+                let mem: Vec<String> = n
+                    .table
+                    .occupied_slots()
+                    .filter_map(|s| n.table.memory(s).map(|m| format!("{s}:{m}")))
+                    .collect();
+                let back: Vec<String> = n
+                    .table
+                    .backward_fingers()
+                    .iter()
+                    .map(u64::to_string)
+                    .collect();
+                format!(
+                    "id={};dmax={};out=[{}];mem=[{}];back=[{}]",
+                    n.id,
+                    n.d_max,
+                    out.join("|"),
+                    mem.join("|"),
+                    back.join(",")
+                )
+            })
+            .collect()
+    }
+
+    /// Draws a Poisson arrival schedule from the platform's `"workload"`
+    /// fork: `count` (time, key) pairs at `rate_per_sec` aggregate.
+    /// Splitting the draw from [`MiniDht::run_schedule`] lets the wire
+    /// oracle feed the *same* schedule to a live cluster.
+    pub fn poisson_schedule(&mut self, count: usize, rate_per_sec: f64) -> Vec<(SimTime, u64)> {
         let mut t = SimTime::ZERO;
         let mut wl = self.rng.fork("workload");
-        self.injections_left = count as u64;
+        let mut out = Vec::with_capacity(count);
         for _ in 0..count {
             t += SimDuration::from_secs_f64(wl.exp_secs(rate_per_sec));
             let key = self.geometry.random_key(&mut wl);
+            out.push((t, key));
+        }
+        out
+    }
+
+    /// Runs `count` uniform Poisson lookups at `rate_per_sec` aggregate.
+    pub fn run_poisson(&mut self, count: usize, rate_per_sec: f64) -> MiniReport {
+        let schedule = self.poisson_schedule(count, rate_per_sec);
+        self.run_schedule(&schedule)
+    }
+
+    /// Runs an explicit injection schedule of `(time, key)` pairs
+    /// (monotone non-decreasing times). Source nodes are still drawn
+    /// per-injection from the platform's `"source"` fork, exactly as in
+    /// [`MiniDht::run_poisson`].
+    pub fn run_schedule(&mut self, schedule: &[(SimTime, u64)]) -> MiniReport {
+        self.injections_left = schedule.len() as u64;
+        for &(t, key) in schedule {
             self.engine.schedule_at(t, Ev::Inject { key });
         }
         if self.protocol == MiniProtocol::ElasticErt {
@@ -397,6 +547,9 @@ impl<G: Geometry> MiniDht<G> {
         });
         self.outstanding += 1;
         let id = self.nodes[source].id;
+        if let Some(tr) = self.trace.as_mut() {
+            tr.sources.push(id);
+        }
         self.on_arrive(q, id, now);
     }
 
@@ -453,6 +606,14 @@ impl<G: Geometry> MiniDht<G> {
             self.outstanding -= 1;
             self.lookup_times.push((now - qs.started).as_secs_f64());
             self.path_lengths.push(qs.hops as f64);
+            let hops = self.queries[q].hops;
+            if let Some(tr) = self.trace.as_mut() {
+                tr.completions.push(CompletionTrace {
+                    query: q as u64,
+                    hops,
+                    at_micros: now.as_micros(),
+                });
+            }
         } else {
             self.forward(q, idx, now);
         }
@@ -503,16 +664,29 @@ impl<G: Geometry> MiniDht<G> {
             },
         };
         let memory = self.nodes[idx].table.memory(hc.slot);
-        let choice = choose_next_b(
-            policy,
-            &cands,
-            memory,
-            &self.queries[q].avoid,
-            self.cfg.ert.gamma_l,
-            self.cfg.ert.probe_width,
-            &mut self.rng,
-        )
-        .expect("candidates nonempty");
+        let choice = {
+            let rng = match self.decide_rngs.as_mut() {
+                Some(streams) => &mut streams[idx],
+                None => &mut self.rng,
+            };
+            choose_next_b(
+                policy,
+                &cands,
+                memory,
+                &self.queries[q].avoid,
+                self.cfg.ert.gamma_l,
+                self.cfg.ert.probe_width,
+                rng,
+            )
+            .expect("candidates nonempty")
+        };
+        if let Some(tr) = self.trace.as_mut() {
+            tr.hops.push(HopTrace {
+                query: q as u64,
+                from: self.nodes[idx].id,
+                to: choice.next,
+            });
+        }
         for o in &choice.newly_overloaded {
             self.queries[q].avoid.insert(*o);
         }
@@ -530,10 +704,12 @@ impl<G: Geometry> MiniDht<G> {
         for i in 0..self.nodes.len() {
             let load = self.nodes[i].period_load as f64;
             let capacity = self.nodes[i].capacity_eval as f64;
+            let mut delta: i64 = 0;
             match adaptation_action(load, capacity, &self.cfg.ert) {
                 AdaptAction::Keep => {}
                 AdaptAction::Shed(x) => {
                     let x = x.min(self.nodes[i].table.indegree() as u32);
+                    delta = -(x as i64);
                     let me = self.nodes[i].id;
                     // Drop the most recently added inlinks (the mini
                     // platforms carry no locality to rank by).
@@ -557,6 +733,7 @@ impl<G: Geometry> MiniDht<G> {
                     self.nodes[i].d_max = self.nodes[i].d_max.saturating_sub(x).max(1);
                 }
                 AdaptAction::Grow(x) => {
+                    delta = x as i64;
                     let cap = 8 * self.nodes[i].capacity_eval.max(8);
                     self.nodes[i].d_max = (self.nodes[i].d_max + x).min(cap);
                     let id = self.nodes[i].id;
@@ -571,7 +748,19 @@ impl<G: Geometry> MiniDht<G> {
                 }
             }
             self.nodes[i].period_load = 0;
+            let round = self.adapt_round;
+            let node = self.nodes[i].id;
+            let d_max = self.nodes[i].d_max;
+            if let Some(tr) = self.trace.as_mut() {
+                tr.adapts.push(AdaptTrace {
+                    round,
+                    node,
+                    delta,
+                    d_max,
+                });
+            }
         }
+        self.adapt_round += 1;
         if self.injections_left > 0 || self.outstanding > 0 {
             self.engine
                 .schedule_in(self.cfg.ert.adaptation_period, Ev::Adapt);
@@ -585,6 +774,9 @@ impl<G: Geometry> MiniDht<G> {
         self.queries[q].done = true;
         self.outstanding -= 1;
         self.dropped += 1;
+        if let Some(tr) = self.trace.as_mut() {
+            tr.drops.push(q as u64);
+        }
     }
 }
 

@@ -1,0 +1,563 @@
+//! Hand-rolled wire codec for the ERT node protocol.
+//!
+//! Every frame is `[magic "ER"][version u8][tag u8][len u32 BE][payload]`
+//! with all multi-byte integers big-endian and vectors encoded as a
+//! `u32` count followed by the items. The codec is deliberately
+//! dependency-free and fully deterministic: the same [`Message`] always
+//! encodes to the same bytes, so byte-identity assertions on captured
+//! wire traffic are meaningful.
+//!
+//! The decoder is total: every malformed input — truncation, bad magic,
+//! unknown tags, length mismatches, oversized counts, out-of-range enum
+//! discriminants, trailing bytes — is rejected with a typed
+//! [`CodecError`]. This file is wired into `ert-lint`'s D4/D9 panic-path
+//! roots, so no panicking construct may appear here outside tests.
+
+use std::fmt;
+
+/// Two-byte frame magic.
+pub const MAGIC: [u8; 2] = *b"ER";
+/// Current protocol version carried in every frame header.
+pub const VERSION: u8 = 1;
+/// Fixed header length: magic (2) + version (1) + tag (1) + len (4).
+pub const HEADER_LEN: usize = 8;
+/// Upper bound on the declared payload length of a single frame.
+pub const MAX_FRAME: usize = 1 << 20;
+/// Upper bound on any encoded vector count (ids per message).
+pub const MAX_COUNT: u32 = 1 << 16;
+
+/// Terminal status of a lookup, carried on [`Message::LookupReply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupStatus {
+    /// The lookup reached the key's owner.
+    Found,
+    /// The lookup exhausted its hop budget and was dropped.
+    Dropped,
+    /// The lookup could not make progress (no owner or no candidates).
+    Failed,
+}
+
+/// Indegree-adaptation sub-operation carried on [`Message::AdaptIndegree`].
+///
+/// Replies reuse [`Message::LoadReport`]: `QueryOutlink` answers with
+/// `load` set to 0/1 for absent/present, the mutating ops answer with
+/// the responder's post-op state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptOp {
+    /// Does the receiver already hold an outlink to the sender at `slot`?
+    QueryOutlink,
+    /// Add an outlink from the receiver to the sender at `slot`.
+    AddOutlink,
+    /// Remove every outlink from the receiver to the sender (shed).
+    DropOutlinks,
+    /// Record the sender as a backward finger of the receiver.
+    AddBackward,
+}
+
+/// A wire message. See DESIGN.md "Wire Protocol & Live Node" for the
+/// taxonomy and which transport lane (lossy datagram vs reliable RPC)
+/// each message rides on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Node `id` joins, advertising its current membership view.
+    Join {
+        /// Joining node's ring identifier.
+        id: u64,
+        /// The joiner's membership view (sorted ring ids).
+        members: Vec<u64>,
+    },
+    /// Periodic anti-entropy exchange of membership views.
+    Stabilize {
+        /// Monotone stabilize round counter of the sender.
+        round: u32,
+        /// The sender's membership view (sorted ring ids).
+        members: Vec<u64>,
+    },
+    /// A lookup in flight, forwarded hop by hop.
+    Lookup {
+        /// Platform-unique query identifier.
+        query: u64,
+        /// Target key on the ring.
+        key: u64,
+        /// Hops taken so far.
+        hops: u32,
+        /// Client retry attempt (0 for the first send).
+        attempts: u32,
+        /// Bit 0: numeric-mode fallback engaged (geometry exhausted).
+        flags: u8,
+        /// Overloaded nodes to route around (sorted).
+        avoid: Vec<u64>,
+    },
+    /// Terminal answer for a lookup, sent to the issuing client.
+    LookupReply {
+        /// Query identifier this reply resolves.
+        query: u64,
+        /// Terminal status.
+        status: LookupStatus,
+        /// Owner that served the key (0 unless `Found`).
+        owner: u64,
+        /// Total hops taken.
+        hops: u32,
+    },
+    /// Load probe issued while choosing among next-hop candidates.
+    ProbeLoad {
+        /// Correlates the probe with its [`Message::LoadReport`].
+        token: u64,
+    },
+    /// Reply to [`Message::ProbeLoad`] and to [`Message::AdaptIndegree`].
+    LoadReport {
+        /// Token of the probe being answered.
+        token: u64,
+        /// Instantaneous queue + in-service load.
+        load: u64,
+        /// Evaluated capacity (units of service slots).
+        capacity: u64,
+        /// Current indegree (backward-finger count).
+        indegree: u32,
+        /// Spare indegree: `d_max - indegree` (may be negative).
+        spare: i64,
+    },
+    /// One step of the indegree-adaptation protocol (Algorithm 3).
+    AdaptIndegree {
+        /// Ring id of the adapting node issuing the op.
+        from: u64,
+        /// Slot the op applies to (`u16::MAX` = successor slot).
+        slot: u16,
+        /// The sub-operation.
+        op: AdaptOp,
+    },
+    /// Node `id` announces a graceful departure.
+    Leave {
+        /// Departing node's ring identifier.
+        id: u64,
+    },
+}
+
+const TAG_JOIN: u8 = 1;
+const TAG_STABILIZE: u8 = 2;
+const TAG_LOOKUP: u8 = 3;
+const TAG_LOOKUP_REPLY: u8 = 4;
+const TAG_PROBE_LOAD: u8 = 5;
+const TAG_LOAD_REPORT: u8 = 6;
+const TAG_ADAPT_INDEGREE: u8 = 7;
+const TAG_LEAVE: u8 = 8;
+
+/// Typed decode failure. Every malformed frame maps onto exactly one of
+/// these; the decoder never panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the declared structure was complete.
+    Truncated,
+    /// First two bytes were not [`MAGIC`].
+    BadMagic,
+    /// Header carried an unsupported protocol version.
+    BadVersion(u8),
+    /// Header carried a tag outside the known message set.
+    UnknownTag(u8),
+    /// Declared payload length exceeds [`MAX_FRAME`].
+    FrameTooLarge(usize),
+    /// Declared payload length disagrees with the bytes present.
+    LengthMismatch {
+        /// Length the header declared.
+        declared: usize,
+        /// Payload bytes actually present.
+        actual: usize,
+    },
+    /// A vector count exceeded [`MAX_COUNT`].
+    CountTooLarge(u32),
+    /// An enum field carried an out-of-range discriminant.
+    BadEnum {
+        /// Which field rejected the discriminant.
+        field: &'static str,
+        /// The rejected raw value.
+        value: u8,
+    },
+    /// Payload bytes remained after the message was fully decoded.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CodecError::Truncated => write!(f, "frame truncated"),
+            CodecError::BadMagic => write!(f, "bad frame magic"),
+            CodecError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            CodecError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            CodecError::FrameTooLarge(n) => write!(f, "declared payload length {n} exceeds cap"),
+            CodecError::LengthMismatch { declared, actual } => {
+                write!(
+                    f,
+                    "declared payload length {declared} but {actual} bytes present"
+                )
+            }
+            CodecError::CountTooLarge(n) => write!(f, "vector count {n} exceeds cap"),
+            CodecError::BadEnum { field, value } => {
+                write!(f, "out-of-range discriminant {value} for {field}")
+            }
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Bounds-checked big-endian reader over a borrowed frame.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        let bytes = self.buf.get(self.pos..end).ok_or(CodecError::Truncated)?;
+        self.pos = end;
+        Ok(bytes)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        let bytes = self.take(1)?;
+        bytes.first().copied().ok_or(CodecError::Truncated)
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        let bytes = self.take(2)?;
+        let mut raw = [0u8; 2];
+        raw.copy_from_slice(bytes);
+        Ok(u16::from_be_bytes(raw))
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let bytes = self.take(4)?;
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(bytes);
+        Ok(u32::from_be_bytes(raw))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let bytes = self.take(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(bytes);
+        Ok(u64::from_be_bytes(raw))
+    }
+
+    fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(self.u64()? as i64)
+    }
+
+    fn ids(&mut self) -> Result<Vec<u64>, CodecError> {
+        let count = self.u32()?;
+        if count > MAX_COUNT {
+            return Err(CodecError::CountTooLarge(count));
+        }
+        let mut out = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            out.push(self.u64()?);
+        }
+        Ok(out)
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_ids(out: &mut Vec<u8>, ids: &[u64]) {
+    // Counts are bounded by MAX_COUNT at decode; encoders never build
+    // vectors anywhere near the cap (cluster sizes are tiny), so the
+    // saturating cast can only be observed by a hostile caller and then
+    // simply produces a frame the peer rejects.
+    let count = u32::try_from(ids.len()).unwrap_or(u32::MAX);
+    put_u32(out, count);
+    for id in ids {
+        put_u64(out, *id);
+    }
+}
+
+fn status_byte(status: LookupStatus) -> u8 {
+    match status {
+        LookupStatus::Found => 0,
+        LookupStatus::Dropped => 1,
+        LookupStatus::Failed => 2,
+    }
+}
+
+fn status_from(value: u8) -> Result<LookupStatus, CodecError> {
+    match value {
+        0 => Ok(LookupStatus::Found),
+        1 => Ok(LookupStatus::Dropped),
+        2 => Ok(LookupStatus::Failed),
+        _ => Err(CodecError::BadEnum {
+            field: "LookupStatus",
+            value,
+        }),
+    }
+}
+
+fn op_byte(op: AdaptOp) -> u8 {
+    match op {
+        AdaptOp::QueryOutlink => 0,
+        AdaptOp::AddOutlink => 1,
+        AdaptOp::DropOutlinks => 2,
+        AdaptOp::AddBackward => 3,
+    }
+}
+
+fn op_from(value: u8) -> Result<AdaptOp, CodecError> {
+    match value {
+        0 => Ok(AdaptOp::QueryOutlink),
+        1 => Ok(AdaptOp::AddOutlink),
+        2 => Ok(AdaptOp::DropOutlinks),
+        3 => Ok(AdaptOp::AddBackward),
+        _ => Err(CodecError::BadEnum {
+            field: "AdaptOp",
+            value,
+        }),
+    }
+}
+
+fn tag_of(msg: &Message) -> u8 {
+    match msg {
+        Message::Join { .. } => TAG_JOIN,
+        Message::Stabilize { .. } => TAG_STABILIZE,
+        Message::Lookup { .. } => TAG_LOOKUP,
+        Message::LookupReply { .. } => TAG_LOOKUP_REPLY,
+        Message::ProbeLoad { .. } => TAG_PROBE_LOAD,
+        Message::LoadReport { .. } => TAG_LOAD_REPORT,
+        Message::AdaptIndegree { .. } => TAG_ADAPT_INDEGREE,
+        Message::Leave { .. } => TAG_LEAVE,
+    }
+}
+
+/// Encodes a message into a complete frame (header + payload).
+pub fn encode(msg: &Message) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + 32);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(tag_of(msg));
+    put_u32(&mut out, 0); // length backpatched below
+    match msg {
+        Message::Join { id, members } => {
+            put_u64(&mut out, *id);
+            put_ids(&mut out, members);
+        }
+        Message::Stabilize { round, members } => {
+            put_u32(&mut out, *round);
+            put_ids(&mut out, members);
+        }
+        Message::Lookup {
+            query,
+            key,
+            hops,
+            attempts,
+            flags,
+            avoid,
+        } => {
+            put_u64(&mut out, *query);
+            put_u64(&mut out, *key);
+            put_u32(&mut out, *hops);
+            put_u32(&mut out, *attempts);
+            out.push(*flags);
+            put_ids(&mut out, avoid);
+        }
+        Message::LookupReply {
+            query,
+            status,
+            owner,
+            hops,
+        } => {
+            put_u64(&mut out, *query);
+            out.push(status_byte(*status));
+            put_u64(&mut out, *owner);
+            put_u32(&mut out, *hops);
+        }
+        Message::ProbeLoad { token } => {
+            put_u64(&mut out, *token);
+        }
+        Message::LoadReport {
+            token,
+            load,
+            capacity,
+            indegree,
+            spare,
+        } => {
+            put_u64(&mut out, *token);
+            put_u64(&mut out, *load);
+            put_u64(&mut out, *capacity);
+            put_u32(&mut out, *indegree);
+            put_u64(&mut out, *spare as u64);
+        }
+        Message::AdaptIndegree { from, slot, op } => {
+            put_u64(&mut out, *from);
+            put_u16(&mut out, *slot);
+            out.push(op_byte(*op));
+        }
+        Message::Leave { id } => {
+            put_u64(&mut out, *id);
+        }
+    }
+    let payload_len = out.len().saturating_sub(HEADER_LEN);
+    let len_bytes = (payload_len as u32).to_be_bytes();
+    if let Some(slot) = out.get_mut(4..8) {
+        slot.copy_from_slice(&len_bytes);
+    }
+    out
+}
+
+/// Decodes one complete frame. Rejects every malformed input with a
+/// typed [`CodecError`]; never panics.
+pub fn decode(frame: &[u8]) -> Result<Message, CodecError> {
+    let mut r = Reader::new(frame);
+    let magic = r.take(2)?;
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let tag = r.u8()?;
+    let declared = r.u32()? as usize;
+    if declared > MAX_FRAME {
+        return Err(CodecError::FrameTooLarge(declared));
+    }
+    let actual = frame.len().saturating_sub(HEADER_LEN);
+    if declared != actual {
+        return Err(CodecError::LengthMismatch { declared, actual });
+    }
+    let msg = match tag {
+        TAG_JOIN => Message::Join {
+            id: r.u64()?,
+            members: r.ids()?,
+        },
+        TAG_STABILIZE => Message::Stabilize {
+            round: r.u32()?,
+            members: r.ids()?,
+        },
+        TAG_LOOKUP => Message::Lookup {
+            query: r.u64()?,
+            key: r.u64()?,
+            hops: r.u32()?,
+            attempts: r.u32()?,
+            flags: r.u8()?,
+            avoid: r.ids()?,
+        },
+        TAG_LOOKUP_REPLY => Message::LookupReply {
+            query: r.u64()?,
+            status: status_from(r.u8()?)?,
+            owner: r.u64()?,
+            hops: r.u32()?,
+        },
+        TAG_PROBE_LOAD => Message::ProbeLoad { token: r.u64()? },
+        TAG_LOAD_REPORT => Message::LoadReport {
+            token: r.u64()?,
+            load: r.u64()?,
+            capacity: r.u64()?,
+            indegree: r.u32()?,
+            spare: r.i64()?,
+        },
+        TAG_ADAPT_INDEGREE => Message::AdaptIndegree {
+            from: r.u64()?,
+            slot: r.u16()?,
+            op: op_from(r.u8()?)?,
+        },
+        TAG_LEAVE => Message::Leave { id: r.u64()? },
+        other => return Err(CodecError::UnknownTag(other)),
+    };
+    if r.pos != frame.len() {
+        return Err(CodecError::TrailingBytes(frame.len().saturating_sub(r.pos)));
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_variant() {
+        let msgs = vec![
+            Message::Join {
+                id: 7,
+                members: vec![1, 2, 3],
+            },
+            Message::Stabilize {
+                round: 9,
+                members: vec![],
+            },
+            Message::Lookup {
+                query: 1,
+                key: 99,
+                hops: 3,
+                attempts: 1,
+                flags: 1,
+                avoid: vec![4, 8],
+            },
+            Message::LookupReply {
+                query: 1,
+                status: LookupStatus::Found,
+                owner: 99,
+                hops: 4,
+            },
+            Message::ProbeLoad { token: 12 },
+            Message::LoadReport {
+                token: 12,
+                load: 3,
+                capacity: 8,
+                indegree: 5,
+                spare: -2,
+            },
+            Message::AdaptIndegree {
+                from: 7,
+                slot: u16::MAX,
+                op: AdaptOp::AddBackward,
+            },
+            Message::Leave { id: 7 },
+        ];
+        for msg in msgs {
+            let frame = encode(&msg);
+            assert_eq!(decode(&frame).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_tag() {
+        let mut frame = encode(&Message::Leave { id: 1 });
+        frame[0] = b'X';
+        assert_eq!(decode(&frame), Err(CodecError::BadMagic));
+        let mut frame = encode(&Message::Leave { id: 1 });
+        frame[2] = 9;
+        assert_eq!(decode(&frame), Err(CodecError::BadVersion(9)));
+        let mut frame = encode(&Message::Leave { id: 1 });
+        frame[3] = 0;
+        assert_eq!(decode(&frame), Err(CodecError::UnknownTag(0)));
+    }
+
+    #[test]
+    fn rejects_length_mismatch_and_trailing() {
+        let mut frame = encode(&Message::ProbeLoad { token: 5 });
+        frame.push(0);
+        assert!(matches!(
+            decode(&frame),
+            Err(CodecError::LengthMismatch { .. })
+        ));
+        // Declared length padded to include junk the message does not use.
+        let mut frame = encode(&Message::ProbeLoad { token: 5 });
+        frame.push(0xAB);
+        let declared = (frame.len() - HEADER_LEN) as u32;
+        frame[4..8].copy_from_slice(&declared.to_be_bytes());
+        assert_eq!(decode(&frame), Err(CodecError::TrailingBytes(1)));
+    }
+}

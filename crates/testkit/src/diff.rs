@@ -22,6 +22,12 @@
 //!   band. (The repo's full `ert-network` substrate is Cycloid-only,
 //!   so the registry-level Chord geometry is the reference
 //!   implementation here.)
+//!
+//! The [`wire`] submodule holds the strictest oracle of the family:
+//! live `ert-node` wire clusters against the `MiniDht` simulator with
+//! **exact** (bit-identical) agreement required, no tolerance band.
+
+pub mod wire;
 
 use ert_experiments::ablation::forwarding_ladder;
 use ert_experiments::Scenario;

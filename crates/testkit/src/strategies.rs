@@ -273,6 +273,50 @@ pub fn workloads() -> WorkloadStrategy {
     WorkloadStrategy
 }
 
+/// Ingredients of a small wire cluster (`ert-node` over the in-memory
+/// switch): ring bit width, node count, seed, and a stabilize-round
+/// budget. Drawn by the wire-conformance and stabilize-convergence
+/// properties.
+#[derive(Debug, Clone, Copy)]
+pub struct WireClusterSpec {
+    /// Chord identifier bits.
+    pub bits: u8,
+    /// Requested node count (actual membership may be smaller after
+    /// ring-id collisions).
+    pub n: usize,
+    /// Master seed for geometry + platform streams.
+    pub seed: u64,
+    /// Stabilize rounds the scenario may spend reaching its fixpoint.
+    pub rounds: usize,
+}
+
+/// Strategy over [`WireClusterSpec`]s: 5–8 bits, 4–24 nodes, the stock
+/// `0..10_000` seed space.
+#[derive(Debug, Clone, Copy)]
+pub struct WireClusterStrategy;
+
+impl Strategy for WireClusterStrategy {
+    type Value = WireClusterSpec;
+    fn sample(&self, rng: &mut TestRng) -> WireClusterSpec {
+        let bits = (5u8..9).sample(rng);
+        // `ChordGeometry::populate` requires n ≤ half the ring.
+        let n_cap = 1usize << (bits - 1);
+        WireClusterSpec {
+            bits,
+            n: (4usize..25).sample(rng).min(n_cap),
+            seed: (0u64..10_000).sample(rng),
+            rounds: (2usize..6).sample(rng),
+        }
+    }
+}
+
+/// Strategy over small wire-cluster scenarios (see
+/// [`WireClusterStrategy`]).
+#[must_use]
+pub fn wire_cluster() -> WireClusterStrategy {
+    WireClusterStrategy
+}
+
 /// The deterministic capacity ramp the fault pins run on:
 /// `600 + 250·(i mod 5)`.
 #[must_use]

@@ -1,0 +1,256 @@
+//! Wire-conformance suite: the live `ert-node` cluster against the
+//! `ert-minidht` simulator as a differential oracle.
+//!
+//! The headline pin (`oracle_matrix`) demands **exact** agreement —
+//! identical hop-by-hop routing decisions, identical indegree
+//! adaptation sequences, identical post-run routing tables, and
+//! bit-identical scalar outcomes — across seeds × workload shapes ×
+//! protocols. The property tests extend the matrix with randomized
+//! scenario draws and with stabilize-convergence checks against the
+//! `ChordRegistry` reference geometry.
+
+use ert_minidht::MiniProtocol;
+use ert_testkit::diff::wire::{hotspot_schedule, uniform_schedule, wire_vs_sim};
+use proptest::prelude::*;
+
+const SEEDS: [u64; 3] = [3, 17, 41];
+
+#[test]
+fn oracle_matrix_uniform_workload() {
+    for protocol in [MiniProtocol::Classic, MiniProtocol::ElasticErt] {
+        for seed in SEEDS {
+            let schedule = uniform_schedule(7, 120, 40.0, seed ^ 0x5eed);
+            let diff = wire_vs_sim(7, 24, seed, &schedule, protocol);
+            assert!(diff.ok(), "{}", diff.mismatch().unwrap());
+            // The scenario must actually exercise routing.
+            assert!(
+                diff.sim_counts.0 > 0,
+                "{}: no lookups completed",
+                diff.label
+            );
+            assert!(
+                !diff.sim_trace.hops.is_empty(),
+                "{}: no hops recorded",
+                diff.label
+            );
+        }
+    }
+}
+
+#[test]
+fn oracle_matrix_hotspot_workload() {
+    for protocol in [MiniProtocol::Classic, MiniProtocol::ElasticErt] {
+        for seed in SEEDS {
+            let schedule = hotspot_schedule(7, 120, 40.0, seed ^ 0x40715);
+            let diff = wire_vs_sim(7, 24, seed, &schedule, protocol);
+            assert!(diff.ok(), "{}", diff.mismatch().unwrap());
+            assert!(
+                diff.sim_counts.0 > 0,
+                "{}: no lookups completed",
+                diff.label
+            );
+        }
+    }
+}
+
+#[test]
+fn oracle_adaptation_sequences_are_nonempty_under_ert() {
+    // Guard against the ERT matrix passing vacuously: the hotspot run
+    // must produce at least one adaptation round on both sides.
+    let schedule = hotspot_schedule(7, 160, 30.0, 99);
+    let diff = wire_vs_sim(7, 20, 5, &schedule, MiniProtocol::ElasticErt);
+    assert!(diff.ok(), "{}", diff.mismatch().unwrap());
+    assert!(
+        !diff.sim_trace.adapts.is_empty(),
+        "no adaptation rounds recorded — scenario too short to pin Algorithm 3"
+    );
+    assert_eq!(diff.sim_trace.adapts, diff.wire_trace.adapts);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Randomized extension of the oracle matrix: any drawn scenario
+    // must agree exactly.
+    #[test]
+    fn oracle_holds_on_random_scenarios(
+        bits in 5u8..8,
+        n in 8usize..28,
+        seed in 0u64..1000,
+        count in 40usize..120,
+        hotspot in proptest::bool::ANY,
+    ) {
+        // `ChordGeometry::populate` requires n ≤ half the ring.
+        let n = n.min(1usize << (bits - 1));
+        let schedule = if hotspot {
+            hotspot_schedule(bits, count, 35.0, seed ^ 0xabcd)
+        } else {
+            uniform_schedule(bits, count, 35.0, seed ^ 0xabcd)
+        };
+        for protocol in [MiniProtocol::Classic, MiniProtocol::ElasticErt] {
+            let diff = wire_vs_sim(bits, n, seed, &schedule, protocol);
+            prop_assert!(diff.ok(), "{}", diff.mismatch().unwrap());
+        }
+    }
+}
+
+mod stabilize {
+    use ert_minidht::{ChordGeometry, Geometry};
+    use ert_node::{Message, TimerKind, Transport, TransportError, WireNode, CLIENT_ADDR};
+    use ert_overlay::ChordRegistry;
+    use ert_sim::{SimDuration, SimRng, SimTime};
+    use ert_testkit::strategies::wire_cluster;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    /// Minimal reliable transport over a map of nodes: no faults, no
+    /// timers — just enough to drive join/stabilize rounds.
+    struct Lan<'a> {
+        me: u64,
+        nodes: &'a mut BTreeMap<u64, WireNode>,
+    }
+
+    impl Transport for Lan<'_> {
+        fn now(&self) -> SimTime {
+            SimTime::ZERO
+        }
+        fn send(&mut self, _to: u64, _frame: &[u8]) -> Result<(), TransportError> {
+            Ok(())
+        }
+        fn request(&mut self, to: u64, frame: &[u8]) -> Result<Vec<u8>, TransportError> {
+            if to == self.me || to == CLIENT_ADDR {
+                return Err(TransportError::UnknownPeer(to));
+            }
+            let Some(mut peer) = self.nodes.remove(&to) else {
+                return Err(TransportError::UnknownPeer(to));
+            };
+            let out = peer.on_request(frame);
+            self.nodes.insert(to, peer);
+            out.map_err(|e| TransportError::Peer(e.to_string()))
+        }
+        fn timer(&mut self, _delay: SimDuration, _kind: TimerKind) {}
+    }
+
+    fn with_lan<R>(
+        nodes: &mut BTreeMap<u64, WireNode>,
+        id: u64,
+        f: impl FnOnce(&mut WireNode, &mut Lan) -> R,
+    ) -> R {
+        let mut node = nodes.remove(&id).expect("node present");
+        let mut lan = Lan { me: id, nodes };
+        let out = f(&mut node, &mut lan);
+        nodes.insert(id, node);
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        // Satellite 3: nodes that join one-by-one through a bootstrap
+        // peer and run stabilize rounds must converge to exactly the
+        // membership view and successor structure the ChordRegistry
+        // reference computes on the same id set.
+        #[test]
+        fn stabilize_converges_to_registry_reference(spec in wire_cluster()) {
+            let mut rng = SimRng::seed_from(spec.seed);
+            let geometry = ChordGeometry::populate(spec.bits, spec.n, &mut rng);
+            let members = geometry.members();
+            prop_assume!(members.len() >= 2);
+
+            // Reference: the registry over the identical id set.
+            let mut registry = ChordRegistry::new(ert_overlay::ChordSpace::new(spec.bits));
+            for &m in &members {
+                registry.insert(m);
+            }
+
+            // Subject: each node boots knowing ONLY itself + the
+            // bootstrap (first member), then joins and stabilizes.
+            let cfg = ert_minidht::MiniDhtConfig::defaults(spec.bits, spec.seed);
+            let bootstrap = members[0];
+            let mut nodes: BTreeMap<u64, WireNode> = BTreeMap::new();
+            for &m in &members {
+                let view = if m == bootstrap {
+                    vec![m]
+                } else {
+                    vec![m, bootstrap]
+                };
+                nodes.insert(
+                    m,
+                    WireNode::new(
+                        m,
+                        spec.bits,
+                        &view,
+                        1.0,
+                        4,
+                        &cfg,
+                        ert_minidht::MiniProtocol::Classic,
+                    ),
+                );
+            }
+            for &m in &members {
+                if m != bootstrap {
+                    with_lan(&mut nodes, m, |n, lan| n.join_via(lan, bootstrap))
+                        .expect("join");
+                }
+            }
+            // Views spread at most one hop per round; n rounds is a
+            // safe fixpoint bound for an n-node gossip diameter. (A
+            // round where no *requester* grew can still have grown
+            // receiver views server-side, so run one extra round after
+            // the first quiet one.)
+            let mut quiet = 0;
+            for _round in 0..members.len() + 1 {
+                let mut changed = false;
+                for &m in &members {
+                    let grew = with_lan(&mut nodes, m, |n, lan| n.stabilize_once(lan))
+                        .expect("stabilize");
+                    changed |= grew;
+                }
+                if changed {
+                    quiet = 0;
+                } else {
+                    quiet += 1;
+                    if quiet == 2 {
+                        break;
+                    }
+                }
+            }
+
+            for &m in &members {
+                let node = &nodes[&m];
+                prop_assert_eq!(
+                    node.members_view(),
+                    members.clone(),
+                    "node {} converged to a wrong membership view",
+                    m
+                );
+                // Successor structure must match the reference registry.
+                let expected_succ = registry.successor(m);
+                let got_succ = node.geometry().successor(m);
+                prop_assert_eq!(got_succ, expected_succ, "successor of {}", m);
+            }
+
+            // And a full rebuild from the converged views must agree
+            // with a geometry built directly over the member list.
+            let direct = ChordGeometry::from_members(spec.bits, &members);
+            for &m in &members {
+                prop_assert_eq!(
+                    nodes[&m].geometry().successor(m),
+                    direct.successor(m)
+                );
+            }
+        }
+
+        // Round-trip guard: a Stabilize frame built from any view
+        // survives the codec unchanged (the convergence above depends
+        // on it).
+        #[test]
+        fn stabilize_frames_roundtrip(round in 0u32..50, n in 1usize..40, seed in 0u64..500) {
+            let mut rng = SimRng::seed_from(seed);
+            let geometry = ChordGeometry::populate(7, n, &mut rng);
+            let msg = Message::Stabilize { round, members: geometry.members() };
+            let bytes = ert_node::encode(&msg);
+            prop_assert_eq!(ert_node::decode(&bytes).unwrap(), msg);
+        }
+    }
+}
